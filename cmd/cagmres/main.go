@@ -1,0 +1,193 @@
+// Command cagmres solves a sparse linear system A x = b with GMRES or
+// CA-GMRES on the simulated multi-GPU runtime and prints the convergence
+// history and the per-phase communication/compute ledger.
+//
+// The matrix comes either from one of the built-in paper analogues
+// (-matrix cant|G3_circuit|dielFilterV2real|nlpkkt120, sized by -scale)
+// or from a MatrixMarket file (-file path). The right-hand side is the
+// all-ones vector unless -rhs random is given.
+//
+// Examples:
+//
+//	cagmres -matrix G3_circuit -scale 0.02 -solver ca -s 10 -m 30 -ortho CholQR -devices 3
+//	cagmres -file matrix.mtx -solver gmres -m 60 -ortho MGS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"cagmres/internal/core"
+	"cagmres/internal/gpu"
+	"cagmres/internal/matgen"
+	"cagmres/internal/sparse"
+)
+
+func main() {
+	matrix := flag.String("matrix", "G3_circuit", "built-in matrix: cant, G3_circuit, dielFilterV2real, nlpkkt120")
+	file := flag.String("file", "", "MatrixMarket file (overrides -matrix)")
+	scale := flag.Float64("scale", 0.02, "built-in matrix scale (1.0 = published size)")
+	solver := flag.String("solver", "ca", "solver: gmres or ca")
+	m := flag.Int("m", 30, "restart length")
+	s := flag.Int("s", 10, "CA-GMRES step size")
+	orth := flag.String("ortho", "CholQR", "orthogonalization: GMRES takes MGS|CGS; CA takes MGS|CGS|CholQR|SVQR|CAQR (2x prefix allowed)")
+	borth := flag.String("borth", "CGS", "CA-GMRES block orthogonalization: CGS or MGS")
+	basis := flag.String("basis", "newton", "CA-GMRES basis: newton or monomial")
+	ordering := flag.String("ordering", "kway", "matrix ordering: natural, rcm, kway, hypergraph")
+	devices := flag.Int("devices", 3, "simulated GPU count")
+	tol := flag.Float64("tol", 1e-4, "relative residual tolerance")
+	maxRestarts := flag.Int("max-restarts", 500, "restart cap")
+	rhs := flag.String("rhs", "ones", "right-hand side: ones or random")
+	balance := flag.Bool("balance", true, "balance the matrix before solving")
+	fallback := flag.Bool("fallback", true, "on an ill-conditioned basis window, retry with 2x reorthogonalization and then 2xCAQR")
+	jacobi := flag.Bool("jacobi", false, "right-precondition with the inverse diagonal (composes with MPK)")
+	adaptive := flag.Bool("adaptive-s", false, "shrink the CA step size when a basis window goes rank deficient")
+	trace := flag.Int("trace", 0, "print the last N ledger events (communication rounds and kernels)")
+	flag.Parse()
+
+	a, name, err := loadMatrix(*file, *matrix, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("matrix %s: n=%d, nnz=%d (%.1f per row)\n",
+		name, a.Rows, a.NNZ(), float64(a.NNZ())/float64(a.Rows))
+
+	b := make([]float64, a.Rows)
+	switch *rhs {
+	case "ones":
+		for i := range b {
+			b[i] = 1
+		}
+	case "random":
+		rng := rand.New(rand.NewSource(1))
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+	default:
+		fatal(fmt.Errorf("unknown -rhs %q", *rhs))
+	}
+
+	var ord core.Ordering
+	switch *ordering {
+	case "natural":
+		ord = core.Natural
+	case "rcm":
+		ord = core.RCM
+	case "kway":
+		ord = core.KWay
+	case "hypergraph":
+		ord = core.Hypergraph
+	default:
+		fatal(fmt.Errorf("unknown -ordering %q", *ordering))
+	}
+
+	ctx := gpu.NewContext(*devices, gpu.M2090())
+	if *trace > 0 {
+		ctx.Stats().EnableTrace(*trace)
+	}
+	p, err := core.NewProblem(ctx, a, b, ord, *balance)
+	if err != nil {
+		fatal(err)
+	}
+	if *jacobi {
+		p.ApplyJacobi()
+	}
+	opts := core.Options{
+		M: *m, S: *s, Tol: *tol, MaxRestarts: *maxRestarts,
+		Ortho: *orth, BOrth: *borth, Basis: *basis, AdaptiveS: *adaptive,
+	}
+
+	start := time.Now()
+	var res *core.Result
+	switch *solver {
+	case "gmres":
+		if opts.Ortho != "MGS" && opts.Ortho != "CGS" {
+			opts.Ortho = "CGS"
+		}
+		res, err = core.GMRES(p, opts)
+	case "ca":
+		res, err = core.CAGMRES(p, opts)
+		if err != nil && *fallback {
+			// Stability ladder mirroring the paper's "2x" rows: the
+			// requested strategy reorthogonalized, then the
+			// unconditionally stable CAQR.
+			for _, next := range []string{"2x" + opts.Ortho, "2xCAQR"} {
+				if len(opts.Ortho) > 2 && opts.Ortho[:2] == "2x" && next == "2x"+opts.Ortho {
+					continue
+				}
+				fmt.Printf("note: %s failed (%v); retrying with %s\n", opts.Ortho, err, next)
+				opts.Ortho = next
+				ctx = gpu.NewContext(*devices, gpu.M2090())
+				p, err = core.NewProblem(ctx, a, b, ord, *balance)
+				if err != nil {
+					break
+				}
+				if *jacobi {
+					p.ApplyJacobi()
+				}
+				res, err = core.CAGMRES(p, opts)
+				if err == nil {
+					break
+				}
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown -solver %q", *solver))
+	}
+	wall := time.Since(start)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nconverged: %v  restarts: %d  iterations: %d\n", res.Converged, res.Restarts, res.Iters)
+	fmt.Printf("relative residual (balanced system): %.3e\n", res.RelRes)
+	fmt.Printf("true relative residual:              %.3e\n", core.ResidualNorm(a, b, res.X))
+	fmt.Printf("wall time: %v   modeled device time: %.3f ms\n", wall, res.Stats.TotalTime()*1e3)
+	if res.Restarts > 0 {
+		fmt.Printf("modeled time per restart: %.3f ms\n", res.Stats.TotalTime()/float64(res.Restarts)*1e3)
+	}
+	fmt.Printf("\nper-phase ledger:\n%s", res.Stats.String())
+
+	if len(res.History) > 0 {
+		fmt.Printf("\nresidual history (per restart):\n")
+		for i, r := range res.History {
+			fmt.Printf("  restart %3d: %.3e\n", i+1, r)
+		}
+	}
+
+	if *trace > 0 {
+		fmt.Printf("\nlast %d ledger events:\n", *trace)
+		fmt.Printf("%8s %-8s %-10s %10s %12s\n", "seq", "phase", "kind", "bytes", "time (us)")
+		for _, e := range res.Stats.Trace() {
+			fmt.Printf("%8d %-8s %-10s %10d %12.2f\n", e.Seq, e.Phase, e.Kind, e.Bytes, e.Time*1e6)
+		}
+	}
+}
+
+func loadMatrix(file, name string, scale float64) (*sparse.CSR, string, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		a, err := sparse.ReadMatrixMarket(f)
+		if err != nil {
+			return nil, "", err
+		}
+		return a, file, nil
+	}
+	m, err := matgen.ByName(name, scale)
+	if err != nil {
+		return nil, "", err
+	}
+	return m.A, m.Name, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cagmres:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Eigen example: the paper's closing claim — "our studies may have
+// greater impact beyond GMRES" — made runnable. Approximates the extreme
+// eigenvalues of a convection-diffusion operator with standard Arnoldi
+// and with CA-Arnoldi (matrix powers + BOrth + TSQR) and compares both
+// the answers and the communication bills.
+//
+//	go run ./examples/eigen
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cagmres"
+)
+
+func main() {
+	// Nonsymmetric operator with a complex spectrum.
+	a := cagmres.Laplace2D(80, 80, 0.6)
+	n := a.Rows
+	fmt.Printf("convection-diffusion operator: n=%d\n", n)
+
+	rng := rand.New(rand.NewSource(7))
+	start := make([]float64, n)
+	for i := range start {
+		start[i] = rng.NormFloat64()
+	}
+
+	for _, cfg := range []struct {
+		name string
+		s    int
+	}{
+		{"Arnoldi   (s=1)", 1},
+		{"CA-Arnoldi (s=8)", 8},
+	} {
+		ctx := cagmres.NewContext(3)
+		p, err := cagmres.NewProblem(ctx, a, make([]float64, n), cagmres.Natural, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ritz, err := cagmres.RitzValues(p, cagmres.Options{M: 40, S: cfg.s, Ortho: "CholQR"}, start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rounds := 0
+		for _, ph := range ctx.Stats().Phases() {
+			rounds += ctx.Stats().Phase(ph).Rounds
+		}
+		fmt.Printf("\n%s — %d communication rounds, modeled %.3f ms\n",
+			cfg.name, rounds, ctx.Stats().TotalTime()*1e3)
+		fmt.Printf("  leading Ritz values: ")
+		for i := 0; i < 4 && i < len(ritz); i++ {
+			fmt.Printf("%.4f%+.4fi  ", real(ritz[i]), imag(ritz[i]))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nboth variants span the same Krylov subspace, so they find the same")
+	fmt.Println("Ritz values; CA-Arnoldi sends an order of magnitude fewer messages.")
+}

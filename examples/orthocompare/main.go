@@ -1,0 +1,80 @@
+// Orthocompare: a numerical-stability tour of the five TSQR strategies
+// (Figure 10 / Figure 13 in miniature). Factors tall-skinny matrices with
+// increasing condition numbers on three simulated GPUs and reports each
+// strategy's orthogonality error, communication rounds, and failures.
+//
+//	go run ./examples/orthocompare
+package main
+
+import (
+	"fmt"
+
+	"cagmres"
+)
+
+func main() {
+	const (
+		n  = 60000
+		c  = 20 // s+1 columns
+		ng = 3
+	)
+	fmt.Printf("TSQR on a %d x %d window, %d simulated GPUs\n", n, c, ng)
+	fmt.Println("orthogonality error ||I - Q'Q||_F by window condition number:")
+	fmt.Printf("%-9s %10s", "strategy", "rounds")
+	conds := []float64{1e2, 1e5, 1e8, 1e12}
+	for _, k := range conds {
+		fmt.Printf(" %12.0e", k)
+	}
+	fmt.Println()
+
+	for _, strat := range cagmres.AllTSQR() {
+		fmt.Printf("%-9s", strat.Name())
+		roundsPrinted := false
+		for _, kappa := range conds {
+			v := cagmres.RandomTallSkinny(n, c, kappa, 42)
+			ctx := cagmres.NewContext(ng)
+			w := cagmres.SplitRows(v, ng)
+			orig := cagmres.CloneWindow(w)
+			r, err := strat.Factor(ctx, w, "tsqr")
+			if !roundsPrinted {
+				fmt.Printf(" %10d", ctx.Stats().Phase("tsqr").Rounds)
+				roundsPrinted = true
+			}
+			if err != nil {
+				fmt.Printf(" %12s", "FAILED")
+				continue
+			}
+			e := cagmres.MeasureTSQR(w, orig, r)
+			fmt.Printf(" %12.2e", e.Orthogonality)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - CAQR stays at machine precision whatever the conditioning (O(eps)).")
+	fmt.Println("  - MGS degrades linearly with kappa (O(eps*kappa)).")
+	fmt.Println("  - CholQR/SVQR degrade with kappa^2 and fail outright near 1e8,")
+	fmt.Println("    which is why CA-GMRES pairs them with reorthogonalization (2x).")
+	fmt.Println("  - The communication column is Figure 10: MGS pays per dot product,")
+	fmt.Println("    CGS per column, the BLAS-3 strategies exactly 2 transfers.")
+
+	// The repair the paper applies: reorthogonalization.
+	fmt.Println("\n2x reorthogonalization at kappa=1e8:")
+	for _, name := range []string{"CGS", "2xCGS", "CholQR", "2xCholQR"} {
+		strat, err := cagmres.TSQRByName(name)
+		if err != nil {
+			panic(err)
+		}
+		v := cagmres.RandomTallSkinny(n, c, 1e8, 42)
+		ctx := cagmres.NewContext(ng)
+		w := cagmres.SplitRows(v, ng)
+		orig := cagmres.CloneWindow(w)
+		r, err := strat.Factor(ctx, w, "tsqr")
+		if err != nil {
+			fmt.Printf("  %-9s FAILED (%v)\n", name, err)
+			continue
+		}
+		e := cagmres.MeasureTSQR(w, orig, r)
+		fmt.Printf("  %-9s ||I-Q'Q|| = %.2e\n", name, e.Orthogonality)
+	}
+}

@@ -1,0 +1,67 @@
+// Scaling example: device-count and step-size scaling study — the
+// "larger number of GPUs" direction the paper's conclusion points to.
+// Sweeps 1..8 simulated GPUs for GMRES and CA-GMRES on a
+// dielFilter-like system and shows where each solver's scaling saturates
+// (GMRES hits the per-iteration latency floor much earlier).
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cagmres"
+)
+
+func main() {
+	a, err := cagmres.GenerateMatrix("dielFilterV2real", 0.03)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dielFilter analogue: n=%d, nnz/row=%.1f\n",
+		a.Rows, float64(a.NNZ())/float64(a.Rows))
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+
+	const m = 90
+	fmt.Printf("\n%-4s %14s %14s %10s %14s\n", "ng", "GMRES ms/res", "CA ms/res", "CA spdup", "CA eff vs 1GPU")
+	var gBase, cBase float64
+	for ng := 1; ng <= 8; ng++ {
+		ctx := cagmres.NewContext(ng)
+		pg, err := cagmres.NewProblem(ctx, a, b, cagmres.KWay, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rg, err := cagmres.GMRES(pg, cagmres.Options{M: m, Tol: 1e-4, MaxRestarts: 8, Ortho: "CGS"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gPer := rg.Stats.TotalTime() / float64(rg.Restarts) * 1e3
+
+		pc, err := cagmres.NewProblem(ctx, a, b, cagmres.KWay, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rc, err := cagmres.CAGMRES(pc, cagmres.Options{
+			M: m, S: 15, Tol: 1e-4, MaxRestarts: 8, Ortho: "CholQR", AdaptiveS: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cPer := rc.Stats.TotalTime() / float64(rc.Restarts) * 1e3
+
+		if ng == 1 {
+			gBase, cBase = gPer, cPer
+		}
+		eff := cBase / cPer / float64(ng) * 100
+		fmt.Printf("%-4d %14.3f %14.3f %10.2f %13.1f%%\n", ng, gPer, cPer, gPer/cPer, eff)
+		_ = gBase
+	}
+	fmt.Println("\nreading the table: both solvers scale, but GMRES's per-iteration")
+	fmt.Println("reductions put a latency floor under its time that more devices")
+	fmt.Println("cannot lower, while CA-GMRES keeps most of its advantage — the")
+	fmt.Println("gap the paper expects to widen on multi-node systems.")
+}

@@ -1,0 +1,3 @@
+module cagmres
+
+go 1.22

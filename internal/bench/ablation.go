@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"cagmres/internal/core"
+	"cagmres/internal/gpu"
+	"cagmres/internal/matgen"
+	"cagmres/internal/ortho"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out: where the
+// CA advantage actually comes from (latency), what the Newton basis buys
+// (stability at large s), what reordering buys (halo size), and what the
+// mixed-precision Gram kernel trades (volume vs orthogonality).
+
+// AblationLatencyRow reports CA-GMRES's speedup over GMRES under one
+// scaled PCIe latency.
+type AblationLatencyRow struct {
+	LatencyScale float64
+	GMRESPerRes  float64
+	CAPerRes     float64
+	Speedup      float64
+}
+
+// AblationLatency sweeps the PCIe latency of the cost model and measures
+// the CA-GMRES(10, 30) speedup over GMRES(30) on the G3_circuit analogue.
+// The entire communication-avoiding advantage should track the latency:
+// at near-zero latency CA-GMRES's extra work makes it roughly break even,
+// and the speedup grows monotonically as transfers get more expensive.
+func AblationLatency(cfg Config) []AblationLatencyRow {
+	cfg.Defaults()
+	mat := benchG3(cfg.Scale)
+	b := onesRHS(mat.A.Rows)
+	var out []AblationLatencyRow
+	cfg.printf("Ablation: CA speedup vs PCIe latency (G3_circuit, 3 devices)\n")
+	cfg.printf("%12s %12s %12s %10s\n", "latency x", "gmres ms", "ca ms", "speedup")
+	for _, scale := range []float64{0.01, 0.1, 1, 10} {
+		model := cfg.Model
+		model.Latency *= scale
+		model.KernelLaunch *= scale
+
+		ctxG := gpu.NewContext(cfg.MaxDevices, model)
+		pg, err := core.NewProblem(ctxG, mat.A, b, core.KWay, true)
+		if err != nil {
+			panic(err)
+		}
+		rg, err := core.GMRES(pg, core.Options{M: 30, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CGS"})
+		if err != nil {
+			panic(err)
+		}
+
+		res, _, err := runCAWithFallback(Config{Scale: cfg.Scale, MaxDevices: cfg.MaxDevices,
+			Model: model, MaxRestarts: cfg.MaxRestarts},
+			mat.A, b, core.KWay,
+			core.Options{M: 30, S: 10, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR"},
+			cfg.MaxDevices)
+		if err != nil {
+			panic(err)
+		}
+		row := AblationLatencyRow{
+			LatencyScale: scale,
+			GMRESPerRes:  perRestart(rg),
+			CAPerRes:     perRestart(res),
+		}
+		if row.CAPerRes > 0 {
+			row.Speedup = row.GMRESPerRes / row.CAPerRes
+		}
+		out = append(out, row)
+		cfg.printf("%12.2f %12.3f %12.3f %10.2f\n",
+			scale, ms(row.GMRESPerRes), ms(row.CAPerRes), row.Speedup)
+	}
+	return out
+}
+
+// AblationBasisRow reports one basis configuration's outcome.
+type AblationBasisRow struct {
+	Basis     string
+	S         int
+	Converged bool
+	Failed    bool
+	Restarts  int
+}
+
+// AblationBasis compares monomial vs Newton bases across step sizes on
+// the cant analogue with plain CholQR (no reorthogonalization, no
+// fallback): the monomial basis is expected to stop factorizing once s
+// is large while the Newton basis keeps going — the design reason the
+// solver harvests Ritz shifts at all.
+func AblationBasis(cfg Config) []AblationBasisRow {
+	cfg.Defaults()
+	mat := benchCant(cfg.Scale)
+	b := onesRHS(mat.A.Rows)
+	var out []AblationBasisRow
+	cfg.printf("Ablation: basis choice vs step size (cant, CholQR, no fallback)\n")
+	cfg.printf("%-9s %4s %10s %8s %8s\n", "basis", "s", "converged", "failed", "rest")
+	for _, basis := range []string{"monomial", "newton"} {
+		for _, s := range []int{2, 5, 10, 15} {
+			ctx := gpu.NewContext(cfg.MaxDevices, cfg.Model)
+			p, err := core.NewProblem(ctx, mat.A, b, core.Natural, true)
+			if err != nil {
+				panic(err)
+			}
+			res, err := core.CAGMRES(p, core.Options{
+				M: 60, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts,
+				Ortho: "CholQR", Basis: basis,
+			})
+			row := AblationBasisRow{Basis: basis, S: s}
+			if err != nil {
+				row.Failed = true
+			} else {
+				row.Converged = res.Converged
+				row.Restarts = res.Restarts
+			}
+			out = append(out, row)
+			cfg.printf("%-9s %4d %10v %8v %8d\n", basis, s, row.Converged, row.Failed, row.Restarts)
+		}
+	}
+	return out
+}
+
+// AblationPrecisionRow reports one Gram-kernel precision configuration.
+type AblationPrecisionRow struct {
+	Strategy      string
+	GramBytesD2H  int
+	Orthogonality float64
+	ModeledTime   float64
+}
+
+// AblationPrecision compares CholQR, MixedCholQR (single-precision Gram)
+// and MixedCholQR2 (with a double-precision refinement pass) on a fixed
+// tall-skinny window: the mixed kernel halves the reduce volume at an
+// orthogonality cost of ~eps_32/eps_64, which the refinement pass buys
+// back for double the work — the trade studied in the paper's reference
+// [23].
+func AblationPrecision(cfg Config) []AblationPrecisionRow {
+	cfg.Defaults()
+	const c = 20
+	n := int(100000 * cfg.Scale / 0.02)
+	if n < 4*c {
+		n = 4 * c
+	}
+	v := matgen.RandomTallSkinny(n, c, 1e3, 11)
+	var out []AblationPrecisionRow
+	cfg.printf("Ablation: Gram-kernel precision (n=%d, %d cols, kappa=1e3)\n", n, c)
+	cfg.printf("%-14s %12s %14s %12s\n", "strategy", "gram bytes", "||I-Q'Q||", "time (ms)")
+	for _, strat := range []ortho.TSQR{ortho.CholQR{}, ortho.MixedCholQR{}, ortho.MixedCholQR{Refine: true}} {
+		ctx := gpu.NewContext(cfg.MaxDevices, cfg.Model)
+		w := splitWindow(v.Clone(), cfg.MaxDevices)
+		orig := ortho.CloneWindow(w)
+		ctx.ResetStats()
+		r, err := strat.Factor(ctx, w, "tsqr")
+		if err != nil {
+			panic(err)
+		}
+		e := ortho.Measure(w, orig, r)
+		p := ctx.Stats().Phase("tsqr")
+		row := AblationPrecisionRow{
+			Strategy:      strat.Name(),
+			GramBytesD2H:  p.BytesD2H,
+			Orthogonality: e.Orthogonality,
+			ModeledTime:   p.Total(),
+		}
+		out = append(out, row)
+		cfg.printf("%-14s %12d %14.3e %12.4f\n", row.Strategy, row.GramBytesD2H, row.Orthogonality, ms(row.ModeledTime))
+	}
+	return out
+}
+
+// AblationFusedRow reports one CGS fusion configuration.
+type AblationFusedRow struct {
+	Strategy      string
+	Rounds        int
+	CommTime      float64
+	Orthogonality float64
+}
+
+// AblationFusedCGS measures the fused-norm CGS optimization (the paper's
+// footnote 5): the fused variant reduces the projection coefficients and
+// the norm in one round and derives the post-update norm from the
+// Pythagorean identity, halving the transfer count of the textbook
+// (Figure 9) formulation at identical flop cost.
+func AblationFusedCGS(cfg Config) []AblationFusedRow {
+	cfg.Defaults()
+	const c = 20
+	n := int(100000 * cfg.Scale / 0.02)
+	if n < 4*c {
+		n = 4 * c
+	}
+	v := matgen.RandomTallSkinny(n, c, 1e2, 13)
+	var out []AblationFusedRow
+	cfg.printf("Ablation: fused vs unfused CGS (n=%d, %d cols)\n", n, c)
+	cfg.printf("%-12s %8s %12s %14s\n", "variant", "rounds", "comm ms", "||I-Q'Q||")
+	for _, strat := range []ortho.TSQR{ortho.CGSUnfused{}, ortho.CGS{}} {
+		ctx := gpu.NewContext(cfg.MaxDevices, cfg.Model)
+		w := splitWindow(v.Clone(), cfg.MaxDevices)
+		orig := ortho.CloneWindow(w)
+		ctx.ResetStats()
+		r, err := strat.Factor(ctx, w, "tsqr")
+		if err != nil {
+			panic(err)
+		}
+		e := ortho.Measure(w, orig, r)
+		p := ctx.Stats().Phase("tsqr")
+		row := AblationFusedRow{
+			Strategy: strat.Name(), Rounds: p.Rounds,
+			CommTime: p.CommTime, Orthogonality: e.Orthogonality,
+		}
+		out = append(out, row)
+		cfg.printf("%-12s %8d %12.4f %14.3e\n", row.Strategy, row.Rounds, ms(row.CommTime), row.Orthogonality)
+	}
+	return out
+}
+
+// AblationAdaptiveRow reports one adaptive-s configuration.
+type AblationAdaptiveRow struct {
+	Adaptive  bool
+	Converged bool
+	Failed    bool
+	Restarts  int
+	Iters     int
+}
+
+// AblationAdaptive shows the future-work adaptive step size rescuing the
+// fragile configuration (small cant, CholQR, s=15) that plain CA-GMRES
+// cannot complete.
+func AblationAdaptive(cfg Config) []AblationAdaptiveRow {
+	cfg.Defaults()
+	mat := matgen.Cant(0.05) // deliberately small: the fragile regime
+	b := onesRHS(mat.A.Rows)
+	var out []AblationAdaptiveRow
+	cfg.printf("Ablation: adaptive step size (small cant, CholQR, s=15)\n")
+	cfg.printf("%-9s %10s %8s %6s %6s\n", "adaptive", "converged", "failed", "rest", "iters")
+	for _, adaptive := range []bool{false, true} {
+		ctx := gpu.NewContext(2, cfg.Model)
+		p, err := core.NewProblem(ctx, mat.A, b, core.Natural, true)
+		if err != nil {
+			panic(err)
+		}
+		res, err := core.CAGMRES(p, core.Options{
+			M: 60, S: 15, Tol: 1e-4, MaxRestarts: 60,
+			Ortho: "CholQR", AdaptiveS: adaptive,
+		})
+		row := AblationAdaptiveRow{Adaptive: adaptive}
+		if err != nil {
+			row.Failed = true
+		} else {
+			row.Converged = res.Converged
+			row.Restarts = res.Restarts
+			row.Iters = res.Iters
+		}
+		out = append(out, row)
+		cfg.printf("%-9v %10v %8v %6d %6d\n", adaptive, row.Converged, row.Failed, row.Restarts, row.Iters)
+	}
+	return out
+}

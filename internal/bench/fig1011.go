@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"time"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/la"
+	"cagmres/internal/matgen"
+	"cagmres/internal/ortho"
+)
+
+// Fig10Row pairs a strategy's analytic properties with its measured
+// per-window transfer count on the simulated devices.
+type Fig10Row struct {
+	ortho.Property
+	MeasuredComm int
+}
+
+// Fig10 prints the TSQR strategy property table (Figure 10) and verifies
+// the communication column by factoring one window per strategy and
+// counting ledger rounds.
+func Fig10(cfg Config) []Fig10Row {
+	cfg.Defaults()
+	const n, s = 30000, 9
+	props := ortho.PropertyTable(n, s)
+	v := matgen.RandomTallSkinny(n, s+1, 1e2, 7)
+	out := make([]Fig10Row, 0, len(props))
+	cfg.printf("Figure 10: TSQR strategy properties, n=%d, s=%d\n", n, s)
+	cfg.printf("%-8s %-16s %12s %10s %10s  %s\n", "name", "error", "flops", "comm", "measured", "kernel")
+	for _, p := range props {
+		strat, err := ortho.ByName(p.Name)
+		if err != nil {
+			panic(err)
+		}
+		ctx := gpu.NewContext(cfg.MaxDevices, cfg.Model)
+		w := splitWindow(v.Clone(), cfg.MaxDevices)
+		ctx.ResetStats()
+		if _, err := strat.Factor(ctx, w, "tsqr"); err != nil {
+			panic(err)
+		}
+		row := Fig10Row{Property: p, MeasuredComm: ctx.Stats().Phase("tsqr").Rounds}
+		out = append(out, row)
+		cfg.printf("%-8s %-16s %12.3e %10d %10d  %s\n",
+			p.Name, p.ErrorBound, p.Flops, p.CommCount, row.MeasuredComm, p.BLASLevel)
+	}
+	return out
+}
+
+// splitWindow scatters a host matrix into ng row panels (the shape the
+// TSQR kernels take).
+func splitWindow(v *la.Dense, ng int) []*la.Dense {
+	n := v.Rows
+	base, rem := n/ng, n%ng
+	out := make([]*la.Dense, ng)
+	r0 := 0
+	for d := 0; d < ng; d++ {
+		rows := base
+		if d < rem {
+			rows++
+		}
+		p := la.NewDense(rows, v.Cols)
+		for j := 0; j < v.Cols; j++ {
+			copy(p.Col(j), v.Col(j)[r0:r0+rows])
+		}
+		out[d] = p
+		r0 += rows
+	}
+	return out
+}
+
+// Fig11Kernel is one measured point of the kernel study.
+type Fig11Kernel struct {
+	Kernel  string
+	Rows    int
+	Gflops  float64 // wall-clock Gflop/s on the host CPU
+	Elapsed time.Duration
+}
+
+// Fig11ab measures the tall-skinny GEMM and GEMV kernels on the real
+// host CPU: the naive one-pass kernels versus the panel-parallel
+// "batched" kernels, the analogue of the paper's CUBLAS-vs-batched-DGEMM
+// comparison (Figure 11a/b). The batched forms must win on tall inputs.
+func Fig11ab(cfg Config) []Fig11Kernel {
+	cfg.Defaults()
+	const c = 30
+	sizes := []int{1 << 14, 1 << 17}
+	var out []Fig11Kernel
+	cfg.printf("Figure 11(a,b): tall-skinny kernels on the host, %d columns\n", c)
+	cfg.printf("%-22s %10s %10s\n", "kernel", "rows", "Gflop/s")
+	for _, n := range sizes {
+		v := matgen.RandomTallSkinny(n, c, 10, 3)
+		g := la.NewDense(c, c)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 1 / float64(i+1)
+		}
+		y := make([]float64, c)
+
+		gramFlops := float64(n) * c * c
+		out = append(out,
+			timeKernel(cfg, "gemm/serial", n, gramFlops, func() { la.Syrk(v, g) }),
+			timeKernel(cfg, "gemm/batched", n, gramFlops, func() { la.BatchedGram(v, g) }),
+			timeKernel(cfg, "gemv/serial", n, 2*float64(n)*c, func() { la.GemvT(1, v, x, 0, y) }),
+			timeKernel(cfg, "gemv/parallel", n, 2*float64(n)*c, func() { la.ParallelGemvT(v, x, y) }),
+		)
+	}
+	return out
+}
+
+func timeKernel(cfg Config, name string, rows int, flops float64, f func()) Fig11Kernel {
+	// Warm up once, then time enough repetitions for a stable figure.
+	f()
+	reps := 1
+	start := time.Now()
+	f()
+	el := time.Since(start)
+	for el < 20*time.Millisecond && reps < 1024 {
+		reps *= 2
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			f()
+		}
+		el = time.Since(start)
+	}
+	perCall := el / time.Duration(reps)
+	k := Fig11Kernel{Kernel: name, Rows: rows, Elapsed: perCall,
+		Gflops: flops / perCall.Seconds() / 1e9}
+	cfg.printf("%-22s %10d %10.2f\n", name, rows, k.Gflops)
+	return k
+}
+
+// Fig11cRow is one TSQR throughput sample.
+type Fig11cRow struct {
+	Strategy string
+	Devices  int
+	// EffectiveGflops = (4 n c^2 reference flops of DGEQRF+DORGQR) /
+	// modeled time, the paper's effective-Gflop/s metric.
+	EffectiveGflops float64
+}
+
+// Fig11c measures TSQR throughput for every strategy on 1..MaxDevices
+// simulated GPUs with an n x 30 window (Figure 11c). Expected shape:
+// CholQR/SVQR (BLAS-3) on top, CGS next, MGS and CAQR at the
+// BLAS-1/2 floor, and all strategies scaling with the device count.
+func Fig11c(cfg Config) []Fig11cRow {
+	cfg.Defaults()
+	const c = 30
+	n := int(200000 * cfg.Scale / 0.02)
+	if n < 4*c {
+		n = 4 * c
+	}
+	refFlops := 4 * float64(n) * c * c
+	v := matgen.RandomTallSkinny(n, c, 1e2, 9)
+	var out []Fig11cRow
+	cfg.printf("Figure 11(c): TSQR effective Gflop/s, n=%d, s+1=%d (modeled)\n", n, c)
+	cfg.printf("%-8s %8s %14s\n", "strategy", "devices", "eff Gflop/s")
+	for _, strat := range ortho.All() {
+		for ng := 1; ng <= cfg.MaxDevices; ng++ {
+			ctx := gpu.NewContext(ng, cfg.Model)
+			w := splitWindow(v.Clone(), ng)
+			ctx.ResetStats()
+			if _, err := strat.Factor(ctx, w, "tsqr"); err != nil {
+				panic(err)
+			}
+			t := ctx.Stats().Phase("tsqr").Total()
+			row := Fig11cRow{Strategy: strat.Name(), Devices: ng, EffectiveGflops: refFlops / t / 1e9}
+			out = append(out, row)
+			cfg.printf("%-8s %8d %14.2f\n", row.Strategy, ng, row.EffectiveGflops)
+		}
+	}
+	return out
+}

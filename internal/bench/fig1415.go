@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+
+	"cagmres/internal/core"
+	"cagmres/internal/gpu"
+	"cagmres/internal/matgen"
+	"cagmres/internal/sparse"
+)
+
+// Fig14Row is one configuration row of the paper's main results table.
+type Fig14Row struct {
+	Matrix   string
+	Solver   string // "GMRES" or "CA-GMRES"
+	S        int    // 0 for GMRES
+	Ortho    string
+	Devices  int
+	Restarts int
+	// Per-restart modeled milliseconds, matching the table's columns.
+	OrthoPerRestart float64 // Orth (GMRES) or BOrth+TSQR (CA-GMRES)
+	TSQRPerRestart  float64 // TSQR share alone (CA-GMRES)
+	SpMVPerRestart  float64 // SpMV or MPK
+	TotalPerRestart float64
+	// Speedup over GMRES/CGS on the same device count (0 if N/A).
+	Speedup float64
+	// Err records a strategy failure (e.g. CholQR rank deficiency).
+	Err string
+}
+
+// Fig14Case describes one matrix block of the table.
+type Fig14Case struct {
+	Matrix   *matgen.Matrix
+	Ordering core.Ordering
+	M        int
+	S        int
+}
+
+// Fig14Cases returns the paper's three table blocks: cant with
+// GMRES(60)/natural ordering, G3_circuit with GMRES(30)/k-way, and
+// dielFilterV2real with GMRES(180)/k-way. (nlpkkt120 appears in Figure
+// 15 instead.)
+func Fig14Cases(scale float64) []Fig14Case {
+	return []Fig14Case{
+		{benchCant(scale), core.Natural, 60, 15},
+		{benchG3(scale), core.KWay, 30, 15},
+		{benchDiel(scale), core.KWay, 180, 15},
+	}
+}
+
+// Fig14 reproduces the CA-GMRES vs GMRES performance table (Figure 14):
+// for each matrix, GMRES with MGS and CGS on 1..MaxDevices simulated
+// GPUs, the degenerate CA-GMRES(1, m), and CA-GMRES(s=15, m) with CGS
+// and CholQR TSQR (with the 2x reorthogonalization fallback where the
+// plain strategy fails), reporting per-restart modeled times and the
+// speedup over same-device GMRES/CGS.
+func Fig14(cfg Config) []Fig14Row {
+	cfg.Defaults()
+	var out []Fig14Row
+	cfg.printf("Figure 14: CA-GMRES vs GMRES (modeled ms per restart cycle)\n")
+	cfg.printf("%-16s %-9s %3s %-9s %3s %6s %10s %10s %10s %10s %7s\n",
+		"matrix", "solver", "s", "ortho", "ng", "rest", "Orth/Res", "TSQR/Res", "SpMV/Res", "Total/Res", "SpdUp")
+	for _, cse := range Fig14Cases(cfg.Scale) {
+		base := map[int]float64{} // GMRES/CGS Total/Res per device count
+		b := onesRHS(cse.Matrix.A.Rows)
+
+		// GMRES rows: MGS on 1 device, CGS on 1..MaxDevices.
+		out = append(out, fig14GMRES(cfg, cse, b, "MGS", 1, base))
+		for ng := 1; ng <= cfg.MaxDevices; ng++ {
+			out = append(out, fig14GMRES(cfg, cse, b, "CGS", ng, base))
+		}
+		// CA-GMRES(1, m) on one device.
+		out = append(out, fig14CA(cfg, cse, b, 1, "CGS", 1, base))
+		// CA-GMRES(s, m): CGS on 1 device, CholQR on 1..MaxDevices.
+		out = append(out, fig14CA(cfg, cse, b, cse.S, "CGS", 1, base))
+		for ng := 1; ng <= cfg.MaxDevices; ng++ {
+			out = append(out, fig14CA(cfg, cse, b, cse.S, "CholQR", ng, base))
+		}
+	}
+	return out
+}
+
+func fig14GMRES(cfg Config, cse Fig14Case, b []float64, orth string, ng int, base map[int]float64) Fig14Row {
+	ctx := gpu.NewContext(ng, cfg.Model)
+	p, err := core.NewProblem(ctx, cse.Matrix.A, b, cse.Ordering, true)
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.GMRES(p, core.Options{M: cse.M, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: orth})
+	if err != nil {
+		panic(err)
+	}
+	row := Fig14Row{Matrix: cse.Matrix.Name, Solver: "GMRES", Ortho: orth, Devices: ng, Restarts: res.Restarts}
+	fillTimes(&row, res)
+	if orth == "CGS" {
+		base[ng] = row.TotalPerRestart
+	}
+	if bt, ok := base[ng]; ok && bt > 0 && row.TotalPerRestart > 0 {
+		row.Speedup = bt / row.TotalPerRestart
+	}
+	printFig14Row(cfg, row)
+	return row
+}
+
+func fig14CA(cfg Config, cse Fig14Case, b []float64, s int, orth string, ng int, base map[int]float64) Fig14Row {
+	res, usedOrtho, err := runCAWithFallback(cfg, cse.Matrix.A, b, cse.Ordering,
+		core.Options{M: cse.M, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: orth}, ng)
+	row := Fig14Row{Matrix: cse.Matrix.Name, Solver: "CA-GMRES", S: s, Ortho: usedOrtho, Devices: ng}
+	if err != nil {
+		row.Err = err.Error()
+		printFig14Row(cfg, row)
+		return row
+	}
+	row.Restarts = res.Restarts
+	fillTimes(&row, res)
+	if bt, ok := base[ng]; ok && bt > 0 && row.TotalPerRestart > 0 {
+		row.Speedup = bt / row.TotalPerRestart
+	}
+	printFig14Row(cfg, row)
+	return row
+}
+
+// runCAWithFallback runs CA-GMRES with a stability ladder mirroring how
+// the paper's rows are produced: the requested TSQR strategy first, its
+// "2x" reorthogonalized form if the plain form breaks on an
+// ill-conditioned basis window, and finally the unconditionally stable
+// 2xCAQR. Returns the result and the strategy that actually ran.
+func runCAWithFallback(cfg Config, a *sparse.CSR, b []float64, ord core.Ordering, opts core.Options, ng int) (*core.Result, string, error) {
+	ladder := []string{opts.Ortho, "2x" + opts.Ortho, "2xCAQR"}
+	if len(opts.Ortho) > 2 && opts.Ortho[:2] == "2x" {
+		ladder = []string{opts.Ortho, "2xCAQR"}
+	}
+	var res *core.Result
+	var err error
+	for _, name := range ladder {
+		opts.Ortho = name
+		ctx := gpu.NewContext(ng, cfg.Model)
+		p, perr := core.NewProblem(ctx, a, b, ord, true)
+		if perr != nil {
+			return nil, name, perr
+		}
+		res, err = core.CAGMRES(p, opts)
+		if err == nil {
+			return res, name, nil
+		}
+	}
+	return res, ladder[len(ladder)-1], err
+}
+
+func fillTimes(row *Fig14Row, res *core.Result) {
+	if res.Restarts == 0 {
+		return
+	}
+	r := float64(res.Restarts)
+	orth := res.Stats.Phase(core.PhaseOrth).Total() +
+		res.Stats.Phase(core.PhaseBOrth).Total() +
+		res.Stats.Phase(core.PhaseTSQR).Total()
+	row.OrthoPerRestart = orth / r
+	row.TSQRPerRestart = res.Stats.Phase(core.PhaseTSQR).Total() / r
+	row.SpMVPerRestart = (res.Stats.Phase(core.PhaseSpMV).Total() + res.Stats.Phase(core.PhaseMPK).Total()) / r
+	row.TotalPerRestart = res.Stats.TotalTime() / r
+}
+
+func printFig14Row(cfg Config, row Fig14Row) {
+	if row.Err != "" {
+		cfg.printf("%-16s %-9s %3d %-9s %3d  FAILED: %s\n",
+			row.Matrix, row.Solver, row.S, row.Ortho, row.Devices, row.Err)
+		return
+	}
+	sp := "      -"
+	if row.Speedup > 0 {
+		sp = fmt.Sprintf("%7.2f", row.Speedup)
+	}
+	cfg.printf("%-16s %-9s %3d %-9s %3d %6d %10.3f %10.3f %10.3f %10.3f %7s\n",
+		row.Matrix, row.Solver, row.S, row.Ortho, row.Devices, row.Restarts,
+		ms(row.OrthoPerRestart), ms(row.TSQRPerRestart), ms(row.SpMVPerRestart),
+		ms(row.TotalPerRestart), sp)
+}
+
+// Fig15Row is one bar of the summary chart.
+type Fig15Row struct {
+	Matrix  string
+	Solver  string
+	Devices int
+	// Normalized is Total/Res divided by GMRES on one device for the
+	// same matrix (the y-axis of Figure 15).
+	Normalized float64
+	// Speedup over same-device GMRES (annotated above the CA bars).
+	Speedup float64
+	Err     string
+}
+
+// Fig15 reproduces the normalized summary (Figure 15): GMRES/CGS and
+// CA-GMRES(10, m)/CholQR on 1..MaxDevices devices for all four paper
+// matrices, each normalized to GMRES on one device.
+func Fig15(cfg Config) []Fig15Row {
+	cfg.Defaults()
+	var out []Fig15Row
+	cases := []struct {
+		m        *matgen.Matrix
+		ordering core.Ordering
+		restart  int
+	}{
+		{benchCant(cfg.Scale), core.Natural, 60},
+		{benchG3(cfg.Scale), core.KWay, 30},
+		{benchDiel(cfg.Scale), core.KWay, 180},
+		{benchKKT(cfg.Scale), core.KWay, 120},
+	}
+	const s = 10
+	cfg.printf("Figure 15: normalized time per restart (GMRES on 1 device = 1.0)\n")
+	cfg.printf("%-16s %-9s %3s %12s %8s\n", "matrix", "solver", "ng", "normalized", "speedup")
+	for _, cse := range cases {
+		b := onesRHS(cse.m.A.Rows)
+		var base float64 // GMRES 1-device Total/Res
+		gmresTotals := map[int]float64{}
+		for ng := 1; ng <= cfg.MaxDevices; ng++ {
+			ctx := gpu.NewContext(ng, cfg.Model)
+			p, err := core.NewProblem(ctx, cse.m.A, b, cse.ordering, true)
+			if err != nil {
+				panic(err)
+			}
+			res, err := core.GMRES(p, core.Options{M: cse.restart, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CGS"})
+			if err != nil {
+				panic(err)
+			}
+			total := perRestart(res)
+			gmresTotals[ng] = total
+			if ng == 1 {
+				base = total
+			}
+			row := Fig15Row{Matrix: cse.m.Name, Solver: "GMRES", Devices: ng, Normalized: total / base}
+			out = append(out, row)
+			cfg.printf("%-16s %-9s %3d %12.4f %8s\n", row.Matrix, row.Solver, ng, row.Normalized, "-")
+		}
+		for ng := 1; ng <= cfg.MaxDevices; ng++ {
+			res, _, err := runCAWithFallback(cfg, cse.m.A, b, cse.ordering,
+				core.Options{M: cse.restart, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR"}, ng)
+			row := Fig15Row{Matrix: cse.m.Name, Solver: "CA-GMRES", Devices: ng}
+			if err != nil {
+				row.Err = err.Error()
+				out = append(out, row)
+				cfg.printf("%-16s %-9s %3d  FAILED: %s\n", row.Matrix, row.Solver, ng, row.Err)
+				continue
+			}
+			total := perRestart(res)
+			row.Normalized = total / base
+			if g := gmresTotals[ng]; g > 0 && total > 0 {
+				row.Speedup = g / total
+			}
+			out = append(out, row)
+			cfg.printf("%-16s %-9s %3d %12.4f %8.2f\n", row.Matrix, row.Solver, ng, row.Normalized, row.Speedup)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"cagmres/internal/core"
+	"cagmres/internal/gpu"
+	"cagmres/internal/matgen"
+)
+
+// cpuModel derives the CPU-only cost model used for the paper's Figure 3
+// reference point (threaded MKL on the two Sandy Bridge sockets): device
+// kernels run at host rates, and "transfers" degenerate into cheap
+// shared-memory synchronizations instead of PCIe round trips.
+func cpuModel(m gpu.CostModel) gpu.CostModel {
+	return gpu.CostModel{
+		Latency:      2e-6,
+		Bandwidth:    m.HostMemBW,
+		DeviceGflops: m.HostGflops,
+		DeviceMemBW:  m.HostMemBW,
+		HostGflops:   m.HostGflops,
+		HostMemBW:    m.HostMemBW,
+		KernelLaunch: 2e-7,
+	}
+}
+
+// Fig3Row is one GMRES timing sample.
+type Fig3Row struct {
+	Matrix string
+	// Target is "CPU" or "1 GPU".."3 GPU".
+	Target string
+	// TimePerRestart is the modeled seconds per restart cycle.
+	TimePerRestart float64
+	Restarts       int
+}
+
+// Fig3 reproduces the GMRES platform comparison (Figure 3): time per
+// restart of GMRES(m) with the CGS Arnoldi on the 16-core CPU model and
+// on one to MaxDevices simulated GPUs, for the cant and G3_circuit
+// analogues. Expected shape: the GPUs beat the CPU and scale with the
+// device count.
+func Fig3(cfg Config) []Fig3Row {
+	cfg.Defaults()
+	var out []Fig3Row
+	cases := []struct {
+		m    *matgen.Matrix
+		ord  core.Ordering
+		rest int
+	}{
+		// cant is naturally banded; G3's netlist numbering needs the
+		// k-way partitioner for a sane multi-device distribution (the
+		// convention the paper uses throughout).
+		{benchCant(cfg.Scale), core.Natural, 60},
+		{benchG3(cfg.Scale), core.KWay, 30},
+	}
+	cfg.printf("Figure 3: GMRES time per restart (modeled ms)\n")
+	cfg.printf("%-12s %-8s %10s %10s\n", "matrix", "target", "ms/restart", "restarts")
+	for _, c := range cases {
+		b := onesRHS(c.m.A.Rows)
+		run := func(target string, ng int, model gpu.CostModel) {
+			ctx := gpu.NewContext(ng, model)
+			p, err := core.NewProblem(ctx, c.m.A, b, c.ord, true)
+			if err != nil {
+				panic(err)
+			}
+			res, err := core.GMRES(p, core.Options{
+				M: c.rest, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CGS",
+			})
+			if err != nil {
+				panic(err)
+			}
+			per := perRestart(res)
+			out = append(out, Fig3Row{Matrix: c.m.Name, Target: target, TimePerRestart: per, Restarts: res.Restarts})
+			cfg.printf("%-12s %-8s %10.3f %10d\n", c.m.Name, target, ms(per), res.Restarts)
+		}
+		// The CPU reference runs as ONE device: the two sockets share a
+		// single memory system, unlike the GPUs which each bring their
+		// own. Kernels still execute at the threaded aggregate rates.
+		run("CPU", 1, cpuModel(cfg.Model))
+		for ng := 1; ng <= cfg.MaxDevices; ng++ {
+			run(gpuLabel(ng), ng, cfg.Model)
+		}
+	}
+	return out
+}
+
+func gpuLabel(ng int) string {
+	return string(rune('0'+ng)) + " GPU"
+}
+
+func onesRHS(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	return b
+}
+
+// perRestart returns the modeled total solve time divided by the restart
+// count.
+func perRestart(res *core.Result) float64 {
+	if res.Restarts == 0 {
+		return 0
+	}
+	return res.Stats.TotalTime() / float64(res.Restarts)
+}

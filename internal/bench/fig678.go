@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"cagmres/internal/dist"
+	"cagmres/internal/gpu"
+	"cagmres/internal/graph"
+	"cagmres/internal/matgen"
+	"cagmres/internal/sparse"
+)
+
+// orderingNames are the paper's three distribution configurations.
+var orderingNames = []string{"NAT", "RCM", "KWY"}
+
+// applyOrdering permutes the matrix and produces the layout for the
+// requested configuration over ng devices.
+func applyOrdering(a *sparse.CSR, name string, ng int) (*sparse.CSR, *dist.Layout) {
+	switch name {
+	case "NAT":
+		return a, dist.Uniform(a.Rows, ng)
+	case "RCM":
+		g := graph.FromMatrix(a)
+		perm := graph.RCM(g)
+		return a.Permute(perm), dist.Uniform(a.Rows, ng)
+	case "KWY":
+		g := graph.FromMatrix(a)
+		part := graph.KWay(g, ng, 1)
+		perm, bounds := part.Order()
+		return a.Permute(perm), dist.NewLayout(a.Rows, bounds)
+	}
+	panic("bench: unknown ordering " + name)
+}
+
+// Fig6Row is one (matrix, ordering, s) sample of the surface-to-volume
+// study.
+type Fig6Row struct {
+	Matrix   string
+	Ordering string
+	S        int
+	// MaxRatio is max_d nnz(A(delta^(d,1:s),:)) / nnz(A^(d)), the
+	// quantity Figure 6 plots.
+	MaxRatio float64
+	// ExtraWork is sum_d W^(d,s), the added flops of one MPK call.
+	ExtraWork float64
+}
+
+// Fig6Result is the full sweep.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Ratio fetches a sample.
+func (r *Fig6Result) Ratio(matrix, ordering string, s int) float64 {
+	for _, row := range r.Rows {
+		if row.Matrix == matrix && row.Ordering == ordering && row.S == s {
+			return row.MaxRatio
+		}
+	}
+	return -1
+}
+
+// Fig6 sweeps the surface-to-volume ratio of the matrix powers kernel
+// over s for the cant and G3_circuit analogues under the three orderings
+// on MaxDevices simulated GPUs (Figure 6).
+func Fig6(cfg Config) *Fig6Result {
+	cfg.Defaults()
+	res := &Fig6Result{}
+	mats := []*matgen.Matrix{benchCant(cfg.Scale), benchG3(cfg.Scale)}
+	ng := cfg.MaxDevices
+	ctx := gpu.NewContext(ng, cfg.Model)
+	cfg.printf("Figure 6: surface-to-volume ratio, %d devices\n", ng)
+	cfg.printf("%-12s %-5s %4s %12s %14s\n", "matrix", "ord", "s", "max ratio", "extra flops")
+	for _, m := range mats {
+		for _, ord := range orderingNames {
+			a, layout := applyOrdering(m.A, ord, ng)
+			for s := 1; s <= 10; s++ {
+				dm := dist.Distribute(ctx, a, layout, s)
+				an := dist.Analyze(dm)
+				row := Fig6Row{
+					Matrix:    m.Name,
+					Ordering:  ord,
+					S:         s,
+					MaxRatio:  an.MaxSurfaceToVolume(),
+					ExtraWork: an.TotalExtraWork(),
+				}
+				res.Rows = append(res.Rows, row)
+				cfg.printf("%-12s %-5s %4d %12.4f %14.3e\n", m.Name, ord, s, row.MaxRatio, row.ExtraWork)
+			}
+		}
+	}
+	return res
+}
+
+// Fig7Row is one sample of the communication-volume study.
+type Fig7Row struct {
+	Matrix   string
+	Ordering string
+	S        int
+	// Volume is the total elements moved to generate m=100 vectors with
+	// MPK(s): ceil(100/s) * (gather + scatter).
+	Volume int
+	// RelativeToSpMV normalizes by the volume of 100 plain SpMVs.
+	RelativeToSpMV float64
+}
+
+// Fig7Result is the sweep.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// Volume fetches a sample.
+func (r *Fig7Result) Volume(matrix, ordering string, s int) (int, float64) {
+	for _, row := range r.Rows {
+		if row.Matrix == matrix && row.Ordering == ordering && row.S == s {
+			return row.Volume, row.RelativeToSpMV
+		}
+	}
+	return -1, -1
+}
+
+// Fig7 computes the total MPK communication volume over a 100-iteration
+// restart loop as a function of s (Figure 7).
+func Fig7(cfg Config) *Fig7Result {
+	cfg.Defaults()
+	res := &Fig7Result{}
+	const mIters = 100
+	mats := []*matgen.Matrix{benchCant(cfg.Scale), benchG3(cfg.Scale)}
+	ng := cfg.MaxDevices
+	ctx := gpu.NewContext(ng, cfg.Model)
+	cfg.printf("Figure 7: MPK communication volume for m=%d vectors, %d devices\n", mIters, ng)
+	cfg.printf("%-12s %-5s %4s %12s %10s\n", "matrix", "ord", "s", "elements", "vs SpMV")
+	for _, m := range mats {
+		for _, ord := range orderingNames {
+			a, layout := applyOrdering(m.A, ord, ng)
+			spmvVol := 0
+			for s := 1; s <= 10; s++ {
+				dm := dist.Distribute(ctx, a, layout, s)
+				an := dist.Analyze(dm)
+				vol := an.TotalCommVolume(mIters)
+				if s == 1 {
+					spmvVol = vol
+				}
+				rel := 0.0
+				if spmvVol > 0 {
+					rel = float64(vol) / float64(spmvVol)
+				}
+				res.Rows = append(res.Rows, Fig7Row{
+					Matrix: m.Name, Ordering: ord, S: s, Volume: vol, RelativeToSpMV: rel,
+				})
+				cfg.printf("%-12s %-5s %4d %12d %10.3f\n", m.Name, ord, s, vol, rel)
+			}
+		}
+	}
+	return res
+}
+
+// Fig8Row is one sample of the MPK timing sweep.
+type Fig8Row struct {
+	Matrix string
+	S      int
+	// CommTime and ComputeTime are the modeled seconds to generate
+	// m=100 basis vectors (the solid-vs-dashed split of Figure 8).
+	CommTime    float64
+	ComputeTime float64
+}
+
+// Total returns comm + compute.
+func (r Fig8Row) Total() float64 { return r.CommTime + r.ComputeTime }
+
+// Fig8Result is the sweep.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Row fetches a sample.
+func (r *Fig8Result) Row(matrix string, s int) (Fig8Row, bool) {
+	for _, row := range r.Rows {
+		if row.Matrix == matrix && row.S == s {
+			return row, true
+		}
+	}
+	return Fig8Row{}, false
+}
+
+// Fig8 times the matrix powers kernel generating 100 basis vectors for
+// s = 1..10 (Figure 8): compute grows roughly linearly with s while the
+// communication time collapses as soon as s > 1 (latency is paid once
+// per window) and then flattens into the bandwidth regime.
+func Fig8(cfg Config) *Fig8Result {
+	cfg.Defaults()
+	res := &Fig8Result{}
+	const mIters = 100
+	// The paper plots cant under RCM and G3 under KWY (their best).
+	cases := []struct {
+		m   *matgen.Matrix
+		ord string
+	}{
+		{benchCant(cfg.Scale), "RCM"},
+		{benchG3(cfg.Scale), "KWY"},
+	}
+	ng := cfg.MaxDevices
+	cfg.printf("Figure 8: MPK time to generate %d vectors, %d devices (modeled ms)\n", mIters, ng)
+	cfg.printf("%-12s %4s %12s %12s %12s\n", "matrix", "s", "comm", "compute", "total")
+	for _, c := range cases {
+		a, layout := applyOrdering(c.m.A, c.ord, ng)
+		for s := 1; s <= 10; s++ {
+			ctx := gpu.NewContext(ng, cfg.Model)
+			dm := dist.Distribute(ctx, a, layout, s)
+			mpk := dist.NewMPK(dm)
+			v := dist.NewVectors(ctx, layout, s+1)
+			x := make([]float64, a.Rows)
+			for i := range x {
+				x[i] = 1 / float64(i+1)
+			}
+			v.SetColFromHost(0, x)
+			ctx.ResetStats()
+			calls := (mIters + s - 1) / s
+			for call := 0; call < calls; call++ {
+				mpk.Generate(v, 0, s, nil, "mpk")
+			}
+			p := ctx.Stats().Phase("mpk")
+			row := Fig8Row{Matrix: c.m.Name, S: s, CommTime: p.CommTime, ComputeTime: p.DeviceTime}
+			res.Rows = append(res.Rows, row)
+			cfg.printf("%-12s %4d %12.3f %12.3f %12.3f\n", c.m.Name, s, ms(row.CommTime), ms(row.ComputeTime), ms(row.Total()))
+		}
+	}
+	return res
+}

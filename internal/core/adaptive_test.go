@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/matgen"
+)
+
+// hardMatrix builds a small cant-analogue system on which plain
+// CA-GMRES(15, 60)/CholQR is known to hit a rank-deficient Newton window
+// (the small-matrix regime where the first restart's Ritz values resolve
+// most of the spectrum and the basis degenerates quickly).
+func hardMatrix(t *testing.T) (*gpu.Context, *Problem) {
+	t.Helper()
+	m := matgen.Cant(0.05)
+	b := make([]float64, m.A.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, err := NewProblem(ctx, m.A, b, Natural, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, p
+}
+
+func TestAdaptiveSRescuesCholQR(t *testing.T) {
+	// Without adaptivity the solve fails...
+	_, p := hardMatrix(t)
+	opts := Options{M: 60, S: 15, Tol: 1e-4, MaxRestarts: 40, Ortho: "CholQR"}
+	if _, err := CAGMRES(p, opts); err == nil {
+		t.Skip("CholQR unexpectedly survived; matrix too benign on this build")
+	}
+	// ...with adaptivity the step size shrinks and the solve completes.
+	_, p = hardMatrix(t)
+	opts.AdaptiveS = true
+	res, err := CAGMRES(p, opts)
+	if err != nil {
+		t.Fatalf("adaptive solve failed: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("adaptive solve did not converge: relres %v", res.RelRes)
+	}
+	if math.IsNaN(res.RelRes) {
+		t.Fatal("NaN residual")
+	}
+}
+
+func TestAdaptiveSHarmlessOnEasyProblem(t *testing.T) {
+	// On a well-behaved system the adaptive path must not change the
+	// outcome (windows never fail, s never shrinks).
+	a := laplace2D(18, 18, 0.2)
+	b := randomRHS(324, 30)
+	for _, adaptive := range []bool{false, true} {
+		ctx := gpu.NewContext(2, gpu.M2090())
+		p, _ := NewProblem(ctx, a, b, Natural, false)
+		res, err := CAGMRES(p, Options{
+			M: 24, S: 6, Tol: 1e-6, Ortho: "CholQR", AdaptiveS: adaptive,
+		})
+		if err != nil {
+			t.Fatalf("adaptive=%v: %v", adaptive, err)
+		}
+		solveCheck(t, a, b, res, err, 1e-5)
+	}
+}
+
+func TestAdaptiveSMonomialLargeS(t *testing.T) {
+	// Monomial basis with s = m is the most fragile configuration in the
+	// paper's stability discussion; adaptivity must still land a
+	// converged solve by shrinking the windows.
+	a := laplace2D(22, 22, 0.4)
+	b := randomRHS(484, 31)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, _ := NewProblem(ctx, a, b, Natural, true)
+	res, err := CAGMRES(p, Options{
+		M: 30, S: 30, Tol: 1e-6, MaxRestarts: 400,
+		Ortho: "CholQR", Basis: "monomial", AdaptiveS: true,
+	})
+	if err != nil {
+		t.Fatalf("adaptive monomial solve failed: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence: relres %v", res.RelRes)
+	}
+}

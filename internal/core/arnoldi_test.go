@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/sparse"
+)
+
+// diagMatrix builds a diagonal matrix with the given spectrum plus weak
+// couplings so the Krylov space explores all directions.
+func spectrumMatrix(eigs []float64, coupling float64, seed int64) *sparse.CSR {
+	n := len(eigs)
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]sparse.Coord, 0, 3*n)
+	for i, l := range eigs {
+		entries = append(entries, sparse.Coord{Row: i, Col: i, Val: l})
+		j := rng.Intn(n)
+		if j != i {
+			entries = append(entries, sparse.Coord{Row: i, Col: j, Val: coupling * rng.NormFloat64()})
+		}
+	}
+	return sparse.FromCoords(n, n, entries)
+}
+
+func TestRitzValuesFindExtremes(t *testing.T) {
+	// Spectrum 1..100 with an outlier at 500: Arnoldi must lock onto the
+	// dominant eigenvalue quickly.
+	n := 100
+	eigs := make([]float64, n)
+	for i := range eigs {
+		eigs[i] = float64(i + 1)
+	}
+	eigs[n-1] = 500
+	a := spectrumMatrix(eigs, 1e-3, 1)
+
+	rng := rand.New(rand.NewSource(2))
+	start := make([]float64, n)
+	for i := range start {
+		start[i] = rng.NormFloat64()
+	}
+
+	for _, s := range []int{1, 5} {
+		ctx := gpu.NewContext(2, gpu.M2090())
+		p, err := NewProblem(ctx, a, make([]float64, n), Natural, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ritz, err := RitzValues(p, Options{M: 30, S: s, Ortho: "CholQR"}, start)
+		if err != nil {
+			t.Fatalf("s=%d: %v", s, err)
+		}
+		if len(ritz) != 30 {
+			t.Fatalf("s=%d: got %d ritz values", s, len(ritz))
+		}
+		if math.Abs(real(ritz[0])-500) > 1 || math.Abs(imag(ritz[0])) > 1 {
+			t.Fatalf("s=%d: dominant Ritz value %v, want ~500", s, ritz[0])
+		}
+	}
+}
+
+func TestRitzValuesCAMatchesStandard(t *testing.T) {
+	// Same starting vector: standard and CA-Arnoldi span the same Krylov
+	// space, so the Ritz values must agree to roundoff.
+	n := 80
+	eigs := make([]float64, n)
+	for i := range eigs {
+		eigs[i] = 1 + 0.2*float64(i)
+	}
+	a := spectrumMatrix(eigs, 1e-2, 3)
+	rng := rand.New(rand.NewSource(4))
+	start := make([]float64, n)
+	for i := range start {
+		start[i] = rng.NormFloat64()
+	}
+
+	get := func(s int) []complex128 {
+		ctx := gpu.NewContext(2, gpu.M2090())
+		p, _ := NewProblem(ctx, a, make([]float64, n), Natural, false)
+		ritz, err := RitzValues(p, Options{M: 12, S: s, Ortho: "CAQR"}, start)
+		if err != nil {
+			t.Fatalf("s=%d: %v", s, err)
+		}
+		return ritz
+	}
+	std := get(1)
+	ca := get(4)
+	if len(std) != len(ca) {
+		t.Fatalf("lengths %d vs %d", len(std), len(ca))
+	}
+	for i := range std {
+		if cmplx.Abs(std[i]-ca[i]) > 1e-6*(1+cmplx.Abs(std[i])) {
+			t.Fatalf("ritz[%d]: standard %v vs CA %v", i, std[i], ca[i])
+		}
+	}
+}
+
+func TestRitzValuesCommunicationAdvantage(t *testing.T) {
+	// The point of CA-Arnoldi: far fewer rounds for the same subspace.
+	n := 400
+	a := laplace2D(20, 20, 0.3)
+	rng := rand.New(rand.NewSource(5))
+	start := make([]float64, n)
+	for i := range start {
+		start[i] = rng.NormFloat64()
+	}
+	rounds := func(s int) int {
+		ctx := gpu.NewContext(3, gpu.M2090())
+		p, _ := NewProblem(ctx, a, make([]float64, n), Natural, false)
+		if _, err := RitzValues(p, Options{M: 30, S: s, Ortho: "CholQR"}, start); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, ph := range ctx.Stats().Phases() {
+			total += ctx.Stats().Phase(ph).Rounds
+		}
+		return total
+	}
+	if r1, r10 := rounds(1), rounds(10); r10*3 > r1 {
+		t.Fatalf("CA-Arnoldi rounds %d not clearly below standard %d", r10, r1)
+	}
+}
+
+func TestRitzValuesErrors(t *testing.T) {
+	a := laplace2D(5, 5, 0)
+	ctx := gpu.NewContext(1, gpu.M2090())
+	p, _ := NewProblem(ctx, a, make([]float64, 25), Natural, false)
+	if _, err := RitzValues(p, Options{M: 100}, nil); err == nil {
+		t.Fatal("m > n must be rejected")
+	}
+	if _, err := RitzValues(p, Options{M: 5}, make([]float64, 3)); err == nil {
+		t.Fatal("bad start length must be rejected")
+	}
+	if _, err := RitzValues(p, Options{M: 5}, make([]float64, 25)); err == nil {
+		t.Fatal("zero start must be rejected")
+	}
+}

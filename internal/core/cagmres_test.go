@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cagmres/internal/gpu"
+)
+
+func TestCAGMRESSolvesLaplaceAllTSQR(t *testing.T) {
+	a := laplace2D(20, 20, 0.3)
+	b := randomRHS(400, 10)
+	for _, ortho := range []string{"MGS", "CGS", "CholQR", "SVQR", "CAQR", "2xCGS", "2xCholQR", "MixedCholQR2"} {
+		ctx := gpu.NewContext(2, gpu.M2090())
+		p, err := NewProblem(ctx, a, b, Natural, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CAGMRES(p, Options{M: 30, S: 5, Tol: 1e-6, Ortho: ortho})
+		if err != nil {
+			t.Fatalf("%s: %v", ortho, err)
+		}
+		solveCheck(t, a, b, res, err, 1e-5)
+	}
+}
+
+func TestCAGMRESDeviceCounts(t *testing.T) {
+	a := laplace2D(18, 18, 0.2)
+	b := randomRHS(324, 11)
+	for _, ng := range []int{1, 2, 3} {
+		ctx := gpu.NewContext(ng, gpu.M2090())
+		p, _ := NewProblem(ctx, a, b, Natural, false)
+		res, err := CAGMRES(p, Options{M: 24, S: 6, Tol: 1e-6, Ortho: "CholQR"})
+		if err != nil {
+			t.Fatalf("ng=%d: %v", ng, err)
+		}
+		solveCheck(t, a, b, res, err, 1e-5)
+	}
+}
+
+func TestCAGMRESMonomialBasis(t *testing.T) {
+	a := laplace2D(16, 16, 0.1)
+	b := randomRHS(256, 12)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, _ := NewProblem(ctx, a, b, Natural, true)
+	res, err := CAGMRES(p, Options{M: 20, S: 5, Tol: 1e-6, Ortho: "CholQR", Basis: "monomial"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveCheck(t, a, b, res, err, 1e-4)
+}
+
+func TestCAGMRESNewtonSurvivesWhereMonomialBreaksCholQR(t *testing.T) {
+	// The paper's stability story: with a large s the monomial basis
+	// condition number explodes (kappa grows like |lambda1/lambda2|^s),
+	// the Gram matrix goes numerically indefinite and CholQR fails. The
+	// Newton basis with Leja-ordered Ritz shifts keeps the same
+	// configuration solvable.
+	a := laplace2D(24, 24, 0.4)
+	b := randomRHS(576, 13)
+
+	ctxM := gpu.NewContext(2, gpu.M2090())
+	pm, _ := NewProblem(ctxM, a, b, Natural, true)
+	_, errMono := CAGMRES(pm, Options{M: 30, S: 15, Tol: 1e-6, Ortho: "2xCholQR", Basis: "monomial", MaxRestarts: 300})
+
+	ctxN := gpu.NewContext(2, gpu.M2090())
+	pn, _ := NewProblem(ctxN, a, b, Natural, true)
+	resNewt, errNewt := CAGMRES(pn, Options{M: 30, S: 15, Tol: 1e-6, Ortho: "2xCholQR", Basis: "newton", MaxRestarts: 300})
+
+	if errNewt != nil {
+		t.Fatalf("newton basis failed: %v", errNewt)
+	}
+	if !resNewt.Converged {
+		t.Fatalf("newton basis did not converge: relres %v", resNewt.RelRes)
+	}
+	if errMono == nil {
+		t.Log("monomial basis survived CholQR at s=15 on this problem (milder than the paper's cases)")
+	}
+}
+
+func TestCAGMRESMatchesGMRESIterationCounts(t *testing.T) {
+	// In exact arithmetic CA-GMRES is GMRES: on a well-conditioned
+	// problem the restart counts must agree closely.
+	a := laplace2D(20, 20, 0.2)
+	b := randomRHS(400, 14)
+
+	ctxG := gpu.NewContext(2, gpu.M2090())
+	pg, _ := NewProblem(ctxG, a, b, Natural, false)
+	rg, err := GMRES(pg, Options{M: 20, Tol: 1e-6, Ortho: "CGS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctxC := gpu.NewContext(2, gpu.M2090())
+	pc, _ := NewProblem(ctxC, a, b, Natural, false)
+	rc, err := CAGMRES(pc, Options{M: 20, S: 5, Tol: 1e-6, Ortho: "CholQR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.Converged || !rc.Converged {
+		t.Fatalf("convergence: gmres=%v ca=%v", rg.Converged, rc.Converged)
+	}
+	diff := rg.Restarts - rc.Restarts
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2 {
+		t.Fatalf("restart counts diverge: GMRES %d vs CA-GMRES %d", rg.Restarts, rc.Restarts)
+	}
+}
+
+func TestCAGMRESS1Works(t *testing.T) {
+	// The degenerate CA-GMRES(1, m) configuration of Figure 14.
+	a := laplace2D(12, 12, 0.2)
+	b := randomRHS(144, 15)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, _ := NewProblem(ctx, a, b, Natural, false)
+	res, err := CAGMRES(p, Options{M: 15, S: 1, Tol: 1e-6, Ortho: "CGS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveCheck(t, a, b, res, err, 1e-5)
+}
+
+func TestCAGMRESSEqualsM(t *testing.T) {
+	// One window per restart: s = m.
+	a := laplace2D(14, 14, 0.2)
+	b := randomRHS(196, 16)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, _ := NewProblem(ctx, a, b, Natural, true)
+	res, err := CAGMRES(p, Options{M: 12, S: 12, Tol: 1e-6, Ortho: "2xCholQR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveCheck(t, a, b, res, err, 1e-4)
+}
+
+func TestCAGMRESBOrthMGSVariant(t *testing.T) {
+	a := laplace2D(14, 14, 0.3)
+	b := randomRHS(196, 17)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, _ := NewProblem(ctx, a, b, Natural, false)
+	res, err := CAGMRES(p, Options{M: 20, S: 5, Tol: 1e-6, Ortho: "CholQR", BOrth: "MGS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveCheck(t, a, b, res, err, 1e-5)
+}
+
+func TestCAGMRESCommunicationAdvantage(t *testing.T) {
+	// The headline claim: per basis vector, CA-GMRES(s>1) needs far fewer
+	// communication rounds than GMRES in the orthogonalization+basis
+	// phases.
+	a := laplace2D(30, 30, 0.2)
+	b := randomRHS(900, 18)
+
+	ctxG := gpu.NewContext(3, gpu.M2090())
+	pg, _ := NewProblem(ctxG, a, b, Natural, false)
+	rg, err := GMRES(pg, Options{M: 30, Tol: 1e-6, Ortho: "MGS", MaxRestarts: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctxC := gpu.NewContext(3, gpu.M2090())
+	pc, _ := NewProblem(ctxC, a, b, Natural, false)
+	rc, err := CAGMRES(pc, Options{M: 30, S: 10, Tol: 1e-6, Ortho: "CholQR", MaxRestarts: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gOrth := rg.Stats.Phase(PhaseOrth)
+	cOrth := rc.Stats.Phase(PhaseBOrth)
+	cTSQR := rc.Stats.Phase(PhaseTSQR)
+	gRoundsPerIter := float64(gOrth.Rounds) / float64(rg.Iters)
+	cRoundsPerIter := float64(cOrth.Rounds+cTSQR.Rounds) / float64(rc.Iters)
+	if cRoundsPerIter*2 > gRoundsPerIter {
+		t.Fatalf("CA rounds/iter %.2f not clearly below GMRES %.2f", cRoundsPerIter, gRoundsPerIter)
+	}
+}
+
+func TestCAGMRESInvalidOptions(t *testing.T) {
+	a := laplace2D(6, 6, 0)
+	b := randomRHS(36, 19)
+	ctx := gpu.NewContext(1, gpu.M2090())
+	p, _ := NewProblem(ctx, a, b, Natural, false)
+	if _, err := CAGMRES(p, Options{M: 10, S: 20}); err == nil {
+		t.Fatal("s > m must be rejected")
+	}
+	if _, err := CAGMRES(p, Options{M: 10, S: 5, Ortho: "bogus"}); err == nil {
+		t.Fatal("unknown ortho must be rejected")
+	}
+	if _, err := CAGMRES(p, Options{M: 10, S: 5, Basis: "bogus"}); err == nil {
+		t.Fatal("unknown basis must be rejected")
+	}
+	if _, err := CAGMRES(p, Options{M: 10, S: 5, BOrth: "bogus"}); err == nil {
+		t.Fatal("unknown borth must be rejected")
+	}
+}
+
+func TestCAGMRESHistoryMonotoneOnEasyProblem(t *testing.T) {
+	a := laplace2D(16, 16, 0.1)
+	b := randomRHS(256, 20)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, _ := NewProblem(ctx, a, b, Natural, false)
+	res, err := CAGMRES(p, Options{M: 8, S: 4, Tol: 1e-8, Ortho: "2xCholQR", MaxRestarts: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("no convergence: %v", res.RelRes)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]*(1+1e-6) {
+			t.Fatalf("restart residual increased at %d: %v", i, res.History)
+		}
+	}
+}
+
+func TestCAGMRESTrueResidualMatchesEstimate(t *testing.T) {
+	// RelRes (from the Hessenberg least-squares machinery) must agree
+	// with the true residual computed from X.
+	a := laplace2D(18, 18, 0.25)
+	b := randomRHS(324, 21)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, _ := NewProblem(ctx, a, b, Natural, false)
+	res, err := CAGMRES(p, Options{M: 25, S: 5, Tol: 1e-7, Ortho: "CholQR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ResidualNorm(a, b, res.X)
+	if math.Abs(math.Log10(truth+1e-300)-math.Log10(res.RelRes+1e-300)) > 1 {
+		t.Fatalf("estimate %v vs truth %v", res.RelRes, truth)
+	}
+}

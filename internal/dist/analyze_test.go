@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"testing"
+
+	"cagmres/internal/gpu"
+)
+
+func TestAnalyzeTridiagonal(t *testing.T) {
+	// 12-vertex path, 3 devices, s=2. Interior device (1) has halo
+	// {3,8,2,9}; boundary rows each have 3 nnz (interior of the path).
+	a := pathN(12)
+	ctx := gpu.NewContext(3, gpu.M2090())
+	m := Distribute(ctx, a, Uniform(12, 3), 2)
+	an := Analyze(m)
+	if an.S != 2 {
+		t.Fatalf("S = %d", an.S)
+	}
+	// Device 1: local nnz = 12, boundary rows {3,8,2,9} all interior
+	// with 3 nnz each = 12.
+	if an.LocalNNZ[1] != 12 || an.BoundaryNNZ[1] != 12 {
+		t.Fatalf("local %d boundary %d", an.LocalNNZ[1], an.BoundaryNNZ[1])
+	}
+	if !approxEq(an.SurfaceToVolume[1], 1.0, 1e-12) {
+		t.Fatalf("s2v = %v", an.SurfaceToVolume[1])
+	}
+	// W^(d,s) for device 1: dist-1 nnz = 6, dist-2 nnz = 6;
+	// W = 2*(6) + 2*(6+6) = 36.
+	if an.ExtraWork[1] != 36 {
+		t.Fatalf("ExtraWork = %v", an.ExtraWork[1])
+	}
+	// Halo sizes: dev0 2, dev1 4, dev2 2 -> scatter 8.
+	if an.ScatterVolume != 8 {
+		t.Fatalf("scatter = %d", an.ScatterVolume)
+	}
+	// Gather: dev0 sends {2,3}, dev1 sends {4,5,6,7}, dev2 sends {8,9} -> 8.
+	if an.GatherVolume != 8 {
+		t.Fatalf("gather = %d", an.GatherVolume)
+	}
+}
+
+func TestSurfaceToVolumeGrowsWithS(t *testing.T) {
+	a := pathN(300)
+	ctx := gpu.NewContext(3, gpu.M2090())
+	prev := -1.0
+	for _, s := range []int{1, 2, 4, 8} {
+		m := Distribute(ctx, a, Uniform(300, 3), s)
+		an := Analyze(m)
+		r := an.MaxSurfaceToVolume()
+		if r <= prev {
+			t.Fatalf("s=%d: ratio %v did not grow from %v", s, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestBandedSurfaceGrowsLinearly(t *testing.T) {
+	// For a 1D band, |halo| grows exactly linearly in s: 2 elements per
+	// level for the interior device.
+	a := pathN(400)
+	ctx := gpu.NewContext(3, gpu.M2090())
+	var sizes []int
+	for s := 1; s <= 6; s++ {
+		m := Distribute(ctx, a, Uniform(400, 3), s)
+		sizes = append(sizes, len(m.Dev[1].Halo))
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i]-sizes[i-1] != 2 { // one new vertex per side per level
+			t.Fatalf("halo growth not linear: %v", sizes)
+		}
+	}
+}
+
+func TestTotalCommVolume(t *testing.T) {
+	a := pathN(100)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	m := Distribute(ctx, a, Uniform(100, 2), 5)
+	an := Analyze(m)
+	// m=100 iterations => 20 calls.
+	want := 20 * (an.GatherVolume + an.ScatterVolume)
+	if got := an.TotalCommVolume(100); got != want {
+		t.Fatalf("TotalCommVolume = %d, want %d", got, want)
+	}
+	// Non-divisible: 101 iterations => 21 calls.
+	want = 21 * (an.GatherVolume + an.ScatterVolume)
+	if got := an.TotalCommVolume(101); got != want {
+		t.Fatalf("TotalCommVolume ceil = %d, want %d", got, want)
+	}
+}
+
+func TestCommVolumePerIterationDecreasesWithS(t *testing.T) {
+	// For a banded matrix (linear halo growth), the per-iteration MPK
+	// volume is roughly constant in s while the number of exchange
+	// rounds drops as 1/s — verify the volume does not blow up and the
+	// per-call round count is flat.
+	a := pathN(1000)
+	ctx := gpu.NewContext(3, gpu.M2090())
+	vol1 := Analyze(Distribute(ctx, a, Uniform(1000, 3), 1)).TotalCommVolume(100)
+	vol8 := Analyze(Distribute(ctx, a, Uniform(1000, 3), 8)).TotalCommVolume(100)
+	// Linear halo: per-call volume ~ s * (per-level), calls ~ m/s =>
+	// total roughly constant. Allow 2.5x slack for boundary effects.
+	if float64(vol8) > 2.5*float64(vol1) {
+		t.Fatalf("banded comm volume exploded: s=1 %d, s=8 %d", vol1, vol8)
+	}
+}
+
+func TestTotalExtraWork(t *testing.T) {
+	a := pathN(60)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	m := Distribute(ctx, a, Uniform(60, 2), 1)
+	an := Analyze(m)
+	// s=1: extra work = 2*nnz(dist-1 rows) per device; each device has
+	// one dist-1 halo row with 3 nnz.
+	if an.TotalExtraWork() != 12 {
+		t.Fatalf("TotalExtraWork = %v", an.TotalExtraWork())
+	}
+}

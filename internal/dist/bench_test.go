@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"testing"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/matgen"
+)
+
+// Micro-benchmarks for the distributed kernels: SpMV vs MPK at several
+// depths on a banded FEM matrix over 3 simulated devices.
+
+func benchSetup(b *testing.B, s int) (*MPK, *Vectors) {
+	b.Helper()
+	a := matgen.Laplace3D(24, 24, 24, 0.2)
+	ctx := gpu.NewContext(3, gpu.M2090())
+	l := Uniform(a.Rows, 3)
+	m := Distribute(ctx, a, l, s)
+	mpk := NewMPK(m)
+	v := NewVectors(ctx, l, s+1)
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = 1 / float64(i+1)
+	}
+	v.SetColFromHost(0, x)
+	return mpk, v
+}
+
+func BenchmarkDistributedSpMV(b *testing.B) {
+	mpk, v := benchSetup(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mpk.SpMV(v, 0, v, 1, "spmv")
+	}
+}
+
+func benchmarkMPK(b *testing.B, s int) {
+	mpk, v := benchSetup(b, s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mpk.Generate(v, 0, s, nil, "mpk")
+	}
+}
+
+func BenchmarkMPKs2(b *testing.B)  { benchmarkMPK(b, 2) }
+func BenchmarkMPKs5(b *testing.B)  { benchmarkMPK(b, 5) }
+func BenchmarkMPKs10(b *testing.B) { benchmarkMPK(b, 10) }
+
+func BenchmarkDistribute(b *testing.B) {
+	a := matgen.Laplace3D(16, 16, 16, 0)
+	ctx := gpu.NewContext(3, gpu.M2090())
+	l := Uniform(a.Rows, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Distribute(ctx, a, l, 5)
+	}
+}
+
+func BenchmarkDotCols(b *testing.B) {
+	_, v := benchSetup(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.DotCols(0, 1, "dot")
+	}
+}

@@ -1,0 +1,264 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/sparse"
+)
+
+// DeviceMatrix holds everything simulated GPU d needs to run the matrix
+// powers kernel without further communication once its halo is filled:
+// the extended local matrix and the boundary (halo) bookkeeping.
+//
+// Local extended index space: indices 0..nOwn-1 are the owned rows in
+// global order; indices nOwn..nOwn+len(Halo)-1 are the halo rows, sorted
+// by (distance, global index). Distance is the length of the shortest
+// directed path in the dependency graph from an owned row, so the paper's
+// boundary set delta^(d,k) is exactly the halo slice at distance s-k+1.
+type DeviceMatrix struct {
+	NOwn int
+	// Halo lists the global indices of non-owned rows the device needs,
+	// sorted by (distance asc, global index asc).
+	Halo []int
+	// HaloDist[h] is the BFS distance (1..s) of Halo[h].
+	HaloDist []int
+	// RowsAtDist[t] is the number of local extended rows with distance
+	// <= t, for t = 0..s; RowsAtDist[0] == NOwn. The rows multiplied at
+	// MPK step k (1-based) are the prefix RowsAtDist[s-k].
+	RowsAtDist []int
+	// Ext is the extended local matrix A(i^(d,1), :) with rows in local
+	// extended order (only rows with distance <= s-1 are stored, i.e.
+	// RowsAtDist[s-1] rows) and columns relabeled to the local extended
+	// index space.
+	Ext *sparse.CSR
+	// EllExt is the ELLPACK form of Ext used by the device SpMV kernel.
+	EllExt *sparse.ELL
+	// SellExt, when non-nil, replaces EllExt in the device kernels with
+	// the sliced SELL-C format (unsorted, so the distance-prefix property
+	// holds). Built by DistributeFormat(..., FormatSELL).
+	SellExt *sparse.SELL
+	// SendIdx lists the owned rows (as local indices 0..nOwn-1) whose
+	// values other devices need — the compressed send buffer w^(d).
+	SendIdx []int
+	// NNZPrefix[t] is nnz of the first RowsAtDist[t] rows of Ext, the
+	// per-step flop bookkeeping (t = 0..s-1).
+	NNZPrefix []int
+}
+
+// Matrix is a block-row distributed sparse matrix prepared for MPK(s):
+// per-device extended matrices plus the host-side copy used for halo
+// construction, analysis and reference operations.
+type Matrix struct {
+	Ctx    *gpu.Context
+	Layout *Layout
+	Global *sparse.CSR
+	S      int
+	Dev    []*DeviceMatrix
+}
+
+// Format selects the device-side sparse storage.
+type Format int
+
+// Formats: ELLPACK is the paper's GPU choice; SELL is the sliced variant
+// (SELL-C with unsorted rows) that pads each 8-row chunk only to its own
+// widest row — same coalesced slot-major access, less padding on skewed
+// row-length profiles.
+const (
+	FormatELL Format = iota
+	FormatSELL
+)
+
+// Distribute builds the distributed form of a square matrix for MPK depth
+// s (s >= 1; s == 1 yields the plain halo exchange of a standard SpMV)
+// with the default ELLPACK device format. The matrix must already be
+// permuted into the desired ordering; the layout says which contiguous
+// row block each device owns.
+func Distribute(ctx *gpu.Context, a *sparse.CSR, l *Layout, s int) *Matrix {
+	return DistributeFormat(ctx, a, l, s, FormatELL)
+}
+
+// DistributeFormat is Distribute with an explicit device storage format.
+func DistributeFormat(ctx *gpu.Context, a *sparse.CSR, l *Layout, s int, format Format) *Matrix {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("dist: Distribute needs square matrix, got %dx%d", a.Rows, a.Cols))
+	}
+	if a.Rows != l.N {
+		panic(fmt.Sprintf("dist: layout n=%d != matrix n=%d", l.N, a.Rows))
+	}
+	if s < 1 {
+		panic(fmt.Sprintf("dist: Distribute with s=%d", s))
+	}
+	ng := l.NumDevices()
+	m := &Matrix{Ctx: ctx, Layout: l, Global: a, S: s, Dev: make([]*DeviceMatrix, ng)}
+
+	// Halo construction per device can run host-side in parallel; it is
+	// setup work the paper also performs on the CPU before the iteration.
+	ctx.RunAll(func(d int) {
+		m.Dev[d] = buildDeviceMatrix(a, l, d, s)
+		if format == FormatSELL {
+			m.Dev[d].SellExt = sparse.ToSELL(m.Dev[d].Ext, 8, 1)
+		}
+	})
+
+	// Send sets: device o must ship every owned row that appears in any
+	// other device's halo. Built serially on the host.
+	needed := make([][]int, ng) // needed[o] = global rows owned by o, needed by others
+	for d := 0; d < ng; d++ {
+		for _, g := range m.Dev[d].Halo {
+			o := l.Owner(g)
+			needed[o] = append(needed[o], g)
+		}
+	}
+	for o := 0; o < ng; o++ {
+		sort.Ints(needed[o])
+		send := needed[o][:0]
+		prev := -1
+		for _, g := range needed[o] {
+			if g != prev {
+				send = append(send, g-l.OwnStart(o))
+				prev = g
+			}
+		}
+		m.Dev[o].SendIdx = append([]int(nil), send...)
+	}
+	return m
+}
+
+// buildDeviceMatrix computes the halo (boundary sets) of device d by a
+// breadth-first search of depth s over the directed dependency graph
+// (row i depends on the columns of row i), then extracts and relabels the
+// extended local matrix.
+func buildDeviceMatrix(a *sparse.CSR, l *Layout, d, s int) *DeviceMatrix {
+	n := a.Rows
+	own0, own1 := l.OwnStart(d), l.OwnStart(d)+l.OwnCount(d)
+	nOwn := own1 - own0
+
+	// BFS distances from the owned set. dist[v] = -1 means unreached.
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, nOwn)
+	for i := own0; i < own1; i++ {
+		dist[i] = 0
+		queue = append(queue, i)
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if dist[v] >= s {
+			continue // do not expand beyond depth s
+		}
+		for k := a.RowPtr[v]; k < a.RowPtr[v+1]; k++ {
+			w := a.ColIdx[k]
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+
+	// Halo: reached non-owned vertices, sorted by (distance, index).
+	halo := make([]int, 0)
+	for v := 0; v < n; v++ {
+		if dist[v] > 0 {
+			halo = append(halo, v)
+		}
+	}
+	sort.Slice(halo, func(i, j int) bool {
+		if dist[halo[i]] != dist[halo[j]] {
+			return dist[halo[i]] < dist[halo[j]]
+		}
+		return halo[i] < halo[j]
+	})
+	haloDist := make([]int, len(halo))
+	for h, v := range halo {
+		haloDist[h] = dist[v]
+	}
+
+	// RowsAtDist[t] = #extended rows with distance <= t.
+	rowsAtDist := make([]int, s+1)
+	rowsAtDist[0] = nOwn
+	h := 0
+	for t := 1; t <= s; t++ {
+		for h < len(halo) && haloDist[h] <= t {
+			h++
+		}
+		rowsAtDist[t] = nOwn + h
+	}
+
+	// Local extended numbering: owned first, then halo in order.
+	localOf := make([]int, n)
+	for i := range localOf {
+		localOf[i] = -1
+	}
+	for i := own0; i < own1; i++ {
+		localOf[i] = i - own0
+	}
+	for hh, v := range halo {
+		localOf[v] = nOwn + hh
+	}
+
+	// Extended matrix: rows with distance <= s-1, relabeled columns.
+	extRows := make([]int, 0, rowsAtDist[s-1])
+	for i := own0; i < own1; i++ {
+		extRows = append(extRows, i)
+	}
+	for hh, v := range halo {
+		if haloDist[hh] <= s-1 {
+			extRows = append(extRows, v)
+		}
+	}
+	ext := a.ExtractRows(extRows)
+	ext.RelabelCols(localOf, nOwn+len(halo))
+
+	nnzPrefix := make([]int, s)
+	for t := 0; t <= s-1; t++ {
+		nnzPrefix[t] = ext.RowPtr[rowsAtDist[t]]
+	}
+
+	return &DeviceMatrix{
+		NOwn:       nOwn,
+		Halo:       halo,
+		HaloDist:   haloDist,
+		RowsAtDist: rowsAtDist,
+		Ext:        ext,
+		EllExt:     sparse.ToELL(ext),
+		NNZPrefix:  nnzPrefix,
+	}
+}
+
+// mulPrefix dispatches the per-step prefix SpMV to the configured device
+// format.
+func (dm *DeviceMatrix) mulPrefix(y, x []float64, rows int) {
+	if dm.SellExt != nil {
+		dm.SellExt.MulVecPrefix(y, x, rows)
+		return
+	}
+	dm.EllExt.MulVecPrefix(y, x, rows)
+}
+
+// HaloAtDist returns the slice of Halo with exactly distance t — the
+// paper's boundary set delta^(d, s-t+1).
+func (dm *DeviceMatrix) HaloAtDist(t int) []int {
+	lo := sort.Search(len(dm.HaloDist), func(i int) bool { return dm.HaloDist[i] >= t })
+	hi := sort.Search(len(dm.HaloDist), func(i int) bool { return dm.HaloDist[i] > t })
+	return dm.Halo[lo:hi]
+}
+
+// BoundaryNNZ returns nnz(A(delta^(d,1:s), :)) — the extra matrix storage
+// of the matrix powers kernel on this device (global nnz counts of the
+// halo rows with distance <= s-1; halo rows at distance s are never
+// multiplied and need no matrix rows).
+func (dm *DeviceMatrix) BoundaryNNZ() int {
+	if len(dm.NNZPrefix) == 0 {
+		return 0
+	}
+	return dm.NNZPrefix[len(dm.NNZPrefix)-1] - dm.NNZPrefix[0]
+}
+
+// LocalNNZ returns nnz(A^(d)), the owned-row nonzeros.
+func (dm *DeviceMatrix) LocalNNZ() int {
+	return dm.Ext.RowPtr[dm.NOwn]
+}

@@ -1,0 +1,77 @@
+package gpu
+
+import (
+	"testing"
+)
+
+func TestMultiNodeRoundCost(t *testing.T) {
+	base := M2090()
+	m := MultiNode(base, 2, 25e-6, 3e9) // 2 GPUs per node, IB-ish network
+
+	// 4 devices = 2 nodes: devices 2,3 are remote.
+	ctx := NewContext(4, m)
+	ctx.ReduceRound("p", []int{1000, 1000, 1000, 1000})
+	p := ctx.Stats().Phase("p")
+	local := base.Latency + 2000/base.Bandwidth
+	inter := 25e-6 + 2000/3e9
+	want := local
+	if inter > want {
+		want = inter
+	}
+	if !approx(p.CommTime, want, 1e-12) {
+		t.Fatalf("comm time %v, want %v", p.CommTime, want)
+	}
+	if p.BytesD2H != 4000 {
+		t.Fatalf("bytes %d", p.BytesD2H)
+	}
+}
+
+func TestMultiNodeSingleNodeUnchanged(t *testing.T) {
+	// Devices all within one node: identical to the base model.
+	base := M2090()
+	m := MultiNode(base, 3, 25e-6, 3e9)
+
+	ctxBase := NewContext(3, base)
+	ctxBase.ReduceRound("p", []int{10, 20, 30})
+	ctxMulti := NewContext(3, m)
+	ctxMulti.ReduceRound("p", []int{10, 20, 30})
+	if ctxBase.Stats().Phase("p").CommTime != ctxMulti.Stats().Phase("p").CommTime {
+		t.Fatal("single-node multi-node model must match base")
+	}
+}
+
+func TestMultiNodeLatencyDominates(t *testing.T) {
+	// Tiny messages across nodes: the network latency sets the floor.
+	m := MultiNode(M2090(), 1, 25e-6, 3e9)
+	ctx := NewContext(3, m)
+	ctx.ReduceRound("p", []int{8, 8, 8})
+	got := ctx.Stats().Phase("p").CommTime
+	if got < 25e-6 {
+		t.Fatalf("comm time %v below network latency", got)
+	}
+}
+
+func TestMultiNodeAmplifiesCAAdvantage(t *testing.T) {
+	// The motivating property: the latency penalty of scattering the
+	// devices over nodes hits the many-round strategies (MGS-like
+	// patterns) far harder than the 2-round strategies. Simulate the
+	// round patterns directly.
+	single := M2090()
+	multi := MultiNode(single, 1, 100e-6, 3e9)
+
+	cost := func(model CostModel, rounds int) float64 {
+		ctx := NewContext(3, model)
+		for i := 0; i < rounds; i++ {
+			ctx.ReduceRound("p", []int{8, 8, 8})
+		}
+		return ctx.Stats().Phase("p").CommTime
+	}
+	// 110 rounds (MGS at s=9) vs 2 rounds (CholQR): the absolute time
+	// the communication-avoiding strategy saves per window must grow
+	// with the per-round cost (here ~6.7x, the 100us/15us latency gap).
+	gapSingle := cost(single, 110) - cost(single, 2)
+	gapMulti := cost(multi, 110) - cost(multi, 2)
+	if gapMulti < 5*gapSingle {
+		t.Fatalf("multi-node gap %v not clearly above single-node %v", gapMulti, gapSingle)
+	}
+}

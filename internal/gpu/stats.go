@@ -1,0 +1,221 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+type direction int
+
+const (
+	dirD2H direction = iota
+	dirH2D
+)
+
+// PhaseStats aggregates everything charged to one named phase (e.g.
+// "spmv", "mpk", "borth", "tsqr", "lsq").
+type PhaseStats struct {
+	Rounds      int     // communication rounds (latency events)
+	Messages    int     // individual device messages
+	BytesD2H    int     // device-to-host volume
+	BytesH2D    int     // host-to-device volume
+	CommTime    float64 // modeled seconds of communication
+	DeviceTime  float64 // modeled seconds of device compute (max over devices per kernel)
+	DeviceFlops float64 // total flops summed over devices
+	HostTime    float64 // modeled seconds of host compute
+	HostFlops   float64
+	Kernels     int // device kernel launches
+}
+
+// Total returns the modeled wall time of the phase.
+func (p PhaseStats) Total() float64 { return p.CommTime + p.DeviceTime + p.HostTime }
+
+// Bytes returns the total transferred volume in both directions.
+func (p PhaseStats) Bytes() int { return p.BytesD2H + p.BytesH2D }
+
+// Event is one traced ledger entry, in program order. Kind is "reduce",
+// "broadcast", "kernel", or "host".
+type Event struct {
+	Seq   int
+	Phase string
+	Kind  string
+	Bytes int
+	Time  float64
+}
+
+// Stats is a thread-safe ledger of per-phase modeled costs, optionally
+// recording an event trace (a bounded ring buffer) for debugging and the
+// CLI's -trace flag.
+type Stats struct {
+	mu     sync.Mutex
+	phases map[string]*PhaseStats
+
+	traceCap  int
+	traceSeq  int
+	traceRing []Event
+}
+
+// NewStats returns an empty ledger.
+func NewStats() *Stats {
+	return &Stats{phases: make(map[string]*PhaseStats)}
+}
+
+// EnableTrace starts recording events into a ring buffer holding the
+// last limit entries.
+func (s *Stats) EnableTrace(limit int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if limit < 1 {
+		limit = 1
+	}
+	s.traceCap = limit
+	s.traceRing = s.traceRing[:0]
+}
+
+// Trace returns the recorded events in order (oldest first).
+func (s *Stats) Trace() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.traceRing))
+	copy(out, s.traceRing)
+	sortEventsBySeq(out)
+	return out
+}
+
+func sortEventsBySeq(ev []Event) {
+	sort.Slice(ev, func(a, b int) bool { return ev[a].Seq < ev[b].Seq })
+}
+
+// record appends an event to the ring buffer (caller holds the lock).
+func (s *Stats) record(phase, kind string, bytes int, t float64) {
+	if s.traceCap == 0 {
+		return
+	}
+	e := Event{Seq: s.traceSeq, Phase: phase, Kind: kind, Bytes: bytes, Time: t}
+	s.traceSeq++
+	if len(s.traceRing) < s.traceCap {
+		s.traceRing = append(s.traceRing, e)
+		return
+	}
+	s.traceRing[e.Seq%s.traceCap] = e
+}
+
+func (s *Stats) get(phase string) *PhaseStats {
+	p, ok := s.phases[phase]
+	if !ok {
+		p = &PhaseStats{}
+		s.phases[phase] = p
+	}
+	return p
+}
+
+func (s *Stats) addComm(phase string, dir direction, msgs, bytes int, t float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.get(phase)
+	p.Rounds++
+	p.Messages += msgs
+	kind := "reduce"
+	if dir == dirD2H {
+		p.BytesD2H += bytes
+	} else {
+		p.BytesH2D += bytes
+		kind = "broadcast"
+	}
+	p.CommTime += t
+	s.record(phase, kind, bytes, t)
+}
+
+func (s *Stats) addCompute(phase string, t float64, work []Work) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.get(phase)
+	p.DeviceTime += t
+	p.Kernels++
+	var bytes float64
+	for _, w := range work {
+		p.DeviceFlops += w.Flops
+		bytes += w.Bytes
+	}
+	s.record(phase, "kernel", int(bytes), t)
+}
+
+func (s *Stats) addHost(phase string, t, flops float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.get(phase)
+	p.HostTime += t
+	p.HostFlops += flops
+	s.record(phase, "host", 0, t)
+}
+
+// Phase returns a copy of the named phase's stats (zero value if the
+// phase never ran).
+func (s *Stats) Phase(name string) PhaseStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.phases[name]; ok {
+		return *p
+	}
+	return PhaseStats{}
+}
+
+// Phases returns the phase names in sorted order.
+func (s *Stats) Phases() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.phases))
+	for n := range s.phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalTime returns the modeled time summed over all phases.
+func (s *Stats) TotalTime() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t float64
+	for _, p := range s.phases {
+		t += p.CommTime + p.DeviceTime + p.HostTime
+	}
+	return t
+}
+
+// Merge adds other's counters into s (used to combine per-restart ledgers).
+func (s *Stats) Merge(other *Stats) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, op := range other.phases {
+		p := s.get(name)
+		p.Rounds += op.Rounds
+		p.Messages += op.Messages
+		p.BytesD2H += op.BytesD2H
+		p.BytesH2D += op.BytesH2D
+		p.CommTime += op.CommTime
+		p.DeviceTime += op.DeviceTime
+		p.DeviceFlops += op.DeviceFlops
+		p.HostTime += op.HostTime
+		p.HostFlops += op.HostFlops
+		p.Kernels += op.Kernels
+	}
+}
+
+// String renders a compact per-phase table.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s %12s %12s %10s %10s %10s\n",
+		"phase", "rounds", "msgs", "bytesD2H", "bytesH2D", "comm(ms)", "dev(ms)", "host(ms)")
+	for _, name := range s.Phases() {
+		p := s.Phase(name)
+		fmt.Fprintf(&b, "%-10s %8d %8d %12d %12d %10.3f %10.3f %10.3f\n",
+			name, p.Rounds, p.Messages, p.BytesD2H, p.BytesH2D,
+			p.CommTime*1e3, p.DeviceTime*1e3, p.HostTime*1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the dense kernels that dominate the
+// orthogonalization strategies (run with go test -bench=. -benchmem).
+
+func benchMatrix(rows, cols int) *Dense {
+	rng := rand.New(rand.NewSource(1))
+	return randDense(rng, rows, cols)
+}
+
+func BenchmarkDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randVec(rng, 1<<16)
+	y := randVec(rng, 1<<16)
+	b.SetBytes(int64(len(x)) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}
+
+func BenchmarkGemvT(b *testing.B) {
+	a := benchMatrix(1<<16, 30)
+	rng := rand.New(rand.NewSource(3))
+	x := randVec(rng, 1<<16)
+	y := make([]float64, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemvT(1, a, x, 0, y)
+	}
+}
+
+func BenchmarkParallelGemvT(b *testing.B) {
+	a := benchMatrix(1<<16, 30)
+	rng := rand.New(rand.NewSource(4))
+	x := randVec(rng, 1<<16)
+	y := make([]float64, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelGemvT(a, x, y)
+	}
+}
+
+func BenchmarkSyrkGram(b *testing.B) {
+	a := benchMatrix(1<<16, 30)
+	c := NewDense(30, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Syrk(a, c)
+	}
+}
+
+func BenchmarkBatchedGram(b *testing.B) {
+	a := benchMatrix(1<<16, 30)
+	c := NewDense(30, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchedGram(a, c)
+	}
+}
+
+func BenchmarkHouseholderQRTall(b *testing.B) {
+	a := benchMatrix(1<<13, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HouseholderQR(a)
+	}
+}
+
+func BenchmarkCholesky30(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := spdMatrix(rng, 30, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobiEig30(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	g := spdMatrix(rng, 30, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JacobiEig(g)
+	}
+}
+
+func BenchmarkHessenbergEigenvalues60(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	h := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j+1 && i < n; i++ {
+			h.Set(i, j, rng.NormFloat64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HessenbergEigenvalues(h)
+	}
+}
+
+func BenchmarkHessenbergLS(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	k := 60
+	h := NewDense(k+1, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i <= j+1; i++ {
+			h.Set(i, j, rng.NormFloat64())
+		}
+	}
+	c := randVec(rng, k+1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HessenbergLS(h, c)
+	}
+}
+
+func BenchmarkLejaOrder60(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	shifts := make([]complex128, 60)
+	for i := range shifts {
+		shifts[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LejaOrder(shifts)
+	}
+}

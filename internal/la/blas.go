@@ -1,0 +1,142 @@
+package la
+
+import "fmt"
+
+// Gemv computes y := alpha*A*x + beta*y for a column-major Dense A.
+// A is Rows x Cols, x has length Cols, y has length Rows.
+//
+// The loop is organized along columns (axpy form) so that each column of A
+// is traversed contiguously, which is the cache-friendly direction for
+// column-major tall-skinny matrices.
+func Gemv(alpha float64, a *Dense, x []float64, beta float64, y []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("la: Gemv shape mismatch A=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	if beta != 1 {
+		if beta == 0 {
+			Zero(y)
+		} else {
+			Scal(beta, y)
+		}
+	}
+	for j := 0; j < a.Cols; j++ {
+		axj := alpha * x[j]
+		if axj == 0 {
+			continue
+		}
+		col := a.Col(j)
+		for i, v := range col {
+			y[i] += axj * v
+		}
+	}
+}
+
+// GemvT computes y := alpha*A'*x + beta*y. A is Rows x Cols, x has length
+// Rows, y has length Cols. Each y[j] is a dot product of column j with x,
+// again contiguous in column-major layout. This is the kernel behind the
+// CGS projection r = V' v.
+func GemvT(alpha float64, a *Dense, x []float64, beta float64, y []float64) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic(fmt.Sprintf("la: GemvT shape mismatch A=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	for j := 0; j < a.Cols; j++ {
+		d := Dot(a.Col(j), x)
+		if beta == 0 {
+			y[j] = alpha * d
+		} else {
+			y[j] = alpha*d + beta*y[j]
+		}
+	}
+}
+
+// GemmNN computes C := alpha*A*B + beta*C with A (m x k), B (k x n),
+// C (m x n). The kernel iterates B column-by-column and applies the axpy
+// form of Gemv, keeping all accesses to A and C contiguous per column.
+func GemmNN(alpha float64, a, b *Dense, beta float64, c *Dense) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("la: GemmNN shape mismatch A=%dx%d B=%dx%d C=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	for j := 0; j < b.Cols; j++ {
+		Gemv(alpha, a, b.Col(j), beta, c.Col(j))
+	}
+}
+
+// GemmTN computes C := alpha*A'*B + beta*C with A (k x m), B (k x n),
+// C (m x n). With A and B tall-skinny this is the Gram-matrix kernel
+// B := V'V of CholQR and SVQR.
+func GemmTN(alpha float64, a, b *Dense, beta float64, c *Dense) {
+	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
+		panic(fmt.Sprintf("la: GemmTN shape mismatch A=%dx%d B=%dx%d C=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	for j := 0; j < b.Cols; j++ {
+		bj := b.Col(j)
+		cj := c.Col(j)
+		for i := 0; i < a.Cols; i++ {
+			d := Dot(a.Col(i), bj)
+			if beta == 0 {
+				cj[i] = alpha * d
+			} else {
+				cj[i] = alpha*d + beta*cj[i]
+			}
+		}
+	}
+}
+
+// Syrk computes the symmetric rank-k update C := A'*A for tall-skinny A,
+// filling both triangles of the (A.Cols x A.Cols) result. Only the upper
+// triangle is computed by dot products; the lower triangle is mirrored.
+func Syrk(a *Dense, c *Dense) {
+	n := a.Cols
+	if c.Rows != n || c.Cols != n {
+		panic(fmt.Sprintf("la: Syrk shape mismatch A=%dx%d C=%dx%d", a.Rows, a.Cols, c.Rows, c.Cols))
+	}
+	for j := 0; j < n; j++ {
+		aj := a.Col(j)
+		for i := 0; i <= j; i++ {
+			d := Dot(a.Col(i), aj)
+			c.Set(i, j, d)
+			c.Set(j, i, d)
+		}
+	}
+}
+
+// TrsmRightUpper solves V := V * inv(R) in place for an upper-triangular
+// R (n x n) and V (m x n). This is the final step of CholQR: the basis
+// panel is multiplied by the inverse Cholesky factor column by column.
+func TrsmRightUpper(v *Dense, r *Dense) {
+	n := v.Cols
+	if r.Rows != n || r.Cols != n {
+		panic(fmt.Sprintf("la: TrsmRightUpper shape mismatch V=%dx%d R=%dx%d", v.Rows, v.Cols, r.Rows, r.Cols))
+	}
+	for j := 0; j < n; j++ {
+		vj := v.Col(j)
+		// v_j := (v_j - sum_{i<j} v_i * r_ij) / r_jj
+		for i := 0; i < j; i++ {
+			Axpy(-r.At(i, j), v.Col(i), vj)
+		}
+		d := r.At(j, j)
+		if d == 0 {
+			panic("la: TrsmRightUpper singular R")
+		}
+		Scal(1/d, vj)
+	}
+}
+
+// TrmmRightUpper computes V := V * R in place for upper-triangular R.
+// Columns are updated right-to-left so earlier columns are still the
+// original values when consumed.
+func TrmmRightUpper(v *Dense, r *Dense) {
+	n := v.Cols
+	if r.Rows != n || r.Cols != n {
+		panic(fmt.Sprintf("la: TrmmRightUpper shape mismatch V=%dx%d R=%dx%d", v.Rows, v.Cols, r.Rows, r.Cols))
+	}
+	for j := n - 1; j >= 0; j-- {
+		vj := v.Col(j)
+		Scal(r.At(j, j), vj)
+		for i := 0; i < j; i++ {
+			Axpy(r.At(i, j), v.Col(i), vj)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package la
+
+import "fmt"
+
+// BlockedQR computes the same Householder QR factorization as
+// HouseholderQR but with the compact-WY blocked algorithm (LAPACK
+// GEQRT-style): columns are factored in panels of nb, and each panel's nb
+// reflectors are applied to the trailing matrix as one block reflector
+//
+//	Q_panel' = I - V T' V'
+//
+// through two matrix-matrix products instead of nb rank-1 sweeps. This is
+// the "effects of blocking" the paper's footnote 6 defers to Hoemmen's
+// hybrid CAQR work: identical flops, BLAS-3 instead of BLAS-2 memory
+// traffic on the trailing update. The returned factorization is storage-
+// compatible with HouseholderQR (R in the upper triangle, reflectors
+// below, tau coefficients), so FormQ/ApplyQT/R work unchanged.
+func BlockedQR(a *Dense, nb int) *QRFactor {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("la: BlockedQR needs rows >= cols, got %dx%d", m, n))
+	}
+	if nb < 1 {
+		nb = 8
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k0 := 0; k0 < n; k0 += nb {
+		k1 := k0 + nb
+		if k1 > n {
+			k1 = n
+		}
+		panelQR(qr, tau, k0, k1)
+		if k1 < n {
+			t := larft(qr, tau, k0, k1)
+			applyBlockReflectorT(qr, t, k0, k1, n)
+		}
+	}
+	return &QRFactor{QR: qr, Tau: tau}
+}
+
+// panelQR factors columns [k0, k1) with plain Householder reflectors,
+// applying each reflector only within the panel.
+func panelQR(qr *Dense, tau []float64, k0, k1 int) {
+	m := qr.Rows
+	for k := k0; k < k1; k++ {
+		col := qr.Col(k)
+		alpha := col[k]
+		norm := Nrm2(col[k:])
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		beta := alpha
+		if alpha >= 0 {
+			beta = -norm
+		} else {
+			beta = norm
+		}
+		tau[k] = (beta - alpha) / beta
+		scale := 1 / (alpha - beta)
+		for i := k + 1; i < m; i++ {
+			col[i] *= scale
+		}
+		col[k] = beta
+		for j := k + 1; j < k1; j++ {
+			cj := qr.Col(j)
+			w := cj[k]
+			for i := k + 1; i < m; i++ {
+				w += col[i] * cj[i]
+			}
+			w *= tau[k]
+			cj[k] -= w
+			for i := k + 1; i < m; i++ {
+				cj[i] -= w * col[i]
+			}
+		}
+	}
+}
+
+// larft builds the nb x nb upper-triangular T of the forward columnwise
+// compact-WY representation H_{k0} H_{k0+1} ... H_{k1-1} = I - V T V',
+// where column j of V is [0...0, 1, qr[j+1:m, j]]'.
+func larft(qr *Dense, tau []float64, k0, k1 int) *Dense {
+	m := qr.Rows
+	nb := k1 - k0
+	t := NewDense(nb, nb)
+	for j := 0; j < nb; j++ {
+		tj := tau[k0+j]
+		if tj == 0 {
+			continue
+		}
+		// w = V[:, 0:j]' * v_j. Column i of V is zero above row k0+i,
+		// one at k0+i, and qr[r, k0+i] below; v_j is zero above row
+		// k0+j, one there, and qr[r, k0+j] below. Their overlap starts
+		// at r = k0+j (i < j), where v_j = 1 and v_i = qr[k0+j, k0+i]:
+		//
+		//	w = qr[k0+j, k0+i] + sum_{r > k0+j} qr[r, k0+i]*qr[r, k0+j]
+		vj := qr.Col(k0 + j)
+		for i := 0; i < j; i++ {
+			vi := qr.Col(k0 + i)
+			w := vi[k0+j]
+			for r := k0 + j + 1; r < m; r++ {
+				w += vi[r] * vj[r]
+			}
+			t.Set(i, j, w)
+		}
+		// T[0:j, j] = -tau_j * T[0:j,0:j] * w
+		if j > 0 {
+			col := make([]float64, j)
+			for i := 0; i < j; i++ {
+				var s float64
+				for k := i; k < j; k++ {
+					s += t.At(i, k) * t.At(k, j)
+				}
+				col[i] = -tj * s
+			}
+			for i := 0; i < j; i++ {
+				t.Set(i, j, col[i])
+			}
+		}
+		t.Set(j, j, tj)
+	}
+	return t
+}
+
+// applyBlockReflectorT applies Q_panel' = I - V T' V' to the trailing
+// columns [c0, n) of qr, with V the reflectors of columns [k0, c0).
+func applyBlockReflectorT(qr *Dense, t *Dense, k0, c0, n int) {
+	m := qr.Rows
+	nb := c0 - k0
+	nc := n - c0
+	// W = V' * C  (nb x nc), exploiting V's unit-lower-trapezoidal shape.
+	w := NewDense(nb, nc)
+	for j := 0; j < nc; j++ {
+		cj := qr.Col(c0 + j)
+		for i := 0; i < nb; i++ {
+			vi := qr.Col(k0 + i)
+			s := cj[k0+i] // unit diagonal
+			for r := k0 + i + 1; r < m; r++ {
+				s += vi[r] * cj[r]
+			}
+			w.Set(i, j, s)
+		}
+	}
+	// W := T' * W (T upper triangular => T' lower triangular).
+	for j := 0; j < nc; j++ {
+		wj := w.Col(j)
+		for i := nb - 1; i >= 0; i-- {
+			var s float64
+			for k := 0; k <= i; k++ {
+				s += t.At(k, i) * wj[k]
+			}
+			wj[i] = s
+		}
+	}
+	// C := C - V * W.
+	for j := 0; j < nc; j++ {
+		cj := qr.Col(c0 + j)
+		wj := w.Col(j)
+		for i := 0; i < nb; i++ {
+			vi := qr.Col(k0 + i)
+			wij := wj[i]
+			if wij == 0 {
+				continue
+			}
+			cj[k0+i] -= wij // unit diagonal
+			for r := k0 + i + 1; r < m; r++ {
+				cj[r] -= wij * vi[r]
+			}
+		}
+	}
+}

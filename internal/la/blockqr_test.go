@@ -1,0 +1,114 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlockedQRMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(600))
+	for _, tc := range []struct{ m, n, nb int }{
+		{40, 12, 4}, // multiple full blocks
+		{50, 13, 5}, // ragged last block
+		{30, 7, 16}, // block bigger than n (degenerates to unblocked)
+		{64, 20, 1}, // nb=1 (pure unblocked path through block code)
+		{25, 25, 6}, // square
+	} {
+		a := randDense(rng, tc.m, tc.n)
+		fb := BlockedQR(a, tc.nb)
+		fu := HouseholderQR(a)
+
+		rb, ru := fb.R(), fu.R()
+		FixRSigns(nil, rb)
+		FixRSigns(nil, ru)
+		if !rb.Equalish(ru, 1e-10*(1+ru.MaxAbs())) {
+			t.Fatalf("%+v: R factors disagree", tc)
+		}
+
+		// Q from the blocked factorization must be orthonormal and
+		// reconstruct A.
+		q := fb.FormQ()
+		qtq := NewDense(tc.n, tc.n)
+		GemmTN(1, q, q, 0, qtq)
+		if !qtq.Equalish(Eye(tc.n), 1e-11) {
+			t.Fatalf("%+v: blocked Q not orthonormal", tc)
+		}
+		qr := NewDense(tc.m, tc.n)
+		GemmNN(1, q, fb.R(), 0, qr)
+		if !qr.Equalish(a, 1e-10*(1+a.MaxAbs())) {
+			t.Fatalf("%+v: blocked QR != A", tc)
+		}
+	}
+}
+
+func TestBlockedQRApplyQT(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	a := randDense(rng, 60, 18)
+	f := BlockedQR(a, 6)
+	x := randVec(rng, 60)
+	x2 := append([]float64(nil), x...)
+	f.ApplyQT(x)
+	q := f.FormQ()
+	want := make([]float64, 18)
+	GemvT(1, q, x2, 0, want)
+	for j := range want {
+		if !almostEq(x[j], want[j], 1e-10) {
+			t.Fatalf("ApplyQT[%d] = %v, want %v", j, x[j], want[j])
+		}
+	}
+}
+
+func TestBlockedQRZeroColumn(t *testing.T) {
+	a := NewDense(20, 6)
+	rng := rand.New(rand.NewSource(602))
+	for j := 0; j < 6; j++ {
+		if j == 3 {
+			continue // column 3 stays zero
+		}
+		col := a.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+	}
+	f := BlockedQR(a, 4)
+	q := f.FormQ()
+	for j := 0; j < 6; j++ {
+		for _, v := range q.Col(j) {
+			if v != v { // NaN check
+				t.Fatal("NaN in blocked Q with zero column")
+			}
+		}
+	}
+}
+
+func TestBlockedQRDefaultBlockSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(603))
+	a := randDense(rng, 30, 10)
+	f := BlockedQR(a, 0) // defaults internally
+	r := f.R()
+	for j := 0; j < 10; j++ {
+		for i := j + 1; i < 10; i++ {
+			if r.At(i, j) != 0 {
+				t.Fatal("R not triangular")
+			}
+		}
+	}
+}
+
+func BenchmarkHouseholderQRWide(b *testing.B) {
+	rng := rand.New(rand.NewSource(604))
+	a := randDense(rng, 4096, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = HouseholderQR(a)
+	}
+}
+
+func BenchmarkBlockedQRWide(b *testing.B) {
+	rng := rand.New(rand.NewSource(605))
+	a := randDense(rng, 4096, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BlockedQR(a, 16)
+	}
+}

@@ -1,0 +1,127 @@
+package la
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// LejaOrder orders a set of (possibly complex) shifts in the modified Leja
+// ordering used by the Newton-basis matrix powers kernel: the first point
+// has maximal modulus, and each subsequent point maximizes the product of
+// distances to all previously chosen points. Products are accumulated in
+// log space to avoid overflow for large shift sets.
+//
+// For real matrices the shifts arrive in complex-conjugate pairs; the
+// modified ordering keeps each pair adjacent with the positive-imaginary
+// member first, so the real-arithmetic two-step recurrence of Hoemmen's
+// thesis (Section 7.3.2) can consume them pairwise.
+func LejaOrder(shifts []complex128) []complex128 {
+	n := len(shifts)
+	if n == 0 {
+		return nil
+	}
+	pts := make([]complex128, n)
+	copy(pts, shifts)
+	// Canonicalize conjugate pairs: positive imaginary part first.
+	// Collapse each conjugate pair into a single candidate marked as a pair.
+	type cand struct {
+		z      complex128
+		isPair bool
+	}
+	const imTol = 1e-12
+	used := make([]bool, n)
+	var cands []cand
+	for i := 0; i < n; i++ {
+		if used[i] {
+			continue
+		}
+		z := pts[i]
+		if math.Abs(imag(z)) <= imTol*(1+cmplx.Abs(z)) {
+			cands = append(cands, cand{complex(real(z), 0), false})
+			used[i] = true
+			continue
+		}
+		// Find the conjugate partner.
+		partner := -1
+		for j := i + 1; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			if cmplx.Abs(pts[j]-cmplx.Conj(z)) <= 1e-8*(1+cmplx.Abs(z)) {
+				partner = j
+				break
+			}
+		}
+		zc := z
+		if imag(zc) < 0 {
+			zc = cmplx.Conj(zc)
+		}
+		if partner >= 0 {
+			used[partner] = true
+			cands = append(cands, cand{zc, true})
+		} else {
+			// Unpaired complex Ritz value (can happen with inexact
+			// eigensolves): treat it as a pair so real arithmetic still
+			// works downstream.
+			cands = append(cands, cand{zc, true})
+		}
+		used[i] = true
+	}
+	// Greedy Leja selection over the collapsed candidates.
+	m := len(cands)
+	chosen := make([]bool, m)
+	order := make([]int, 0, m)
+	// Start with the candidate of maximum modulus.
+	best, bestAbs := 0, -1.0
+	for i, c := range cands {
+		if a := cmplx.Abs(c.z); a > bestAbs {
+			best, bestAbs = i, a
+		}
+	}
+	order = append(order, best)
+	chosen[best] = true
+	for len(order) < m {
+		best, bestVal := -1, math.Inf(-1)
+		for i, c := range cands {
+			if chosen[i] {
+				continue
+			}
+			// log prod |z_i - z_k| over chosen points (counting the
+			// conjugate of a chosen pair as a point too).
+			v := 0.0
+			for _, k := range order {
+				zk := cands[k].z
+				v += logDist(c.z, zk)
+				if cands[k].isPair {
+					v += logDist(c.z, cmplx.Conj(zk))
+				}
+			}
+			if v > bestVal {
+				best, bestVal = i, v
+			}
+		}
+		order = append(order, best)
+		chosen[best] = true
+	}
+	// Expand pairs back out: z followed by conj(z).
+	out := make([]complex128, 0, n)
+	for _, i := range order {
+		c := cands[i]
+		out = append(out, c.z)
+		if c.isPair {
+			out = append(out, cmplx.Conj(c.z))
+		}
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func logDist(a, b complex128) float64 {
+	d := cmplx.Abs(a - b)
+	if d <= 0 {
+		return -745 // log of smallest normal float64, effectively -inf
+	}
+	return math.Log(d)
+}

@@ -1,0 +1,115 @@
+package la
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestLejaOrderStartsAtMaxModulus(t *testing.T) {
+	in := []complex128{1, 5, 3, -2}
+	out := LejaOrder(in)
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0] != 5 {
+		t.Fatalf("first = %v, want 5", out[0])
+	}
+}
+
+func TestLejaOrderIsPermutation(t *testing.T) {
+	in := []complex128{1, -3, 2.5, 0.5, 4}
+	out := LejaOrder(in)
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %d", len(out))
+	}
+	used := make([]bool, len(in))
+	for _, z := range out {
+		found := false
+		for i, w := range in {
+			if !used[i] && cmplx.Abs(z-w) < 1e-12 {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("output %v not in input", z)
+		}
+	}
+}
+
+func TestLejaOrderConjugatePairsAdjacent(t *testing.T) {
+	in := []complex128{
+		complex(1, 2), complex(1, -2),
+		complex(3, 0),
+		complex(-2, 1), complex(-2, -1),
+	}
+	out := LejaOrder(in)
+	if len(out) != 5 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := 0; i < len(out); i++ {
+		if imag(out[i]) > 1e-12 {
+			// positive-imag member must be immediately followed by its conjugate
+			if i+1 >= len(out) || cmplx.Abs(out[i+1]-cmplx.Conj(out[i])) > 1e-10 {
+				t.Fatalf("pair not adjacent at %d: %v", i, out)
+			}
+			i++ // skip the conjugate
+		} else if imag(out[i]) < -1e-12 {
+			t.Fatalf("negative-imag member leads at %d: %v", i, out)
+		}
+	}
+}
+
+func TestLejaOrderSecondMaximizesDistance(t *testing.T) {
+	// Points on a line: after choosing 10, the farthest is -9.
+	in := []complex128{10, 9, 0, -9}
+	out := LejaOrder(in)
+	if out[0] != 10 || out[1] != -9 {
+		t.Fatalf("order = %v", out)
+	}
+}
+
+func TestLejaOrderDegenerate(t *testing.T) {
+	if out := LejaOrder(nil); out != nil {
+		t.Fatal("nil input should return nil")
+	}
+	out := LejaOrder([]complex128{7})
+	if len(out) != 1 || out[0] != 7 {
+		t.Fatalf("singleton = %v", out)
+	}
+	// Repeated points must not blow up the log-product.
+	out = LejaOrder([]complex128{2, 2, 2})
+	if len(out) != 3 {
+		t.Fatalf("repeated = %v", out)
+	}
+	for _, z := range out {
+		if z != 2 {
+			t.Fatalf("repeated = %v", out)
+		}
+	}
+}
+
+func TestLejaOrderLargeSetNoOverflow(t *testing.T) {
+	// 60 well-spread points: products of distances overflow naive
+	// accumulation; log-space must stay finite and produce a permutation.
+	in := make([]complex128, 60)
+	for i := range in {
+		in[i] = complex(float64(i)*1e3, 0)
+	}
+	out := LejaOrder(in)
+	if len(out) != 60 {
+		t.Fatalf("len = %d", len(out))
+	}
+	seen := map[float64]bool{}
+	for _, z := range out {
+		if math.IsNaN(real(z)) || math.IsInf(real(z), 0) {
+			t.Fatal("non-finite output")
+		}
+		seen[real(z)] = true
+	}
+	if len(seen) != 60 {
+		t.Fatalf("only %d distinct outputs", len(seen))
+	}
+}

@@ -1,0 +1,102 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBatchedGramMatchesSyrk(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, rows := range []int{10, PanelRows - 1, PanelRows, PanelRows + 1, 3*PanelRows + 17} {
+		a := randDense(rng, rows, 5)
+		want := NewDense(5, 5)
+		Syrk(a, want)
+		got := NewDense(5, 5)
+		BatchedGram(a, got)
+		if !got.Equalish(want, 1e-10*(1+want.MaxAbs())) {
+			t.Fatalf("rows=%d: BatchedGram mismatch", rows)
+		}
+	}
+}
+
+func TestBatchedGramPaddedStride(t *testing.T) {
+	// The paper pads the leading dimension so every batched panel has the
+	// same size; verify a strided view computes the same Gram matrix.
+	rng := rand.New(rand.NewSource(41))
+	rows, cols := 2*PanelRows+100, 4
+	padded := NewDenseStride(rows, cols, roundUp32(rows)+32)
+	for j := 0; j < cols; j++ {
+		col := padded.Col(j)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+	}
+	want := NewDense(cols, cols)
+	Syrk(padded, want)
+	got := NewDense(cols, cols)
+	BatchedGram(padded, got)
+	if !got.Equalish(want, 1e-10*(1+want.MaxAbs())) {
+		t.Fatal("BatchedGram on padded stride mismatch")
+	}
+}
+
+func TestBatchedGemmTNMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randDense(rng, 2*PanelRows+3, 6)
+	b := randDense(rng, 2*PanelRows+3, 4)
+	want := NewDense(6, 4)
+	GemmTN(1, a, b, 0, want)
+	got := NewDense(6, 4)
+	BatchedGemmTN(a, b, got)
+	if !got.Equalish(want, 1e-10*(1+want.MaxAbs())) {
+		t.Fatal("BatchedGemmTN mismatch")
+	}
+}
+
+func TestParallelGemvTMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, shape := range [][2]int{{100, 3}, {50000, 29}} {
+		a := randDense(rng, shape[0], shape[1])
+		x := randVec(rng, shape[0])
+		want := make([]float64, shape[1])
+		GemvT(1, a, x, 0, want)
+		got := make([]float64, shape[1])
+		ParallelGemvT(a, x, got)
+		for j := range want {
+			if !almostEq(got[j], want[j], 1e-11) {
+				t.Fatalf("%v: ParallelGemvT[%d] mismatch", shape, j)
+			}
+		}
+	}
+}
+
+func TestParallelGemmNNMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randDense(rng, PanelRows+513, 7)
+	b := randDense(rng, 7, 5)
+	want := randDense(rng, PanelRows+513, 5)
+	got := want.Clone()
+	GemmNN(2, a, b, 0.5, want)
+	ParallelGemmNN(2, a, b, 0.5, got)
+	if !got.Equalish(want, 1e-10*(1+want.MaxAbs())) {
+		t.Fatal("ParallelGemmNN mismatch")
+	}
+}
+
+func TestRoundUp32(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 32, 31: 32, 32: 32, 33: 64, 100: 128}
+	for in, want := range cases {
+		if got := roundUp32(in); got != want {
+			t.Fatalf("roundUp32(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNumWorkersBounds(t *testing.T) {
+	if w := numWorkers(1, PanelRows); w != 1 {
+		t.Fatalf("numWorkers tiny = %d", w)
+	}
+	if w := numWorkers(100*PanelRows, PanelRows); w < 1 {
+		t.Fatalf("numWorkers large = %d", w)
+	}
+}

@@ -1,0 +1,157 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRFactor holds a compact Householder QR factorization of an m x n matrix
+// (m >= n): the factored matrix (R in the upper triangle, Householder
+// vectors below the diagonal) and the tau coefficients. This mirrors
+// LAPACK's GEQRF storage so Q can be applied without forming it, or
+// materialized with FormQ (the paper's implementation explicitly forms Q;
+// both paths are provided and tested).
+type QRFactor struct {
+	QR  *Dense
+	Tau []float64
+}
+
+// HouseholderQR computes the QR factorization of a copy of A. A itself is
+// untouched. It panics if A has more columns than rows.
+func HouseholderQR(a *Dense) *QRFactor {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("la: HouseholderQR needs rows >= cols, got %dx%d", m, n))
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		col := qr.Col(k)
+		// Householder vector for col[k:m].
+		alpha := col[k]
+		norm := Nrm2(col[k:])
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		beta := -math.Copysign(norm, alpha)
+		tau[k] = (beta - alpha) / beta
+		scale := 1 / (alpha - beta)
+		for i := k + 1; i < m; i++ {
+			col[i] *= scale
+		}
+		col[k] = beta
+		// Apply H_k = I - tau v v' to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			cj := qr.Col(j)
+			// w = v' c_j with v = [1; col[k+1:m]]
+			w := cj[k]
+			for i := k + 1; i < m; i++ {
+				w += col[i] * cj[i]
+			}
+			w *= tau[k]
+			cj[k] -= w
+			for i := k + 1; i < m; i++ {
+				cj[i] -= w * col[i]
+			}
+		}
+	}
+	return &QRFactor{QR: qr, Tau: tau}
+}
+
+// R returns the n x n upper-triangular factor.
+func (f *QRFactor) R() *Dense {
+	n := f.QR.Cols
+	r := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j && i < f.QR.Rows; i++ {
+			r.Set(i, j, f.QR.At(i, j))
+		}
+	}
+	return r
+}
+
+// FormQ materializes the thin Q factor (m x n) by accumulating the
+// Householder reflectors against the identity, mirroring LAPACK ORGQR.
+func (f *QRFactor) FormQ() *Dense {
+	m, n := f.QR.Rows, f.QR.Cols
+	q := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		if f.Tau[k] == 0 {
+			continue
+		}
+		v := f.QR.Col(k)
+		for j := 0; j < n; j++ {
+			cj := q.Col(j)
+			w := cj[k]
+			for i := k + 1; i < m; i++ {
+				w += v[i] * cj[i]
+			}
+			w *= f.Tau[k]
+			cj[k] -= w
+			for i := k + 1; i < m; i++ {
+				cj[i] -= w * v[i]
+			}
+		}
+	}
+	return q
+}
+
+// ApplyQT overwrites x (length m) with Q'*x using the stored reflectors.
+func (f *QRFactor) ApplyQT(x []float64) {
+	m, n := f.QR.Rows, f.QR.Cols
+	if len(x) != m {
+		panic("la: ApplyQT length mismatch")
+	}
+	for k := 0; k < n; k++ {
+		if f.Tau[k] == 0 {
+			continue
+		}
+		v := f.QR.Col(k)
+		w := x[k]
+		for i := k + 1; i < m; i++ {
+			w += v[i] * x[i]
+		}
+		w *= f.Tau[k]
+		x[k] -= w
+		for i := k + 1; i < m; i++ {
+			x[i] -= w * v[i]
+		}
+	}
+}
+
+// QRLeastSquares solves min ||b - A x||_2 for full-column-rank A (m >= n)
+// via Householder QR. Returns the solution of length n.
+func QRLeastSquares(a *Dense, b []float64) []float64 {
+	f := HouseholderQR(a)
+	rhs := make([]float64, len(b))
+	copy(rhs, b)
+	f.ApplyQT(rhs)
+	x := rhs[:a.Cols]
+	r := f.R()
+	sol := make([]float64, a.Cols)
+	copy(sol, x)
+	UpperSolve(r, sol)
+	return sol
+}
+
+// FixRSigns flips the signs of R's rows (and correspondingly Q's columns,
+// if q is non-nil) so that R has a non-negative diagonal. TSQR tree
+// reductions produce R factors with arbitrary diagonal signs; normalizing
+// makes results comparable across strategies and device counts.
+func FixRSigns(q, r *Dense) {
+	for i := 0; i < r.Rows; i++ {
+		if r.At(i, i) >= 0 {
+			continue
+		}
+		for j := i; j < r.Cols; j++ {
+			r.Set(i, j, -r.At(i, j))
+		}
+		if q != nil {
+			Scal(-1, q.Col(i))
+		}
+	}
+}

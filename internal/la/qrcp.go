@@ -1,0 +1,157 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// QRCPFactor holds a Householder QR factorization with column pivoting,
+// A*P = Q*R, the building block of the rank-revealing orthogonalization
+// the paper lists as future work (Demmel, Grigori, Gu, Xiang — its
+// reference [10]). Perm maps output column j to original column Perm[j].
+type QRCPFactor struct {
+	QR   *Dense
+	Tau  []float64
+	Perm []int
+}
+
+// QRCP computes the column-pivoted QR factorization of a copy of A
+// (m >= n): at each step the remaining column with the largest partial
+// norm is swapped to the front, so R's diagonal is non-increasing in
+// magnitude and reveals the numerical rank.
+func QRCP(a *Dense) *QRCPFactor {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("la: QRCP needs rows >= cols, got %dx%d", m, n))
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	perm := make([]int, n)
+	for j := range perm {
+		perm[j] = j
+	}
+	// Partial column norms, updated (and occasionally recomputed for
+	// accuracy) after each reflector, LAPACK dgeqp3-style.
+	colNorm := make([]float64, n)
+	colNormRef := make([]float64, n)
+	for j := 0; j < n; j++ {
+		colNorm[j] = Nrm2(qr.Col(j))
+		colNormRef[j] = colNorm[j]
+	}
+	for k := 0; k < n; k++ {
+		// Pivot: remaining column with the largest partial norm.
+		best := k
+		for j := k + 1; j < n; j++ {
+			if colNorm[j] > colNorm[best] {
+				best = j
+			}
+		}
+		if best != k {
+			swapCols(qr, k, best)
+			perm[k], perm[best] = perm[best], perm[k]
+			colNorm[k], colNorm[best] = colNorm[best], colNorm[k]
+			colNormRef[k], colNormRef[best] = colNormRef[best], colNormRef[k]
+		}
+		// Householder reflector for column k (as in HouseholderQR).
+		col := qr.Col(k)
+		alpha := col[k]
+		norm := Nrm2(col[k:])
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		beta := -math.Copysign(norm, alpha)
+		tau[k] = (beta - alpha) / beta
+		scale := 1 / (alpha - beta)
+		for i := k + 1; i < m; i++ {
+			col[i] *= scale
+		}
+		col[k] = beta
+		for j := k + 1; j < n; j++ {
+			cj := qr.Col(j)
+			w := cj[k]
+			for i := k + 1; i < m; i++ {
+				w += col[i] * cj[i]
+			}
+			w *= tau[k]
+			cj[k] -= w
+			for i := k + 1; i < m; i++ {
+				cj[i] -= w * col[i]
+			}
+			// Downdate the partial norm; recompute when cancellation
+			// makes the running value unreliable.
+			if colNorm[j] != 0 {
+				t := math.Abs(cj[k]) / colNorm[j]
+				f := math.Max(0, 1-t*t)
+				if f*(colNorm[j]/colNormRef[j])*(colNorm[j]/colNormRef[j]) < 1e-14 {
+					colNorm[j] = Nrm2(cj[k+1:])
+					colNormRef[j] = colNorm[j]
+				} else {
+					colNorm[j] *= math.Sqrt(f)
+				}
+			}
+		}
+	}
+	return &QRCPFactor{QR: qr, Tau: tau, Perm: perm}
+}
+
+func swapCols(a *Dense, i, j int) {
+	ci, cj := a.Col(i), a.Col(j)
+	for k := range ci {
+		ci[k], cj[k] = cj[k], ci[k]
+	}
+}
+
+// R returns the n x n upper-triangular factor (of the pivoted matrix).
+func (f *QRCPFactor) R() *Dense {
+	n := f.QR.Cols
+	r := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j && i < f.QR.Rows; i++ {
+			r.Set(i, j, f.QR.At(i, j))
+		}
+	}
+	return r
+}
+
+// FormQ materializes the thin Q factor.
+func (f *QRCPFactor) FormQ() *Dense {
+	h := &QRFactor{QR: f.QR, Tau: f.Tau}
+	return h.FormQ()
+}
+
+// Rank estimates the numerical rank: the number of leading diagonal
+// entries of R with |r_kk| > tol * |r_00|. With tol <= 0 a default of
+// n * eps is used.
+func (f *QRCPFactor) Rank(tol float64) int {
+	n := f.QR.Cols
+	if n == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = float64(n) * 2.220446049250313e-16
+	}
+	r00 := math.Abs(f.QR.At(0, 0))
+	if r00 == 0 {
+		return 0
+	}
+	rank := 0
+	for k := 0; k < n && k < f.QR.Rows; k++ {
+		if math.Abs(f.QR.At(k, k)) > tol*r00 {
+			rank++
+		} else {
+			break
+		}
+	}
+	return rank
+}
+
+// PermMatrix returns the n x n permutation matrix P with A*P = Q*R.
+func (f *QRCPFactor) PermMatrix() *Dense {
+	n := len(f.Perm)
+	p := NewDense(n, n)
+	for j, src := range f.Perm {
+		p.Set(src, j, 1)
+	}
+	return p
+}

@@ -1,0 +1,121 @@
+package la
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQRCPReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	for _, shape := range [][2]int{{10, 4}, {50, 12}, {30, 30}} {
+		a := randDense(rng, shape[0], shape[1])
+		f := QRCP(a)
+		q := f.FormQ()
+		r := f.R()
+		// Q R == A P
+		qr := NewDense(shape[0], shape[1])
+		GemmNN(1, q, r, 0, qr)
+		ap := NewDense(shape[0], shape[1])
+		for j, src := range f.Perm {
+			copy(ap.Col(j), a.Col(src))
+		}
+		if !qr.Equalish(ap, 1e-11*(1+a.MaxAbs())) {
+			t.Fatalf("%v: QR != AP", shape)
+		}
+		// Q orthonormal.
+		qtq := NewDense(shape[1], shape[1])
+		GemmTN(1, q, q, 0, qtq)
+		if !qtq.Equalish(Eye(shape[1]), 1e-12) {
+			t.Fatalf("%v: Q not orthonormal", shape)
+		}
+	}
+}
+
+func TestQRCPDiagonalNonIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	a := randDense(rng, 60, 10)
+	// Scale columns so pivoting has work to do.
+	for j := 0; j < 10; j++ {
+		Scal(math.Pow(10, float64(j%5)-2), a.Col(j))
+	}
+	f := QRCP(a)
+	for k := 1; k < 10; k++ {
+		if math.Abs(f.QR.At(k, k)) > math.Abs(f.QR.At(k-1, k-1))*(1+1e-10) {
+			t.Fatalf("R diagonal not non-increasing at %d", k)
+		}
+	}
+}
+
+func TestQRCPPermIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	a := randDense(rng, 20, 8)
+	f := QRCP(a)
+	seen := make([]bool, 8)
+	for _, p := range f.Perm {
+		if p < 0 || p >= 8 || seen[p] {
+			t.Fatalf("perm = %v", f.Perm)
+		}
+		seen[p] = true
+	}
+	// PermMatrix consistency: A*P == columns in pivot order.
+	pm := f.PermMatrix()
+	ap := NewDense(20, 8)
+	GemmNN(1, a, pm, 0, ap)
+	for j, src := range f.Perm {
+		for i := 0; i < 20; i++ {
+			if ap.At(i, j) != a.At(i, src) {
+				t.Fatal("PermMatrix inconsistent with Perm")
+			}
+		}
+	}
+}
+
+func TestQRCPRankDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	// Build a 40x8 matrix of exact rank 5.
+	left := randDense(rng, 40, 5)
+	right := randDense(rng, 5, 8)
+	a := NewDense(40, 8)
+	GemmNN(1, left, right, 0, a)
+	f := QRCP(a)
+	if rank := f.Rank(1e-10); rank != 5 {
+		t.Fatalf("rank = %d, want 5", rank)
+	}
+	// Full-rank matrix.
+	b := randDense(rng, 40, 8)
+	if rank := QRCP(b).Rank(0); rank != 8 {
+		t.Fatalf("full-rank detection failed: %d", rank)
+	}
+	// Zero matrix.
+	if rank := QRCP(NewDense(10, 3)).Rank(0); rank != 0 {
+		t.Fatalf("zero matrix rank = %d", rank)
+	}
+}
+
+func TestQRCPMatchesQRForWellScaled(t *testing.T) {
+	// On a matrix whose column norms are already decreasing, pivoting is
+	// (nearly) the identity and R matches plain QR up to signs.
+	rng := rand.New(rand.NewSource(404))
+	a := randDense(rng, 50, 6)
+	for j := 0; j < 6; j++ {
+		Scal(math.Pow(2, float64(-j)), a.Col(j))
+	}
+	f := QRCP(a)
+	identity := true
+	for j, p := range f.Perm {
+		if p != j {
+			identity = false
+		}
+	}
+	if !identity {
+		t.Skip("pivoting moved columns on this seed; norms too close")
+	}
+	r1 := f.R()
+	r2 := HouseholderQR(a).R()
+	FixRSigns(nil, r1)
+	FixRSigns(nil, r2)
+	if !r1.Equalish(r2, 1e-10*(1+r2.MaxAbs())) {
+		t.Fatal("QRCP with identity pivoting disagrees with QR")
+	}
+}

@@ -1,0 +1,54 @@
+package ortho
+
+import (
+	"math/rand"
+	"testing"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/la"
+)
+
+// Micro-benchmarks: wall-clock cost of each TSQR strategy and BOrth
+// variant on a distributed tall-skinny window (3 simulated devices).
+
+func benchWindow(n, c, ng int) []*la.Dense {
+	rng := rand.New(rand.NewSource(1))
+	return splitRows(randTall(rng, n, c), ng)
+}
+
+func benchmarkStrategy(b *testing.B, strat TSQR) {
+	ctx := gpu.NewContext(3, gpu.M2090())
+	src := benchWindow(1<<15, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := CloneWindow(src)
+		b.StartTimer()
+		if _, err := strat.Factor(ctx, w, "tsqr"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTSQRMGS(b *testing.B)    { benchmarkStrategy(b, MGS{}) }
+func BenchmarkTSQRCGS(b *testing.B)    { benchmarkStrategy(b, CGS{}) }
+func BenchmarkTSQRCholQR(b *testing.B) { benchmarkStrategy(b, CholQR{}) }
+func BenchmarkTSQRSVQR(b *testing.B)   { benchmarkStrategy(b, SVQR{}) }
+func BenchmarkTSQRCAQR(b *testing.B)   { benchmarkStrategy(b, CAQR{}) }
+
+func benchmarkBOrth(b *testing.B, variant BOrth) {
+	ctx := gpu.NewContext(3, gpu.M2090())
+	rng := rand.New(rand.NewSource(2))
+	p := splitRows(la.HouseholderQR(randTall(rng, 1<<15, 20)).FormQ(), 3)
+	src := benchWindow(1<<15, 10, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := CloneWindow(src)
+		b.StartTimer()
+		variant.Project(ctx, p, w, "borth")
+	}
+}
+
+func BenchmarkBOrthCGS(b *testing.B) { benchmarkBOrth(b, BOrthCGS{}) }
+func BenchmarkBOrthMGS(b *testing.B) { benchmarkBOrth(b, BOrthMGS{}) }

@@ -1,0 +1,139 @@
+package ortho
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/la"
+)
+
+// orthoPanel builds an orthonormal n x pc panel split over ng devices.
+func orthoPanel(rng *rand.Rand, n, pc, ng int) []*la.Dense {
+	q := la.HouseholderQR(randTall(rng, n, pc)).FormQ()
+	return splitRows(q, ng)
+}
+
+func TestBOrthVariantsProject(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	n, pc, wc, ng := 240, 6, 4, 3
+	for _, variant := range []BOrth{BOrthCGS{}, BOrthMGS{}} {
+		ctx := gpu.NewContext(ng, gpu.M2090())
+		p := orthoPanel(rng, n, pc, ng)
+		wHost := randTall(rng, n, wc)
+		w := splitRows(wHost.Clone(), ng)
+		c := variant.Project(ctx, p, w, "borth")
+		if c.Rows != pc || c.Cols != wc {
+			t.Fatalf("%s: C shape %dx%d", variant.Name(), c.Rows, c.Cols)
+		}
+		// Result must be orthogonal to every column of P.
+		pHost := joinRows(p)
+		wNew := joinRows(w)
+		for l := 0; l < pc; l++ {
+			for j := 0; j < wc; j++ {
+				d := la.Dot(pHost.Col(l), wNew.Col(j))
+				if math.Abs(d) > 1e-10 {
+					t.Fatalf("%s: residual projection %v at (%d,%d)", variant.Name(), d, l, j)
+				}
+			}
+		}
+		// C must be P' W_original.
+		want := la.NewDense(pc, wc)
+		la.GemmTN(1, pHost, wHost, 0, want)
+		if !c.Equalish(want, 1e-10*(1+want.MaxAbs())) {
+			t.Fatalf("%s: C mismatch", variant.Name())
+		}
+		// And W_new + P*C must reconstruct W_original.
+		rec := wNew.Clone()
+		la.GemmNN(1, pHost, c, 1, rec)
+		if !rec.Equalish(wHost, 1e-10*(1+wHost.MaxAbs())) {
+			t.Fatalf("%s: reconstruction failed", variant.Name())
+		}
+	}
+}
+
+func TestBOrthCommunicationCounts(t *testing.T) {
+	// BOrth-CGS: 2 transfers regardless of the panel width.
+	// BOrth-MGS: 2 transfers per previous column.
+	rng := rand.New(rand.NewSource(201))
+	n, pc, wc, ng := 150, 5, 3, 2
+
+	ctx := gpu.NewContext(ng, gpu.M2090())
+	p := orthoPanel(rng, n, pc, ng)
+	w := splitRows(randTall(rng, n, wc), ng)
+	ctx.ResetStats()
+	BOrthCGS{}.Project(ctx, p, w, "borth")
+	if got := ctx.Stats().Phase("borth").Rounds; got != 2 {
+		t.Fatalf("BOrth-CGS rounds = %d, want 2", got)
+	}
+
+	ctx.ResetStats()
+	BOrthMGS{}.Project(ctx, p, w, "borth")
+	if got := ctx.Stats().Phase("borth").Rounds; got != 2*pc {
+		t.Fatalf("BOrth-MGS rounds = %d, want %d", got, 2*pc)
+	}
+}
+
+func TestBOrthAgreeAcrossVariants(t *testing.T) {
+	// With an exactly orthonormal P the two variants compute the same
+	// projection up to roundoff.
+	rng := rand.New(rand.NewSource(202))
+	n, pc, wc, ng := 180, 4, 3, 2
+	ctx := gpu.NewContext(ng, gpu.M2090())
+	p := orthoPanel(rng, n, pc, ng)
+	wHost := randTall(rng, n, wc)
+
+	w1 := splitRows(wHost.Clone(), ng)
+	c1 := BOrthCGS{}.Project(ctx, p, w1, "b")
+	w2 := splitRows(wHost.Clone(), ng)
+	c2 := BOrthMGS{}.Project(ctx, p, w2, "b")
+	if !c1.Equalish(c2, 1e-9*(1+c1.MaxAbs())) {
+		t.Fatal("coefficient matrices disagree")
+	}
+	if !joinRows(w1).Equalish(joinRows(w2), 1e-9) {
+		t.Fatal("projected windows disagree")
+	}
+}
+
+func TestBOrthByName(t *testing.T) {
+	v, err := BOrthByName("CGS")
+	if err != nil || v.Name() != "BOrth-CGS" {
+		t.Fatalf("BOrthByName CGS = %v, %v", v, err)
+	}
+	v, err = BOrthByName("MGS")
+	if err != nil || v.Name() != "BOrth-MGS" {
+		t.Fatalf("BOrthByName MGS = %v, %v", v, err)
+	}
+	if _, err := BOrthByName("x"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBOrthThenTSQRFullPipeline(t *testing.T) {
+	// The CA-GMRES inner step: project the new window against the
+	// previous panel, then TSQR it. Afterwards [P W] must be orthonormal.
+	rng := rand.New(rand.NewSource(203))
+	n, pc, wc, ng := 300, 6, 5, 3
+	ctx := gpu.NewContext(ng, gpu.M2090())
+	p := orthoPanel(rng, n, pc, ng)
+	w := splitRows(randTall(rng, n, wc), ng)
+	BOrthCGS{}.Project(ctx, p, w, "borth")
+	if _, err := (CholQR{}).Factor(ctx, w, "tsqr"); err != nil {
+		t.Fatal(err)
+	}
+	// Assemble [P W] and check global orthonormality.
+	pH, wH := joinRows(p), joinRows(w)
+	all := la.NewDense(n, pc+wc)
+	for j := 0; j < pc; j++ {
+		copy(all.Col(j), pH.Col(j))
+	}
+	for j := 0; j < wc; j++ {
+		copy(all.Col(pc+j), wH.Col(j))
+	}
+	g := la.NewDense(pc+wc, pc+wc)
+	la.GemmTN(1, all, all, 0, g)
+	if !g.Equalish(la.Eye(pc+wc), 1e-9) {
+		t.Fatal("[P W] not orthonormal after BOrth+TSQR")
+	}
+}

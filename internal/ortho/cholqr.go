@@ -1,0 +1,146 @@
+package ortho
+
+import (
+	"fmt"
+	"math"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/la"
+)
+
+// CholQR orthonormalizes the whole window at once through its Gram
+// matrix: B = V'V (one BLAS-3 kernel per device, the paper's batched
+// DGEMM), R = chol(B) on the host, V := V R^{-1} on the devices. Exactly
+// two GPU-CPU transfers per window — the communication-optimal strategy —
+// but the Gram matrix squares the condition number, so the orthogonality
+// error is O(eps*kappa^2) and the Cholesky factorization can fail outright
+// on the ill-conditioned bases the matrix powers kernel produces
+// (ErrNotPositiveDefinite surfaces as ErrRankDeficient here).
+type CholQR struct{}
+
+// Name implements TSQR.
+func (CholQR) Name() string { return "CholQR" }
+
+// Factor implements TSQR.
+func (CholQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error) {
+	b, err := gramReduce(ctx, w, phase)
+	if err != nil {
+		return nil, err
+	}
+	c := b.Rows
+	r, err := la.Cholesky(b)
+	ctx.HostCompute(phase, float64(c*c*c)/3)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRankDeficient, err)
+	}
+	applyInvR(ctx, w, r, phase)
+	return r, nil
+}
+
+// SVQR replaces the Cholesky factorization of the Gram matrix with an
+// eigendecomposition (the SVD of B): B = U S U', R = qr(S^(1/2) U'). It
+// has the same 2-transfer communication profile and BLAS-3 device profile
+// as CholQR but survives Gram matrices that are numerically semidefinite.
+// Following the paper (Section V-D), the Gram matrix is scaled so its
+// diagonal is one before the decomposition, which repairs most of SVQR's
+// element-wise error. Singular values below eps*max are clamped, so a
+// rank-deficient window yields a usable (if inaccurate) basis instead of
+// a hard failure; exact zero columns still error.
+type SVQR struct{}
+
+// Name implements TSQR.
+func (SVQR) Name() string { return "SVQR" }
+
+// Factor implements TSQR.
+func (SVQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error) {
+	b, err := gramReduce(ctx, w, phase)
+	if err != nil {
+		return nil, err
+	}
+	c := b.Rows
+	// Diagonal scaling: Bs = D^{-1/2} B D^{-1/2}.
+	dscale := make([]float64, c)
+	for i := 0; i < c; i++ {
+		d := b.At(i, i)
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: non-positive Gram diagonal %g at %d", ErrRankDeficient, d, i)
+		}
+		dscale[i] = math.Sqrt(d)
+	}
+	bs := la.NewDense(c, c)
+	for j := 0; j < c; j++ {
+		for i := 0; i < c; i++ {
+			bs.Set(i, j, b.At(i, j)/(dscale[i]*dscale[j]))
+		}
+	}
+	// Eigendecomposition of the scaled Gram matrix.
+	eig, u := la.JacobiEig(bs)
+	ctx.HostCompute(phase, 9*float64(c*c*c)) // Jacobi sweeps
+	smax := eig[0]
+	if smax <= 0 {
+		return nil, fmt.Errorf("%w: Gram matrix has no positive eigenvalues", ErrRankDeficient)
+	}
+	const clampRel = 1e-15
+	for i := range eig {
+		if eig[i] < clampRel*smax {
+			eig[i] = clampRel * smax
+		}
+	}
+	// M = S^{1/2} U' D^{1/2}; R = triangular factor of qr(M).
+	m := la.NewDense(c, c)
+	for i := 0; i < c; i++ {
+		si := math.Sqrt(eig[i])
+		for j := 0; j < c; j++ {
+			m.Set(i, j, si*u.At(j, i)*dscale[j])
+		}
+	}
+	f := la.HouseholderQR(m)
+	rfac := f.R()
+	la.FixRSigns(nil, rfac)
+	ctx.HostCompute(phase, 2*float64(c*c*c))
+	applyInvR(ctx, w, rfac, phase)
+	return rfac, nil
+}
+
+// gramReduce computes the global Gram matrix of the window: per-device
+// batched BLAS-3 Gram kernels, one reduce round, host sum.
+func gramReduce(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error) {
+	c := cols(w)
+	ng := len(w)
+	partial := make([]*la.Dense, ng)
+	deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+		g := la.NewDense(c, c)
+		la.BatchedGram(w[d], g)
+		partial[d] = g
+		rows := float64(w[d].Rows)
+		return gpu.Work{Flops: rows * float64(c) * float64(c), Bytes: 8 * rows * float64(c)}
+	})
+	ctx.ReduceRound(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes))
+	b := la.NewDense(c, c)
+	for _, p := range partial {
+		for j := 0; j < c; j++ {
+			la.Axpy(1, p.Col(j), b.Col(j))
+		}
+	}
+	for j := 0; j < c; j++ {
+		for i := 0; i < c; i++ {
+			if math.IsNaN(b.At(i, j)) || math.IsInf(b.At(i, j), 0) {
+				return nil, fmt.Errorf("%w: non-finite Gram entry at (%d,%d)", ErrRankDeficient, i, j)
+			}
+		}
+	}
+	return b, nil
+}
+
+// applyInvR broadcasts R and runs the device-side triangular solve
+// V := V R^{-1} (MAGMA DTRSM in the paper).
+func applyInvR(ctx *gpu.Context, w []*la.Dense, r *la.Dense, phase string) {
+	c := r.Rows
+	ng := len(w)
+	ctx.BroadcastRound(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes))
+	deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+		la.TrsmRightUpper(w[d], r)
+		rows := float64(w[d].Rows)
+		return gpu.Work{Flops: rows * float64(c) * float64(c), Bytes: 16 * rows * float64(c)}
+	})
+}

@@ -1,0 +1,122 @@
+package ortho
+
+import (
+	"math"
+
+	"cagmres/internal/la"
+)
+
+// Errors holds the three TSQR error norms Figure 13 reports for a
+// factorization QR = V: the orthogonality error ||I - Q'Q||_F, the
+// relative factorization error ||V - QR||_F / ||V||_F, and the maximum
+// element-wise error max |(V - QR)_ij / V_ij| over the entries of V that
+// are not negligibly small.
+type Errors struct {
+	Orthogonality float64
+	Factorization float64
+	ElementWise   float64
+}
+
+// Measure computes the error norms of a distributed factorization:
+// q is the window after Factor (per-device panels of Q), orig holds
+// copies of the original window taken before Factor, and r is the
+// returned factor. Runs host-side; diagnostics only, never charged to the
+// ledger.
+func Measure(q, orig []*la.Dense, r *la.Dense) Errors {
+	c := cols(q)
+	// Global Gram of Q.
+	g := la.NewDense(c, c)
+	tmp := la.NewDense(c, c)
+	for _, p := range q {
+		la.GemmTN(1, p, p, 0, tmp)
+		for j := 0; j < c; j++ {
+			la.Axpy(1, tmp.Col(j), g.Col(j))
+		}
+	}
+	var orth float64
+	for j := 0; j < c; j++ {
+		for i := 0; i < c; i++ {
+			d := g.At(i, j)
+			if i == j {
+				d -= 1
+			}
+			orth += d * d
+		}
+	}
+	orth = math.Sqrt(orth)
+
+	// Residual QR - V panel by panel.
+	var resSq, vSq, elem float64
+	for d := range q {
+		qr := la.NewDense(q[d].Rows, c)
+		la.GemmNN(1, q[d], r, 0, qr)
+		for j := 0; j < c; j++ {
+			qc, oc := qr.Col(j), orig[d].Col(j)
+			for i := range qc {
+				diff := qc[i] - oc[i]
+				resSq += diff * diff
+				vSq += oc[i] * oc[i]
+			}
+		}
+	}
+	vNorm := math.Sqrt(vSq)
+	fact := 0.0
+	if vNorm > 0 {
+		fact = math.Sqrt(resSq) / vNorm
+	}
+
+	// Element-wise error, skipping entries below the noise floor
+	// (|v_ij| <= eps * ||V||_F) where the ratio is meaningless.
+	floor := 1e-15 * vNorm
+	for d := range q {
+		qr := la.NewDense(q[d].Rows, c)
+		la.GemmNN(1, q[d], r, 0, qr)
+		for j := 0; j < c; j++ {
+			qc, oc := qr.Col(j), orig[d].Col(j)
+			for i := range qc {
+				if math.Abs(oc[i]) <= floor {
+					continue
+				}
+				e := math.Abs((qc[i] - oc[i]) / oc[i])
+				if e > elem {
+					elem = e
+				}
+			}
+		}
+	}
+	return Errors{Orthogonality: orth, Factorization: fact, ElementWise: elem}
+}
+
+// CloneWindow deep-copies a distributed window (to keep the original for
+// Measure).
+func CloneWindow(w []*la.Dense) []*la.Dense {
+	c := make([]*la.Dense, len(w))
+	for d := range w {
+		c[d] = w[d].Clone()
+	}
+	return c
+}
+
+// Property summarizes one row of Figure 10: the analytic error bound,
+// flop count and communication count of a TSQR strategy on an n x (s+1)
+// window.
+type Property struct {
+	Name       string
+	ErrorBound string // O(eps kappa^p) exponent description
+	Flops      float64
+	CommCount  int // individual GPU-CPU transfers per window
+	BLASLevel  string
+}
+
+// PropertyTable returns the analytic table of Figure 10 for an n-row
+// window of s+1 columns.
+func PropertyTable(n, s int) []Property {
+	ns2 := 2 * float64(n) * float64(s) * float64(s)
+	return []Property{
+		{Name: "MGS", ErrorBound: "O(eps*kappa)", Flops: ns2, CommCount: (s + 1) * (s + 2), BLASLevel: "BLAS-1 xDOT"},
+		{Name: "CGS", ErrorBound: "O(eps*kappa^s)", Flops: ns2, CommCount: 2 * (s + 1), BLASLevel: "BLAS-2 xGEMV"},
+		{Name: "CholQR", ErrorBound: "O(eps*kappa^2)", Flops: ns2, CommCount: 2, BLASLevel: "BLAS-3 xGEMM"},
+		{Name: "SVQR", ErrorBound: "O(eps*kappa^2)", Flops: ns2, CommCount: 2, BLASLevel: "BLAS-3 xGEMM"},
+		{Name: "CAQR", ErrorBound: "O(eps)", Flops: 2 * ns2, CommCount: 2, BLASLevel: "BLAS-1,2 xGEQR2"},
+	}
+}

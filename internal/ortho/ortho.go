@@ -1,0 +1,148 @@
+// Package ortho implements the five orthogonalization strategies the
+// paper studies for the TSQR kernel of CA-GMRES — modified Gram-Schmidt
+// (MGS), classical Gram-Schmidt (CGS), Cholesky QR (CholQR), singular
+// value QR (SVQR) and communication-avoiding QR (CAQR) — together with
+// the block orthogonalization (BOrth) kernels, reorthogonalization
+// wrappers, and the error metrics of Figure 13.
+//
+// All kernels operate on a distributed tall-skinny window: a slice of
+// per-device la.Dense panels (one panel per simulated GPU, produced by
+// dist.Vectors.Window) whose vertical concatenation is the matrix V being
+// factored. Communication follows the paper's host-staged protocol —
+// every global reduction is one device-to-host round plus, when results
+// return to the devices, one host-to-device round — and is charged to the
+// gpu.Context ledger, which is how the reproduction recovers Figure 10's
+// communication counts.
+package ortho
+
+import (
+	"errors"
+	"fmt"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/la"
+)
+
+// ErrRankDeficient is returned when a strategy detects that the window's
+// columns are (numerically) linearly dependent and cannot produce an
+// invertible R factor.
+var ErrRankDeficient = errors.New("ortho: window is numerically rank deficient")
+
+// TSQR orthonormalizes a distributed tall-skinny window in place and
+// returns the upper-triangular R with V_original = Q R.
+type TSQR interface {
+	// Name identifies the strategy in tables ("MGS", "CholQR", ...).
+	Name() string
+	// Factor overwrites the window with Q and returns R. An error leaves
+	// the window in an unspecified state.
+	Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error)
+}
+
+// cols returns the column count of a window, panicking on raggedness.
+func cols(w []*la.Dense) int {
+	if len(w) == 0 {
+		panic("ortho: empty window")
+	}
+	c := w[0].Cols
+	for _, p := range w {
+		if p.Cols != c {
+			panic(fmt.Sprintf("ortho: ragged window: %d vs %d cols", p.Cols, c))
+		}
+	}
+	return c
+}
+
+// totalRows returns the global row count of a window.
+func totalRows(w []*la.Dense) int {
+	n := 0
+	for _, p := range w {
+		n += p.Rows
+	}
+	return n
+}
+
+// scalarBytesAll returns a per-device byte vector of b bytes each.
+func scalarBytesAll(ng, b int) []int {
+	v := make([]int, ng)
+	for d := range v {
+		v[d] = b
+	}
+	return v
+}
+
+// deviceWork runs f on every device, collecting per-device Work, and
+// charges it as one parallel kernel.
+func deviceWork(ctx *gpu.Context, phase string, ndev int, f func(d int) gpu.Work) {
+	work := make([]gpu.Work, ndev)
+	ctx.RunAll(func(d int) {
+		work[d] = f(d)
+	})
+	ctx.DeviceKernel(phase, work)
+}
+
+// Reorth wraps a strategy with one reorthogonalization pass (the "2x"
+// rows of Figure 14): the window is factored twice and the R factors are
+// combined, R = R2 * R1. Classical Gram-Schmidt in particular often needs
+// this to converge inside CA-GMRES.
+type Reorth struct {
+	Inner TSQR
+}
+
+// Name returns "2xName" to match the paper's table notation.
+func (r Reorth) Name() string { return "2x" + r.Inner.Name() }
+
+// Factor runs the inner strategy twice.
+func (r Reorth) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error) {
+	r1, err := r.Inner.Factor(ctx, w, phase)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := r.Inner.Factor(ctx, w, phase)
+	if err != nil {
+		return nil, err
+	}
+	// R = R2 * R1 (both upper triangular, host-side small product).
+	c := r1.Rows
+	out := la.NewDense(c, c)
+	la.GemmNN(1, r2, r1, 0, out)
+	ctx.HostCompute(phase, float64(c*c*c)/3)
+	return out, nil
+}
+
+// ByName returns the strategy named by the CLI flags: MGS, CGS, CholQR,
+// SVQR, CAQR, optionally prefixed with "2x" for reorthogonalization.
+func ByName(name string) (TSQR, error) {
+	reorth := false
+	if len(name) > 2 && name[:2] == "2x" {
+		reorth = true
+		name = name[2:]
+	}
+	var t TSQR
+	switch name {
+	case "MGS", "mgs":
+		t = MGS{}
+	case "CGS", "cgs":
+		t = CGS{}
+	case "CholQR", "cholqr":
+		t = CholQR{}
+	case "SVQR", "svqr":
+		t = SVQR{}
+	case "CAQR", "caqr":
+		t = CAQR{}
+	case "MixedCholQR", "mixedcholqr":
+		t = MixedCholQR{}
+	case "MixedCholQR2", "mixedcholqr2":
+		t = MixedCholQR{Refine: true}
+	default:
+		return nil, fmt.Errorf("ortho: unknown strategy %q", name)
+	}
+	if reorth {
+		return Reorth{Inner: t}, nil
+	}
+	return t, nil
+}
+
+// All returns one instance of every base strategy, in the paper's order.
+func All() []TSQR {
+	return []TSQR{MGS{}, CGS{}, CholQR{}, SVQR{}, CAQR{}}
+}

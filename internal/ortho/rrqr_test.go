@@ -1,0 +1,111 @@
+package ortho
+
+import (
+	"math/rand"
+	"testing"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/la"
+)
+
+func TestCARRQRFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	v := randTall(rng, 200, 7)
+	ctx := gpu.NewContext(3, gpu.M2090())
+	w := splitRows(v.Clone(), 3)
+	orig := CloneWindow(w)
+	r, rank, perm, err := (CARRQR{}).FactorRankRevealing(ctx, w, "tsqr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 7 {
+		t.Fatalf("rank = %d, want 7", rank)
+	}
+	if len(perm) != 7 {
+		t.Fatalf("perm = %v", perm)
+	}
+	e := Measure(w, orig, r)
+	if e.Orthogonality > 1e-12 || e.Factorization > 1e-12 {
+		t.Fatalf("errors %+v", e)
+	}
+}
+
+func TestCARRQRDetectsDeficiency(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	// 6 columns spanning a 4-dimensional space.
+	base := randTall(rng, 150, 4)
+	coeff := randTall(rng, 4, 6)
+	v := la.NewDense(150, 6)
+	la.GemmNN(1, base, coeff, 0, v)
+
+	ctx := gpu.NewContext(2, gpu.M2090())
+	w := splitRows(v, 2)
+	_, rank, _, err := (CARRQR{Tol: 1e-10}).FactorRankRevealing(ctx, w, "tsqr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 4 {
+		t.Fatalf("rank = %d, want 4", rank)
+	}
+}
+
+func TestCARRQRCommunicationStaysAtTwo(t *testing.T) {
+	// The rank analysis happens on the host R factor: no extra rounds
+	// over CAQR.
+	rng := rand.New(rand.NewSource(502))
+	v := randTall(rng, 120, 5)
+	ctx := gpu.NewContext(3, gpu.M2090())
+	w := splitRows(v, 3)
+	ctx.ResetStats()
+	if _, _, _, err := (CARRQR{}).FactorRankRevealing(ctx, w, "tsqr"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Stats().Phase("tsqr").Rounds; got != 2 {
+		t.Fatalf("rounds = %d, want 2", got)
+	}
+}
+
+func TestCARRQRAsPlainTSQR(t *testing.T) {
+	// Through the TSQR interface it behaves like a stable factorizer.
+	rng := rand.New(rand.NewSource(503))
+	v := condTall(rng, 300, 8, 1e10)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	w := splitRows(v.Clone(), 2)
+	orig := CloneWindow(w)
+	r, err := (CARRQR{}).Factor(ctx, w, "tsqr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Measure(w, orig, r)
+	if e.Orthogonality > 1e-10 {
+		t.Fatalf("orthogonality %v on kappa=1e10", e.Orthogonality)
+	}
+}
+
+func TestCAQRBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(504))
+	v := randTall(rng, 180, 12)
+	ctx := gpu.NewContext(2, gpu.M2090())
+
+	w1 := splitRows(v.Clone(), 2)
+	r1, err := (CAQR{}).Factor(ctx, w1, "tsqr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := splitRows(v.Clone(), 2)
+	r2, err := (CAQR{BlockSize: 4}).Factor(ctx, w2, "tsqr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	la.FixRSigns(nil, r1)
+	la.FixRSigns(nil, r2)
+	if !r1.Equalish(r2, 1e-9*(1+r1.MaxAbs())) {
+		t.Fatal("blocked CAQR R disagrees with unblocked")
+	}
+	// Orthogonality identical quality.
+	orig := splitRows(v.Clone(), 2)
+	e := Measure(w2, orig, r2)
+	if e.Orthogonality > 1e-12 {
+		t.Fatalf("blocked CAQR orthogonality %v", e.Orthogonality)
+	}
+}

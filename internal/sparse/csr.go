@@ -1,0 +1,256 @@
+// Package sparse implements the sparse-matrix substrate of the CA-GMRES
+// reproduction: CSR and ELLPACK storage, sparse matrix-vector products
+// (the paper uses CSR on the CPU and ELLPACK on the GPUs), coordinate
+// assembly, row/column balancing, permutation, submatrix extraction by row
+// sets (the building block of the matrix powers kernel), and MatrixMarket
+// I/O for interoperability with the University of Florida collection.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed sparse row format. RowPtr has
+// length Rows+1; the column indices and values of row i occupy
+// ColIdx[RowPtr[i]:RowPtr[i+1]] and Val[RowPtr[i]:RowPtr[i+1]].
+// Column indices within each row are kept sorted ascending.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// NewCSR allocates an empty matrix with the given shape and capacity.
+func NewCSR(rows, cols, nnzCap int) *CSR {
+	return &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int, rows+1),
+		ColIdx: make([]int, 0, nnzCap),
+		Val:    make([]float64, 0, nnzCap),
+	}
+}
+
+// Coord is a coordinate-format entry used during assembly.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// FromCoords assembles a CSR matrix from coordinate entries. Duplicate
+// (row, col) pairs are summed, the FEM assembly convention. Entries with
+// value exactly zero after summation are retained (they still shape the
+// sparsity graph, matching the behaviour of file-based matrices).
+func FromCoords(rows, cols int, entries []Coord) *CSR {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("sparse: coordinate (%d,%d) out of %dx%d", e.Row, e.Col, rows, cols))
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Row != entries[j].Row {
+			return entries[i].Row < entries[j].Row
+		}
+		return entries[i].Col < entries[j].Col
+	})
+	a := NewCSR(rows, cols, len(entries))
+	for i := 0; i < len(entries); {
+		j := i + 1
+		v := entries[i].Val
+		for j < len(entries) && entries[j].Row == entries[i].Row && entries[j].Col == entries[i].Col {
+			v += entries[j].Val
+			j++
+		}
+		a.ColIdx = append(a.ColIdx, entries[i].Col)
+		a.Val = append(a.Val, v)
+		a.RowPtr[entries[i].Row+1]++
+		i = j
+	}
+	for i := 0; i < rows; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	return a
+}
+
+// At returns the (i, j) element (zero if not stored). Binary search over
+// the sorted row keeps this O(log nnz(row)); it is a convenience for tests
+// and small inspections, not a kernel.
+func (a *CSR) At(i, j int) float64 {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	idx := sort.SearchInts(a.ColIdx[lo:hi], j) + lo
+	if idx < hi && a.ColIdx[idx] == j {
+		return a.Val[idx]
+	}
+	return 0
+}
+
+// Row returns the column indices and values of row i as views.
+func (a *CSR) Row(i int) ([]int, []float64) {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	return a.ColIdx[lo:hi], a.Val[lo:hi]
+}
+
+// MulVec computes y := A x. Lengths must match the matrix shape.
+func (a *CSR) MulVec(y, x []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic(fmt.Sprintf("sparse: MulVec shape mismatch A=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecSub computes y := A x restricted to rows [r0, r1), writing into
+// y[0:r1-r0]. Used by row-partitioned parallel SpMV.
+func (a *CSR) MulVecSub(y, x []float64, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i-r0] = s
+	}
+}
+
+// Transpose returns A' in CSR form.
+func (a *CSR) Transpose() *CSR {
+	t := NewCSR(a.Cols, a.Rows, a.NNZ())
+	counts := make([]int, a.Cols+1)
+	for _, c := range a.ColIdx {
+		counts[c+1]++
+	}
+	for i := 0; i < a.Cols; i++ {
+		counts[i+1] += counts[i]
+	}
+	copy(t.RowPtr, counts)
+	t.ColIdx = make([]int, a.NNZ())
+	t.Val = make([]float64, a.NNZ())
+	next := make([]int, a.Cols)
+	copy(next, counts[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c := a.ColIdx[k]
+			p := next[c]
+			t.ColIdx[p] = i
+			t.Val[p] = a.Val[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// Clone returns a deep copy.
+func (a *CSR) Clone() *CSR {
+	c := &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: append([]int(nil), a.ColIdx...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	return c
+}
+
+// ExtractRows returns the submatrix A(rows, :) — the rows listed in the
+// index set, in that order, with the full column dimension. This is the
+// operation that builds the boundary submatrices A(delta^(d,k), :) of the
+// matrix powers kernel.
+func (a *CSR) ExtractRows(rows []int) *CSR {
+	nnz := 0
+	for _, i := range rows {
+		nnz += a.RowPtr[i+1] - a.RowPtr[i]
+	}
+	s := NewCSR(len(rows), a.Cols, nnz)
+	for out, i := range rows {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		s.ColIdx = append(s.ColIdx, a.ColIdx[lo:hi]...)
+		s.Val = append(s.Val, a.Val[lo:hi]...)
+		s.RowPtr[out+1] = s.RowPtr[out] + (hi - lo)
+	}
+	return s
+}
+
+// RelabelCols rewrites every stored column index through the map newOf
+// (newOf[old] = new) and sets the new column dimension. Indices mapping to
+// -1 are an error: the caller must supply a complete map for the stored
+// pattern. Rows are re-sorted by the new indices.
+func (a *CSR) RelabelCols(newOf []int, newCols int) {
+	for i := 0; i < a.Rows; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			nc := newOf[a.ColIdx[k]]
+			if nc < 0 || nc >= newCols {
+				panic(fmt.Sprintf("sparse: RelabelCols incomplete map for column %d", a.ColIdx[k]))
+			}
+			a.ColIdx[k] = nc
+		}
+		sortRow(a.ColIdx[lo:hi], a.Val[lo:hi])
+	}
+	a.Cols = newCols
+}
+
+// Permute returns P A P' for the permutation perm, where perm[new] = old:
+// row/column new of the result is row/column perm[new] of A. Applying the
+// orderings produced by the graph package (RCM, partition orderings) is
+// exactly this symmetric permutation.
+func (a *CSR) Permute(perm []int) *CSR {
+	n := a.Rows
+	if len(perm) != n || a.Cols != n {
+		panic("sparse: Permute needs a square matrix and a full permutation")
+	}
+	inv := make([]int, n)
+	for newIdx, old := range perm {
+		inv[old] = newIdx
+	}
+	p := NewCSR(n, n, a.NNZ())
+	for newRow := 0; newRow < n; newRow++ {
+		old := perm[newRow]
+		lo, hi := a.RowPtr[old], a.RowPtr[old+1]
+		start := len(p.ColIdx)
+		for k := lo; k < hi; k++ {
+			p.ColIdx = append(p.ColIdx, inv[a.ColIdx[k]])
+			p.Val = append(p.Val, a.Val[k])
+		}
+		sortRow(p.ColIdx[start:], p.Val[start:])
+		p.RowPtr[newRow+1] = len(p.ColIdx)
+	}
+	return p
+}
+
+// sortRow sorts a row's (colidx, val) pairs by column index.
+func sortRow(cols []int, vals []float64) {
+	if sort.IntsAreSorted(cols) {
+		return
+	}
+	idx := make([]int, len(cols))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return cols[idx[a]] < cols[idx[b]] })
+	c2 := append([]int(nil), cols...)
+	v2 := append([]float64(nil), vals...)
+	for i, k := range idx {
+		cols[i] = c2[k]
+		vals[i] = v2[k]
+	}
+}
+
+// MaxRowNNZ returns the largest row length, the ELLPACK width.
+func (a *CSR) MaxRowNNZ() int {
+	m := 0
+	for i := 0; i < a.Rows; i++ {
+		if l := a.RowPtr[i+1] - a.RowPtr[i]; l > m {
+			m = l
+		}
+	}
+	return m
+}

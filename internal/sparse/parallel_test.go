@@ -1,0 +1,80 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMulVecParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for _, n := range []int{10, 5000, 40000} {
+		a := randCSR(rng, n, 8)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		a.MulVec(y1, x)
+		a.MulVecParallel(y2, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-13*(1+math.Abs(y1[i])) {
+				t.Fatalf("n=%d: parallel SpMV mismatch at row %d", n, i)
+			}
+		}
+	}
+}
+
+func TestNnzBalancedBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	a := randCSR(rng, 1000, 6)
+	for _, p := range []int{1, 2, 3, 7, 16} {
+		b := nnzBalancedBlocks(a, p)
+		if len(b) != p+1 || b[0] != 0 || b[p] != a.Rows {
+			t.Fatalf("p=%d: bounds %v", p, b)
+		}
+		for i := 1; i <= p; i++ {
+			if b[i] < b[i-1] {
+				t.Fatalf("p=%d: non-monotone bounds %v", p, b)
+			}
+		}
+		// nnz per block within 2x of average for this uniform matrix
+		avg := a.NNZ() / p
+		for i := 0; i < p; i++ {
+			nnz := a.RowPtr[b[i+1]] - a.RowPtr[b[i]]
+			if p > 1 && nnz > 2*avg+50 {
+				t.Fatalf("p=%d block %d has %d nnz, avg %d", p, i, nnz, avg)
+			}
+		}
+	}
+}
+
+func TestNnzBalancedBlocksEmpty(t *testing.T) {
+	a := NewCSR(0, 0, 0)
+	b := nnzBalancedBlocks(a, 4)
+	for _, v := range b {
+		if v != 0 {
+			t.Fatalf("bounds %v for empty matrix", b)
+		}
+	}
+}
+
+func TestRowBlocks(t *testing.T) {
+	b := RowBlocks(10, 3)
+	want := []int{0, 4, 7, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("RowBlocks = %v", b)
+		}
+	}
+	b = RowBlocks(2, 3) // more parts than rows
+	if b[3] != 2 {
+		t.Fatalf("RowBlocks small = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			t.Fatalf("non-monotone %v", b)
+		}
+	}
+}

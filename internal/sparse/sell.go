@@ -1,0 +1,200 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SELL is the sliced ELLPACK format (SELL-C-sigma, Kreutzer et al.):
+// rows are grouped into chunks of C, each chunk padded only to its own
+// widest row rather than the global maximum, and rows are pre-sorted by
+// length within windows of Sigma rows so chunk members have similar
+// lengths. It keeps ELLPACK's coalesced slot-major access while taming
+// its padding blow-up on matrices with skewed row lengths (a power-law
+// row in plain ELLPACK pads every other row to its width). Included as a
+// kernel-optimization study companion to the paper's ELLPACK choice.
+type SELL struct {
+	Rows, Cols int
+	C          int // chunk height
+	Sigma      int // sorting window (multiple of C; 1 disables sorting)
+	// ChunkPtr[k] is the offset of chunk k's slots in ColIdx/Val; chunk k
+	// holds ChunkWidth[k]*C slots laid out slot-major within the chunk.
+	ChunkPtr   []int
+	ChunkWidth []int
+	ColIdx     []int32
+	Val        []float64
+	// RowOf maps packed row position (chunk*C + lane) to the original
+	// row index, undoing the sigma-sort during MulVec.
+	RowOf []int
+}
+
+// ToSELL converts a CSR matrix. c is the chunk height (default 8 if < 1);
+// sigma the sorting window in rows (rounded up to a multiple of c;
+// sigma <= 1 disables sorting).
+func ToSELL(a *CSR, c, sigma int) *SELL {
+	if c < 1 {
+		c = 8
+	}
+	if sigma < 1 {
+		sigma = 1
+	}
+	if sigma > 1 && sigma%c != 0 {
+		sigma = ((sigma + c - 1) / c) * c
+	}
+	n := a.Rows
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if sigma > 1 {
+		for w0 := 0; w0 < n; w0 += sigma {
+			w1 := w0 + sigma
+			if w1 > n {
+				w1 = n
+			}
+			win := order[w0:w1]
+			sort.SliceStable(win, func(x, y int) bool {
+				lx := a.RowPtr[win[x]+1] - a.RowPtr[win[x]]
+				ly := a.RowPtr[win[y]+1] - a.RowPtr[win[y]]
+				return lx > ly
+			})
+		}
+	}
+	nchunks := (n + c - 1) / c
+	s := &SELL{
+		Rows: n, Cols: a.Cols, C: c, Sigma: sigma,
+		ChunkPtr:   make([]int, nchunks+1),
+		ChunkWidth: make([]int, nchunks),
+		RowOf:      make([]int, nchunks*c),
+	}
+	for i := range s.RowOf {
+		s.RowOf[i] = -1
+	}
+	// Pass 1: widths.
+	for k := 0; k < nchunks; k++ {
+		w := 0
+		for lane := 0; lane < c; lane++ {
+			pos := k*c + lane
+			if pos >= n {
+				break
+			}
+			row := order[pos]
+			if l := a.RowPtr[row+1] - a.RowPtr[row]; l > w {
+				w = l
+			}
+		}
+		s.ChunkWidth[k] = w
+		s.ChunkPtr[k+1] = s.ChunkPtr[k] + w*c
+	}
+	s.ColIdx = make([]int32, s.ChunkPtr[nchunks])
+	s.Val = make([]float64, s.ChunkPtr[nchunks])
+	for i := range s.ColIdx {
+		s.ColIdx[i] = -1
+	}
+	// Pass 2: fill, slot-major within each chunk.
+	for k := 0; k < nchunks; k++ {
+		base := s.ChunkPtr[k]
+		for lane := 0; lane < c; lane++ {
+			pos := k*c + lane
+			if pos >= n {
+				break
+			}
+			row := order[pos]
+			s.RowOf[pos] = row
+			lo, hi := a.RowPtr[row], a.RowPtr[row+1]
+			for slot := 0; slot < hi-lo; slot++ {
+				idx := base + slot*c + lane
+				s.ColIdx[idx] = int32(a.ColIdx[lo+slot])
+				s.Val[idx] = a.Val[lo+slot]
+			}
+		}
+	}
+	return s
+}
+
+// NNZ returns the number of non-padding entries.
+func (s *SELL) NNZ() int {
+	n := 0
+	for _, c := range s.ColIdx {
+		if c >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PadRatio returns stored slots / nnz (1.0 = no padding).
+func (s *SELL) PadRatio() float64 {
+	nnz := s.NNZ()
+	if nnz == 0 {
+		return 1
+	}
+	return float64(len(s.Val)) / float64(nnz)
+}
+
+// MulVecPrefix computes y[0:rows] := (A x)[0:rows] for the leading rows.
+// It requires Sigma == 1 (no row reordering), the configuration the
+// matrix powers kernel needs: its extended rows are sorted by halo
+// distance and each MPK step multiplies a distance prefix.
+func (s *SELL) MulVecPrefix(y, x []float64, rows int) {
+	if s.Sigma != 1 {
+		panic("sparse: SELL MulVecPrefix requires Sigma == 1 (row order preserved)")
+	}
+	if rows > s.Rows || len(y) < rows {
+		panic(fmt.Sprintf("sparse: SELL MulVecPrefix rows=%d of %d, len(y)=%d", rows, s.Rows, len(y)))
+	}
+	nchunks := (rows + s.C - 1) / s.C
+	for k := 0; k < nchunks; k++ {
+		base := s.ChunkPtr[k]
+		w := s.ChunkWidth[k]
+		lanes := s.C
+		if k*s.C+lanes > rows {
+			lanes = rows - k*s.C
+		}
+		for lane := 0; lane < lanes; lane++ {
+			y[k*s.C+lane] = 0
+		}
+		for slot := 0; slot < w; slot++ {
+			off := base + slot*s.C
+			for lane := 0; lane < lanes; lane++ {
+				c := s.ColIdx[off+lane]
+				if c < 0 {
+					continue
+				}
+				y[k*s.C+lane] += s.Val[off+lane] * x[c]
+			}
+		}
+	}
+}
+
+// MulVec computes y := A x, writing results in the ORIGINAL row order.
+func (s *SELL) MulVec(y, x []float64) {
+	if len(x) != s.Cols || len(y) != s.Rows {
+		panic(fmt.Sprintf("sparse: SELL MulVec shape mismatch A=%dx%d x=%d y=%d", s.Rows, s.Cols, len(x), len(y)))
+	}
+	nchunks := len(s.ChunkWidth)
+	acc := make([]float64, s.C)
+	for k := 0; k < nchunks; k++ {
+		base := s.ChunkPtr[k]
+		w := s.ChunkWidth[k]
+		for lane := range acc {
+			acc[lane] = 0
+		}
+		for slot := 0; slot < w; slot++ {
+			off := base + slot*s.C
+			for lane := 0; lane < s.C; lane++ {
+				c := s.ColIdx[off+lane]
+				if c < 0 {
+					continue
+				}
+				acc[lane] += s.Val[off+lane] * x[c]
+			}
+		}
+		for lane := 0; lane < s.C; lane++ {
+			row := s.RowOf[k*s.C+lane]
+			if row >= 0 {
+				y[row] = acc[lane]
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// skewedRows builds a matrix with a power-law-ish row length profile: a
+// few very long rows amid short ones, ELLPACK's worst case.
+func skewedRows(n int, rng *rand.Rand) *CSR {
+	entries := make([]Coord, 0, 8*n)
+	for i := 0; i < n; i++ {
+		entries = append(entries, Coord{i, i, 4})
+		deg := 2
+		if i%37 == 0 {
+			deg = 60
+		}
+		for d := 0; d < deg; d++ {
+			entries = append(entries, Coord{i, rng.Intn(n), rng.NormFloat64()})
+		}
+	}
+	return FromCoords(n, n, entries)
+}
+
+func TestSELLMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(700))
+	for _, tc := range []struct{ n, c, sigma int }{
+		{100, 8, 1},  // no sorting
+		{100, 8, 64}, // sorted windows
+		{97, 4, 32},  // n not multiple of c
+		{1, 8, 8},    // single row
+		{300, 16, 256},
+	} {
+		a := skewedRows(tc.n, rng)
+		s := ToSELL(a, tc.c, tc.sigma)
+		if s.NNZ() != a.NNZ() {
+			t.Fatalf("%+v: nnz %d -> %d", tc, a.NNZ(), s.NNZ())
+		}
+		x := make([]float64, tc.n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, tc.n)
+		got := make([]float64, tc.n)
+		a.MulVec(want, x)
+		s.MulVec(got, x)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("%+v: SpMV mismatch at row %d", tc, i)
+			}
+		}
+	}
+}
+
+func TestSELLSortingReducesPadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	a := skewedRows(500, rng)
+	ell := ToELL(a)
+	unsorted := ToSELL(a, 8, 1)
+	sorted := ToSELL(a, 8, 256)
+	// Chunked padding beats global padding, and sigma-sorting beats
+	// unsorted chunking.
+	if unsorted.PadRatio() >= ell.PadRatio() {
+		t.Fatalf("SELL pad %v not below ELLPACK %v", unsorted.PadRatio(), ell.PadRatio())
+	}
+	if sorted.PadRatio() >= unsorted.PadRatio() {
+		t.Fatalf("sorted pad %v not below unsorted %v", sorted.PadRatio(), unsorted.PadRatio())
+	}
+	// For this profile the win is large.
+	if sorted.PadRatio() > ell.PadRatio()/2 {
+		t.Fatalf("sigma-sort should at least halve ELLPACK padding: %v vs %v",
+			sorted.PadRatio(), ell.PadRatio())
+	}
+}
+
+func TestSELLUniformRowsNoPadding(t *testing.T) {
+	// Tridiagonal interior rows all length 3: chunks of interior rows
+	// pad only at the matrix ends.
+	n := 64
+	entries := make([]Coord, 0, 3*n)
+	for i := 0; i < n; i++ {
+		entries = append(entries, Coord{i, i, 2})
+		if i > 0 {
+			entries = append(entries, Coord{i, i - 1, -1})
+		}
+		if i+1 < n {
+			entries = append(entries, Coord{i, i + 1, -1})
+		}
+	}
+	a := FromCoords(n, n, entries)
+	s := ToSELL(a, 8, 1)
+	if pr := s.PadRatio(); pr > 1.02 {
+		t.Fatalf("near-uniform rows should not pad: %v", pr)
+	}
+}
+
+func TestSELLEmptyRows(t *testing.T) {
+	a := FromCoords(10, 10, []Coord{{0, 0, 1}, {9, 9, 2}})
+	s := ToSELL(a, 4, 8)
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, 10)
+	s.MulVec(y, x)
+	if y[0] != 1 || y[9] != 2 {
+		t.Fatalf("y = %v", y)
+	}
+	for i := 1; i < 9; i++ {
+		if y[i] != 0 {
+			t.Fatalf("empty row %d produced %v", i, y[i])
+		}
+	}
+}
+
+func BenchmarkSELLSpMV(b *testing.B) {
+	rng := rand.New(rand.NewSource(702))
+	a := skewedRows(1<<15, rng)
+	s := ToSELL(a, 8, 256)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 / float64(i+1)
+	}
+	y := make([]float64, a.Rows)
+	b.SetBytes(int64(a.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MulVec(y, x)
+	}
+}
+
+func BenchmarkELLSpMVSkewed(b *testing.B) {
+	rng := rand.New(rand.NewSource(703))
+	a := skewedRows(1<<15, rng)
+	e := ToELL(a)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 / float64(i+1)
+	}
+	y := make([]float64, a.Rows)
+	b.SetBytes(int64(a.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MulVec(y, x)
+	}
+}
