@@ -1,0 +1,31 @@
+# Repo gates. `make check` is the full pre-merge bar: vet, the race
+# detector over the concurrency hot spots (gpu.RunAll and the Stats
+# ledger, la's panel-parallel kernels, the ortho strategies on top of
+# them), then the whole deterministic test suite.
+
+GO ?= go
+
+.PHONY: check build vet test race measured golden
+
+check: vet race test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/gpu/... ./internal/la/... ./internal/ortho/...
+
+# Opt-in wall-clock kernel comparison (needs an unloaded machine).
+measured:
+	$(GO) test ./internal/bench/ -run Measured -measured -count=1 -v
+
+# Regenerate the golden report-format files after an intentional change.
+golden:
+	$(GO) test ./internal/gpu/ -run Golden -update -count=1
+	$(GO) test ./internal/bench/ -run WriteCSV -update -count=1

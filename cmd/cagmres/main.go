@@ -46,6 +46,7 @@ func main() {
 	jacobi := flag.Bool("jacobi", false, "right-precondition with the inverse diagonal (composes with MPK)")
 	adaptive := flag.Bool("adaptive-s", false, "shrink the CA step size when a basis window goes rank deficient")
 	trace := flag.Int("trace", 0, "print the last N ledger events (communication rounds and kernels)")
+	traceout := flag.String("traceout", "", "write the solve's ledger events as a Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	a, name, err := loadMatrix(*file, *matrix, *scale)
@@ -85,8 +86,12 @@ func main() {
 	}
 
 	ctx := gpu.NewContext(*devices, gpu.M2090())
-	if *trace > 0 {
-		ctx.Stats().EnableTrace(*trace)
+	traceCap := *trace
+	if *traceout != "" && traceCap < 1<<14 {
+		traceCap = 1 << 14
+	}
+	if traceCap > 0 {
+		ctx.Stats().EnableTrace(traceCap)
 	}
 	p, err := core.NewProblem(ctx, a, b, ord, *balance)
 	if err != nil {
@@ -121,6 +126,9 @@ func main() {
 				fmt.Printf("note: %s failed (%v); retrying with %s\n", opts.Ortho, err, next)
 				opts.Ortho = next
 				ctx = gpu.NewContext(*devices, gpu.M2090())
+				if traceCap > 0 {
+					ctx.Stats().EnableTrace(traceCap)
+				}
 				p, err = core.NewProblem(ctx, a, b, ord, *balance)
 				if err != nil {
 					break
@@ -164,6 +172,21 @@ func main() {
 		for _, e := range res.Stats.Trace() {
 			fmt.Printf("%8d %-8s %-10s %10d %12.2f\n", e.Seq, e.Phase, e.Kind, e.Bytes, e.Time*1e6)
 		}
+	}
+
+	if *traceout != "" {
+		f, err := os.Create(*traceout)
+		if err != nil {
+			fatal(err)
+		}
+		err = gpu.WriteChromeTrace(f, []gpu.Trace{res.Stats.TraceOf(*solver + "/" + name)})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *traceout)
 	}
 }
 

@@ -11,6 +11,15 @@
 //	                (default 0.02; 1.0 = paper-sized, slow)
 //	-devices int    maximum simulated GPU count (default 3)
 //	-restarts int   restart-loop cap per solve (default 40)
+//	-measured       time the Figure 11(a,b) host kernels with the wall
+//	                clock (warmup + best-of-5) instead of the
+//	                deterministic cost model
+//	-traceout file  dump a Chrome trace_event JSON of every simulated
+//	                context (open in chrome://tracing or Perfetto)
+//
+// By default every figure is a pure function of the calibrated cost
+// model: rerunning produces byte-identical numbers on any machine. Only
+// -measured touches the wall clock.
 //
 // Absolute times come from the calibrated M2090/PCIe-2 cost model and are
 // not expected to match the authors' testbed; the shapes (who wins, by
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"cagmres/internal/bench"
+	"cagmres/internal/measure"
 )
 
 func main() {
@@ -35,6 +45,9 @@ func main() {
 	devices := flag.Int("devices", 3, "maximum simulated GPU count")
 	restarts := flag.Int("restarts", 40, "restart cap per solve")
 	csvDir := flag.String("csv", "", "also write each figure's rows as CSV files into this directory")
+	measured := flag.Bool("measured", false, "time the Figure 11(a,b) host kernels with the wall clock (warmup + best-of-5) instead of the deterministic cost model")
+	traceout := flag.String("traceout", "", "write a Chrome trace_event JSON of every simulated context to this file (open in chrome://tracing or Perfetto)")
+	traceEvents := flag.Int("trace-events", bench.DefaultTraceEvents, "per-context event capacity for -traceout")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -42,6 +55,12 @@ func main() {
 		MaxDevices:  *devices,
 		MaxRestarts: *restarts,
 		Out:         os.Stdout,
+	}
+	if *measured {
+		cfg.Timer = &measure.WallTimer{Warmup: 1, Reps: 5, Select: measure.SelectMin}
+	}
+	if *traceout != "" {
+		cfg.Trace = bench.NewTraceCollector(*traceEvents)
 	}
 
 	emit := func(name string, rows any) {
@@ -94,12 +113,32 @@ func main() {
 		matched = true
 		start := time.Now()
 		fmt.Printf("==== Figure %s (scale %g, %d devices) ====\n", d.name, cfg.Scale, cfg.MaxDevices)
+		if cfg.Trace != nil {
+			cfg.Trace.SetLabel("fig" + d.name)
+		}
 		d.run()
 		fmt.Printf("---- %.1fs ----\n\n", time.Since(start).Seconds())
 	}
 	if !matched {
 		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,ablation or all)\n", *fig)
 		os.Exit(2)
+	}
+	if cfg.Trace != nil {
+		f, err := os.Create(*traceout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := cfg.Trace.WriteChrome(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "experiments: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d traced contexts)\n", *traceout, len(cfg.Trace.Traces()))
 	}
 }
 

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"cagmres/internal/core"
-	"cagmres/internal/gpu"
 	"cagmres/internal/matgen"
 	"cagmres/internal/ortho"
 )
@@ -38,7 +37,7 @@ func AblationLatency(cfg Config) []AblationLatencyRow {
 		model.Latency *= scale
 		model.KernelLaunch *= scale
 
-		ctxG := gpu.NewContext(cfg.MaxDevices, model)
+		ctxG := cfg.newContext(cfg.MaxDevices, model)
 		pg, err := core.NewProblem(ctxG, mat.A, b, core.KWay, true)
 		if err != nil {
 			panic(err)
@@ -94,7 +93,7 @@ func AblationBasis(cfg Config) []AblationBasisRow {
 	cfg.printf("%-9s %4s %10s %8s %8s\n", "basis", "s", "converged", "failed", "rest")
 	for _, basis := range []string{"monomial", "newton"} {
 		for _, s := range []int{2, 5, 10, 15} {
-			ctx := gpu.NewContext(cfg.MaxDevices, cfg.Model)
+			ctx := cfg.newContext(cfg.MaxDevices, cfg.Model)
 			p, err := core.NewProblem(ctx, mat.A, b, core.Natural, true)
 			if err != nil {
 				panic(err)
@@ -143,7 +142,7 @@ func AblationPrecision(cfg Config) []AblationPrecisionRow {
 	cfg.printf("Ablation: Gram-kernel precision (n=%d, %d cols, kappa=1e3)\n", n, c)
 	cfg.printf("%-14s %12s %14s %12s\n", "strategy", "gram bytes", "||I-Q'Q||", "time (ms)")
 	for _, strat := range []ortho.TSQR{ortho.CholQR{}, ortho.MixedCholQR{}, ortho.MixedCholQR{Refine: true}} {
-		ctx := gpu.NewContext(cfg.MaxDevices, cfg.Model)
+		ctx := cfg.newContext(cfg.MaxDevices, cfg.Model)
 		w := splitWindow(v.Clone(), cfg.MaxDevices)
 		orig := ortho.CloneWindow(w)
 		ctx.ResetStats()
@@ -190,7 +189,7 @@ func AblationFusedCGS(cfg Config) []AblationFusedRow {
 	cfg.printf("Ablation: fused vs unfused CGS (n=%d, %d cols)\n", n, c)
 	cfg.printf("%-12s %8s %12s %14s\n", "variant", "rounds", "comm ms", "||I-Q'Q||")
 	for _, strat := range []ortho.TSQR{ortho.CGSUnfused{}, ortho.CGS{}} {
-		ctx := gpu.NewContext(cfg.MaxDevices, cfg.Model)
+		ctx := cfg.newContext(cfg.MaxDevices, cfg.Model)
 		w := splitWindow(v.Clone(), cfg.MaxDevices)
 		orig := ortho.CloneWindow(w)
 		ctx.ResetStats()
@@ -230,7 +229,7 @@ func AblationAdaptive(cfg Config) []AblationAdaptiveRow {
 	cfg.printf("Ablation: adaptive step size (small cant, CholQR, s=15)\n")
 	cfg.printf("%-9s %10s %8s %6s %6s\n", "adaptive", "converged", "failed", "rest", "iters")
 	for _, adaptive := range []bool{false, true} {
-		ctx := gpu.NewContext(2, cfg.Model)
+		ctx := cfg.newContext(2, cfg.Model)
 		p, err := core.NewProblem(ctx, mat.A, b, core.Natural, true)
 		if err != nil {
 			panic(err)

@@ -17,6 +17,7 @@ import (
 
 	"cagmres/internal/gpu"
 	"cagmres/internal/matgen"
+	"cagmres/internal/measure"
 )
 
 // Config controls a benchmark run.
@@ -32,6 +33,16 @@ type Config struct {
 	Out io.Writer
 	// MaxRestarts caps solver restart loops so sweeps stay bounded.
 	MaxRestarts int
+	// Timer converts the Figure 11(a,b) host-kernel invocations into
+	// seconds. Nil defaults to the deterministic measure.ModelTimer over
+	// Model, so `go test` and default CLI runs report machine-independent
+	// modeled Gflop/s; cmd/experiments -measured swaps in a
+	// measure.WallTimer (warmup + best-of-5 wall clock).
+	Timer measure.Timer
+	// Trace, when non-nil, enables event tracing on every simulated
+	// context the drivers create and collects the rings for export
+	// (cmd/experiments -traceout).
+	Trace *TraceCollector
 }
 
 // Defaults fills unset fields.
@@ -51,6 +62,20 @@ func (c *Config) Defaults() {
 	if c.MaxRestarts == 0 {
 		c.MaxRestarts = 40
 	}
+	if c.Timer == nil {
+		c.Timer = measure.NewModelTimer(c.Model)
+	}
+}
+
+// newContext creates one simulated device context for a driver,
+// registering it with the trace collector when tracing is on. Every
+// driver goes through here so -traceout sees the whole run.
+func (c *Config) newContext(ng int, model gpu.CostModel) *gpu.Context {
+	ctx := gpu.NewContext(ng, model)
+	if c.Trace != nil {
+		c.Trace.attach(ctx)
+	}
+	return ctx
 }
 
 func (c *Config) printf(format string, args ...any) {

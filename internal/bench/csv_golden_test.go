@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the current output")
+
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func writeCSVString(t *testing.T, rows any) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rows.csv")
+	if err := WriteCSV(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestWriteCSVFig11Golden(t *testing.T) {
+	// Fixed cost model + fixed generator seed: the modeled Figure 11(a,b)
+	// rows are a pure function of the code, so the CSV (header derivation,
+	// field flattening, float formatting) is goldenable end to end.
+	rows := Fig11ab(Config{Scale: 0.01})
+	goldenCompare(t, "fig11ab.golden.csv", writeCSVString(t, rows))
+}
+
+func TestWriteCSVFig10Golden(t *testing.T) {
+	// Fig10 exercises the embedded-struct flattening path (Fig10Row embeds
+	// ortho.Property) on fully deterministic modeled data.
+	rows := Fig10(Config{Scale: 0.01})
+	goldenCompare(t, "fig10.golden.csv", writeCSVString(t, rows))
+}
+
+func TestWriteCSVRejectsNonSlice(t *testing.T) {
+	if err := WriteCSV(filepath.Join(t.TempDir(), "x.csv"), 42); err == nil {
+		t.Fatal("WriteCSV accepted a non-slice")
+	}
+}
+
+func TestWriteCSVEmptySlice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.csv")
+	if err := WriteCSV(path, []Fig11Kernel{}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 0 {
+		t.Fatalf("empty slice wrote %q", b)
+	}
+}

@@ -3,9 +3,9 @@ package bench
 import (
 	"time"
 
-	"cagmres/internal/gpu"
 	"cagmres/internal/la"
 	"cagmres/internal/matgen"
+	"cagmres/internal/measure"
 	"cagmres/internal/ortho"
 )
 
@@ -32,7 +32,7 @@ func Fig10(cfg Config) []Fig10Row {
 		if err != nil {
 			panic(err)
 		}
-		ctx := gpu.NewContext(cfg.MaxDevices, cfg.Model)
+		ctx := cfg.newContext(cfg.MaxDevices, cfg.Model)
 		w := splitWindow(v.Clone(), cfg.MaxDevices)
 		ctx.ResetStats()
 		if _, err := strat.Factor(ctx, w, "tsqr"); err != nil {
@@ -68,24 +68,43 @@ func splitWindow(v *la.Dense, ng int) []*la.Dense {
 	return out
 }
 
-// Fig11Kernel is one measured point of the kernel study.
+// Fig11Kernel is one timed point of the kernel study.
 type Fig11Kernel struct {
-	Kernel  string
-	Rows    int
-	Gflops  float64 // wall-clock Gflop/s on the host CPU
+	Kernel string
+	Rows   int
+	// Gflops is the kernel rate: deterministic modeled Gflop/s by
+	// default, wall-clock Gflop/s when the config carries a WallTimer
+	// (cmd/experiments -measured).
+	Gflops  float64
 	Elapsed time.Duration
+	// Modeled reports which clock produced the numbers.
+	Modeled bool
 }
 
-// Fig11ab measures the tall-skinny GEMM and GEMV kernels on the real
-// host CPU: the naive one-pass kernels versus the panel-parallel
-// "batched" kernels, the analogue of the paper's CUBLAS-vs-batched-DGEMM
-// comparison (Figure 11a/b). The batched forms must win on tall inputs.
+// panels returns the row-panel count the batched tall-skinny kernels use
+// for an n-row input (the structural parallelism of the schedule, not the
+// host's core count — the cost model caps it at its own core count).
+func panels(n int) int {
+	return (n + la.PanelRows - 1) / la.PanelRows
+}
+
+// Fig11ab times the tall-skinny GEMM and GEMV kernels on the host: the
+// naive one-pass kernels versus the panel-parallel "batched" kernels, the
+// analogue of the paper's CUBLAS-vs-batched-DGEMM comparison (Figure
+// 11a/b). The batched forms must win on tall inputs. Under the default
+// ModelTimer the comparison is a deterministic statement about the kernel
+// schedules (parallelism and dispatch counts charged against the cost
+// model's host constants); under a WallTimer it is a real measurement.
 func Fig11ab(cfg Config) []Fig11Kernel {
 	cfg.Defaults()
 	const c = 30
 	sizes := []int{1 << 14, 1 << 17}
 	var out []Fig11Kernel
-	cfg.printf("Figure 11(a,b): tall-skinny kernels on the host, %d columns\n", c)
+	mode := "modeled"
+	if !cfg.Timer.Deterministic() {
+		mode = "measured"
+	}
+	cfg.printf("Figure 11(a,b): tall-skinny kernels on the host, %d columns (%s time)\n", c, mode)
 	cfg.printf("%-22s %10s %10s\n", "kernel", "rows", "Gflop/s")
 	for _, n := range sizes {
 		v := matgen.RandomTallSkinny(n, c, 10, 3)
@@ -97,36 +116,42 @@ func Fig11ab(cfg Config) []Fig11Kernel {
 		y := make([]float64, c)
 
 		gramFlops := float64(n) * c * c
+		gramBytes := 8 * float64(n) * c // stream the tall operand once
+		gemvFlops := 2 * float64(n) * c
+		np := panels(n)
+		gemvWorkers := measure.HostCores
+		if c < gemvWorkers {
+			gemvWorkers = c
+		}
 		out = append(out,
-			timeKernel(cfg, "gemm/serial", n, gramFlops, func() { la.Syrk(v, g) }),
-			timeKernel(cfg, "gemm/batched", n, gramFlops, func() { la.BatchedGram(v, g) }),
-			timeKernel(cfg, "gemv/serial", n, 2*float64(n)*c, func() { la.GemvT(1, v, x, 0, y) }),
-			timeKernel(cfg, "gemv/parallel", n, 2*float64(n)*c, func() { la.ParallelGemvT(v, x, y) }),
+			timeKernel(cfg, measure.Kernel{
+				Name: "gemm/serial", Flops: gramFlops, Bytes: gramBytes,
+				Parallelism: 1, Dispatches: 1,
+			}, n, func() { la.Syrk(v, g) }),
+			timeKernel(cfg, measure.Kernel{
+				Name: "gemm/batched", Flops: gramFlops, Bytes: gramBytes,
+				Parallelism: np, Dispatches: np + 1,
+			}, n, func() { la.BatchedGram(v, g) }),
+			timeKernel(cfg, measure.Kernel{
+				Name: "gemv/serial", Flops: gemvFlops, Bytes: gramBytes,
+				Parallelism: 1, Dispatches: 1,
+			}, n, func() { la.GemvT(1, v, x, 0, y) }),
+			timeKernel(cfg, measure.Kernel{
+				Name: "gemv/parallel", Flops: gemvFlops, Bytes: gramBytes,
+				Parallelism: gemvWorkers, Dispatches: gemvWorkers + 1,
+			}, n, func() { la.ParallelGemvT(v, x, y) }),
 		)
 	}
 	return out
 }
 
-func timeKernel(cfg Config, name string, rows int, flops float64, f func()) Fig11Kernel {
-	// Warm up once, then time enough repetitions for a stable figure.
-	f()
-	reps := 1
-	start := time.Now()
-	f()
-	el := time.Since(start)
-	for el < 20*time.Millisecond && reps < 1024 {
-		reps *= 2
-		start = time.Now()
-		for i := 0; i < reps; i++ {
-			f()
-		}
-		el = time.Since(start)
-	}
-	perCall := el / time.Duration(reps)
-	k := Fig11Kernel{Kernel: name, Rows: rows, Elapsed: perCall,
-		Gflops: flops / perCall.Seconds() / 1e9}
-	cfg.printf("%-22s %10d %10.2f\n", name, rows, k.Gflops)
-	return k
+// timeKernel times one kernel through the config's Timer.
+func timeKernel(cfg Config, k measure.Kernel, rows int, f func()) Fig11Kernel {
+	s := cfg.Timer.Time(k, f)
+	out := Fig11Kernel{Kernel: k.Name, Rows: rows, Elapsed: s.Duration(),
+		Gflops: s.Gflops(k.Flops), Modeled: s.Modeled}
+	cfg.printf("%-22s %10d %10.2f\n", k.Name, rows, out.Gflops)
+	return out
 }
 
 // Fig11cRow is one TSQR throughput sample.
@@ -156,7 +181,7 @@ func Fig11c(cfg Config) []Fig11cRow {
 	cfg.printf("%-8s %8s %14s\n", "strategy", "devices", "eff Gflop/s")
 	for _, strat := range ortho.All() {
 		for ng := 1; ng <= cfg.MaxDevices; ng++ {
-			ctx := gpu.NewContext(ng, cfg.Model)
+			ctx := cfg.newContext(ng, cfg.Model)
 			w := splitWindow(v.Clone(), ng)
 			ctx.ResetStats()
 			if _, err := strat.Factor(ctx, w, "tsqr"); err != nil {

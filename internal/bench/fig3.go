@@ -56,7 +56,7 @@ func Fig3(cfg Config) []Fig3Row {
 	for _, c := range cases {
 		b := onesRHS(c.m.A.Rows)
 		run := func(target string, ng int, model gpu.CostModel) {
-			ctx := gpu.NewContext(ng, model)
+			ctx := cfg.newContext(ng, model)
 			p, err := core.NewProblem(ctx, c.m.A, b, c.ord, true)
 			if err != nil {
 				panic(err)

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"cagmres/internal/dist"
-	"cagmres/internal/gpu"
 	"cagmres/internal/graph"
 	"cagmres/internal/matgen"
 	"cagmres/internal/sparse"
@@ -66,7 +65,7 @@ func Fig6(cfg Config) *Fig6Result {
 	res := &Fig6Result{}
 	mats := []*matgen.Matrix{benchCant(cfg.Scale), benchG3(cfg.Scale)}
 	ng := cfg.MaxDevices
-	ctx := gpu.NewContext(ng, cfg.Model)
+	ctx := cfg.newContext(ng, cfg.Model)
 	cfg.printf("Figure 6: surface-to-volume ratio, %d devices\n", ng)
 	cfg.printf("%-12s %-5s %4s %12s %14s\n", "matrix", "ord", "s", "max ratio", "extra flops")
 	for _, m := range mats {
@@ -125,7 +124,7 @@ func Fig7(cfg Config) *Fig7Result {
 	const mIters = 100
 	mats := []*matgen.Matrix{benchCant(cfg.Scale), benchG3(cfg.Scale)}
 	ng := cfg.MaxDevices
-	ctx := gpu.NewContext(ng, cfg.Model)
+	ctx := cfg.newContext(ng, cfg.Model)
 	cfg.printf("Figure 7: MPK communication volume for m=%d vectors, %d devices\n", mIters, ng)
 	cfg.printf("%-12s %-5s %4s %12s %10s\n", "matrix", "ord", "s", "elements", "vs SpMV")
 	for _, m := range mats {
@@ -203,7 +202,7 @@ func Fig8(cfg Config) *Fig8Result {
 	for _, c := range cases {
 		a, layout := applyOrdering(c.m.A, c.ord, ng)
 		for s := 1; s <= 10; s++ {
-			ctx := gpu.NewContext(ng, cfg.Model)
+			ctx := cfg.newContext(ng, cfg.Model)
 			dm := dist.Distribute(ctx, a, layout, s)
 			mpk := dist.NewMPK(dm)
 			v := dist.NewVectors(ctx, layout, s+1)

@@ -1,0 +1,304 @@
+package gpu
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// dyadic returns a random multiple of 2^-20 in [0, 1): a time value whose
+// sums (up to ~2^27 terms) are exact in float64 regardless of addition
+// order — the right substrate for exactness properties of the ledger.
+func dyadic(rng *rand.Rand) float64 {
+	return float64(rng.Intn(1<<20)) / (1 << 20)
+}
+
+// fillLedger charges a random but reproducible workload to the ledger,
+// feeding the internal accounting entry points with dyadic times so
+// every float counter is an exact sum.
+func fillLedger(rng *rand.Rand, s *Stats, phases []string) {
+	for i, n := 0, 5+rng.Intn(20); i < n; i++ {
+		phase := phases[rng.Intn(len(phases))]
+		switch rng.Intn(4) {
+		case 0:
+			s.addComm(phase, dirD2H, 3, rng.Intn(1<<12), dyadic(rng))
+		case 1:
+			s.addComm(phase, dirH2D, 2, rng.Intn(1<<12), dyadic(rng))
+		case 2:
+			s.addCompute(phase, dyadic(rng), []Work{
+				{Flops: float64(rng.Intn(1 << 20)), Bytes: float64(rng.Intn(1 << 20))},
+				{Flops: float64(rng.Intn(1 << 20)), Bytes: float64(rng.Intn(1 << 20))},
+			})
+		default:
+			s.addHost(phase, dyadic(rng), float64(rng.Intn(1<<20)))
+		}
+	}
+}
+
+func phaseEqual(t *testing.T, label string, a, b PhaseStats) {
+	t.Helper()
+	if a != b {
+		t.Fatalf("%s: phase stats differ:\n%+v\n%+v", label, a, b)
+	}
+}
+
+func TestMergeOrderIndependentProperty(t *testing.T) {
+	// Merging the same set of ledgers in any order yields identical
+	// counters, exactly: integer counters are order-free by construction
+	// and the dyadic event times make the float sums exact too.
+	phases := []string{"spmv", "mpk", "tsqr", "lsq"}
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		ledgers := make([]*Stats, 4)
+		for i := range ledgers {
+			ledgers[i] = NewStats()
+			fillLedger(rng, ledgers[i], phases)
+		}
+		perm := rng.Perm(len(ledgers))
+		fwd, bwd := NewStats(), NewStats()
+		for _, i := range perm {
+			fwd.Merge(ledgers[i])
+		}
+		for k := len(perm) - 1; k >= 0; k-- {
+			bwd.Merge(ledgers[perm[k]])
+		}
+		for _, ph := range phases {
+			phaseEqual(t, ph, fwd.Phase(ph), bwd.Phase(ph))
+		}
+		if fwd.TotalTime() != bwd.TotalTime() {
+			t.Fatalf("trial %d: totals differ: %v vs %v", trial, fwd.TotalTime(), bwd.TotalTime())
+		}
+	}
+}
+
+func TestMergeSumsCountersExactly(t *testing.T) {
+	// The merged ledger equals the ledger that charged both workloads
+	// directly — Merge loses nothing and double-counts nothing.
+	phases := []string{"spmv", "tsqr"}
+	sa, sb := NewStats(), NewStats()
+	fillLedger(rand.New(rand.NewSource(7)), sa, phases)
+	fillLedger(rand.New(rand.NewSource(11)), sb, phases)
+	merged := NewStats()
+	merged.Merge(sa)
+	merged.Merge(sb)
+	for _, ph := range phases {
+		a, b, m := sa.Phase(ph), sb.Phase(ph), merged.Phase(ph)
+		want := PhaseStats{
+			Rounds:      a.Rounds + b.Rounds,
+			Messages:    a.Messages + b.Messages,
+			BytesD2H:    a.BytesD2H + b.BytesD2H,
+			BytesH2D:    a.BytesH2D + b.BytesH2D,
+			CommTime:    a.CommTime + b.CommTime,
+			DeviceTime:  a.DeviceTime + b.DeviceTime,
+			DeviceFlops: a.DeviceFlops + b.DeviceFlops,
+			HostTime:    a.HostTime + b.HostTime,
+			HostFlops:   a.HostFlops + b.HostFlops,
+			Kernels:     a.Kernels + b.Kernels,
+		}
+		phaseEqual(t, ph, m, want)
+	}
+}
+
+func TestTraceRingWraparoundProperty(t *testing.T) {
+	// For any capacity and event count, the ring keeps exactly the last
+	// min(cap, count) events, returned in ascending contiguous Seq order.
+	for trial := 0; trial < 100; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		capacity := 1 + rng.Intn(8)
+		count := rng.Intn(40)
+		ctx := NewContext(1, M2090())
+		ctx.Stats().EnableTrace(capacity)
+		for i := 0; i < count; i++ {
+			ctx.ReduceRound("p", []int{i})
+		}
+		ev := ctx.Stats().Trace()
+		wantLen := count
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if len(ev) != wantLen {
+			t.Fatalf("cap=%d count=%d: got %d events", capacity, count, len(ev))
+		}
+		for i, e := range ev {
+			wantSeq := count - wantLen + i
+			if e.Seq != wantSeq {
+				t.Fatalf("cap=%d count=%d: event %d has seq %d, want %d", capacity, count, i, e.Seq, wantSeq)
+			}
+			if e.Bytes != wantSeq {
+				t.Fatalf("cap=%d count=%d: event %d payload %d, want %d", capacity, count, i, e.Bytes, wantSeq)
+			}
+		}
+	}
+}
+
+func TestRoundTimeMultiNodeMaxProperty(t *testing.T) {
+	// The multi-node branch of roundTime charges the maximum of the PCIe
+	// path (local share) and the interconnect path (remote share), for
+	// any byte distribution — including the regimes where each side
+	// dominates.
+	model := MultiNode(M2090(), 2, 25e-6, 3e9)
+	ctx := NewContext(4, model)
+	rng := rand.New(rand.NewSource(42))
+	cases := [][]int{
+		{1 << 24, 1 << 24, 8, 8}, // huge local, tiny remote: PCIe dominates
+		{8, 8, 1 << 24, 1 << 24}, // tiny local, huge remote: interconnect dominates
+		{0, 0, 0, 0},             // pure latency
+		{1 << 20, 0, 0, 1 << 20}, // split
+		{0, 0, 1 << 10, 0},       // remote only
+	}
+	for trial := 0; trial < 200; trial++ {
+		cases = append(cases, []int{rng.Intn(1 << 22), rng.Intn(1 << 22), rng.Intn(1 << 22), rng.Intn(1 << 22)})
+	}
+	for _, bytes := range cases {
+		local := bytes[0] + bytes[1]
+		remote := bytes[2] + bytes[3]
+		total, got := ctx.roundTime(bytes)
+		if total != local+remote {
+			t.Fatalf("%v: total %d, want %d", bytes, total, local+remote)
+		}
+		pcie := model.Latency + float64(local)/model.Bandwidth
+		inter := model.InterLatency + float64(remote)/model.InterBandwidth
+		want := pcie
+		if inter > want {
+			want = inter
+		}
+		if got != want {
+			t.Fatalf("%v: round time %v, want max(pcie %v, inter %v)", bytes, got, pcie, inter)
+		}
+	}
+}
+
+func TestRoundTimeSingleNodeIgnoresInterconnect(t *testing.T) {
+	// Without DevicesPerNode the remote path never engages, even when
+	// interconnect constants are set.
+	model := M2090()
+	model.InterLatency = 1 // absurd, must be ignored
+	model.InterBandwidth = 1
+	ctx := NewContext(4, model)
+	bytes := []int{100, 200, 300, 400}
+	_, got := ctx.roundTime(bytes)
+	want := model.Latency + 1000/model.Bandwidth
+	if got != want {
+		t.Fatalf("single-node round time %v, want %v", got, want)
+	}
+}
+
+func TestRoundTimeAllDevicesWithinNode(t *testing.T) {
+	// DevicesPerNode >= len(bytes): everything is local, the interconnect
+	// branch must not fire even though the model is multi-node.
+	model := MultiNode(M2090(), 8, 25e-6, 3e9)
+	ctx := NewContext(4, model)
+	_, got := ctx.roundTime([]int{10, 20, 30, 40})
+	want := model.Latency + 100/model.Bandwidth
+	if got != want {
+		t.Fatalf("intra-node round time %v, want %v", got, want)
+	}
+}
+
+func TestResetStatsPreservesTraceCapacity(t *testing.T) {
+	ctx := NewContext(1, M2090())
+	ctx.Stats().EnableTrace(3)
+	for i := 0; i < 5; i++ {
+		ctx.ReduceRound("before", []int{i})
+	}
+	ctx.ResetStats()
+	if got := len(ctx.Stats().Trace()); got != 0 {
+		t.Fatalf("reset kept %d events", got)
+	}
+	// Recording still works and still wraps at the same capacity.
+	for i := 0; i < 7; i++ {
+		ctx.ReduceRound("after", []int{i})
+	}
+	ev := ctx.Stats().Trace()
+	if len(ev) != 3 {
+		t.Fatalf("post-reset capacity changed: %d events", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != 4+i || e.Phase != "after" {
+			t.Fatalf("post-reset trace wrong: %+v", ev)
+		}
+	}
+	if ctx.Stats().Phase("before").Rounds != 0 {
+		t.Fatal("reset kept counters")
+	}
+}
+
+func TestResetStatsWithoutTraceStaysDisabled(t *testing.T) {
+	ctx := NewContext(1, M2090())
+	ctx.ResetStats()
+	ctx.ReduceRound("p", []int{1})
+	if len(ctx.Stats().Trace()) != 0 {
+		t.Fatal("reset enabled tracing out of nowhere")
+	}
+}
+
+func TestRunAllPanicDoesNotLeakGoroutines(t *testing.T) {
+	ctx := NewContext(4, M2090())
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 10; trial++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("panic not propagated")
+				}
+			}()
+			ctx.RunAll(func(d int) {
+				if d%2 == 1 {
+					panic("device failure")
+				}
+			})
+		}()
+	}
+	// Every device goroutine must have exited; allow the runtime a moment
+	// to reap them.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunAllPanicRunsEveryDevice(t *testing.T) {
+	// A panicking device must not prevent the others from completing
+	// (RunAll waits for all devices before re-raising).
+	ctx := NewContext(3, M2090())
+	ran := make([]bool, 3)
+	func() {
+		defer func() { recover() }()
+		ctx.RunAll(func(d int) {
+			ran[d] = true
+			if d == 0 {
+				panic("first device fails fast")
+			}
+		})
+	}()
+	for d, ok := range ran {
+		if !ok {
+			t.Fatalf("device %d never ran", d)
+		}
+	}
+}
+
+func TestRunAllMultiplePanicsPickFirstDevice(t *testing.T) {
+	// With several failing devices the re-raised panic is the lowest
+	// device's, deterministically.
+	ctx := NewContext(3, M2090())
+	defer func() {
+		r := recover()
+		if r != "device 1" {
+			t.Fatalf("recovered %v, want device 1", r)
+		}
+	}()
+	ctx.RunAll(func(d int) {
+		if d >= 1 {
+			panic("device " + string(rune('0'+d)))
+		}
+	})
+}

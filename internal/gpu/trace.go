@@ -1,0 +1,107 @@
+package gpu
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace is a named event sequence — the unit of trace export. Name
+// labels the simulated context the events came from (e.g. "fig11c" or
+// "solve"); Events are in Seq order.
+type Trace struct {
+	Name   string  `json:"name"`
+	Events []Event `json:"events"`
+}
+
+// TraceOf snapshots this ledger's recorded events under the given name.
+func (s *Stats) TraceOf(name string) Trace {
+	return Trace{Name: name, Events: s.Trace()}
+}
+
+// WriteTraceJSON writes the traces as plain indented JSON (an array of
+// {name, events} objects) for programmatic consumption.
+func WriteTraceJSON(w io.Writer, traces []Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traces)
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// a complete event ("ph":"X") with microsecond timestamps, renderable by
+// chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the top-level JSON object of the trace_event format.
+type chromeTraceFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// laneFor maps an event kind to a stable thread lane so communication,
+// device compute and host compute render as separate rows per process.
+func laneFor(kind string) (tid int, lane string) {
+	switch kind {
+	case "reduce", "broadcast":
+		return 0, "comm (PCIe/interconnect)"
+	case "kernel":
+		return 1, "device compute"
+	default:
+		return 2, "host compute"
+	}
+}
+
+// WriteChromeTrace renders the traces in Chrome trace_event format: each
+// Trace becomes one process (pid), each event kind one named thread lane,
+// and every ledger event a complete-duration slice. Timestamps are the
+// cumulative modeled clock: events are laid end to end in Seq order, so
+// the x-axis is deterministic modeled time, not wall time. If a ring
+// buffer wrapped, the clock starts at zero from the oldest retained event.
+func WriteChromeTrace(w io.Writer, traces []Trace) error {
+	file := chromeTraceFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for pid, tr := range traces {
+		name := tr.Name
+		if name == "" {
+			name = fmt.Sprintf("ctx-%d", pid)
+		}
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+		lanes := map[int]bool{}
+		clock := 0.0 // modeled seconds since the first retained event
+		for _, e := range tr.Events {
+			tid, lane := laneFor(e.Kind)
+			if !lanes[tid] {
+				lanes[tid] = true
+				file.TraceEvents = append(file.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+					Args: map[string]any{"name": lane},
+				})
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: e.Phase,
+				Cat:  e.Kind,
+				Ph:   "X",
+				Ts:   clock * 1e6, // microseconds
+				Dur:  e.Time * 1e6,
+				Pid:  pid,
+				Tid:  tid,
+				Args: map[string]any{"seq": e.Seq, "bytes": e.Bytes},
+			})
+			clock += e.Time
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

@@ -1,0 +1,146 @@
+package gpu
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// traceFixture runs a small deterministic workload with tracing enabled.
+func traceFixture() *Context {
+	ctx := NewContext(2, M2090())
+	ctx.Stats().EnableTrace(64)
+	ctx.ReduceRound("tsqr", []int{800, 800})
+	ctx.UniformKernel("tsqr", Work{Flops: 3e9, Bytes: 1e6})
+	ctx.BroadcastRound("mpk", []int{400, 400})
+	ctx.HostCompute("lsq", 2e8)
+	return ctx
+}
+
+func TestWriteTraceJSONRoundTrips(t *testing.T) {
+	ctx := traceFixture()
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, []Trace{ctx.Stats().TraceOf("run")}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Trace
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 1 || got[0].Name != "run" {
+		t.Fatalf("round trip lost the trace name: %+v", got)
+	}
+	want := ctx.Stats().Trace()
+	if len(got[0].Events) != len(want) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got[0].Events), len(want))
+	}
+	for i := range want {
+		if got[0].Events[i] != want[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, got[0].Events[i], want[i])
+		}
+	}
+}
+
+func TestWriteChromeTraceFormat(t *testing.T) {
+	ctx := traceFixture()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []Trace{ctx.Stats().TraceOf("solve")}); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("not a valid trace_event file: %v\n%s", err, buf.String())
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	// One process_name metadata event naming the trace.
+	foundProc := false
+	var slices []int
+	for i, e := range file.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" && e.Args["name"] == "solve" {
+				foundProc = true
+			}
+		case "X":
+			slices = append(slices, i)
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if !foundProc {
+		t.Fatal("missing process_name metadata")
+	}
+	if len(slices) != 4 {
+		t.Fatalf("got %d duration slices, want 4", len(slices))
+	}
+	// The modeled clock lays events end to end: each slice starts where
+	// the previous one ended, and durations are positive.
+	clock := 0.0
+	for _, i := range slices {
+		e := file.TraceEvents[i]
+		if e.Ts != clock {
+			t.Fatalf("slice %d starts at %v, want %v", i, e.Ts, clock)
+		}
+		if e.Dur <= 0 {
+			t.Fatalf("slice %d has non-positive duration", i)
+		}
+		clock += e.Dur
+	}
+	// Lanes: comm and compute kinds map to distinct tids.
+	kindTid := map[string]int{}
+	for _, i := range slices {
+		e := file.TraceEvents[i]
+		kindTid[e.Cat] = e.Tid
+	}
+	if kindTid["reduce"] != kindTid["broadcast"] {
+		t.Fatal("reduce and broadcast should share the comm lane")
+	}
+	if kindTid["kernel"] == kindTid["reduce"] || kindTid["host"] == kindTid["kernel"] {
+		t.Fatalf("kinds not separated into lanes: %v", kindTid)
+	}
+}
+
+func TestWriteChromeTraceUnnamed(t *testing.T) {
+	ctx := traceFixture()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []Trace{{Events: ctx.Stats().Trace()}}); err != nil {
+		t.Fatal(err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := file["traceEvents"]; !ok {
+		t.Fatal("missing traceEvents key")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.TraceEvents == nil {
+		t.Fatal("traceEvents must be an empty array, not null")
+	}
+}

@@ -1,0 +1,265 @@
+// Package measure gives every benchmark and test a deterministic clock.
+//
+// The paper's results are statements about modeled communication and
+// computation structure, yet a naive reproduction times real Go kernels
+// with time.Now() — which turns every perf assertion into a wall-clock
+// coin flip on a loaded CI host. This package separates the two concerns
+// behind one interface:
+//
+//   - ModelTimer charges each host kernel's cost shape (flops, bytes,
+//     parallelism, dispatch count) through the gpu.CostModel host
+//     constants. The result is a pure function of the model, so figure
+//     generators report byte-identical Gflop/s on every machine and every
+//     run. The kernel body is still executed once, so the code path stays
+//     exercised; only the clock is synthetic.
+//
+//   - WallTimer wraps real timing with warmup, N repetitions and
+//     min/median selection — the statistics-aware fallback for the
+//     opt-in "measured" mode (cmd/experiments -measured).
+//
+// Benchmark drivers take a Timer and do not care which one they get;
+// Timer.Deterministic reports whether exact assertions are safe.
+package measure
+
+import (
+	"time"
+
+	"cagmres/internal/gpu"
+)
+
+// Kernel describes the cost shape of one host-kernel invocation: the
+// structural facts a cost model needs, independent of the machine the
+// benchmark happens to run on.
+type Kernel struct {
+	// Name identifies the kernel in tables and traces.
+	Name string
+	// Flops is the floating-point operation count of one invocation.
+	Flops float64
+	// Bytes is the memory traffic (reads + writes) of one invocation.
+	Bytes float64
+	// Parallelism is the number of concurrent workers the kernel schedule
+	// uses: 1 for the serial/one-pass kernels, the panel count for the
+	// batched tall-skinny kernels. Values above the model's core count
+	// are capped there.
+	Parallelism int
+	// Dispatches is the number of per-invocation scheduling events
+	// (goroutine spawns / kernel launches / reduction joins), each charged
+	// a fixed dispatch overhead. It is what makes many tiny launches
+	// expensive even before any data moves.
+	Dispatches int
+}
+
+// Sample is the result of timing one kernel.
+type Sample struct {
+	// Seconds is the selected per-invocation time.
+	Seconds float64
+	// Reps is how many timed repetitions contributed (1 for modeled time).
+	Reps int
+	// Modeled reports whether Seconds came from a cost model rather than
+	// a clock.
+	Modeled bool
+}
+
+// Gflops converts the sample to a rate for the given flop count.
+func (s Sample) Gflops(flops float64) float64 {
+	if s.Seconds <= 0 {
+		return 0
+	}
+	return flops / s.Seconds / 1e9
+}
+
+// Duration returns the per-invocation time as a time.Duration.
+func (s Sample) Duration() time.Duration {
+	return time.Duration(s.Seconds * float64(time.Second))
+}
+
+// Timer converts one kernel invocation into seconds. Implementations
+// decide whether f is timed (WallTimer) or merely executed for its side
+// effects while the clock comes from a model (ModelTimer). f may be nil
+// when the caller only wants the cost estimate.
+type Timer interface {
+	// Time measures one invocation of f described by k.
+	Time(k Kernel, f func()) Sample
+	// Deterministic reports whether repeated calls return identical
+	// samples, i.e. whether exact equality assertions are safe.
+	Deterministic() bool
+}
+
+// HostCores is the core count of the modeled host: the paper's testbed
+// has two 8-core Sandy Bridge sockets. CostModel.HostGflops and
+// HostMemBW are aggregate figures over these cores.
+const HostCores = 16
+
+// serialBWShare is the fraction of the aggregate two-socket memory
+// bandwidth a single core can sustain (typical STREAM scaling: one core
+// saturates roughly a quarter of the socket-pair bandwidth).
+const serialBWShare = 0.25
+
+// defaultDispatch is the modeled cost of one host scheduling event
+// (goroutine spawn + channel synchronization), ~1 microsecond.
+const defaultDispatch = 1e-6
+
+// ModelTimer charges kernels against the host side of a gpu.CostModel.
+// The zero value is not useful; construct with NewModelTimer.
+type ModelTimer struct {
+	// Model supplies HostGflops and HostMemBW.
+	Model gpu.CostModel
+	// Cores is the modeled core count (default HostCores).
+	Cores int
+	// Dispatch is the per-dispatch overhead in seconds (default 1us).
+	Dispatch float64
+	// SkipExec disables the single correctness execution of f, for
+	// callers that only want the cost estimate.
+	SkipExec bool
+}
+
+// NewModelTimer returns a deterministic timer over the given cost model.
+func NewModelTimer(m gpu.CostModel) *ModelTimer {
+	return &ModelTimer{Model: m}
+}
+
+// Seconds returns the modeled per-invocation time of k: the larger of
+// the compute-bound and memory-bound estimates at k's parallelism, plus
+// the dispatch overhead. Pure function of (Model, k).
+func (t *ModelTimer) Seconds(k Kernel) float64 {
+	cores := t.Cores
+	if cores <= 0 {
+		cores = HostCores
+	}
+	p := k.Parallelism
+	if p < 1 {
+		p = 1
+	}
+	if p > cores {
+		p = cores
+	}
+	// Compute rate scales linearly with the engaged cores.
+	rate := t.Model.HostGflops * 1e9 * float64(p) / float64(cores)
+	sec := k.Flops / rate
+	// Bandwidth saturates once enough cores issue streams: one core
+	// sustains serialBWShare of the aggregate, p cores sustain
+	// min(1, p*serialBWShare).
+	share := float64(p) * serialBWShare
+	if share > 1 {
+		share = 1
+	}
+	if mt := k.Bytes / (t.Model.HostMemBW * share); mt > sec {
+		sec = mt
+	}
+	dispatch := t.Dispatch
+	if dispatch == 0 {
+		dispatch = defaultDispatch
+	}
+	d := k.Dispatches
+	if d < 1 {
+		d = 1
+	}
+	return sec + float64(d)*dispatch
+}
+
+// Time executes f once (unless SkipExec) and returns the modeled time.
+func (t *ModelTimer) Time(k Kernel, f func()) Sample {
+	if f != nil && !t.SkipExec {
+		f()
+	}
+	return Sample{Seconds: t.Seconds(k), Reps: 1, Modeled: true}
+}
+
+// Deterministic reports true: modeled time is a pure function of the model.
+func (t *ModelTimer) Deterministic() bool { return true }
+
+// Selection picks the representative sample from a set of repetitions.
+type Selection int
+
+const (
+	// SelectMin reports the fastest repetition — the standard estimator
+	// for "the cost of the kernel absent interference".
+	SelectMin Selection = iota
+	// SelectMedian reports the middle repetition — robust when the system
+	// is persistently noisy in both directions.
+	SelectMedian
+)
+
+// WallTimer measures real elapsed time with warmup and repetition. The
+// zero value is usable: 1 warmup, 5 repetitions, min selection, 20ms
+// minimum timed batch.
+type WallTimer struct {
+	// Warmup is the number of untimed calls before measurement (default 1).
+	Warmup int
+	// Reps is the number of timed repetitions (default 5, "best of 5").
+	Reps int
+	// Select picks the representative repetition (default SelectMin).
+	Select Selection
+	// MinBatch is the minimum elapsed time of one repetition batch; f is
+	// called in a doubling inner loop until the batch takes at least this
+	// long, so sub-microsecond kernels still get stable readings
+	// (default 20ms).
+	MinBatch time.Duration
+	// MaxInner caps the inner doubling loop (default 1024).
+	MaxInner int
+}
+
+// Time measures f with warmup + repetitions and returns the selected
+// per-invocation time. k is used only for documentation; the clock is real.
+func (t *WallTimer) Time(k Kernel, f func()) Sample {
+	warm := t.Warmup
+	if warm <= 0 {
+		warm = 1
+	}
+	reps := t.Reps
+	if reps <= 0 {
+		reps = 5
+	}
+	minBatch := t.MinBatch
+	if minBatch <= 0 {
+		minBatch = 20 * time.Millisecond
+	}
+	maxInner := t.MaxInner
+	if maxInner <= 0 {
+		maxInner = 1024
+	}
+	for i := 0; i < warm; i++ {
+		f()
+	}
+	// Calibrate the inner repetition count once so each timed batch
+	// runs at least MinBatch.
+	inner := 1
+	start := time.Now()
+	f()
+	el := time.Since(start)
+	for el < minBatch && inner < maxInner {
+		inner *= 2
+		start = time.Now()
+		for i := 0; i < inner; i++ {
+			f()
+		}
+		el = time.Since(start)
+	}
+	times := make([]float64, 0, reps)
+	times = append(times, el.Seconds()/float64(inner))
+	for r := 1; r < reps; r++ {
+		start = time.Now()
+		for i := 0; i < inner; i++ {
+			f()
+		}
+		times = append(times, time.Since(start).Seconds()/float64(inner))
+	}
+	return Sample{Seconds: pick(times, t.Select), Reps: reps}
+}
+
+// Deterministic reports false: wall-clock readings vary run to run.
+func (t *WallTimer) Deterministic() bool { return false }
+
+// pick returns the selected statistic of times (which it sorts in place).
+func pick(times []float64, sel Selection) float64 {
+	// Insertion sort: reps is tiny.
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	if sel == SelectMedian {
+		return times[len(times)/2]
+	}
+	return times[0]
+}
