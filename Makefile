@@ -1,13 +1,16 @@
-# Repo gates. `make check` is the full pre-merge bar: vet, the race
-# detector over the concurrency hot spots (gpu.RunAll and the Stats
-# ledger, la's panel-parallel kernels, the ortho strategies on top of
-# them), then the whole deterministic test suite.
+# Repo gates. `make check` is the full pre-merge bar: vet, staticcheck
+# (when installed), the race detector over the concurrency hot spots
+# (gpu.RunAll and the Stats ledger, la's panel-parallel kernels, the
+# ortho strategies on top of them), then the whole deterministic test
+# suite. `make metrics-smoke` exercises the observability surface
+# end-to-end: a small solve with telemetry/metrics/trace output, each
+# artifact validated by cmd/obslint.
 
 GO ?= go
 
-.PHONY: check build vet test race measured golden
+.PHONY: check build vet staticcheck test race measured golden metrics-smoke bench-snapshot
 
-check: vet race test
+check: vet staticcheck race test
 
 build:
 	$(GO) build ./...
@@ -15,11 +18,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional tooling: run it when present, skip without
+# failing when the host doesn't have it installed.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/gpu/... ./internal/la/... ./internal/ortho/...
+	$(GO) test -race ./internal/gpu/... ./internal/la/... ./internal/ortho/... ./internal/obs/...
 
 # Opt-in wall-clock kernel comparison (needs an unloaded machine).
 measured:
@@ -29,3 +41,21 @@ measured:
 golden:
 	$(GO) test ./internal/gpu/ -run Golden -update -count=1
 	$(GO) test ./internal/bench/ -run WriteCSV -update -count=1
+
+# End-to-end observability smoke test: solve a small generated problem
+# with every artifact enabled, then validate the Prometheus exposition,
+# the telemetry stream (monotone clock, trailing done record) and the
+# Chrome trace with cmd/obslint.
+SMOKEDIR := $(or $(TMPDIR),/tmp)/cagmres-smoke
+metrics-smoke:
+	mkdir -p $(SMOKEDIR)
+	$(GO) run ./cmd/cagmres -matrix laplace3d -scale 0.001 -solver ca -s 5 -m 20 -tol 1e-6 \
+		-telemetry $(SMOKEDIR)/out.jsonl -metrics $(SMOKEDIR)/out.prom \
+		-traceout $(SMOKEDIR)/out.trace.json > $(SMOKEDIR)/solve.log
+	$(GO) run ./cmd/obslint -prom $(SMOKEDIR)/out.prom -jsonl $(SMOKEDIR)/out.jsonl \
+		-trace $(SMOKEDIR)/out.trace.json
+
+# Refresh the committed deterministic benchmark snapshot (modeled
+# Figure 11 kernel study; byte-identical on every machine).
+bench-snapshot:
+	$(GO) run ./cmd/experiments -fig 11 -benchjson BENCH_pr2.json > /dev/null

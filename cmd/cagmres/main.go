@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"cagmres/internal/core"
 	"cagmres/internal/gpu"
 	"cagmres/internal/matgen"
+	"cagmres/internal/obs"
 	"cagmres/internal/sparse"
 )
 
@@ -47,6 +49,9 @@ func main() {
 	adaptive := flag.Bool("adaptive-s", false, "shrink the CA step size when a basis window goes rank deficient")
 	trace := flag.Int("trace", 0, "print the last N ledger events (communication rounds and kernels)")
 	traceout := flag.String("traceout", "", "write the solve's ledger events as a Chrome trace_event JSON to this file")
+	telemetry := flag.String("telemetry", "", "write the solve's convergence telemetry as JSON lines to this file")
+	metrics := flag.String("metrics", "", "write Prometheus text-format metrics (per-phase ledger, histograms, convergence) to this file")
+	serve := flag.String("serve", "", "after solving, serve /metrics, /metrics.json, /trace.json and /debug/pprof on this address and block (e.g. :9090)")
 	flag.Parse()
 
 	a, name, err := loadMatrix(*file, *matrix, *scale)
@@ -87,7 +92,9 @@ func main() {
 
 	ctx := gpu.NewContext(*devices, gpu.M2090())
 	traceCap := *trace
-	if *traceout != "" && traceCap < 1<<14 {
+	// The metrics histograms and the /trace.json endpoint are built from
+	// the event ring, so -metrics and -serve imply tracing.
+	if (*traceout != "" || *metrics != "" || *serve != "") && traceCap < 1<<14 {
 		traceCap = 1 << 14
 	}
 	if traceCap > 0 {
@@ -104,6 +111,27 @@ func main() {
 		M: *m, S: *s, Tol: *tol, MaxRestarts: *maxRestarts,
 		Ortho: *orth, BOrth: *borth, Basis: *basis, AdaptiveS: *adaptive,
 	}
+
+	// Observability: one registry for the whole run; telemetry buffers in
+	// memory so a fallback retry starts the stream (and its monotone
+	// modeled clock) over instead of appending a second solve's records.
+	var reg *obs.Registry
+	if *telemetry != "" || *metrics != "" || *serve != "" {
+		reg = obs.NewRegistry()
+	}
+	var telBuf bytes.Buffer
+	attachTelemetry := func() {
+		if reg == nil {
+			return
+		}
+		telBuf.Reset()
+		var next obs.Sink
+		if *telemetry != "" {
+			next = obs.NewJSONLSink(&telBuf)
+		}
+		opts.Telemetry = reg.ConvergenceSink(next)
+	}
+	attachTelemetry()
 
 	start := time.Now()
 	var res *core.Result
@@ -136,6 +164,7 @@ func main() {
 				if *jacobi {
 					p.ApplyJacobi()
 				}
+				attachTelemetry()
 				res, err = core.CAGMRES(p, opts)
 				if err == nil {
 					break
@@ -158,6 +187,9 @@ func main() {
 		fmt.Printf("modeled time per restart: %.3f ms\n", res.Stats.TotalTime()/float64(res.Restarts)*1e3)
 	}
 	fmt.Printf("\nper-phase ledger:\n%s", res.Stats.String())
+	if res.Stats.TrackedDevices() > 1 {
+		fmt.Printf("\nper-device ledger:\n%s", res.Stats.DeviceString())
+	}
 
 	if len(res.History) > 0 {
 		fmt.Printf("\nresidual history (per restart):\n")
@@ -187,6 +219,42 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *traceout)
+	}
+
+	if *telemetry != "" {
+		if err := os.WriteFile(*telemetry, telBuf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *telemetry)
+	}
+	if reg != nil {
+		obs.CollectStats(reg, res.Stats)
+		obs.ObserveTrace(reg, res.Stats.Trace())
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		err = reg.WritePrometheus(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metrics)
+	}
+	if *serve != "" {
+		traces := func() []gpu.Trace {
+			return []gpu.Trace{res.Stats.TraceOf(*solver + "/" + name)}
+		}
+		_, addr, err := obs.Serve(*serve, obs.Handler(reg, traces))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving /metrics, /metrics.json, /trace.json, /debug/pprof on http://%s (ctrl-C to stop)\n", addr)
+		select {}
 	}
 }
 

@@ -16,6 +16,13 @@
 //	                deterministic cost model
 //	-traceout file  dump a Chrome trace_event JSON of every simulated
 //	                context (open in chrome://tracing or Perfetto)
+//	-metrics file   write Prometheus text-format metrics aggregated over
+//	                every simulated context
+//	-serve addr     serve /metrics, /metrics.json, /trace.json and
+//	                /debug/pprof; starts before the figures (so -measured
+//	                runs can be profiled live) and blocks after them
+//	-benchjson file write the modeled Figure 11 kernel study as a
+//	                deterministic JSON benchmark snapshot
 //
 // By default every figure is a pure function of the calibrated cost
 // model: rerunning produces byte-identical numbers on any machine. Only
@@ -28,6 +35,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +44,9 @@ import (
 	"time"
 
 	"cagmres/internal/bench"
+	"cagmres/internal/gpu"
 	"cagmres/internal/measure"
+	"cagmres/internal/obs"
 )
 
 func main() {
@@ -48,6 +58,9 @@ func main() {
 	measured := flag.Bool("measured", false, "time the Figure 11(a,b) host kernels with the wall clock (warmup + best-of-5) instead of the deterministic cost model")
 	traceout := flag.String("traceout", "", "write a Chrome trace_event JSON of every simulated context to this file (open in chrome://tracing or Perfetto)")
 	traceEvents := flag.Int("trace-events", bench.DefaultTraceEvents, "per-context event capacity for -traceout")
+	metrics := flag.String("metrics", "", "write Prometheus text-format metrics aggregated over every simulated context to this file")
+	serve := flag.String("serve", "", "serve /metrics, /trace.json and /debug/pprof on this address; starts before the figures run (profile -measured live) and blocks after them")
+	benchJSON := flag.String("benchjson", "", "write the modeled Figure 11 kernel study as a JSON benchmark snapshot to this file (deterministic, no timestamps)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -59,8 +72,28 @@ func main() {
 	if *measured {
 		cfg.Timer = &measure.WallTimer{Warmup: 1, Reps: 5, Select: measure.SelectMin}
 	}
-	if *traceout != "" {
+	if *traceout != "" || *metrics != "" || *serve != "" {
 		cfg.Trace = bench.NewTraceCollector(*traceEvents)
+	}
+
+	var reg *obs.Registry
+	if *metrics != "" || *serve != "" {
+		reg = obs.NewRegistry()
+		// Every timed host kernel also lands in the registry's histograms.
+		if cfg.Timer == nil {
+			cfg.Timer = measure.NewModelTimer(gpu.M2090())
+		}
+		cfg.Timer = measure.Instrument(cfg.Timer, reg)
+	}
+	if *serve != "" {
+		// Start before the figures so /debug/pprof can profile a live
+		// -measured run; /metrics fills in as contexts are collected below.
+		_, addr, err := obs.Serve(*serve, obs.Handler(reg, cfg.Trace.Traces))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving /metrics, /metrics.json, /trace.json, /debug/pprof on http://%s\n", addr)
 	}
 
 	emit := func(name string, rows any) {
@@ -123,7 +156,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,ablation or all)\n", *fig)
 		os.Exit(2)
 	}
-	if cfg.Trace != nil {
+	if *traceout != "" {
 		f, err := os.Create(*traceout)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -140,6 +173,73 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d traced contexts)\n", *traceout, len(cfg.Trace.Traces()))
 	}
+
+	if reg != nil {
+		// Fold every simulated context's ledger into the registry, then the
+		// retained event rings into the size/duration histograms.
+		for _, c := range cfg.Trace.Contexts() {
+			obs.CollectStats(reg, c.Stats())
+			obs.ObserveTrace(reg, c.Stats().Trace())
+		}
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		err = reg.WritePrometheus(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatalf("writing %s: %v", *metrics, err)
+		}
+		fmt.Printf("wrote %s\n", *metrics)
+	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *scale, *devices); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+
+	if *serve != "" {
+		fmt.Println("figures done; still serving (ctrl-C to stop)")
+		select {}
+	}
+}
+
+// writeBenchJSON runs the Figure 11 kernel study under the deterministic
+// model timer and writes the rows as a benchmark snapshot. No wall-clock
+// values or timestamps enter the file, so reruns are byte-identical and
+// the snapshot can be committed and diffed across changes.
+func writeBenchJSON(path string, scale float64, devices int) error {
+	cfg := bench.Config{Scale: scale, MaxDevices: devices}
+	cfg.Defaults()
+	snap := struct {
+		Name    string              `json:"name"`
+		Scale   float64             `json:"scale"`
+		Devices int                 `json:"devices"`
+		Fig11ab []bench.Fig11Kernel `json:"fig11ab"`
+		Fig11c  []bench.Fig11cRow   `json:"fig11c"`
+	}{
+		Name:    "fig11-kernel-study",
+		Scale:   cfg.Scale,
+		Devices: cfg.MaxDevices,
+		Fig11ab: bench.Fig11ab(cfg),
+		Fig11c:  bench.Fig11c(cfg),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 func contains(xs []string, v string) bool {

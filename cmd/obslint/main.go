@@ -1,0 +1,73 @@
+// Command obslint validates the observability artifacts the solvers and
+// benchmark drivers emit:
+//
+//	obslint -prom out.prom        lint Prometheus text-format metrics
+//	obslint -jsonl out.jsonl      lint a convergence-telemetry stream
+//	obslint -trace out.trace.json validate a Chrome trace_event export
+//
+// Any combination of flags may be given; the command exits non-zero on
+// the first failing artifact. make metrics-smoke runs a small solve and
+// pushes all three outputs through this command.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cagmres/internal/obs"
+)
+
+func main() {
+	prom := flag.String("prom", "", "Prometheus text-format file to lint")
+	jsonl := flag.String("jsonl", "", "JSON-lines telemetry file to lint")
+	trace := flag.String("trace", "", "Chrome trace_event JSON file to validate")
+	flag.Parse()
+	if *prom == "" && *jsonl == "" && *trace == "" {
+		fmt.Fprintln(os.Stderr, "obslint: nothing to do (want -prom, -jsonl and/or -trace)")
+		os.Exit(2)
+	}
+
+	if *prom != "" {
+		data := read(*prom)
+		if err := obs.LintPrometheus(data); err != nil {
+			fail(*prom, err)
+		}
+		fmt.Printf("%s: ok (Prometheus text format)\n", *prom)
+	}
+	if *jsonl != "" {
+		data := read(*jsonl)
+		recs, err := obs.LintTelemetry(data)
+		if err != nil {
+			fail(*jsonl, err)
+		}
+		fmt.Printf("%s: ok (%d telemetry records, monotone clock, ends with done)\n", *jsonl, len(recs))
+	}
+	if *trace != "" {
+		data := read(*trace)
+		var tf struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &tf); err != nil {
+			fail(*trace, err)
+		}
+		if len(tf.TraceEvents) == 0 {
+			fail(*trace, fmt.Errorf("no traceEvents"))
+		}
+		fmt.Printf("%s: ok (%d trace events)\n", *trace, len(tf.TraceEvents))
+	}
+}
+
+func read(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(path, err)
+	}
+	return data
+}
+
+func fail(path string, err error) {
+	fmt.Fprintf(os.Stderr, "obslint: %s: %v\n", path, err)
+	os.Exit(1)
+}

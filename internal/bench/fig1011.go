@@ -10,10 +10,19 @@ import (
 )
 
 // Fig10Row pairs a strategy's analytic properties with its measured
-// per-window transfer count on the simulated devices.
+// per-window transfer count on the simulated devices, plus the ledger's
+// kernel-launch and flop accounting for the factorization.
 type Fig10Row struct {
 	ortho.Property
 	MeasuredComm int
+	// Kernels is the number of device kernel launches the factorization
+	// issued (ledger "tsqr" phase).
+	Kernels int
+	// DeviceFlops is the total device flops charged, summed over devices.
+	DeviceFlops float64
+	// AchievedGflops is DeviceFlops over the phase's critical-path device
+	// time — the modeled achieved rate of the strategy.
+	AchievedGflops float64
 }
 
 // Fig10 prints the TSQR strategy property table (Figure 10) and verifies
@@ -26,7 +35,8 @@ func Fig10(cfg Config) []Fig10Row {
 	v := matgen.RandomTallSkinny(n, s+1, 1e2, 7)
 	out := make([]Fig10Row, 0, len(props))
 	cfg.printf("Figure 10: TSQR strategy properties, n=%d, s=%d\n", n, s)
-	cfg.printf("%-8s %-16s %12s %10s %10s  %s\n", "name", "error", "flops", "comm", "measured", "kernel")
+	cfg.printf("%-8s %-16s %12s %10s %10s %8s %12s %10s  %s\n",
+		"name", "error", "flops", "comm", "measured", "kernels", "devflops", "Gflop/s", "kernel")
 	for _, p := range props {
 		strat, err := ortho.ByName(p.Name)
 		if err != nil {
@@ -38,10 +48,13 @@ func Fig10(cfg Config) []Fig10Row {
 		if _, err := strat.Factor(ctx, w, "tsqr"); err != nil {
 			panic(err)
 		}
-		row := Fig10Row{Property: p, MeasuredComm: ctx.Stats().Phase("tsqr").Rounds}
+		ph := ctx.Stats().Phase("tsqr")
+		row := Fig10Row{Property: p, MeasuredComm: ph.Rounds,
+			Kernels: ph.Kernels, DeviceFlops: ph.DeviceFlops, AchievedGflops: ph.DeviceGflops()}
 		out = append(out, row)
-		cfg.printf("%-8s %-16s %12.3e %10d %10d  %s\n",
-			p.Name, p.ErrorBound, p.Flops, p.CommCount, row.MeasuredComm, p.BLASLevel)
+		cfg.printf("%-8s %-16s %12.3e %10d %10d %8d %12.3e %10.2f  %s\n",
+			p.Name, p.ErrorBound, p.Flops, p.CommCount, row.MeasuredComm,
+			row.Kernels, row.DeviceFlops, row.AchievedGflops, p.BLASLevel)
 	}
 	return out
 }
@@ -77,6 +90,9 @@ type Fig11Kernel struct {
 	// (cmd/experiments -measured).
 	Gflops  float64
 	Elapsed time.Duration
+	// Flops is the per-invocation floating-point operation count the rate
+	// was computed from.
+	Flops float64
 	// Modeled reports which clock produced the numbers.
 	Modeled bool
 }
@@ -149,7 +165,7 @@ func Fig11ab(cfg Config) []Fig11Kernel {
 func timeKernel(cfg Config, k measure.Kernel, rows int, f func()) Fig11Kernel {
 	s := cfg.Timer.Time(k, f)
 	out := Fig11Kernel{Kernel: k.Name, Rows: rows, Elapsed: s.Duration(),
-		Gflops: s.Gflops(k.Flops), Modeled: s.Modeled}
+		Gflops: s.Gflops(k.Flops), Flops: k.Flops, Modeled: s.Modeled}
 	cfg.printf("%-22s %10d %10.2f\n", k.Name, rows, out.Gflops)
 	return out
 }

@@ -80,6 +80,19 @@ func (t *TraceCollector) Traces() []gpu.Trace {
 	return out
 }
 
+// Contexts returns every attached context, in attach order. The
+// observability bridges use it to fold each context's full Stats ledger
+// into a metrics registry (Traces only exposes the event rings).
+func (t *TraceCollector) Contexts() []*gpu.Context {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*gpu.Context, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = e.ctx
+	}
+	return out
+}
+
 // WriteChrome exports the collected traces in Chrome trace_event format.
 func (t *TraceCollector) WriteChrome(w io.Writer) error {
 	return gpu.WriteChromeTrace(w, t.Traces())

@@ -5,6 +5,7 @@ import (
 
 	"cagmres/internal/dist"
 	"cagmres/internal/la"
+	"cagmres/internal/obs"
 	"cagmres/internal/ortho"
 )
 
@@ -59,8 +60,10 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 	W := dist.NewVectors(ctx, p.Layout, 3) // x, b, r
 	W.SetColFromHost(1, p.B)
 
+	em := newEmitter(opts.Telemetry, "cagmres", ctx)
 	bNorm := la.Nrm2(p.B)
 	if bNorm == 0 {
+		em.emit(obs.Record{Kind: "done"})
 		return &Result{X: p.Unmap(make([]float64, n)), Converged: true, RelRes: 0, Stats: ctx.Stats()}, nil
 	}
 
@@ -83,6 +86,7 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 		relres := beta / bNorm
 		if restart > 0 {
 			res.History = append(res.History, relres)
+			em.emit(obs.Record{Kind: "restart", Restart: restart, Step: res.Iters, RelRes: relres})
 		}
 		if relres <= opts.Tol {
 			res.Converged = true
@@ -97,6 +101,10 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 			// First cycle: standard GMRES iterations, harvesting H.
 			k := gmresCycle(mpk1, V, h, m, beta, bNorm*opts.Tol)
 			res.Iters += k
+			if em.enabled() {
+				em.emit(obs.Record{Kind: "cycle", Restart: restart, Step: k, RelRes: relres,
+					OrthoLoss: orthoLoss(V.Window(0, k+1))})
+			}
 			giv := solveSmall(h, k, beta)
 			ctx.HostCompute(PhaseLSQ, 3*float64(m+1)*float64(m+1))
 			W.UpdateWithBasis(0, V, 0, giv[:k], PhaseVec)
@@ -181,6 +189,10 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 				return res, fmt.Errorf("core: CA-GMRES restart %d window at %d (%s): %w",
 					restart, done, tsqr.Name(), err)
 			}
+			var winLoss float64
+			if em.enabled() {
+				winLoss = orthoLoss(win)
+			}
 			updateHessenberg(h, bhat, c, r, q, steps)
 			ctx.HostCompute(PhaseLSQ, 2*float64(q+steps)*float64(steps)*float64(q+steps))
 
@@ -189,6 +201,9 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 			// Residual estimate from the growing Hessenberg system.
 			_, rn := la.HessenbergLS(subHessenberg(h, done), e1(done+1, beta))
 			ctx.HostCompute(PhaseLSQ, 3*float64(done+1)*float64(done+1))
+			relres = rn / bNorm
+			em.emit(obs.Record{Kind: "window", Restart: restart, Step: done, RelRes: relres,
+				OrthoLoss: winLoss, TSQR: tsqr.Name()})
 			if rn/bNorm <= opts.Tol {
 				converged = true
 			}
@@ -203,6 +218,10 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 			}
 		}
 		res.Iters += done
+		if em.enabled() {
+			em.emit(obs.Record{Kind: "cycle", Restart: restart, Step: done, RelRes: relres,
+				OrthoLoss: orthoLoss(V.Window(0, done+1))})
+		}
 
 		y, _ := la.HessenbergLS(subHessenberg(h, done), e1(done+1, beta))
 		ctx.HostCompute(PhaseLSQ, 3*float64(done+1)*float64(done+1))
@@ -214,6 +233,7 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 		negateInto(W, 2, 1)
 		res.RelRes = W.NormCol(2, PhaseVec) / bNorm
 	}
+	em.emit(obs.Record{Kind: "done", Restart: res.Restarts, Step: res.Iters, RelRes: res.RelRes})
 	res.X = p.Unmap(W.GatherCol(0))
 	return res, nil
 }

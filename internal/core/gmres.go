@@ -7,6 +7,7 @@ import (
 	"cagmres/internal/dist"
 	"cagmres/internal/gpu"
 	"cagmres/internal/la"
+	"cagmres/internal/obs"
 	"cagmres/internal/ortho"
 )
 
@@ -44,6 +45,12 @@ type Options struct {
 	// and retries instead of discarding the window or failing, restoring
 	// s on later restarts when windows factor at first attempt again.
 	AdaptiveS bool
+	// Telemetry, when non-nil, receives a convergence-telemetry record
+	// stream: per inner step (GMRES) or matrix-powers window (CA-GMRES),
+	// per restart cycle, and a final "done" record whose RelRes matches
+	// the returned Result. Every record carries the ledger's modeled
+	// clock at emission. A nil sink disables telemetry at zero cost.
+	Telemetry obs.Sink
 }
 
 func (o *Options) defaults() {
@@ -127,9 +134,11 @@ func GMRES(p *Problem, opts Options) (*Result, error) {
 	W := dist.NewVectors(ctx, p.Layout, 3)
 	W.SetColFromHost(1, p.B)
 
+	em := newEmitter(opts.Telemetry, "gmres", ctx)
 	bNorm := la.Nrm2(p.B)
 	if bNorm == 0 {
 		// Trivial system: x = 0.
+		em.emit(obs.Record{Kind: "done"})
 		return &Result{X: p.Unmap(make([]float64, n)), Converged: true, RelRes: 0, Stats: ctx.Stats()}, nil
 	}
 
@@ -143,6 +152,7 @@ func GMRES(p *Problem, opts Options) (*Result, error) {
 		relres := beta / bNorm
 		if restart > 0 {
 			res.History = append(res.History, relres)
+			em.emit(obs.Record{Kind: "restart", Restart: restart, Step: res.Iters, RelRes: relres})
 		}
 		if relres <= opts.Tol {
 			res.Converged = true
@@ -156,6 +166,7 @@ func GMRES(p *Problem, opts Options) (*Result, error) {
 
 		giv := la.NewGivensQR(m, beta)
 		k := 0
+		rel := relres
 		for ; k < m; k++ {
 			mpk.SpMV(V, k, V, k+1, PhaseSpMV)
 			hcol := make([]float64, k+2)
@@ -168,8 +179,9 @@ func GMRES(p *Problem, opts Options) (*Result, error) {
 			for i := 0; i <= k+1; i++ {
 				h.Set(i, k, hcol[i])
 			}
-			rel := giv.Append(hcol) / bNorm
+			rel = giv.Append(hcol) / bNorm
 			ctx.HostCompute(PhaseLSQ, float64(6*(k+1)))
+			em.emit(obs.Record{Kind: "step", Restart: restart, Step: k + 1, RelRes: rel})
 			if err != nil {
 				// Happy breakdown: the Krylov space is invariant; the
 				// projection column is still valid (its subdiagonal entry
@@ -183,6 +195,10 @@ func GMRES(p *Problem, opts Options) (*Result, error) {
 			}
 		}
 		res.Iters += k
+		if em.enabled() {
+			em.emit(obs.Record{Kind: "cycle", Restart: restart, Step: k, RelRes: rel,
+				OrthoLoss: orthoLoss(V.Window(0, k+1))})
+		}
 
 		// Solve the small least-squares problem and update x.
 		y := giv.Solve()
@@ -195,6 +211,7 @@ func GMRES(p *Problem, opts Options) (*Result, error) {
 		negateInto(W, 2, 1)
 		res.RelRes = W.NormCol(2, PhaseVec) / bNorm
 	}
+	em.emit(obs.Record{Kind: "done", Restart: res.Restarts, Step: res.Iters, RelRes: res.RelRes})
 	res.X = p.Unmap(W.GatherCol(0))
 	return res, nil
 }

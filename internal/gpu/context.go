@@ -195,36 +195,37 @@ func (c *Context) roundTime(bytes []int) (total int, t float64) {
 // latency plus the serialized bus time of the total volume (per path in
 // the multi-node model).
 func (c *Context) ReduceRound(phase string, bytes []int) {
-	total, t := c.roundTime(bytes)
-	c.stats.addComm(phase, dirD2H, len(bytes), total, t)
+	_, t := c.roundTime(bytes)
+	c.stats.addComm(phase, dirD2H, bytes, t)
 }
 
 // BroadcastRound records one host->device round (scatter/broadcast),
 // symmetric to ReduceRound.
 func (c *Context) BroadcastRound(phase string, bytes []int) {
-	total, t := c.roundTime(bytes)
-	c.stats.addComm(phase, dirH2D, len(bytes), total, t)
+	_, t := c.roundTime(bytes)
+	c.stats.addComm(phase, dirH2D, bytes, t)
 }
 
-// DeviceKernel records a parallel device kernel: every device executes its
-// own work item concurrently, so the phase advances by the maximum device
-// time.
+// DeviceKernel records a parallel device kernel: every device executes
+// its own work item concurrently, so the phase advances by the maximum
+// device time while each device's own ledger is charged its own time
+// (work[d] is device d's share — the index is the device id).
 func (c *Context) DeviceKernel(phase string, work []Work) {
-	var max float64
-	for _, w := range work {
-		if t := c.Model.deviceTime(w); t > max {
-			max = t
-		}
+	ts := make([]float64, len(work))
+	for d, w := range work {
+		ts[d] = c.Model.deviceTime(w)
 	}
-	c.stats.addCompute(phase, max, work)
+	c.stats.addCompute(phase, ts, work)
 }
 
 // UniformKernel is DeviceKernel for identical per-device work.
 func (c *Context) UniformKernel(phase string, w Work) {
-	ts := c.Model.deviceTime(w)
+	t := c.Model.deviceTime(w)
 	work := make([]Work, c.NumDevices)
+	ts := make([]float64, c.NumDevices)
 	for d := range work {
 		work[d] = w
+		ts[d] = t
 	}
 	c.stats.addCompute(phase, ts, work)
 }

@@ -218,17 +218,28 @@ func TestTraceRecordsEvents(t *testing.T) {
 	ctx.UniformKernel("spmv", Work{Flops: 1e6})
 	ctx.HostCompute("lsq", 1e3)
 	ev := ctx.Stats().Trace()
-	if len(ev) != 4 {
+	// The kernel launch fans out into one event per device, sharing a Step.
+	if len(ev) != 5 {
 		t.Fatalf("got %d events", len(ev))
 	}
-	wantKinds := []string{"reduce", "broadcast", "kernel", "host"}
+	wantKinds := []string{"reduce", "broadcast", "kernel", "kernel", "host"}
+	wantDevs := []int{HostDevice, HostDevice, 0, 1, HostDevice}
 	for i, e := range ev {
 		if e.Kind != wantKinds[i] {
 			t.Fatalf("event %d kind %q, want %q", i, e.Kind, wantKinds[i])
 		}
+		if e.Device != wantDevs[i] {
+			t.Fatalf("event %d device %d, want %d", i, e.Device, wantDevs[i])
+		}
 		if e.Seq != i {
 			t.Fatalf("event %d seq %d", i, e.Seq)
 		}
+	}
+	if ev[2].Step != ev[3].Step {
+		t.Fatal("per-device kernel events must share a launch step")
+	}
+	if ev[1].Step == ev[2].Step || ev[3].Step == ev[4].Step {
+		t.Fatal("distinct launches must not share a step")
 	}
 	if ev[0].Phase != "tsqr" || ev[0].Bytes != 16 {
 		t.Fatalf("event 0 = %+v", ev[0])

@@ -35,25 +35,53 @@ func (p PhaseStats) Total() float64 { return p.CommTime + p.DeviceTime + p.HostT
 // Bytes returns the total transferred volume in both directions.
 func (p PhaseStats) Bytes() int { return p.BytesD2H + p.BytesH2D }
 
+// DeviceGflops returns the achieved device compute rate of the phase in
+// Gflop/s (zero when no device time was charged).
+func (p PhaseStats) DeviceGflops() float64 {
+	if p.DeviceTime <= 0 {
+		return 0
+	}
+	return p.DeviceFlops / p.DeviceTime / 1e9
+}
+
 // Event is one traced ledger entry, in program order. Kind is "reduce",
 // "broadcast", "kernel", or "host".
+//
+// Device attributes the event to one simulated device: kernel events
+// carry the device that executed them, while communication rounds and
+// host compute use HostDevice (the shared bus / CPU is not a device).
+// Step groups the events charged by a single ledger call (one kernel
+// launch fans out into one event per device, all sharing a Step), so
+// exporters can lay concurrent per-device slices side by side instead of
+// serializing them.
 type Event struct {
-	Seq   int
-	Phase string
-	Kind  string
-	Bytes int
-	Time  float64
+	Seq    int
+	Step   int
+	Device int
+	Phase  string
+	Kind   string
+	Bytes  int
+	Time   float64
 }
+
+// HostDevice is the Event.Device value of entries that do not belong to a
+// particular device: communication rounds and host compute.
+const HostDevice = -1
 
 // Stats is a thread-safe ledger of per-phase modeled costs, optionally
 // recording an event trace (a bounded ring buffer) for debugging and the
-// CLI's -trace flag.
+// CLI's -trace flag. Alongside the per-phase aggregates it keeps a
+// per-device breakdown (DevicePhase) so load imbalance across the
+// simulated GPUs is observable, not just the critical-path maximum.
 type Stats struct {
-	mu     sync.Mutex
-	phases map[string]*PhaseStats
+	mu        sync.Mutex
+	phases    map[string]*PhaseStats
+	devPhases []map[string]*PhaseStats
 
 	traceCap  int
-	traceSeq  int
+	traceSeq  int // next event id, monotone across EnableTrace re-arms
+	traceStep int // next launch-group id
+	traceHead int // ring overwrite cursor (index of the oldest entry once full)
 	traceRing []Event
 }
 
@@ -63,7 +91,8 @@ func NewStats() *Stats {
 }
 
 // EnableTrace starts recording events into a ring buffer holding the
-// last limit entries.
+// last limit entries. Re-arming mid-trace discards the recorded events
+// and resets the ring cursor; event Seq numbers keep counting.
 func (s *Stats) EnableTrace(limit int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -72,6 +101,7 @@ func (s *Stats) EnableTrace(limit int) {
 	}
 	s.traceCap = limit
 	s.traceRing = s.traceRing[:0]
+	s.traceHead = 0
 }
 
 // Trace returns the recorded events in order (oldest first).
@@ -89,17 +119,28 @@ func sortEventsBySeq(ev []Event) {
 }
 
 // record appends an event to the ring buffer (caller holds the lock).
-func (s *Stats) record(phase, kind string, bytes int, t float64) {
+// The ring position comes from a dedicated cursor, not from Seq, so the
+// oldest entry is always the one overwritten even after EnableTrace
+// re-armed the ring mid-run.
+func (s *Stats) record(e Event) {
 	if s.traceCap == 0 {
 		return
 	}
-	e := Event{Seq: s.traceSeq, Phase: phase, Kind: kind, Bytes: bytes, Time: t}
+	e.Seq = s.traceSeq
 	s.traceSeq++
 	if len(s.traceRing) < s.traceCap {
 		s.traceRing = append(s.traceRing, e)
 		return
 	}
-	s.traceRing[e.Seq%s.traceCap] = e
+	s.traceRing[s.traceHead] = e
+	s.traceHead = (s.traceHead + 1) % s.traceCap
+}
+
+// nextStep allocates a launch-group id (caller holds the lock).
+func (s *Stats) nextStep() int {
+	step := s.traceStep
+	s.traceStep++
+	return step
 }
 
 func (s *Stats) get(phase string) *PhaseStats {
@@ -111,35 +152,83 @@ func (s *Stats) get(phase string) *PhaseStats {
 	return p
 }
 
-func (s *Stats) addComm(phase string, dir direction, msgs, bytes int, t float64) {
+// devGet returns device d's stats for a phase (caller holds the lock).
+func (s *Stats) devGet(d int, phase string) *PhaseStats {
+	for len(s.devPhases) <= d {
+		s.devPhases = append(s.devPhases, make(map[string]*PhaseStats))
+	}
+	p, ok := s.devPhases[d][phase]
+	if !ok {
+		p = &PhaseStats{}
+		s.devPhases[d][phase] = p
+	}
+	return p
+}
+
+// addComm charges one communication round: bytes[d] is device d's share,
+// t the modeled time of the whole round. Every participating device is
+// occupied for the full round, so each per-device ledger is charged t.
+func (s *Stats) addComm(phase string, dir direction, bytes []int, t float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.get(phase)
 	p.Rounds++
-	p.Messages += msgs
+	p.Messages += len(bytes)
+	var total int
+	for _, b := range bytes {
+		total += b
+	}
 	kind := "reduce"
 	if dir == dirD2H {
-		p.BytesD2H += bytes
+		p.BytesD2H += total
 	} else {
-		p.BytesH2D += bytes
+		p.BytesH2D += total
 		kind = "broadcast"
 	}
 	p.CommTime += t
-	s.record(phase, kind, bytes, t)
+	for d, b := range bytes {
+		dp := s.devGet(d, phase)
+		dp.Rounds++
+		dp.Messages++
+		if dir == dirD2H {
+			dp.BytesD2H += b
+		} else {
+			dp.BytesH2D += b
+		}
+		dp.CommTime += t
+	}
+	s.record(Event{Step: s.nextStep(), Device: HostDevice, Phase: phase, Kind: kind, Bytes: total, Time: t})
 }
 
-func (s *Stats) addCompute(phase string, t float64, work []Work) {
+// addCompute charges one parallel kernel launch: ts[d] and work[d] are
+// device d's modeled time and cost shape. The phase aggregate advances by
+// the slowest device (the devices run concurrently); the per-device
+// ledgers record each device's own time, which is what makes load
+// imbalance visible. One trace event is recorded per device, all sharing
+// a launch Step.
+func (s *Stats) addCompute(phase string, ts []float64, work []Work) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.get(phase)
-	p.DeviceTime += t
+	var max float64
+	for _, t := range ts {
+		if t > max {
+			max = t
+		}
+	}
+	p.DeviceTime += max
 	p.Kernels++
-	var bytes float64
 	for _, w := range work {
 		p.DeviceFlops += w.Flops
-		bytes += w.Bytes
 	}
-	s.record(phase, "kernel", int(bytes), t)
+	step := s.nextStep()
+	for d := range work {
+		dp := s.devGet(d, phase)
+		dp.DeviceTime += ts[d]
+		dp.DeviceFlops += work[d].Flops
+		dp.Kernels++
+		s.record(Event{Step: step, Device: d, Phase: phase, Kind: "kernel", Bytes: int(work[d].Bytes), Time: ts[d]})
+	}
 }
 
 func (s *Stats) addHost(phase string, t, flops float64) {
@@ -148,7 +237,7 @@ func (s *Stats) addHost(phase string, t, flops float64) {
 	p := s.get(phase)
 	p.HostTime += t
 	p.HostFlops += flops
-	s.record(phase, "host", 0, t)
+	s.record(Event{Step: s.nextStep(), Device: HostDevice, Phase: phase, Kind: "host", Bytes: 0, Time: t})
 }
 
 // Phase returns a copy of the named phase's stats (zero value if the
@@ -160,6 +249,30 @@ func (s *Stats) Phase(name string) PhaseStats {
 		return *p
 	}
 	return PhaseStats{}
+}
+
+// DevicePhase returns a copy of device d's share of the named phase
+// (zero value if the device never touched the phase). DeviceTime is the
+// device's own busy time, not the launch maximum, so summing DevicePhase
+// over devices can exceed Phase(name).DeviceTime — that surplus is
+// exactly the parallelism.
+func (s *Stats) DevicePhase(d int, name string) PhaseStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d >= 0 && d < len(s.devPhases) {
+		if p, ok := s.devPhases[d][name]; ok {
+			return *p
+		}
+	}
+	return PhaseStats{}
+}
+
+// TrackedDevices returns the number of devices that have per-device
+// entries (the highest charged device id plus one).
+func (s *Stats) TrackedDevices() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.devPhases)
 }
 
 // Phases returns the phase names in sorted order.
@@ -174,48 +287,93 @@ func (s *Stats) Phases() []string {
 	return names
 }
 
-// TotalTime returns the modeled time summed over all phases.
+// TotalTime returns the modeled time summed over all phases. The sum
+// runs in sorted phase order so repeated calls on the same ledger return
+// bit-identical values (map iteration order would perturb the last ULP,
+// breaking the telemetry stream's monotone-clock guarantee).
 func (s *Stats) TotalTime() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.phases))
+	for n := range s.phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	var t float64
-	for _, p := range s.phases {
+	for _, n := range names {
+		p := s.phases[n]
 		t += p.CommTime + p.DeviceTime + p.HostTime
 	}
 	return t
 }
 
-// Merge adds other's counters into s (used to combine per-restart ledgers).
+func addInto(p, op *PhaseStats) {
+	p.Rounds += op.Rounds
+	p.Messages += op.Messages
+	p.BytesD2H += op.BytesD2H
+	p.BytesH2D += op.BytesH2D
+	p.CommTime += op.CommTime
+	p.DeviceTime += op.DeviceTime
+	p.DeviceFlops += op.DeviceFlops
+	p.HostTime += op.HostTime
+	p.HostFlops += op.HostFlops
+	p.Kernels += op.Kernels
+}
+
+// Merge adds other's counters into s (used to combine per-restart
+// ledgers), including the per-device breakdowns.
 func (s *Stats) Merge(other *Stats) {
 	other.mu.Lock()
 	defer other.mu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for name, op := range other.phases {
-		p := s.get(name)
-		p.Rounds += op.Rounds
-		p.Messages += op.Messages
-		p.BytesD2H += op.BytesD2H
-		p.BytesH2D += op.BytesH2D
-		p.CommTime += op.CommTime
-		p.DeviceTime += op.DeviceTime
-		p.DeviceFlops += op.DeviceFlops
-		p.HostTime += op.HostTime
-		p.HostFlops += op.HostFlops
-		p.Kernels += op.Kernels
+		addInto(s.get(name), op)
+	}
+	for d, phases := range other.devPhases {
+		for name, op := range phases {
+			addInto(s.devGet(d, name), op)
+		}
 	}
 }
 
 // String renders a compact per-phase table.
 func (s *Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %8s %8s %12s %12s %10s %10s %10s\n",
-		"phase", "rounds", "msgs", "bytesD2H", "bytesH2D", "comm(ms)", "dev(ms)", "host(ms)")
+	fmt.Fprintf(&b, "%-10s %8s %8s %12s %12s %10s %10s %10s %8s %12s %10s\n",
+		"phase", "rounds", "msgs", "bytesD2H", "bytesH2D", "comm(ms)", "dev(ms)", "host(ms)",
+		"kernels", "devflops", "Gflop/s")
 	for _, name := range s.Phases() {
 		p := s.Phase(name)
-		fmt.Fprintf(&b, "%-10s %8d %8d %12d %12d %10.3f %10.3f %10.3f\n",
+		fmt.Fprintf(&b, "%-10s %8d %8d %12d %12d %10.3f %10.3f %10.3f %8d %12.3e %10.2f\n",
 			name, p.Rounds, p.Messages, p.BytesD2H, p.BytesH2D,
-			p.CommTime*1e3, p.DeviceTime*1e3, p.HostTime*1e3)
+			p.CommTime*1e3, p.DeviceTime*1e3, p.HostTime*1e3,
+			p.Kernels, p.DeviceFlops, p.DeviceGflops())
+	}
+	return b.String()
+}
+
+// DeviceString renders the per-device breakdown of every phase: one block
+// per device that did work, showing where each device's busy time went.
+// Devices run concurrently, so a device whose dev(ms) column trails the
+// others was idle for the difference — the load-imbalance view of
+// Figures 6-8.
+func (s *Stats) DeviceString() string {
+	var b strings.Builder
+	nd := s.TrackedDevices()
+	for d := 0; d < nd; d++ {
+		fmt.Fprintf(&b, "device %d:\n", d)
+		fmt.Fprintf(&b, "  %-10s %8s %12s %12s %10s %10s %8s %10s\n",
+			"phase", "rounds", "bytesD2H", "bytesH2D", "comm(ms)", "dev(ms)", "kernels", "Gflop/s")
+		for _, name := range s.Phases() {
+			p := s.DevicePhase(d, name)
+			if p == (PhaseStats{}) {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-10s %8d %12d %12d %10.3f %10.3f %8d %10.2f\n",
+				name, p.Rounds, p.BytesD2H, p.BytesH2D,
+				p.CommTime*1e3, p.DeviceTime*1e3, p.Kernels, p.DeviceGflops())
+		}
 	}
 	return b.String()
 }

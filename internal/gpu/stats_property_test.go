@@ -22,11 +22,11 @@ func fillLedger(rng *rand.Rand, s *Stats, phases []string) {
 		phase := phases[rng.Intn(len(phases))]
 		switch rng.Intn(4) {
 		case 0:
-			s.addComm(phase, dirD2H, 3, rng.Intn(1<<12), dyadic(rng))
+			s.addComm(phase, dirD2H, []int{rng.Intn(1 << 12), rng.Intn(1 << 12), rng.Intn(1 << 12)}, dyadic(rng))
 		case 1:
-			s.addComm(phase, dirH2D, 2, rng.Intn(1<<12), dyadic(rng))
+			s.addComm(phase, dirH2D, []int{rng.Intn(1 << 12), rng.Intn(1 << 12)}, dyadic(rng))
 		case 2:
-			s.addCompute(phase, dyadic(rng), []Work{
+			s.addCompute(phase, []float64{dyadic(rng), dyadic(rng)}, []Work{
 				{Flops: float64(rng.Intn(1 << 20)), Bytes: float64(rng.Intn(1 << 20))},
 				{Flops: float64(rng.Intn(1 << 20)), Bytes: float64(rng.Intn(1 << 20))},
 			})
@@ -65,6 +65,9 @@ func TestMergeOrderIndependentProperty(t *testing.T) {
 		}
 		for _, ph := range phases {
 			phaseEqual(t, ph, fwd.Phase(ph), bwd.Phase(ph))
+			for d := 0; d < 3; d++ {
+				phaseEqual(t, ph, fwd.DevicePhase(d, ph), bwd.DevicePhase(d, ph))
+			}
 		}
 		if fwd.TotalTime() != bwd.TotalTime() {
 			t.Fatalf("trial %d: totals differ: %v vs %v", trial, fwd.TotalTime(), bwd.TotalTime())
@@ -97,6 +100,85 @@ func TestMergeSumsCountersExactly(t *testing.T) {
 			Kernels:     a.Kernels + b.Kernels,
 		}
 		phaseEqual(t, ph, m, want)
+		for d := 0; d < 3; d++ {
+			da, db, dm := sa.DevicePhase(d, ph), sb.DevicePhase(d, ph), merged.DevicePhase(d, ph)
+			dw := PhaseStats{}
+			addInto(&dw, &da)
+			addInto(&dw, &db)
+			phaseEqual(t, ph, dm, dw)
+		}
+	}
+}
+
+func TestEnableTraceRearmMidTrace(t *testing.T) {
+	// Regression: EnableTrace used to reset the ring but not the sequence
+	// counter, and record indexed the ring by Seq%cap — so after a mid-run
+	// re-arm the wrap slot no longer pointed at the oldest entry and the
+	// ring dropped the wrong events. The dedicated ring cursor keeps the
+	// last min(cap, count) events regardless of where Seq stands.
+	ctx := NewContext(1, M2090())
+	ctx.Stats().EnableTrace(5)
+	for i := 0; i < 7; i++ { // wrap once: Seq is now past the capacity
+		ctx.ReduceRound("warm", []int{i})
+	}
+	ctx.Stats().EnableTrace(5) // re-arm mid-trace
+	for i := 0; i < 6; i++ {   // one past capacity again
+		ctx.ReduceRound("p", []int{100 + i})
+	}
+	ev := ctx.Stats().Trace()
+	if len(ev) != 5 {
+		t.Fatalf("re-armed ring kept %d events, want 5", len(ev))
+	}
+	for i, e := range ev {
+		// The last 5 of the 6 post-re-arm events, contiguous and in order.
+		if e.Phase != "p" || e.Bytes != 100+1+i {
+			t.Fatalf("event %d after re-arm: %+v (want phase p, bytes %d)", i, e, 100+1+i)
+		}
+		if i > 0 && e.Seq != ev[i-1].Seq+1 {
+			t.Fatalf("non-contiguous Seq after re-arm: %+v", ev)
+		}
+	}
+}
+
+func TestPerDeviceAttribution(t *testing.T) {
+	// DeviceKernel charges each device its own modeled time; the phase
+	// aggregate advances by the maximum. Comm rounds charge every
+	// participating device the full round time and its own byte share.
+	model := M2090()
+	ctx := NewContext(3, model)
+	work := []Work{
+		{Flops: 1e9, Bytes: 0}, // compute bound
+		{Flops: 4e9, Bytes: 0}, // 4x slower: the straggler
+		{Flops: 2e9, Bytes: 0},
+	}
+	ctx.DeviceKernel("tsqr", work)
+	for d, w := range work {
+		want := w.Flops/(model.DeviceGflops*1e9) + model.KernelLaunch
+		got := ctx.Stats().DevicePhase(d, "tsqr")
+		if got.DeviceTime != want {
+			t.Fatalf("device %d time %v, want %v", d, got.DeviceTime, want)
+		}
+		if got.DeviceFlops != w.Flops || got.Kernels != 1 {
+			t.Fatalf("device %d stats %+v", d, got)
+		}
+	}
+	agg := ctx.Stats().Phase("tsqr")
+	straggler := ctx.Stats().DevicePhase(1, "tsqr").DeviceTime
+	if agg.DeviceTime != straggler {
+		t.Fatalf("aggregate %v, want straggler %v", agg.DeviceTime, straggler)
+	}
+
+	bytes := []int{100, 200, 300}
+	ctx.ReduceRound("mpk", bytes)
+	_, roundT := ctx.roundTime(bytes)
+	for d, b := range bytes {
+		got := ctx.Stats().DevicePhase(d, "mpk")
+		if got.BytesD2H != b || got.CommTime != roundT || got.Rounds != 1 || got.Messages != 1 {
+			t.Fatalf("device %d comm stats %+v", d, got)
+		}
+	}
+	if n := ctx.Stats().TrackedDevices(); n != 3 {
+		t.Fatalf("TrackedDevices = %d, want 3", n)
 	}
 }
 

@@ -48,25 +48,41 @@ type chromeTraceFile struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// laneFor maps an event kind to a stable thread lane so communication,
-// device compute and host compute render as separate rows per process.
-func laneFor(kind string) (tid int, lane string) {
-	switch kind {
+// Lane tids of the Chrome export: the shared bus and the host CPU come
+// first, then one lane per simulated device.
+const (
+	commLane       = 0
+	hostLane       = 1
+	deviceLaneBase = 2
+)
+
+// laneFor maps an event to a stable thread lane: communication and host
+// compute each get one shared row, and every simulated device gets its
+// own row (deviceLaneBase + id) so load imbalance across devices is
+// visible on the timeline.
+func laneFor(e Event) (tid int, lane string) {
+	switch e.Kind {
 	case "reduce", "broadcast":
-		return 0, "comm (PCIe/interconnect)"
+		return commLane, "comm (PCIe/interconnect)"
 	case "kernel":
-		return 1, "device compute"
+		if e.Device >= 0 {
+			return deviceLaneBase + e.Device, fmt.Sprintf("device %d compute", e.Device)
+		}
+		return deviceLaneBase, "device compute"
 	default:
-		return 2, "host compute"
+		return hostLane, "host compute"
 	}
 }
 
 // WriteChromeTrace renders the traces in Chrome trace_event format: each
-// Trace becomes one process (pid), each event kind one named thread lane,
-// and every ledger event a complete-duration slice. Timestamps are the
-// cumulative modeled clock: events are laid end to end in Seq order, so
-// the x-axis is deterministic modeled time, not wall time. If a ring
-// buffer wrapped, the clock starts at zero from the oldest retained event.
+// Trace becomes one process (pid), each event a complete-duration slice
+// on its lane — one lane per device plus shared comm and host lanes.
+// Timestamps are the cumulative modeled clock: launch groups (events
+// sharing a Step — e.g. the per-device slices of one kernel launch) start
+// together and the clock advances by the group's maximum duration, so
+// concurrent device work renders side by side and the x-axis is
+// deterministic modeled time, not wall time. If a ring buffer wrapped,
+// the clock starts at zero from the oldest retained event.
 func WriteChromeTrace(w io.Writer, traces []Trace) error {
 	file := chromeTraceFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
 	for pid, tr := range traces {
@@ -80,26 +96,42 @@ func WriteChromeTrace(w io.Writer, traces []Trace) error {
 		})
 		lanes := map[int]bool{}
 		clock := 0.0 // modeled seconds since the first retained event
-		for _, e := range tr.Events {
-			tid, lane := laneFor(e.Kind)
-			if !lanes[tid] {
-				lanes[tid] = true
+		for i := 0; i < len(tr.Events); {
+			// One launch group: consecutive events sharing a Step.
+			j := i
+			var groupDur float64
+			for j < len(tr.Events) && tr.Events[j].Step == tr.Events[i].Step {
+				if t := tr.Events[j].Time; t > groupDur {
+					groupDur = t
+				}
+				j++
+			}
+			for _, e := range tr.Events[i:j] {
+				tid, lane := laneFor(e)
+				if !lanes[tid] {
+					lanes[tid] = true
+					file.TraceEvents = append(file.TraceEvents, chromeEvent{
+						Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+						Args: map[string]any{"name": lane},
+					})
+				}
+				args := map[string]any{"seq": e.Seq, "bytes": e.Bytes}
+				if e.Device >= 0 {
+					args["device"] = e.Device
+				}
 				file.TraceEvents = append(file.TraceEvents, chromeEvent{
-					Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
-					Args: map[string]any{"name": lane},
+					Name: e.Phase,
+					Cat:  e.Kind,
+					Ph:   "X",
+					Ts:   clock * 1e6, // microseconds
+					Dur:  e.Time * 1e6,
+					Pid:  pid,
+					Tid:  tid,
+					Args: args,
 				})
 			}
-			file.TraceEvents = append(file.TraceEvents, chromeEvent{
-				Name: e.Phase,
-				Cat:  e.Kind,
-				Ph:   "X",
-				Ts:   clock * 1e6, // microseconds
-				Dur:  e.Time * 1e6,
-				Pid:  pid,
-				Tid:  tid,
-				Args: map[string]any{"seq": e.Seq, "bytes": e.Bytes},
-			})
-			clock += e.Time
+			clock += groupDur
+			i = j
 		}
 	}
 	enc := json.NewEncoder(w)

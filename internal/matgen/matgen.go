@@ -326,8 +326,22 @@ func ByName(name string, scale float64) (*Matrix, error) {
 		return DielFilter(scale), nil
 	case "nlpkkt120", "nlpkkt":
 		return NLPKKT(scale), nil
+	case "laplace3d", "laplace":
+		// Generic 7-point Laplacian with mild convection: the structured
+		// smoke-test problem (make metrics-smoke) — well conditioned at any
+		// scale, so tiny observability runs converge in a few restarts.
+		n := int(1585000 * scale)
+		if n < 64 {
+			n = 64
+		}
+		nx, ny, nz := cube(n)
+		return &Matrix{
+			Name: "laplace3d",
+			Kind: "3D convection-diffusion",
+			A:    Laplace3D(nx, ny, nz, 0.1),
+		}, nil
 	}
-	return nil, fmt.Errorf("matgen: unknown matrix %q (want cant, G3_circuit, dielFilterV2real, nlpkkt120)", name)
+	return nil, fmt.Errorf("matgen: unknown matrix %q (want cant, G3_circuit, dielFilterV2real, nlpkkt120, laplace3d)", name)
 }
 
 // PaperSet returns all four analogues at the given scale, in the paper's

@@ -1,0 +1,34 @@
+package measure
+
+// Observer receives every timed kernel sample. The obs package's metrics
+// registry implements it (Registry.ObserveKernel), feeding per-kernel
+// duration histograms and sample counters without this package knowing
+// about metrics at all.
+type Observer interface {
+	// ObserveKernel reports one sample: the kernel's name, the selected
+	// per-invocation seconds, and whether the clock was modeled.
+	ObserveKernel(name string, seconds float64, modeled bool)
+}
+
+// Instrument wraps a Timer so every sample is also reported to o. A nil
+// observer returns t unchanged; determinism of the underlying timer is
+// preserved (observation never perturbs the clock).
+func Instrument(t Timer, o Observer) Timer {
+	if o == nil {
+		return t
+	}
+	return instrumented{t: t, o: o}
+}
+
+type instrumented struct {
+	t Timer
+	o Observer
+}
+
+func (i instrumented) Time(k Kernel, f func()) Sample {
+	s := i.t.Time(k, f)
+	i.o.ObserveKernel(k.Name, s.Seconds, s.Modeled)
+	return s
+}
+
+func (i instrumented) Deterministic() bool { return i.t.Deterministic() }

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strconv"
+
+	"cagmres/internal/gpu"
+)
+
+// Histogram layouts for the ledger-derived distributions: transfer sizes
+// span one scalar to a gigabyte, kernel durations one nanosecond of
+// modeled time to ten seconds.
+var (
+	transferBuckets = ExpBuckets(8, 4, 14)     // 8 B .. ~512 MB
+	durationBuckets = ExpBuckets(1e-9, 10, 10) // 1 ns .. 10 s
+)
+
+// CollectStats folds a gpu.Stats ledger into the registry: per-phase
+// time/byte/round counters and the per-device breakdowns. Calling it
+// again with the same ledger would double-count — collect once per
+// solve, or merge ledgers first.
+func CollectStats(r *Registry, s *gpu.Stats) {
+	for _, name := range s.Phases() {
+		p := s.Phase(name)
+		l := L("phase", name)
+		r.CounterL("gpu_phase_comm_seconds_total", "Modeled communication seconds per phase.", l).Add(p.CommTime)
+		r.CounterL("gpu_phase_device_seconds_total", "Modeled device-compute seconds per phase (critical path).", l).Add(p.DeviceTime)
+		r.CounterL("gpu_phase_host_seconds_total", "Modeled host-compute seconds per phase.", l).Add(p.HostTime)
+		r.CounterL("gpu_phase_rounds_total", "Communication rounds per phase.", l).Add(float64(p.Rounds))
+		r.CounterL("gpu_phase_messages_total", "Per-device messages per phase.", l).Add(float64(p.Messages))
+		r.CounterL("gpu_phase_kernels_total", "Device kernel launches per phase.", l).Add(float64(p.Kernels))
+		r.CounterL("gpu_phase_device_flops_total", "Device flops per phase, summed over devices.", l).Add(p.DeviceFlops)
+		r.CounterL("gpu_phase_bytes_total", "Transferred bytes per phase and direction.",
+			L("phase", name, "dir", "d2h")).Add(float64(p.BytesD2H))
+		r.CounterL("gpu_phase_bytes_total", "Transferred bytes per phase and direction.",
+			L("phase", name, "dir", "h2d")).Add(float64(p.BytesH2D))
+	}
+	for d := 0; d < s.TrackedDevices(); d++ {
+		dev := strconv.Itoa(d)
+		for _, name := range s.Phases() {
+			p := s.DevicePhase(d, name)
+			if p == (gpu.PhaseStats{}) {
+				continue
+			}
+			l := L("device", dev, "phase", name)
+			r.CounterL("gpu_device_seconds_total", "Per-device busy seconds per phase.", l).Add(p.DeviceTime + p.CommTime)
+			r.CounterL("gpu_device_kernel_seconds_total", "Per-device kernel seconds per phase.", l).Add(p.DeviceTime)
+			r.CounterL("gpu_device_flops_total", "Per-device flops per phase.", l).Add(p.DeviceFlops)
+			r.CounterL("gpu_device_kernels_total", "Per-device kernel executions per phase.", l).Add(float64(p.Kernels))
+			r.CounterL("gpu_device_bytes_total", "Per-device transferred bytes per phase.", l).Add(float64(p.Bytes()))
+		}
+	}
+}
+
+// ObserveTrace folds a recorded event trace into the registry's
+// distribution metrics: transfer-size and kernel-duration histograms.
+// Use the same ledger's Trace() that CollectStats summarized; if the
+// ring wrapped, the histograms cover the retained tail.
+func ObserveTrace(r *Registry, events []gpu.Event) {
+	for _, e := range events {
+		switch e.Kind {
+		case "reduce", "broadcast":
+			r.HistogramL("gpu_transfer_bytes", "Per-round transfer sizes.",
+				transferBuckets, L("dir", dirLabel(e.Kind))).Observe(float64(e.Bytes))
+		case "kernel":
+			r.Histogram("gpu_kernel_seconds", "Per-device modeled kernel durations.",
+				durationBuckets).Observe(e.Time)
+		}
+	}
+}
+
+func dirLabel(kind string) string {
+	if kind == "reduce" {
+		return "d2h"
+	}
+	return "h2d"
+}
+
+// ObserveKernel implements the measure package's Observer interface
+// without importing it: instrumented benchmark timers report every host
+// kernel sample here, feeding a per-kernel duration histogram and a
+// modeled/measured sample counter.
+func (r *Registry) ObserveKernel(name string, seconds float64, modeled bool) {
+	mode := "measured"
+	if modeled {
+		mode = "modeled"
+	}
+	r.HistogramL("host_kernel_seconds", "Host benchmark kernel durations.",
+		durationBuckets, L("kernel", name)).Observe(seconds)
+	r.CounterL("host_kernel_samples_total", "Host benchmark kernel samples, by clock source.",
+		L("kernel", name, "mode", mode)).Inc()
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): HELP and TYPE comments followed by
+// one sample line per series, histograms expanded into cumulative
+// _bucket/_sum/_count samples. Families and series are emitted in sorted
+// order, so the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case kindHistogram:
+				cum := uint64(0)
+				for i, bound := range s.buckets {
+					cum += s.counts[i]
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, withLE(s.labels, formatFloat(bound)), cum)
+				}
+				cum += s.counts[len(s.buckets)]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, withLE(s.labels, "+Inf"), cum)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, s.key, formatFloat(s.sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, s.key, s.count)
+			default:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.key, formatFloat(s.value))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// withLE renders a label set with the histogram le label appended.
+func withLE(l Labels, le string) string {
+	merged := make(Labels, len(l)+1)
+	for k, v := range l {
+		merged[k] = v
+	}
+	merged["le"] = le
+	return merged.key()
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// JSONMetric is one family in the JSON export.
+type JSONMetric struct {
+	Name   string       `json:"name"`
+	Type   string       `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []JSONSeries `json:"series"`
+}
+
+// JSONSeries is one series of a family in the JSON export.
+type JSONSeries struct {
+	Labels Labels `json:"labels,omitempty"`
+	// Value is set for counters and gauges.
+	Value *float64 `json:"value,omitempty"`
+	// Histogram fields.
+	Buckets []float64 `json:"buckets,omitempty"` // upper bounds
+	Counts  []uint64  `json:"counts,omitempty"`  // per-bucket (non-cumulative), +Inf last
+	Sum     *float64  `json:"sum,omitempty"`
+	Count   *uint64   `json:"count,omitempty"`
+}
+
+// Snapshot returns the registry contents as exportable values, sorted by
+// family name and series labels.
+func (r *Registry) Snapshot() []JSONMetric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JSONMetric, 0, len(r.families))
+	for _, f := range r.sortedFamilies() {
+		m := JSONMetric{Name: f.name, Type: f.kind.String(), Help: f.help}
+		for _, s := range f.sortedSeries() {
+			js := JSONSeries{Labels: s.labels}
+			if len(js.Labels) == 0 {
+				js.Labels = nil
+			}
+			if f.kind == kindHistogram {
+				js.Buckets = append([]float64(nil), s.buckets...)
+				js.Counts = append([]uint64(nil), s.counts...)
+				sum, count := s.sum, s.count
+				js.Sum, js.Count = &sum, &count
+			} else {
+				v := s.value
+				js.Value = &v
+			}
+			m.Series = append(m.Series, js)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteJSON renders the registry as indented JSON (an array of families).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates Prometheus text exposition data: every sample
+// line must parse (metric name, optional label set, float value), every
+// sampled family must carry a TYPE declaration, HELP/TYPE comments must
+// be well formed, and histogram series must have cumulative,
+// non-decreasing _bucket counts ending in a le="+Inf" bucket that equals
+// _count. It returns nil when the input passes, or an error naming the
+// first offending line. make metrics-smoke runs this over the CLI's
+// -metrics output.
+func LintPrometheus(data []byte) error {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	types := map[string]string{}           // family -> declared type
+	sampled := map[string]bool{}           // family (base name) -> saw a sample
+	bucketCums := map[string][]bucketSam{} // histogram series (name+labels sans le) -> buckets
+	counts := map[string]float64{}         // histogram series -> _count value
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, types); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := baseName(name, types)
+		sampled[base] = true
+		if _, ok := types[base]; !ok {
+			return fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if types[base] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le, rest, err := splitLE(labels)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			key := strings.TrimSuffix(name, "_bucket") + rest
+			bucketCums[key] = append(bucketCums[key], bucketSam{le: le, cum: value})
+		}
+		if types[base] == "histogram" && strings.HasSuffix(name, "_count") {
+			counts[strings.TrimSuffix(name, "_count")+labels] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(types) == 0 {
+		return fmt.Errorf("no metric families found")
+	}
+	// Histogram invariants per series.
+	for key, buckets := range bucketCums {
+		sort.SliceStable(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+		last := -1.0
+		hasInf := false
+		var infCum float64
+		for _, b := range buckets {
+			if b.cum < last {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative", key)
+			}
+			last = b.cum
+			if b.le == infLE {
+				hasInf = true
+				infCum = b.cum
+			}
+		}
+		if !hasInf {
+			return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", key)
+		}
+		if c, ok := counts[key]; ok && c != infCum {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", key, c, infCum)
+		}
+	}
+	return nil
+}
+
+// infLE is the sort key of the le="+Inf" bucket.
+var infLE = math.Inf(1)
+
+// baseName strips the histogram sample suffixes so _bucket/_sum/_count
+// samples resolve to their declared family.
+func baseName(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// parseValue parses a sample value, accepting the exposition format's
+// +Inf/-Inf/NaN spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// LintTelemetry validates a JSON-lines telemetry stream: every line must
+// be a valid JSON Record, the modeled clock must be monotone
+// non-decreasing, and the stream must end with a "done" record. It
+// returns the parsed records on success.
+func LintTelemetry(data []byte) ([]Record, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []Record
+	lineNo := 0
+	clock := 0.0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("line %d: invalid JSON: %w", lineNo, err)
+		}
+		if rec.Kind == "" {
+			return nil, fmt.Errorf("line %d: record without kind", lineNo)
+		}
+		if rec.Clock < clock {
+			return nil, fmt.Errorf("line %d: clock went backwards (%v after %v)", lineNo, rec.Clock, clock)
+		}
+		clock = rec.Clock
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty telemetry stream")
+	}
+	if out[len(out)-1].Kind != "done" {
+		return nil, fmt.Errorf("stream does not end with a done record (got %q)", out[len(out)-1].Kind)
+	}
+	return out, nil
+}
+
+type bucketSam struct {
+	le  float64
+	cum float64
+}
+
+var nameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// lintComment validates a # HELP/# TYPE line and records declared types.
+func lintComment(line string, types map[string]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment, allowed
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !nameRe.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if prev, ok := types[name]; ok && prev != typ {
+			return fmt.Errorf("metric %q re-declared as %s (was %s)", name, typ, prev)
+		}
+		types[name] = typ
+	case "HELP":
+		if len(fields) < 3 || !nameRe.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	}
+	return nil
+}
+
+// parseSample splits "name{labels} value [timestamp]".
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i : j+1]
+		if err := lintLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !nameRe.MatchString(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp in %q", line)
+		}
+	}
+	return name, labels, value, nil
+}
+
+var labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// lintLabels validates a {k="v",...} block.
+func lintLabels(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil
+	}
+	for _, pair := range splitLabelPairs(inner) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair %q", pair)
+		}
+		k, v := pair[:eq], pair[eq+1:]
+		if !labelRe.MatchString(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label %q value not quoted", k)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	inQ := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			inQ = !inQ
+		case ',':
+			if !inQ {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// splitLE extracts the le label value of a _bucket sample and returns
+// the series key without it.
+func splitLE(labels string) (le float64, rest string, err error) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	found := false
+	for _, pair := range splitLabelPairs(inner) {
+		if strings.HasPrefix(pair, "le=") {
+			found = true
+			v := strings.Trim(pair[3:], `"`)
+			if v == "+Inf" {
+				le = infLE
+				continue
+			}
+			le, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				return 0, "", fmt.Errorf("bad le %q", v)
+			}
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if !found {
+		return 0, "", fmt.Errorf("_bucket sample without le label: %s", labels)
+	}
+	if len(kept) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", nil
+}

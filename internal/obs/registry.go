@@ -1,0 +1,320 @@
+// Package obs is the solver-wide observability layer: a metrics registry
+// (counters, gauges, fixed-bucket histograms) with Prometheus text-format
+// and JSON export, a JSON-lines convergence-telemetry stream the solvers
+// emit through an injectable Sink, bridges that populate the registry
+// from the gpu.Stats ledger and its event trace, and an HTTP handler
+// exposing /metrics, /trace.json and net/http/pprof.
+//
+// The paper's entire argument is about where time goes — per-phase
+// CPU<->GPU communication vs. device compute vs. host compute, and how
+// the balance shifts with the CA parameter s. The ledger answers those
+// questions programmatically; this package makes them observable: a
+// Prometheus scrape, a Perfetto timeline with one lane per device, and a
+// per-restart convergence log any external tool can tail.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates the three metric families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Labels is one metric series' label set.
+type Labels map[string]string
+
+// key renders the canonical, sorted label serialization used both as the
+// series map key and in the Prometheus exposition.
+func (l Labels) key() string {
+	if len(l) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(l))
+	for n := range l {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", n, l[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// L is a convenience constructor: L("phase", "spmv", "dir", "d2h").
+// Panics on an odd argument count — a programming error.
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs: L wants key/value pairs")
+	}
+	l := make(Labels, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		l[kv[i]] = kv[i+1]
+	}
+	return l
+}
+
+// series is one (labels, value) sample of a family. Histograms use the
+// bucket fields instead of value.
+type series struct {
+	labels Labels
+	key    string
+
+	value float64 // counter/gauge
+
+	buckets []float64 // histogram upper bounds (ascending, no +Inf)
+	counts  []uint64  // per-bucket counts, len(buckets)+1 (last is +Inf)
+	sum     float64
+	count   uint64
+}
+
+// family is all series of one metric name.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histogram families share one bucket layout
+	series  map[string]*series
+}
+
+func (f *family) get(l Labels) *series {
+	k := l.key()
+	s, ok := f.series[k]
+	if !ok {
+		cp := make(Labels, len(l))
+		for n, v := range l {
+			cp[n] = v
+		}
+		s = &series{labels: cp, key: k}
+		if f.kind == kindHistogram {
+			s.buckets = f.buckets
+			s.counts = make([]uint64, len(f.buckets)+1)
+		}
+		f.series[k] = s
+	}
+	return s
+}
+
+// Registry holds named metric families. Safe for concurrent use; the
+// zero value is not usable — construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, buckets []float64) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets,
+			series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q redeclared as %v (was %v)", name, kind, f.kind))
+	}
+	return f
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct {
+	r *Registry
+	s *series
+}
+
+// Add increments the counter by v (negative deltas are a programming
+// error and panic).
+func (c Counter) Add(v float64) {
+	if v < 0 {
+		panic("obs: counter decreased")
+	}
+	c.r.mu.Lock()
+	c.s.value += v
+	c.r.mu.Unlock()
+}
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c Counter) Value() float64 {
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	return c.s.value
+}
+
+// Counter registers (or fetches) the named counter family and returns
+// its unlabeled series; use CounterL for a labeled series.
+func (r *Registry) Counter(name, help string) Counter {
+	return r.CounterL(name, help, nil)
+}
+
+// CounterL returns the counter series with the given labels.
+func (r *Registry) CounterL(name, help string, l Labels) Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Counter{r: r, s: r.family(name, help, kindCounter, nil).get(l)}
+}
+
+// Gauge is a series that can go up and down.
+type Gauge struct {
+	r *Registry
+	s *series
+}
+
+// Set replaces the gauge value.
+func (g Gauge) Set(v float64) {
+	g.r.mu.Lock()
+	g.s.value = v
+	g.r.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g Gauge) Value() float64 {
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	return g.s.value
+}
+
+// Gauge registers (or fetches) the named gauge family and returns its
+// unlabeled series; use GaugeL for a labeled series.
+func (r *Registry) Gauge(name, help string) Gauge {
+	return r.GaugeL(name, help, nil)
+}
+
+// GaugeL returns the gauge series with the given labels.
+func (r *Registry) GaugeL(name, help string, l Labels) Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Gauge{r: r, s: r.family(name, help, kindGauge, nil).get(l)}
+}
+
+// Histogram is a fixed-bucket distribution.
+type Histogram struct {
+	r *Registry
+	s *series
+}
+
+// Observe records one sample.
+func (h Histogram) Observe(v float64) {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	i := sort.SearchFloat64s(h.s.buckets, v) // first bucket with bound >= v
+	h.s.counts[i]++
+	h.s.sum += v
+	h.s.count++
+}
+
+// Count returns the number of observations.
+func (h Histogram) Count() uint64 {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.s.count
+}
+
+// Sum returns the sum of observations.
+func (h Histogram) Sum() float64 {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.s.sum
+}
+
+// Histogram registers (or fetches) the named histogram family with the
+// given bucket upper bounds (sorted ascending; +Inf is implicit) and
+// returns its unlabeled series. The bucket layout is fixed at first
+// registration; later calls may pass nil.
+func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
+	return r.HistogramL(name, help, buckets, nil)
+}
+
+// HistogramL returns the histogram series with the given labels.
+func (r *Registry) HistogramL(name, help string, buckets []float64, l Labels) Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+	}
+	return Histogram{r: r, s: r.family(name, help, kindHistogram, buckets).get(l)}
+}
+
+// ExpBuckets returns n exponential bucket bounds starting at start and
+// multiplying by factor (the usual layout for durations and sizes).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// sortedFamilies returns the families sorted by name (caller holds the
+// registry lock; used by the exporters).
+func (r *Registry) sortedFamilies() []*family {
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// sortedSeries returns a family's series sorted by label key (caller
+// holds the registry lock).
+func (f *family) sortedSeries() []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// formatFloat renders a sample value in the Prometheus exposition style.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterL("requests_total", "Requests.", L("code", "200"))
+	c.Add(2)
+	c.Inc()
+	if c.Value() != 3 {
+		t.Fatalf("counter = %v", c.Value())
+	}
+	g := r.Gauge("temperature", "Degrees.")
+	g.Set(12.5)
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	if h.Sum() != 5.555 {
+		t.Fatalf("histogram sum = %v", h.Sum())
+	}
+}
+
+func TestCounterPanicsOnDecrease(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	r.Counter("c", "").Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redeclaring a counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestSameSeriesSharedAcrossHandles(t *testing.T) {
+	r := NewRegistry()
+	r.CounterL("hits_total", "", L("phase", "spmv")).Add(1)
+	r.CounterL("hits_total", "", L("phase", "spmv")).Add(2)
+	if v := r.CounterL("hits_total", "", L("phase", "spmv")).Value(); v != 3 {
+		t.Fatalf("series not shared: %v", v)
+	}
+	if v := r.CounterL("hits_total", "", L("phase", "mpk")).Value(); v != 0 {
+		t.Fatalf("distinct labels leaked: %v", v)
+	}
+}
+
+func TestWritePrometheusFormatAndLint(t *testing.T) {
+	r := NewRegistry()
+	r.CounterL("phase_bytes_total", "Bytes per phase.", L("phase", "spmv", "dir", "d2h")).Add(4096)
+	r.CounterL("phase_bytes_total", "Bytes per phase.", L("phase", "tsqr", "dir", "h2d")).Add(128)
+	r.Gauge("relres", "Relative residual.").Set(3.5e-5)
+	h := r.HistogramL("kernel_seconds", "Kernel durations.", []float64{1e-6, 1e-3}, L("phase", "spmv"))
+	h.Observe(5e-7)
+	h.Observe(5e-4)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE phase_bytes_total counter",
+		`phase_bytes_total{dir="d2h",phase="spmv"} 4096`,
+		"# TYPE relres gauge",
+		"relres 3.5e-05",
+		"# TYPE kernel_seconds histogram",
+		`kernel_seconds_bucket{le="+Inf",phase="spmv"} 3`,
+		`kernel_seconds_count{phase="spmv"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Buckets are cumulative.
+	if !strings.Contains(out, `kernel_seconds_bucket{le="1e-06",phase="spmv"} 1`) ||
+		!strings.Contains(out, `kernel_seconds_bucket{le="0.001",phase="spmv"} 2`) {
+		t.Fatalf("buckets not cumulative:\n%s", out)
+	}
+	// Our own lint accepts our own output.
+	if err := LintPrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("lint rejected own output: %v\n%s", err, out)
+	}
+	// Output is deterministic.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Fatal("WritePrometheus is not deterministic")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.").Add(7)
+	h := r.Histogram("h", "H.", []float64{1, 2})
+	h.Observe(1.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var metrics []JSONMetric
+	if err := json.Unmarshal(buf.Bytes(), &metrics); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(metrics) != 2 {
+		t.Fatalf("got %d families", len(metrics))
+	}
+	if metrics[0].Name != "a_total" || *metrics[0].Series[0].Value != 7 {
+		t.Fatalf("counter lost: %+v", metrics[0])
+	}
+	hj := metrics[1]
+	if hj.Type != "histogram" || *hj.Series[0].Count != 1 || hj.Series[0].Counts[1] != 1 {
+		t.Fatalf("histogram lost: %+v", hj)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.CounterL("c_total", "", L("w", "x")).Inc()
+				r.Histogram("h", "", []float64{1, 10}).Observe(float64(j % 20))
+				var buf bytes.Buffer
+				_ = r.WritePrometheus(&buf)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.CounterL("c_total", "", L("w", "x")).Value(); v != 4000 {
+		t.Fatalf("lost increments: %v", v)
+	}
+	if n := r.Histogram("h", "", nil).Count(); n != 4000 {
+		t.Fatalf("lost observations: %d", n)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v", b)
+		}
+	}
+}
+
+func TestLintPrometheusRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"no families":      "",
+		"missing type":     "foo 1\n",
+		"bad value":        "# TYPE foo counter\nfoo abc\n",
+		"bad name":         "# TYPE 9foo counter\n9foo 1\n",
+		"unquoted label":   "# TYPE foo counter\nfoo{a=b} 1\n",
+		"bad type keyword": "# TYPE foo banana\nfoo 1\n",
+		"no inf bucket":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+	}
+	for name, in := range cases {
+		if err := LintPrometheus([]byte(in)); err == nil {
+			t.Fatalf("%s: lint accepted %q", name, in)
+		}
+	}
+	good := "# HELP foo Something.\n# TYPE foo counter\nfoo{a=\"b\"} 12 1712000000\n"
+	if err := LintPrometheus([]byte(good)); err != nil {
+		t.Fatalf("lint rejected valid input: %v", err)
+	}
+}
