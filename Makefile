@@ -1,16 +1,20 @@
 # Repo gates. `make check` is the full pre-merge bar: vet, staticcheck
 # (when installed), the race detector over the concurrency hot spots
 # (gpu.RunAll and the Stats ledger, la's panel-parallel kernels, the
-# ortho strategies on top of them), then the whole deterministic test
-# suite. `make metrics-smoke` exercises the observability surface
-# end-to-end: a small solve with telemetry/metrics/trace output, each
-# artifact validated by cmd/obslint.
+# ortho strategies on top of them, and the sched/server serving stack),
+# then the whole deterministic test suite, then the serving smoke test.
+# `make metrics-smoke` exercises the observability surface end-to-end:
+# a small solve with telemetry/metrics/trace output, each artifact
+# validated by cmd/obslint. `make serve-smoke` boots cagmresd, drives
+# it with the closed-loop load generator, lints the daemon's /metrics
+# (required scheduler families included) and checks graceful SIGTERM
+# drain.
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race measured golden metrics-smoke bench-snapshot
+.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke bench-snapshot
 
-check: vet staticcheck race test
+check: vet staticcheck race test serve-smoke
 
 build:
 	$(GO) build ./...
@@ -31,7 +35,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/gpu/... ./internal/la/... ./internal/ortho/... ./internal/obs/...
+	$(GO) test -race ./internal/gpu/... ./internal/la/... ./internal/ortho/... ./internal/obs/... \
+		./internal/sched/... ./internal/server/...
 
 # Opt-in wall-clock kernel comparison (needs an unloaded machine).
 measured:
@@ -55,7 +60,11 @@ metrics-smoke:
 	$(GO) run ./cmd/obslint -prom $(SMOKEDIR)/out.prom -jsonl $(SMOKEDIR)/out.jsonl \
 		-trace $(SMOKEDIR)/out.trace.json
 
+# Serving smoke test: daemon + load generator + metrics lint + drain.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve_smoke.sh
+
 # Refresh the committed deterministic benchmark snapshot (modeled
 # Figure 11 kernel study; byte-identical on every machine).
 bench-snapshot:
-	$(GO) run ./cmd/experiments -fig 11 -benchjson BENCH_pr2.json > /dev/null
+	$(GO) run ./cmd/experiments -fig 11 -benchjson BENCH_pr3.json > /dev/null

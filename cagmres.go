@@ -46,10 +46,14 @@ import (
 // Re-exported solver types. See internal/core for full documentation.
 type (
 	// Options configures GMRES and CA-GMRES (restart length M, CA step
-	// S, tolerance, orthogonalization strategy, basis choice).
+	// S, tolerance, orthogonalization strategy, basis choice). Set
+	// Options.Ctx to a context.Context to make the solve cancelable:
+	// the solvers check it at every restart boundary and return the
+	// best-so-far Result with Canceled set once it is done.
 	Options = core.Options
 	// Result reports a solve: solution, convergence, restart/iteration
-	// counts, residual history and the modeled cost ledger.
+	// counts, residual history, the modeled cost ledger, and whether
+	// the solve was canceled via Options.Ctx.
 	Result = core.Result
 	// Problem is a prepared linear system (ordered, balanced,
 	// distributed).
@@ -103,12 +107,15 @@ func NewProblem(ctx *Context, a *Matrix, b []float64, ordering Ordering, balance
 }
 
 // GMRES solves with restarted GMRES(m); Options.Ortho picks the Arnoldi
-// orthogonalization ("MGS" or "CGS").
+// orthogonalization ("MGS" or "CGS"). A non-nil Options.Ctx cancels the
+// solve at the next restart boundary (Result.Canceled).
 func GMRES(p *Problem, opts Options) (*Result, error) { return core.GMRES(p, opts) }
 
 // CAGMRES solves with communication-avoiding GMRES(s, m); Options.Ortho
 // picks the TSQR strategy ("MGS", "CGS", "CholQR", "SVQR", "CAQR",
-// optionally "2x"-prefixed for reorthogonalization).
+// optionally "2x"-prefixed for reorthogonalization). A non-nil
+// Options.Ctx cancels the solve at the next restart or matrix-powers
+// window boundary (Result.Canceled).
 func CAGMRES(p *Problem, opts Options) (*Result, error) { return core.CAGMRES(p, opts) }
 
 // ResidualNorm computes ||b - A x|| / ||b|| host-side for verification.

@@ -1,0 +1,95 @@
+// Command cagmresd is the solver daemon: a device-pool scheduler behind
+// the internal/server HTTP JSON API. It leases simulated multi-GPU
+// contexts to admitted jobs, batches compatible requests into shared
+// leases, enforces deadlines and queue backpressure, and exports the
+// scheduler's instruments on /metrics.
+//
+//	cagmresd -addr :8080 -pool 2 -devices 3
+//
+// SIGINT/SIGTERM trigger a graceful drain: admission stops (new solves
+// get 503), queued and running jobs finish (bounded by -drain-timeout,
+// after which they are canceled at the solvers' next restart boundary),
+// then the listener shuts down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/obs"
+	"cagmres/internal/sched"
+	"cagmres/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+		poolSize     = flag.Int("pool", 2, "number of pooled device contexts")
+		devices      = flag.Int("devices", 3, "simulated GPUs per context")
+		queueDepth   = flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
+		maxBatch     = flag.Int("batch", 8, "max compatible jobs coalesced into one lease (1 disables)")
+		retain       = flag.Int("retain", 1024, "terminal jobs kept resolvable via /jobs/{id}")
+		retryAfter   = flag.Duration("retry-after", time.Second, "backpressure hint on 429 responses")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period before shutdown cancels in-flight jobs")
+		portFile     = flag.String("portfile", "", "write the bound address to this file once listening")
+	)
+	flag.Parse()
+	if err := run(*addr, *poolSize, *devices, *queueDepth, *maxBatch, *retain,
+		*retryAfter, *drainTimeout, *portFile); err != nil {
+		fmt.Fprintln(os.Stderr, "cagmresd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, poolSize, devices, queueDepth, maxBatch, retain int,
+	retryAfter, drainTimeout time.Duration, portFile string) error {
+	reg := obs.NewRegistry()
+	pool := sched.NewPool(poolSize, devices, gpu.M2090())
+	s := sched.New(sched.Config{
+		Pool:       pool,
+		QueueDepth: queueDepth,
+		MaxBatch:   maxBatch,
+		RetryAfter: retryAfter,
+		RetainJobs: retain,
+		Registry:   reg,
+	})
+	s.Start()
+
+	srv, bound, err := obs.Serve(addr, server.New(s, reg))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cagmresd: serving on %s (pool %d×%d GPUs, queue %d, batch %d)\n",
+		bound, poolSize, devices, queueDepth, maxBatch)
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(bound), 0o644); err != nil {
+			return err
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("cagmresd: %v, draining (timeout %v)\n", got, drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		fmt.Printf("cagmresd: drain timeout, canceled in-flight jobs: %v\n", err)
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		_ = srv.Close()
+	}
+	snap := s.Snapshot()
+	fmt.Printf("cagmresd: drained; dispatched=%d leases=%d batched=%d rejected=%d\n",
+		snap.Dispatched, snap.Leases, snap.Batched, snap.Rejected)
+	return nil
+}

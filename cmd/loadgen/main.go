@@ -1,0 +1,350 @@
+// Command loadgen is the deterministic closed-loop load generator for
+// cagmresd. It has two modes sharing one workload definition (k clients,
+// each issuing n solve requests back-to-back with distinct right-hand
+// sides):
+//
+//	-mode live     drives a running daemon over HTTP (POST /solve?wait)
+//	               and reports wall-clock and server-side modeled
+//	               latency percentiles. Used by make serve-smoke.
+//
+//	-mode virtual  runs no server at all: it computes each request's
+//	               modeled service time by executing the solver on a
+//	               simulated device context, charges per-request RPC
+//	               overhead through the virtual-time measure.ModelTimer,
+//	               and replays the closed loop as an event simulation
+//	               over the -pool device contexts. The reported
+//	               percentiles are a pure function of the cost model —
+//	               byte-identical on every machine — so -sweep produces
+//	               a reproducible concurrency-vs-latency curve
+//	               (EXPERIMENTS.md).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cagmres/internal/core"
+	"cagmres/internal/gpu"
+	"cagmres/internal/matgen"
+	"cagmres/internal/measure"
+)
+
+func main() {
+	var (
+		mode       = flag.String("mode", "virtual", "live (drive a daemon over HTTP) or virtual (deterministic replay)")
+		addr       = flag.String("addr", "", "daemon address for -mode live (host:port)")
+		portFile   = flag.String("portfile", "", "read the daemon address from this file (written by cagmresd -portfile)")
+		clients    = flag.Int("clients", 4, "concurrent closed-loop clients")
+		requests   = flag.Int("requests", 4, "requests per client")
+		sweep      = flag.String("sweep", "", "comma-separated client counts to sweep (virtual mode), e.g. 1,2,4,8,16")
+		pool       = flag.Int("pool", 2, "device contexts serving the virtual replay")
+		devices    = flag.Int("devices", 3, "simulated GPUs per context")
+		matrix     = flag.String("matrix", "laplace3d", "generator matrix name")
+		scale      = flag.Float64("scale", 1e-4, "generator scale")
+		mFlag      = flag.Int("m", 30, "restart length")
+		sFlag      = flag.Int("s", 5, "matrix-powers step")
+		tol        = flag.Float64("tol", 1e-8, "convergence tolerance")
+		metricsOut = flag.String("metricsout", "", "live mode: fetch /metrics after the run and write it here")
+	)
+	flag.Parse()
+	if err := run(*mode, *addr, *portFile, *clients, *requests, *sweep, *pool, *devices,
+		*matrix, *scale, *mFlag, *sFlag, *tol, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode, addr, portFile string, clients, requests int, sweep string, pool, devices int,
+	matrix string, scale float64, m, s int, tol float64, metricsOut string) error {
+	switch mode {
+	case "live":
+		if portFile != "" {
+			data, err := os.ReadFile(portFile)
+			if err != nil {
+				return err
+			}
+			addr = strings.TrimSpace(string(data))
+		}
+		if addr == "" {
+			return fmt.Errorf("live mode needs -addr or -portfile")
+		}
+		return runLive(addr, clients, requests, matrix, scale, m, s, tol, metricsOut)
+	case "virtual":
+		counts := []int{clients}
+		if sweep != "" {
+			counts = counts[:0]
+			for _, f := range strings.Split(sweep, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil || v < 1 {
+					return fmt.Errorf("bad -sweep entry %q", f)
+				}
+				counts = append(counts, v)
+			}
+		}
+		return runVirtual(counts, requests, pool, devices, matrix, scale, m, s, tol)
+	}
+	return fmt.Errorf("unknown mode %q (want live or virtual)", mode)
+}
+
+// rhsFor builds the deterministic per-request right-hand side; request
+// identity (client, i) maps to a seed so live and virtual runs solve
+// the same systems.
+func rhsFor(n, seed int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + 0.01*float64((i*131+seed*977)%67)
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------
+// live mode
+
+func runLive(addr string, clients, requests int, matrix string, scale float64,
+	m, s int, tol float64, metricsOut string) error {
+	base := "http://" + addr
+	gen, err := matgen.ByName(matrix, scale)
+	if err != nil {
+		return err
+	}
+	n := gen.A.Rows
+
+	type sample struct {
+		wall    float64 // client-observed seconds
+		modeled float64 // server-reported device seconds
+	}
+	samples := make([][]sample, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				seed := c*requests + i
+				body, _ := json.Marshal(map[string]any{
+					"matrix": map[string]any{"name": matrix, "scale": scale},
+					"m":      m, "s": s, "tol": tol, "ortho": "CholQR",
+					"rhs":  rhsFor(n, seed),
+					"wait": true,
+				})
+				t0 := time.Now()
+				resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("client %d request %d: status %d: %s", c, i, resp.StatusCode, data)
+					return
+				}
+				var job struct {
+					State          string  `json:"state"`
+					Converged      bool    `json:"converged"`
+					ModeledSeconds float64 `json:"modeled_seconds"`
+				}
+				if err := json.Unmarshal(data, &job); err != nil {
+					errs[c] = err
+					return
+				}
+				if job.State != "done" || !job.Converged {
+					errs[c] = fmt.Errorf("client %d request %d: state=%s converged=%t", c, i, job.State, job.Converged)
+					return
+				}
+				samples[c] = append(samples[c], sample{wall: time.Since(t0).Seconds(), modeled: job.ModeledSeconds})
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	var wall, modeled []float64
+	for _, cs := range samples {
+		for _, sm := range cs {
+			wall = append(wall, sm.wall)
+			modeled = append(modeled, sm.modeled)
+		}
+	}
+	total := len(wall)
+	fmt.Printf("loadgen live: %d clients × %d requests against %s (%s n=%d)\n",
+		clients, requests, addr, matrix, n)
+	fmt.Printf("  completed %d solves in %.3fs wall (%.1f solves/s)\n",
+		total, elapsed, float64(total)/elapsed)
+	printPercentiles("wall latency", wall)
+	printPercentiles("modeled device seconds", modeled)
+
+	if metricsOut != "" {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s (%d bytes)\n", metricsOut, len(data))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// virtual mode
+
+// runVirtual replays the closed loop in virtual time: modeled service
+// seconds per request from the solver's own cost ledger, per-request
+// RPC overhead from the measure.ModelTimer, and an event simulation of
+// k clients contending for c device contexts.
+func runVirtual(counts []int, requests, pool, devices int, matrix string, scale float64,
+	m, s int, tol float64) error {
+	gen, err := matgen.ByName(matrix, scale)
+	if err != nil {
+		return err
+	}
+	a := gen.A
+	n := a.Rows
+	maxClients := 0
+	for _, c := range counts {
+		if c > maxClients {
+			maxClients = c
+		}
+	}
+
+	// Modeled service time per request: run the actual solver over a
+	// simulated context, read its ledger. Deterministic per seed.
+	ctx := gpu.NewContext(devices, gpu.M2090())
+	service := make([]float64, maxClients*requests)
+	for seed := range service {
+		ctx.ResetStats()
+		prob, err := core.NewProblem(ctx, a, rhsFor(n, seed), core.KWay, true)
+		if err != nil {
+			return err
+		}
+		res, err := core.CAGMRES(prob, core.Options{M: m, S: s, Tol: tol, Ortho: "CholQR"})
+		if err != nil {
+			return err
+		}
+		if !res.Converged {
+			return fmt.Errorf("seed %d did not converge (relres %.2e)", seed, res.RelRes)
+		}
+		service[seed] = res.Stats.TotalTime()
+	}
+
+	// Per-request RPC overhead: JSON decode + admission + response,
+	// charged as a host kernel through the virtual-time model.
+	timer := measure.NewModelTimer(gpu.M2090())
+	reqBytes := float64(16 * n) // rhs in + x out, 8 bytes each way
+	overhead := timer.Seconds(measure.Kernel{
+		Name: "rpc", Bytes: reqBytes, Parallelism: 1, Dispatches: 4,
+	})
+
+	fmt.Printf("loadgen virtual: %s n=%d, pool %d×%d GPUs, %d requests/client, rpc overhead %.1fus\n",
+		matrix, n, pool, devices, requests, overhead*1e6)
+	fmt.Printf("%8s %10s %10s %10s %10s %10s %12s\n",
+		"clients", "p50", "p90", "p99", "max", "mean", "throughput/s")
+	for _, k := range counts {
+		lat, makespan := replay(k, requests, pool, service, overhead)
+		sort.Float64s(lat)
+		fmt.Printf("%8d %10.4f %10.4f %10.4f %10.4f %10.4f %12.2f\n",
+			k, pct(lat, 50), pct(lat, 90), pct(lat, 99), lat[len(lat)-1],
+			mean(lat), float64(k*requests)/makespan)
+	}
+	return nil
+}
+
+// replay event-simulates the closed loop: each of k clients submits its
+// next request the moment the previous one finishes; c servers take the
+// earliest-submitted pending request (FIFO). Returns per-request
+// latencies (queue wait + service + overhead) and the makespan, all in
+// virtual seconds.
+func replay(k, requests, c int, service []float64, overhead float64) (lat []float64, makespan float64) {
+	type client struct {
+		nextSubmit float64
+		issued     int
+	}
+	clients := make([]client, k)
+	servers := make([]float64, c) // freeAt
+	for done := 0; done < k*requests; done++ {
+		// Earliest-submitted pending client; index tiebreak keeps the
+		// replay deterministic.
+		ci := -1
+		for i := range clients {
+			if clients[i].issued >= requests {
+				continue
+			}
+			if ci < 0 || clients[i].nextSubmit < clients[ci].nextSubmit {
+				ci = i
+			}
+		}
+		// Earliest-free server.
+		si := 0
+		for i := 1; i < c; i++ {
+			if servers[i] < servers[si] {
+				si = i
+			}
+		}
+		cl := &clients[ci]
+		seed := ci*requests + cl.issued
+		submit := cl.nextSubmit
+		start := submit
+		if servers[si] > start {
+			start = servers[si]
+		}
+		finish := start + service[seed] + overhead
+		servers[si] = finish
+		lat = append(lat, finish-submit)
+		cl.nextSubmit = finish
+		cl.issued++
+		if finish > makespan {
+			makespan = finish
+		}
+	}
+	return lat, makespan
+}
+
+func pct(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted)-1)*p/100 + 0.5)
+	return sorted[idx]
+}
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func printPercentiles(label string, xs []float64) {
+	sort.Float64s(xs)
+	fmt.Printf("  %-24s p50=%.4fs p90=%.4fs p99=%.4fs max=%.4fs\n",
+		label, pct(xs, 50), pct(xs, 90), pct(xs, 99), xs[len(xs)-1])
+}

@@ -5,6 +5,10 @@
 //	obslint -jsonl out.jsonl      lint a convergence-telemetry stream
 //	obslint -trace out.trace.json validate a Chrome trace_event export
 //
+// -require, combined with -prom, additionally demands that the named
+// metric families are declared — how make serve-smoke asserts a running
+// cagmresd exports the scheduler's queue/lease/latency instruments.
+//
 // Any combination of flags may be given; the command exits non-zero on
 // the first failing artifact. make metrics-smoke runs a small solve and
 // pushes all three outputs through this command.
@@ -15,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cagmres/internal/obs"
 )
@@ -23,9 +28,14 @@ func main() {
 	prom := flag.String("prom", "", "Prometheus text-format file to lint")
 	jsonl := flag.String("jsonl", "", "JSON-lines telemetry file to lint")
 	trace := flag.String("trace", "", "Chrome trace_event JSON file to validate")
+	require := flag.String("require", "", "comma-separated metric families that -prom must declare")
 	flag.Parse()
 	if *prom == "" && *jsonl == "" && *trace == "" {
 		fmt.Fprintln(os.Stderr, "obslint: nothing to do (want -prom, -jsonl and/or -trace)")
+		os.Exit(2)
+	}
+	if *require != "" && *prom == "" {
+		fmt.Fprintln(os.Stderr, "obslint: -require needs -prom")
 		os.Exit(2)
 	}
 
@@ -34,7 +44,21 @@ func main() {
 		if err := obs.LintPrometheus(data); err != nil {
 			fail(*prom, err)
 		}
-		fmt.Printf("%s: ok (Prometheus text format)\n", *prom)
+		if *require != "" {
+			var families []string
+			for _, f := range strings.Split(*require, ",") {
+				if f = strings.TrimSpace(f); f != "" {
+					families = append(families, f)
+				}
+			}
+			if err := obs.RequireFamilies(data, families); err != nil {
+				fail(*prom, err)
+			}
+			fmt.Printf("%s: ok (Prometheus text format, %d required families present)\n",
+				*prom, len(families))
+		} else {
+			fmt.Printf("%s: ok (Prometheus text format)\n", *prom)
+		}
 	}
 	if *jsonl != "" {
 		data := read(*jsonl)

@@ -79,6 +79,10 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 
 	h := la.NewDense(m+1, m)
 	for restart := 0; restart < opts.MaxRestarts; restart++ {
+		if opts.canceled() {
+			res.Canceled = true
+			break
+		}
 		// r = b - A x, beta, v0.
 		mpk1.SpMV(W, 0, W, 2, PhaseSpMV)
 		negateInto(W, 2, 1)
@@ -146,6 +150,12 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 		converged := false
 		windowFailed := false
 		for done < m && !converged {
+			if opts.canceled() {
+				// Stop between windows: keep the vectors generated so
+				// far (the update below salvages them) and exit.
+				res.Canceled = true
+				break
+			}
 			var steps int
 			var blockShifts []complex128
 			if shiftBlocks != nil {
@@ -208,6 +218,11 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 				converged = true
 			}
 		}
+		if res.Canceled && done == 0 {
+			// Canceled before the first window produced anything: x is
+			// unchanged, stop with the previous restart's iterate.
+			break
+		}
 		if windowFailed {
 			cleanRestarts = 0
 			if done == 0 {
@@ -226,6 +241,9 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 		y, _ := la.HessenbergLS(subHessenberg(h, done), e1(done+1, beta))
 		ctx.HostCompute(PhaseLSQ, 3*float64(done+1)*float64(done+1))
 		W.UpdateWithBasis(0, V, 0, y, PhaseVec)
+		if res.Canceled {
+			break
+		}
 	}
 
 	if !res.Converged {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -51,6 +52,20 @@ type Options struct {
 	// the returned Result. Every record carries the ledger's modeled
 	// clock at emission. A nil sink disables telemetry at zero cost.
 	Telemetry obs.Sink
+	// Ctx, when non-nil, makes the solve cancelable: the solvers check it
+	// at every restart boundary (and CA-GMRES additionally between
+	// matrix-powers windows) and, once it is canceled or past its
+	// deadline, stop early and return the best-so-far Result with
+	// Canceled set. A nil Ctx solves to convergence or MaxRestarts, as
+	// before. This is what lets the internal/sched scheduler enforce
+	// per-job deadlines without tearing down the device context.
+	Ctx context.Context
+}
+
+// canceled reports whether the solve's optional context has been
+// canceled or has exceeded its deadline.
+func (o *Options) canceled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 func (o *Options) defaults() {
@@ -96,6 +111,10 @@ type Result struct {
 	// Stats is the ledger of modeled communication/computation, covering
 	// the whole solve.
 	Stats *gpu.Stats
+	// Canceled reports that Options.Ctx was canceled (or its deadline
+	// expired) before the solve finished; X holds the best iterate
+	// reached and RelRes its true relative residual.
+	Canceled bool
 }
 
 // Phase names used by the solvers on the ledger.
@@ -145,6 +164,10 @@ func GMRES(p *Problem, opts Options) (*Result, error) {
 	res := &Result{Stats: ctx.Stats()}
 	h := la.NewDense(m+1, m)
 	for restart := 0; restart < opts.MaxRestarts; restart++ {
+		if opts.canceled() {
+			res.Canceled = true
+			break
+		}
 		// r = b - A x
 		mpk.SpMV(W, 0, W, 2, PhaseSpMV)
 		negateInto(W, 2, 1) // r := b - r

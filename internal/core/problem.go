@@ -110,6 +110,31 @@ func NewProblem(ctx *gpu.Context, a *sparse.CSR, b []float64, ordering Ordering,
 	return p, nil
 }
 
+// SetB replaces the right-hand side with b, given in ORIGINAL
+// coordinates, re-applying the problem's permutation and row scaling.
+// It is what lets a pooled server reuse one prepared Problem — the
+// ordering, partition and balance work — across many right-hand sides:
+// the batching path of internal/sched solves a whole batch of
+// compatible requests against a single preparation.
+func (p *Problem) SetB(b []float64) error {
+	if len(b) != p.A.Rows {
+		return fmt.Errorf("core: rhs length %d for n=%d", len(b), p.A.Rows)
+	}
+	bp := make([]float64, len(b))
+	if p.perm != nil {
+		for newIdx, old := range p.perm {
+			bp[newIdx] = b[old]
+		}
+	} else {
+		copy(bp, b)
+	}
+	if p.rowScale != nil {
+		sparse.ApplyRowScale(p.rowScale, bp)
+	}
+	p.B = bp
+	return nil
+}
+
 // ApplyJacobi right-preconditions the prepared system with the inverse
 // diagonal: the solvers then iterate on A*D^{-1} y = b and Unmap returns
 // x = D^{-1} y. Diagonal (Jacobi) preconditioning is the one classical

@@ -92,6 +92,36 @@ func LintPrometheus(data []byte) error {
 	return nil
 }
 
+// RequireFamilies checks that the Prometheus exposition declares every
+// named metric family (a TYPE line), reporting all missing ones in one
+// error. It is how the serve smoke test asserts a running cagmresd
+// exports the scheduler's queue/lease/latency instruments
+// (cmd/obslint -require).
+func RequireFamilies(data []byte, families []string) error {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	declared := map[string]bool{}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			declared[fields[2]] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	var missing []string
+	for _, f := range families {
+		if !declared[f] {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing required metric families: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
 // infLE is the sort key of the le="+Inf" bucket.
 var infLE = math.Inf(1)
 

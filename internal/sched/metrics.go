@@ -1,0 +1,104 @@
+package sched
+
+import "cagmres/internal/obs"
+
+// Bucket layouts: wall-clock wait/service spans 100 microseconds to ~100
+// seconds; modeled service spans 1 microsecond to ~4 seconds of device
+// clock; batch sizes are small integers.
+var (
+	wallBuckets    = obs.ExpBuckets(1e-4, 2, 21)
+	modeledBuckets = obs.ExpBuckets(1e-6, 4, 12)
+	batchBuckets   = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+)
+
+// metrics holds the scheduler's registry instruments. All families are
+// created eagerly at construction so a freshly started daemon already
+// exports every series obslint requires; a nil *metrics (no registry
+// configured) disables everything.
+type metrics struct {
+	depth        obs.Gauge
+	poolInUse    obs.Gauge
+	poolSize     obs.Gauge
+	wait         obs.Histogram
+	serviceWall  obs.Histogram
+	serviceModel obs.Histogram
+	batchJobs    obs.Histogram
+	rejections   obs.Counter
+	leases       obs.Counter
+	leaseSeconds obs.Counter
+	jobs         map[State]obs.Counter
+}
+
+func newMetrics(r *obs.Registry, pool *Pool) *metrics {
+	if r == nil {
+		return nil
+	}
+	m := &metrics{
+		depth: r.Gauge("sched_queue_depth",
+			"Jobs waiting in the admission queue."),
+		poolInUse: r.Gauge("sched_pool_in_use",
+			"Device contexts currently leased."),
+		poolSize: r.Gauge("sched_pool_size",
+			"Device contexts the pool owns."),
+		wait: r.Histogram("sched_queue_wait_seconds",
+			"Wall-clock time jobs spent queued before dispatch.", wallBuckets),
+		serviceWall: r.HistogramL("sched_service_seconds",
+			"Per-job service time, by clock source.", wallBuckets,
+			obs.L("clock", "wall")),
+		serviceModel: r.HistogramL("sched_service_seconds",
+			"Per-job service time, by clock source.", wallBuckets,
+			obs.L("clock", "modeled")),
+		batchJobs: r.Histogram("sched_batch_jobs",
+			"Jobs coalesced into one device lease.", batchBuckets),
+		rejections: r.Counter("sched_rejections_total",
+			"Submissions rejected by admission control (queue full)."),
+		leases: r.Counter("sched_leases_total",
+			"Device-context leases taken."),
+		leaseSeconds: r.Counter("sched_lease_seconds_total",
+			"Wall-clock seconds device contexts were leased."),
+		jobs: make(map[State]obs.Counter),
+	}
+	for _, st := range []State{StateDone, StateCanceled, StateFailed} {
+		m.jobs[st] = r.CounterL("sched_jobs_total",
+			"Jobs finished, by terminal state.", obs.L("state", string(st)))
+	}
+	m.poolSize.Set(float64(pool.Size()))
+	m.poolInUse.Set(float64(pool.InUse()))
+	pool.OnChange(func(inUse, size int) {
+		m.poolInUse.Set(float64(inUse))
+		m.poolSize.Set(float64(size))
+	})
+	return m
+}
+
+func (m *metrics) setDepth(d int) {
+	if m != nil {
+		m.depth.Set(float64(d))
+	}
+}
+
+func (m *metrics) rejected() {
+	if m != nil {
+		m.rejections.Inc()
+	}
+}
+
+func (m *metrics) lease(seconds float64, jobs int) {
+	if m != nil {
+		m.leases.Inc()
+		m.leaseSeconds.Add(seconds)
+		m.batchJobs.Observe(float64(jobs))
+	}
+}
+
+func (m *metrics) finished(st State, wait, wall, modeled float64) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.jobs[st]; ok {
+		c.Inc()
+	}
+	m.wait.Observe(wait)
+	m.serviceWall.Observe(wall)
+	m.serviceModel.Observe(modeled)
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"cagmres/internal/core"
+	"cagmres/internal/gpu"
+)
+
+func TestPoolAcquireRelease(t *testing.T) {
+	p := NewPool(2, 3, gpu.M2090())
+	if p.Size() != 2 || p.Devices() != 3 {
+		t.Fatalf("pool shape %d/%d, want 2/3", p.Size(), p.Devices())
+	}
+	c1, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", p.InUse())
+	}
+
+	// Third acquire must block until a release, and must honor context
+	// cancellation while blocked.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx); err == nil {
+		t.Fatalf("acquire on an empty pool did not respect the context")
+	}
+
+	got := make(chan *gpu.Context)
+	go func() {
+		c, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- c
+	}()
+	p.Release(c1)
+	select {
+	case c := <-got:
+		if c != c1 {
+			t.Fatalf("blocked acquire got a different context")
+		}
+		p.Release(c)
+	case <-time.After(5 * time.Second):
+		t.Fatalf("blocked acquire never woke up")
+	}
+	p.Release(c2)
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d after all releases", p.InUse())
+	}
+}
+
+// TestPooledReuseNoLeak is the pooled-reuse leak regression of the
+// issue: one context leased for many sequential solves must not
+// accumulate worker goroutines, and every release must hand the next
+// lease a clean ledger.
+func TestPooledReuseNoLeak(t *testing.T) {
+	a := testMatrix()
+	p := NewPool(1, 3, gpu.M2090())
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		ctx, err := p.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ctx.Stats().TotalTime(); got != 0 {
+			t.Fatalf("lease %d started with a dirty ledger: %v modeled seconds", i, got)
+		}
+		prob, err := core.NewProblem(ctx, a, testRHS(a.Rows, i), core.KWay, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.CAGMRES(prob, core.Options{M: 20, S: 5, Tol: 1e-8, Ortho: "CholQR"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("solve %d unconverged", i)
+		}
+		if res.Stats.TotalTime() <= 0 {
+			t.Fatalf("solve %d charged no modeled time", i)
+		}
+		p.Release(ctx)
+	}
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines accumulated across pooled solves: %d before, %d after",
+		before, runtime.NumGoroutine())
+}

@@ -1,0 +1,552 @@
+package sched
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cagmres/internal/core"
+	"cagmres/internal/obs"
+	"cagmres/internal/sparse"
+)
+
+// Spec describes one solve job: the system to solve and the solver
+// configuration. Matrix is shared and must not be mutated after Submit.
+type Spec struct {
+	// Matrix is the system matrix in original coordinates.
+	Matrix *sparse.CSR
+	// MatrixKey identifies the matrix contents for batching: jobs whose
+	// specs differ only in B and share a non-empty MatrixKey may be
+	// coalesced into one device lease and one problem preparation. An
+	// empty key disables batching for the job.
+	MatrixKey string
+	// B is the right-hand side in original coordinates.
+	B []float64
+	// Solver selects "gmres" or "ca".
+	Solver string
+	// Ordering and Balance configure the problem preparation.
+	Ordering core.Ordering
+	Balance  bool
+	// Opts configures the solver. Ctx and Telemetry are owned by the
+	// scheduler and overwritten per job.
+	Opts core.Options
+}
+
+// batchKey renders the compatibility class of the spec: two jobs with
+// equal non-empty keys can share a lease and a prepared problem.
+func (s *Spec) batchKey() string {
+	if s.MatrixKey == "" {
+		return ""
+	}
+	o := s.Opts
+	return fmt.Sprintf("%s|%s|%s|%t|m%d|s%d|tol%g|mr%d|%s|%s|%s|%t",
+		s.MatrixKey, s.Solver, s.Ordering, s.Balance,
+		o.M, o.S, o.Tol, o.MaxRestarts, o.Ortho, o.BOrth, o.Basis, o.AdaptiveS)
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Rejected submissions never produce a Job; every submitted
+// job ends in done, canceled, or failed.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateCanceled State = "canceled"
+	StateFailed   State = "failed"
+)
+
+// Job is one admitted solve request.
+type Job struct {
+	// ID is the scheduler-assigned identifier ("job-<seq>").
+	ID string
+	// Priority orders dispatch: higher first, FIFO within a class.
+	Priority int
+	// Spec is the solve request.
+	Spec Spec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	seq   uint64 // admission sequence, the FIFO tiebreak
+	index int    // heap position
+
+	mu          sync.Mutex
+	state       State
+	dispatchSeq uint64
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	result      *core.Result
+	err         error
+	done        chan struct{}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the solve result and error once the job is terminal
+// (nil result for jobs that failed before solving). Callers wait on
+// Done first.
+func (j *Job) Result() (*core.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// DispatchSeq returns the global dispatch order of the job (0-based),
+// valid once the job left the queue.
+func (j *Job) DispatchSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dispatchSeq
+}
+
+// WaitSeconds returns the wall-clock time the job spent queued; valid
+// once running or terminal.
+func (j *Job) WaitSeconds() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() {
+		return 0
+	}
+	return j.started.Sub(j.submitted).Seconds()
+}
+
+// ServiceSeconds returns the wall-clock service time; valid once
+// terminal.
+func (j *Job) ServiceSeconds() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished.IsZero() || j.started.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started).Seconds()
+}
+
+// Cancel cancels the job's context; a queued job turns into a canceled
+// result at dispatch, a running one stops at the solver's next restart
+// boundary.
+func (j *Job) Cancel() { j.cancel() }
+
+func (j *Job) markDispatched(seq uint64, t time.Time) {
+	j.mu.Lock()
+	j.dispatchSeq = seq
+	j.started = t
+	j.mu.Unlock()
+}
+
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(st State, res *core.Result, err error) {
+	j.mu.Lock()
+	j.state = st
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	j.mu.Unlock()
+	j.cancel() // release the deadline timer
+	close(j.done)
+}
+
+// QueueFullError is returned by Submit when the admission queue is at
+// capacity. RetryAfter is the backpressure hint the HTTP layer turns
+// into a Retry-After header.
+type QueueFullError struct {
+	Depth      int
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("sched: admission queue full (%d jobs); retry after %v",
+		e.Depth, e.RetryAfter)
+}
+
+// ErrDraining is returned by Submit once Drain has begun.
+var ErrDraining = errors.New("sched: scheduler is draining")
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Pool supplies the device contexts; one worker runs per context.
+	Pool *Pool
+	// QueueDepth bounds the admission queue (default 64). A full queue
+	// rejects rather than blocks.
+	QueueDepth int
+	// MaxBatch caps how many compatible jobs share one lease
+	// (default 8; 1 disables batching).
+	MaxBatch int
+	// RetryAfter is the backpressure hint attached to rejections
+	// (default 1s).
+	RetryAfter time.Duration
+	// RetainJobs bounds how many terminal jobs stay resolvable by ID
+	// (default 1024); older ones are evicted FIFO.
+	RetainJobs int
+	// Registry, when non-nil, receives the scheduler instruments.
+	Registry *obs.Registry
+}
+
+func (c *Config) defaults() {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 1024
+	}
+}
+
+// Scheduler owns the admission queue and the worker per pooled context.
+// Construct with New, launch with Start, stop with Drain.
+type Scheduler struct {
+	cfg Config
+	met *metrics
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	queue        jobQueue
+	jobs         map[string]*Job
+	terminal     []string // eviction order of terminal jobs
+	nextSeq      uint64
+	nextDispatch uint64
+	started      bool
+	draining     bool
+
+	dispatched uint64
+	rejected   uint64
+	leases     uint64
+	batched    uint64 // jobs that shared a lease with at least one other
+
+	wg sync.WaitGroup
+}
+
+// New builds a scheduler over the pool. Workers do not run until Start,
+// so tests can stage a queue and observe deterministic dispatch.
+func New(cfg Config) *Scheduler {
+	if cfg.Pool == nil {
+		panic("sched: Config.Pool is required")
+	}
+	cfg.defaults()
+	s := &Scheduler{cfg: cfg, jobs: make(map[string]*Job)}
+	s.cond = sync.NewCond(&s.mu)
+	s.met = newMetrics(cfg.Registry, cfg.Pool)
+	return s
+}
+
+// Start launches one worker goroutine per pooled context. Idempotent.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Pool.Size(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Submit admits a job, or rejects it: *QueueFullError when the queue is
+// at capacity, ErrDraining after Drain began. parent is the caller's
+// context (nil means Background); deadline > 0 additionally bounds the
+// job's total latency — queue wait plus solve — after which the solver
+// stops at its next restart boundary with a Canceled result. Submit
+// never blocks.
+func (s *Scheduler) Submit(parent context.Context, spec Spec, priority int, deadline time.Duration) (*Job, error) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.rejected++
+		s.mu.Unlock()
+		s.met.rejected()
+		return nil, &QueueFullError{Depth: s.cfg.QueueDepth, RetryAfter: s.cfg.RetryAfter}
+	}
+	var jctx context.Context
+	var cancel context.CancelFunc
+	if deadline > 0 {
+		jctx, cancel = context.WithTimeout(parent, deadline)
+	} else {
+		jctx, cancel = context.WithCancel(parent)
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	j := &Job{
+		ID:       fmt.Sprintf("job-%d", seq+1),
+		Priority: priority,
+		Spec:     spec,
+		ctx:      jctx,
+		cancel:   cancel,
+		seq:      seq,
+		state:    StateQueued,
+		done:     make(chan struct{}),
+	}
+	j.submitted = time.Now()
+	heap.Push(&s.queue, j)
+	s.jobs[j.ID] = j
+	depth := len(s.queue)
+	s.mu.Unlock()
+	s.met.setDepth(depth)
+	s.cond.Signal()
+	return j, nil
+}
+
+// Job resolves a job by ID while it is queued, running, or retained.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Snapshot is a point-in-time view of the scheduler, for /healthz and
+// tests.
+type Snapshot struct {
+	QueueDepth int
+	Draining   bool
+	Dispatched uint64
+	Rejected   uint64
+	Leases     uint64
+	Batched    uint64
+	PoolSize   int
+	PoolInUse  int
+}
+
+// Snapshot returns current counters and queue state.
+func (s *Scheduler) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		QueueDepth: len(s.queue),
+		Draining:   s.draining,
+		Dispatched: s.dispatched,
+		Rejected:   s.rejected,
+		Leases:     s.leases,
+		Batched:    s.batched,
+		PoolSize:   s.cfg.Pool.Size(),
+		PoolInUse:  s.cfg.Pool.InUse(),
+	}
+}
+
+// Drain stops admission, waits for the queue to empty and every worker
+// to finish, and returns nil. If ctx expires first, all remaining jobs
+// are canceled (they finish with Canceled results at the solvers' next
+// restart boundary) and Drain still waits for the workers before
+// returning ctx's error. After Drain, Submit returns ErrDraining
+// forever; the scheduler is done.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	started := s.started
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if !started {
+		// Never started: cancel whatever is queued so submitters do not
+		// wait on jobs nobody will run.
+		s.mu.Lock()
+		var orphans []*Job
+		for len(s.queue) > 0 {
+			orphans = append(orphans, heap.Pop(&s.queue).(*Job))
+		}
+		s.mu.Unlock()
+		for _, j := range orphans {
+			j.finish(StateCanceled, &core.Result{Canceled: true}, nil)
+			s.met.finished(StateCanceled, 0, 0, 0)
+		}
+		s.met.setDepth(0)
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker runs until draining empties the queue: pop a batch, lease a
+// context, execute, release.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		batch := s.nextBatch()
+		if batch == nil {
+			return
+		}
+		s.execute(batch)
+	}
+}
+
+// nextBatch blocks for the highest-priority queued job and coalesces up
+// to MaxBatch-1 compatible followers (same batch key) into its lease.
+// Returns nil when draining and the queue is empty. Dispatch order —
+// including the followers' — is recorded under the queue lock, so it is
+// deterministic for a fixed submission order.
+func (s *Scheduler) nextBatch() []*Job {
+	s.mu.Lock()
+	for len(s.queue) == 0 {
+		if s.draining {
+			s.mu.Unlock()
+			return nil
+		}
+		s.cond.Wait()
+	}
+	now := time.Now()
+	head := heap.Pop(&s.queue).(*Job)
+	head.markDispatched(s.nextDispatch, now)
+	s.nextDispatch++
+	s.dispatched++
+	batch := []*Job{head}
+	if key := head.Spec.batchKey(); key != "" && s.cfg.MaxBatch > 1 {
+		// Collect compatible jobs in dispatch order (priority, then
+		// FIFO) and pull them out of the heap.
+		var mates []*Job
+		for _, j := range s.queue {
+			if j.Spec.batchKey() == key {
+				mates = append(mates, j)
+			}
+		}
+		sort.Slice(mates, func(i, k int) bool {
+			if mates[i].Priority != mates[k].Priority {
+				return mates[i].Priority > mates[k].Priority
+			}
+			return mates[i].seq < mates[k].seq
+		})
+		if len(mates) > s.cfg.MaxBatch-1 {
+			mates = mates[:s.cfg.MaxBatch-1]
+		}
+		for _, j := range mates {
+			heap.Remove(&s.queue, j.index)
+			j.markDispatched(s.nextDispatch, now)
+			s.nextDispatch++
+			s.dispatched++
+			batch = append(batch, j)
+		}
+		if len(batch) > 1 {
+			s.batched += uint64(len(batch))
+		}
+	}
+	depth := len(s.queue)
+	s.leases++
+	s.mu.Unlock()
+	s.met.setDepth(depth)
+	return batch
+}
+
+// execute runs a batch under one device lease: the problem is prepared
+// once from the first live job and re-targeted per right-hand side with
+// SetB. Jobs whose deadline expired while queued are finished as
+// canceled without touching the device.
+func (s *Scheduler) execute(batch []*Job) {
+	lease, err := s.cfg.Pool.Acquire(context.Background())
+	if err != nil { // unreachable: Background never cancels
+		for _, j := range batch {
+			j.finish(StateFailed, nil, err)
+		}
+		return
+	}
+	leaseStart := time.Now()
+	defer func() {
+		s.cfg.Pool.Release(lease)
+		s.met.lease(time.Since(leaseStart).Seconds(), len(batch))
+	}()
+
+	var problem *core.Problem
+	for _, j := range batch {
+		if j.ctx.Err() != nil {
+			// Deadline or cancellation expired while queued: a Canceled
+			// result without spending device time.
+			j.finish(StateCanceled, &core.Result{Canceled: true}, nil)
+			s.met.finished(StateCanceled, j.WaitSeconds(), 0, 0)
+			continue
+		}
+		j.setState(StateRunning)
+		start := time.Now()
+
+		var res *core.Result
+		var err error
+		if problem == nil {
+			problem, err = core.NewProblem(lease, j.Spec.Matrix, j.Spec.B,
+				j.Spec.Ordering, j.Spec.Balance)
+		} else {
+			err = problem.SetB(j.Spec.B)
+		}
+		if err == nil {
+			opts := j.Spec.Opts
+			opts.Ctx = j.ctx
+			switch j.Spec.Solver {
+			case "gmres":
+				res, err = core.GMRES(problem, opts)
+			case "ca", "":
+				res, err = core.CAGMRES(problem, opts)
+			default:
+				err = fmt.Errorf("sched: unknown solver %q", j.Spec.Solver)
+			}
+		}
+
+		st := StateDone
+		switch {
+		case err != nil:
+			st = StateFailed
+		case res.Canceled:
+			st = StateCanceled
+		}
+		modeled := 0.0
+		if res != nil && res.Stats != nil {
+			modeled = res.Stats.TotalTime()
+		}
+		j.finish(st, res, err)
+		s.met.finished(st, j.WaitSeconds(), time.Since(start).Seconds(), modeled)
+	}
+
+	// Retention: drop the oldest terminal jobs beyond the cap.
+	s.mu.Lock()
+	for _, j := range batch {
+		s.terminal = append(s.terminal, j.ID)
+	}
+	for len(s.terminal) > s.cfg.RetainJobs {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,374 @@
+// Package server exposes the internal/sched scheduler as an HTTP JSON
+// API — solver-as-a-service:
+//
+//	POST /solve     submit a solve job (matrix-generator spec or inline
+//	                MatrixMarket body); ?wait / "wait": true blocks for
+//	                the result, otherwise the job id comes back
+//	                immediately
+//	GET  /jobs/{id} poll a job's state and result
+//	GET  /healthz   liveness + pool/queue snapshot
+//
+// mounted next to the internal/obs surface (/metrics, /metrics.json,
+// /trace.json, /debug/pprof), so one scrape sees both the scheduler
+// instruments and whatever the solvers recorded. Backpressure maps to
+// HTTP: a full admission queue answers 429 with a Retry-After header, a
+// draining scheduler answers 503.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"cagmres/internal/core"
+	"cagmres/internal/matgen"
+	"cagmres/internal/obs"
+	"cagmres/internal/sched"
+	"cagmres/internal/sparse"
+)
+
+// SolveRequest is the POST /solve body.
+type SolveRequest struct {
+	Matrix MatrixSpec `json:"matrix"`
+	// Solver is "ca" (default) or "gmres".
+	Solver string `json:"solver,omitempty"`
+	// Solver parameters; zero values take the library defaults.
+	M           int     `json:"m,omitempty"`
+	S           int     `json:"s,omitempty"`
+	Tol         float64 `json:"tol,omitempty"`
+	MaxRestarts int     `json:"max_restarts,omitempty"`
+	Ortho       string  `json:"ortho,omitempty"`
+	BOrth       string  `json:"borth,omitempty"`
+	Basis       string  `json:"basis,omitempty"`
+	// Ordering is natural, rcm, kway (default) or hypergraph; Balance
+	// defaults to true.
+	Ordering string `json:"ordering,omitempty"`
+	Balance  *bool  `json:"balance,omitempty"`
+	// RHS is "ones" (default), "random" (deterministic from Seed), or a
+	// JSON array of length n.
+	RHS  json.RawMessage `json:"rhs,omitempty"`
+	Seed int64           `json:"seed,omitempty"`
+	// Priority orders dispatch (higher first); DeadlineMS bounds queue
+	// wait plus solve time, after which the job is canceled.
+	Priority   int   `json:"priority,omitempty"`
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Wait blocks the request until the job finishes. IncludeX returns
+	// the solution vector (it can be large).
+	Wait     bool `json:"wait,omitempty"`
+	IncludeX bool `json:"include_x,omitempty"`
+}
+
+// MatrixSpec names a built-in generator (matgen.ByName) or carries an
+// inline MatrixMarket body.
+type MatrixSpec struct {
+	Name         string  `json:"name,omitempty"`
+	Scale        float64 `json:"scale,omitempty"`
+	MatrixMarket string  `json:"matrixmarket,omitempty"`
+}
+
+// JobJSON is the wire form of a job, returned by POST /solve and
+// GET /jobs/{id}.
+type JobJSON struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Priority int    `json:"priority"`
+	// Terminal-state fields.
+	Converged      bool      `json:"converged,omitempty"`
+	Canceled       bool      `json:"canceled,omitempty"`
+	RelRes         float64   `json:"relres,omitempty"`
+	Restarts       int       `json:"restarts,omitempty"`
+	Iters          int       `json:"iters,omitempty"`
+	ModeledSeconds float64   `json:"modeled_seconds,omitempty"`
+	WaitSeconds    float64   `json:"wait_seconds,omitempty"`
+	ServiceSeconds float64   `json:"service_seconds,omitempty"`
+	X              []float64 `json:"x,omitempty"`
+	Error          string    `json:"error,omitempty"`
+}
+
+// Healthz is the GET /healthz body.
+type Healthz struct {
+	OK         bool   `json:"ok"`
+	PoolSize   int    `json:"pool_size"`
+	PoolInUse  int    `json:"pool_in_use"`
+	QueueDepth int    `json:"queue_depth"`
+	Draining   bool   `json:"draining"`
+	Dispatched uint64 `json:"dispatched"`
+	Rejected   uint64 `json:"rejected"`
+	Leases     uint64 `json:"leases"`
+}
+
+// errorJSON is every non-2xx body.
+type errorJSON struct {
+	Error             string  `json:"error"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+}
+
+// Server routes HTTP traffic to a scheduler.
+type Server struct {
+	sched *sched.Scheduler
+	mux   *http.ServeMux
+
+	mu    sync.Mutex
+	cache map[string]*sparse.CSR // matrix cache: spec key -> shared CSR
+}
+
+// New builds the handler: the solve API plus the obs surface from the
+// given registry (reg must be the one the scheduler's Config.Registry
+// points at, so scrapes see the scheduler instruments).
+func New(s *sched.Scheduler, reg *obs.Registry) *Server {
+	srv := &Server{sched: s, mux: http.NewServeMux(), cache: make(map[string]*sparse.CSR)}
+	srv.mux.HandleFunc("/solve", srv.handleSolve)
+	srv.mux.HandleFunc("/jobs/", srv.handleJob)
+	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
+	if reg != nil {
+		srv.mux.Handle("/", obs.Handler(reg, nil))
+	}
+	return srv
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.sched.Snapshot()
+	writeJSON(w, http.StatusOK, Healthz{
+		OK:         !snap.Draining,
+		PoolSize:   snap.PoolSize,
+		PoolInUse:  snap.PoolInUse,
+		QueueDepth: snap.QueueDepth,
+		Draining:   snap.Draining,
+		Dispatched: snap.Dispatched,
+		Rejected:   snap.Rejected,
+		Leases:     snap.Leases,
+	})
+}
+
+// matrix resolves a spec through the cache, so concurrent and repeated
+// requests for the same generator share one CSR — which is also what
+// makes them batchable (sched matches on the key, the solve reads the
+// shared matrix).
+func (s *Server) matrix(spec MatrixSpec) (*sparse.CSR, string, error) {
+	var key string
+	switch {
+	case spec.MatrixMarket != "":
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(spec.MatrixMarket))
+		key = fmt.Sprintf("mm:%x", h.Sum64())
+	case spec.Name != "":
+		scale := spec.Scale
+		if scale == 0 {
+			scale = 0.01
+		}
+		key = fmt.Sprintf("gen:%s@%g", spec.Name, scale)
+	default:
+		return nil, "", fmt.Errorf("matrix spec needs name or matrixmarket")
+	}
+	s.mu.Lock()
+	a, ok := s.cache[key]
+	s.mu.Unlock()
+	if ok {
+		return a, key, nil
+	}
+	var err error
+	if spec.MatrixMarket != "" {
+		a, err = sparse.ReadMatrixMarket(strings.NewReader(spec.MatrixMarket))
+	} else {
+		scale := spec.Scale
+		if scale == 0 {
+			scale = 0.01
+		}
+		var m *matgen.Matrix
+		m, err = matgen.ByName(spec.Name, scale)
+		if m != nil {
+			a = m.A
+		}
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	s.mu.Lock()
+	if prev, ok := s.cache[key]; ok {
+		a = prev // lost a build race; share the first
+	} else {
+		s.cache[key] = a
+	}
+	s.mu.Unlock()
+	return a, key, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST only"})
+		return
+	}
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	a, key, err := s.matrix(req.Matrix)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	b, err := buildRHS(req, a.Rows)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	ordering := core.KWay
+	if req.Ordering != "" {
+		switch core.Ordering(req.Ordering) {
+		case core.Natural, core.RCM, core.KWay, core.Hypergraph:
+			ordering = core.Ordering(req.Ordering)
+		default:
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "unknown ordering " + req.Ordering})
+			return
+		}
+	}
+	balance := true
+	if req.Balance != nil {
+		balance = *req.Balance
+	}
+	spec := sched.Spec{
+		Matrix:    a,
+		MatrixKey: key,
+		B:         b,
+		Solver:    req.Solver,
+		Ordering:  ordering,
+		Balance:   balance,
+		Opts: core.Options{
+			M: req.M, S: req.S, Tol: req.Tol, MaxRestarts: req.MaxRestarts,
+			Ortho: req.Ortho, BOrth: req.BOrth, Basis: req.Basis,
+		},
+	}
+
+	// The job outlives the HTTP request unless the client waits, so the
+	// request context must not be its parent.
+	job, err := s.sched.Submit(nil, spec, req.Priority,
+		time.Duration(req.DeadlineMS)*time.Millisecond)
+	if err != nil {
+		var full *sched.QueueFullError
+		switch {
+		case errors.As(err, &full):
+			w.Header().Set("Retry-After",
+				fmt.Sprintf("%d", int(full.RetryAfter.Seconds()+0.999)))
+			writeJSON(w, http.StatusTooManyRequests, errorJSON{
+				Error:             err.Error(),
+				RetryAfterSeconds: full.RetryAfter.Seconds(),
+			})
+		case err == sched.ErrDraining:
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+		}
+		return
+	}
+
+	wait := req.Wait || r.URL.Query().Get("wait") == "true"
+	if wait {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			// Client went away: cancel its job and report what we have.
+			job.Cancel()
+			<-job.Done()
+		}
+		writeJSON(w, http.StatusOK, jobJSON(job, req.IncludeX))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobJSON(job, false))
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	job, ok := s.sched.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorJSON{Error: "unknown job " + id})
+		return
+	}
+	includeX := r.URL.Query().Get("include_x") == "true"
+	writeJSON(w, http.StatusOK, jobJSON(job, includeX))
+}
+
+func jobJSON(j *sched.Job, includeX bool) JobJSON {
+	out := JobJSON{ID: j.ID, State: string(j.State()), Priority: j.Priority}
+	select {
+	case <-j.Done():
+	default:
+		return out // still queued or running: no result fields yet
+	}
+	res, err := j.Result()
+	if err != nil {
+		out.Error = err.Error()
+	}
+	if res != nil {
+		out.Converged = res.Converged
+		out.Canceled = res.Canceled
+		out.RelRes = res.RelRes
+		out.Restarts = res.Restarts
+		out.Iters = res.Iters
+		if res.Stats != nil {
+			out.ModeledSeconds = res.Stats.TotalTime()
+		}
+		if includeX {
+			out.X = res.X
+		}
+	}
+	out.WaitSeconds = j.WaitSeconds()
+	out.ServiceSeconds = j.ServiceSeconds()
+	return out
+}
+
+func buildRHS(req SolveRequest, n int) ([]float64, error) {
+	kind := "ones"
+	var arr []float64
+	if len(req.RHS) > 0 {
+		if err := json.Unmarshal(req.RHS, &kind); err != nil {
+			kind = ""
+			if err := json.Unmarshal(req.RHS, &arr); err != nil {
+				return nil, fmt.Errorf("rhs must be \"ones\", \"random\", or an array")
+			}
+		}
+	}
+	switch {
+	case arr != nil:
+		if len(arr) != n {
+			return nil, fmt.Errorf("rhs length %d for n=%d", len(arr), n)
+		}
+		return arr, nil
+	case kind == "ones":
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = 1
+		}
+		return b, nil
+	case kind == "random":
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("unknown rhs %q", kind)
+	}
+}
