@@ -8,13 +8,16 @@
 # validated by cmd/obslint. `make serve-smoke` boots cagmresd, drives
 # it with the closed-loop load generator, lints the daemon's /metrics
 # (required scheduler families included) and checks graceful SIGTERM
-# drain.
+# drain. `make chaos-smoke` replays a seeded fault plan — device death
+# mid-solve, transfer-fault stream — through the chaos harness and a
+# chaos-armed daemon, requiring every fault/retry metric family and a
+# clean drain from the degraded service.
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke bench-snapshot
+.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke bench-snapshot
 
-check: vet staticcheck race test serve-smoke
+check: vet staticcheck race test serve-smoke chaos-smoke
 
 build:
 	$(GO) build ./...
@@ -63,6 +66,11 @@ metrics-smoke:
 # Serving smoke test: daemon + load generator + metrics lint + drain.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve_smoke.sh
+
+# Chaos smoke test: seeded fault plan through the in-process harness
+# and a chaos-armed daemon; fault/retry metric families required.
+chaos-smoke:
+	GO="$(GO)" sh scripts/chaos_smoke.sh
 
 # Refresh the committed deterministic benchmark snapshot (modeled
 # Figure 11 kernel study; byte-identical on every machine).

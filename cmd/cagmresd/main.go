@@ -8,16 +8,27 @@
 //
 // SIGINT/SIGTERM trigger a graceful drain: admission stops (new solves
 // get 503), queued and running jobs finish (bounded by -drain-timeout,
-// after which they are canceled at the solvers' next restart boundary),
-// then the listener shuts down.
+// after which they are canceled at the solvers' next restart boundary
+// and given -drain-grace to unwind; jobs still wedged after the grace
+// are abandoned and logged), then the listener shuts down.
+//
+// The -chaos-* flags arm deterministic fault plans on the pooled
+// contexts — device deaths at virtual times, transient transfer faults,
+// stragglers — so operators can rehearse degraded operation against the
+// same self-healing paths the chaos tests pin down:
+//
+//	cagmresd -pool 1 -devices 3 -chaos-kill 0:1@0.002 -repair
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,38 +48,139 @@ func main() {
 		retain       = flag.Int("retain", 1024, "terminal jobs kept resolvable via /jobs/{id}")
 		retryAfter   = flag.Duration("retry-after", time.Second, "backpressure hint on 429 responses")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period before shutdown cancels in-flight jobs")
+		drainGrace   = flag.Duration("drain-grace", 5*time.Second, "after cancellation, how long to wait for wedged leases before abandoning them (0 waits forever)")
+		leaseTimeout = flag.Duration("lease-timeout", 0, "cancel any device lease older than this (0 disables)")
 		portFile     = flag.String("portfile", "", "write the bound address to this file once listening")
+
+		chaosSeed    = flag.Int64("chaos-seed", 0, "seed for the transfer-fault stream of every armed plan")
+		chaosKill    = flag.String("chaos-kill", "", "comma-separated device deaths, each ctx:dev@seconds (virtual time), e.g. 0:1@0.002")
+		chaosXfer    = flag.Float64("chaos-xfer", 0, "per-transfer-round fault probability armed on every pooled context")
+		chaosMaxXfer = flag.Int("chaos-max-xfer", 0, "stop injecting transfer faults after this many (0 = unlimited)")
+		chaosStrag   = flag.String("chaos-straggle", "", "comma-separated stragglers, each ctx:dev@factor, e.g. 0:2@3.0")
+		repair       = flag.Bool("repair", false, "repair and readmit contexts evicted after a device death (driver reset) instead of shrinking the pool")
 	)
 	flag.Parse()
-	if err := run(*addr, *poolSize, *devices, *queueDepth, *maxBatch, *retain,
-		*retryAfter, *drainTimeout, *portFile); err != nil {
+	plans, err := chaosPlans(*poolSize, *chaosSeed, *chaosKill, *chaosXfer, *chaosMaxXfer, *chaosStrag)
+	if err == nil {
+		err = run(daemonConfig{
+			addr: *addr, poolSize: *poolSize, devices: *devices,
+			queueDepth: *queueDepth, maxBatch: *maxBatch, retain: *retain,
+			retryAfter: *retryAfter, drainTimeout: *drainTimeout,
+			drainGrace: *drainGrace, leaseTimeout: *leaseTimeout,
+			portFile: *portFile, plans: plans, repair: *repair,
+		})
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cagmresd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, poolSize, devices, queueDepth, maxBatch, retain int,
-	retryAfter, drainTimeout time.Duration, portFile string) error {
+type daemonConfig struct {
+	addr                     string
+	poolSize, devices        int
+	queueDepth, maxBatch     int
+	retain                   int
+	retryAfter, drainTimeout time.Duration
+	drainGrace, leaseTimeout time.Duration
+	portFile                 string
+	plans                    []gpu.FaultPlan
+	repair                   bool
+}
+
+// chaosPlans translates the -chaos-* flags into per-context fault plans.
+// Every pooled context gets the transfer/seed settings; deaths and
+// stragglers name their context explicitly.
+func chaosPlans(poolSize int, seed int64, kill string, xfer float64, maxXfer int, strag string) ([]gpu.FaultPlan, error) {
+	if kill == "" && xfer == 0 && strag == "" {
+		return nil, nil
+	}
+	plans := make([]gpu.FaultPlan, poolSize)
+	for i := range plans {
+		plans[i].Seed = seed + int64(i)
+		plans[i].TransferFaultProb = xfer
+		plans[i].MaxTransferFaults = maxXfer
+	}
+	if err := eachSpec(kill, "chaos-kill", func(ctx, dev int, v float64) error {
+		if ctx < 0 || ctx >= poolSize {
+			return fmt.Errorf("context %d outside pool of %d", ctx, poolSize)
+		}
+		plans[ctx].Deaths = append(plans[ctx].Deaths, gpu.DeviceDeath{Device: dev, At: v})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := eachSpec(strag, "chaos-straggle", func(ctx, dev int, v float64) error {
+		if ctx < 0 || ctx >= poolSize {
+			return fmt.Errorf("context %d outside pool of %d", ctx, poolSize)
+		}
+		plans[ctx].Stragglers = append(plans[ctx].Stragglers, gpu.Straggler{Device: dev, Factor: v})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return plans, nil
+}
+
+// eachSpec parses a comma-separated list of ctx:dev@value entries.
+func eachSpec(list, flagName string, f func(ctx, dev int, v float64) error) error {
+	if list == "" {
+		return nil
+	}
+	for _, item := range strings.Split(list, ",") {
+		head, val, ok := strings.Cut(item, "@")
+		cs, ds, ok2 := strings.Cut(head, ":")
+		if !ok || !ok2 {
+			return fmt.Errorf("-%s %q: want ctx:dev@value", flagName, item)
+		}
+		ctx, err := strconv.Atoi(cs)
+		if err != nil {
+			return fmt.Errorf("-%s %q: %v", flagName, item, err)
+		}
+		dev, err := strconv.Atoi(ds)
+		if err != nil {
+			return fmt.Errorf("-%s %q: %v", flagName, item, err)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("-%s %q: %v", flagName, item, err)
+		}
+		if err := f(ctx, dev, v); err != nil {
+			return fmt.Errorf("-%s %q: %v", flagName, item, err)
+		}
+	}
+	return nil
+}
+
+func run(cfg daemonConfig) error {
 	reg := obs.NewRegistry()
-	pool := sched.NewPool(poolSize, devices, gpu.M2090())
+	pool := sched.NewPoolWithConfig(sched.PoolConfig{
+		Size: cfg.poolSize, Devices: cfg.devices, Model: gpu.M2090(),
+		FaultPlans: cfg.plans, Repair: cfg.repair,
+	})
 	s := sched.New(sched.Config{
-		Pool:       pool,
-		QueueDepth: queueDepth,
-		MaxBatch:   maxBatch,
-		RetryAfter: retryAfter,
-		RetainJobs: retain,
-		Registry:   reg,
+		Pool:         pool,
+		QueueDepth:   cfg.queueDepth,
+		MaxBatch:     cfg.maxBatch,
+		RetryAfter:   cfg.retryAfter,
+		RetainJobs:   cfg.retain,
+		LeaseTimeout: cfg.leaseTimeout,
+		DrainGrace:   cfg.drainGrace,
+		Registry:     reg,
 	})
 	s.Start()
 
-	srv, bound, err := obs.Serve(addr, server.New(s, reg))
+	srv, bound, err := obs.Serve(cfg.addr, server.New(s, reg))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("cagmresd: serving on %s (pool %d×%d GPUs, queue %d, batch %d)\n",
-		bound, poolSize, devices, queueDepth, maxBatch)
-	if portFile != "" {
-		if err := os.WriteFile(portFile, []byte(bound), 0o644); err != nil {
+		bound, cfg.poolSize, cfg.devices, cfg.queueDepth, cfg.maxBatch)
+	if len(cfg.plans) > 0 {
+		fmt.Printf("cagmresd: chaos armed on %d contexts (repair=%t)\n", len(cfg.plans), cfg.repair)
+	}
+	if cfg.portFile != "" {
+		if err := os.WriteFile(cfg.portFile, []byte(bound), 0o644); err != nil {
 			return err
 		}
 	}
@@ -76,12 +188,18 @@ func run(addr string, poolSize, devices, queueDepth, maxBatch, retain int,
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	got := <-sig
-	fmt.Printf("cagmresd: %v, draining (timeout %v)\n", got, drainTimeout)
+	fmt.Printf("cagmresd: %v, draining (timeout %v, grace %v)\n", got, cfg.drainTimeout, cfg.drainGrace)
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
-		fmt.Printf("cagmresd: drain timeout, canceled in-flight jobs: %v\n", err)
+		var dt *sched.DrainTimeoutError
+		if errors.As(err, &dt) {
+			fmt.Printf("cagmresd: drain grace expired, abandoned %d wedged jobs: %s\n",
+				len(dt.Abandoned), strings.Join(dt.Abandoned, ", "))
+		} else {
+			fmt.Printf("cagmresd: drain timeout, canceled in-flight jobs: %v\n", err)
+		}
 	}
 	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
@@ -91,5 +209,10 @@ func run(addr string, poolSize, devices, queueDepth, maxBatch, retain int,
 	snap := s.Snapshot()
 	fmt.Printf("cagmresd: drained; dispatched=%d leases=%d batched=%d rejected=%d\n",
 		snap.Dispatched, snap.Leases, snap.Batched, snap.Rejected)
+	if snap.DevicesLost > 0 || snap.TransferFaults > 0 || snap.Requeues > 0 {
+		fmt.Printf("cagmresd: faults survived; devices_lost=%d transfer_faults=%d retries=%d requeues=%d repartitions=%d restores=%d evictions=%d readmissions=%d\n",
+			snap.DevicesLost, snap.TransferFaults, snap.TransferRetries, snap.Requeues,
+			snap.Repartitions, snap.Restores, snap.Evictions, snap.Readmissions)
+	}
 	return nil
 }

@@ -1,0 +1,293 @@
+// Command chaos is the deterministic chaos harness: it replays a seeded
+// fault plan — device deaths at virtual times, transient transfer
+// faults, stragglers — against the self-healing solver stack and checks
+// that every solve still reaches a terminal state. Because faults fire
+// on the modeled device clock and the transfer-fault stream is seeded,
+// a chaos run is a pure function of its flags: the same command line
+// produces byte-identical fault schedules, recovery actions, and
+// modeled times on every machine.
+//
+// Two layers are exercised:
+//
+//   - Solver layer (-benchjson): one CA-GMRES solve on -devices GPUs is
+//     run fault-free, then re-run with one device killed halfway through
+//     the fault-free modeled time. The degraded solve must re-partition
+//     onto the survivors, resume from its restart-boundary checkpoint,
+//     and converge to the same tolerance. Both runs (and a repeat of the
+//     degraded run, which must be bit-identical) are recorded to the
+//     bench JSON.
+//
+//   - Scheduler layer: -jobs solves are pushed through a device pool
+//     with fault plans armed on its contexts; the run asserts every job
+//     terminates and prints the fault/recovery tallies. -metricsout
+//     writes the Prometheus exposition for obslint.
+//
+// Example (the make chaos-smoke configuration):
+//
+//	chaos -pool 2 -devices 3 -jobs 8 -kill 0:1@0.5 -xferprob 0.02 \
+//	      -seed 7 -repair -benchjson BENCH_pr4.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cagmres/internal/core"
+	"cagmres/internal/gpu"
+	"cagmres/internal/matgen"
+	"cagmres/internal/obs"
+	"cagmres/internal/sched"
+)
+
+func main() {
+	var (
+		poolSize   = flag.Int("pool", 2, "pooled device contexts for the scheduler replay")
+		devices    = flag.Int("devices", 3, "simulated GPUs per context")
+		jobs       = flag.Int("jobs", 8, "solve jobs pushed through the scheduler")
+		seed       = flag.Int64("seed", 7, "seed for the transfer-fault streams")
+		kill       = flag.String("kill", "0:1@0.5", "device death, ctx:dev@frac — frac is the fraction of the fault-free modeled solve time (empty disables)")
+		xferProb   = flag.Float64("xferprob", 0.02, "per-transfer-round fault probability on every pooled context")
+		maxXfer    = flag.Int("maxxfer", 0, "cap on injected transfer faults per context (0 = unlimited)")
+		straggle   = flag.Float64("straggle", 0, "slowdown factor for device 0 of context 0 (0 disables)")
+		matrix     = flag.String("matrix", "laplace3d", "generator matrix name")
+		scale      = flag.Float64("scale", 1e-4, "generator scale")
+		mFlag      = flag.Int("m", 20, "restart length")
+		sFlag      = flag.Int("s", 5, "matrix-powers step")
+		tol        = flag.Float64("tol", 1e-8, "convergence tolerance")
+		repair     = flag.Bool("repair", true, "repair and readmit contexts evicted after a death")
+		benchJSON  = flag.String("benchjson", "", "write the degraded-mode solver bench here")
+		metricsOut = flag.String("metricsout", "", "write the scheduler replay's Prometheus exposition here")
+	)
+	flag.Parse()
+	if err := run(*poolSize, *devices, *jobs, *seed, *kill, *xferProb, *maxXfer, *straggle,
+		*matrix, *scale, *mFlag, *sFlag, *tol, *repair, *benchJSON, *metricsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+}
+
+// solveSnap is one solve's record in the bench JSON.
+type solveSnap struct {
+	Devices        int     `json:"devices"`
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	Iters          int     `json:"iters"`
+	Restarts       int     `json:"restarts"`
+	RelRes         float64 `json:"relres"`
+	Converged      bool    `json:"converged"`
+
+	KillDevice         int     `json:"kill_device,omitempty"`
+	KillAt             float64 `json:"kill_at_seconds,omitempty"`
+	DevicesAfter       int     `json:"devices_after,omitempty"`
+	Repartitions       int     `json:"repartitions,omitempty"`
+	CheckpointRestores int     `json:"checkpoint_restores,omitempty"`
+}
+
+type benchOut struct {
+	Name      string    `json:"name"`
+	Matrix    string    `json:"matrix"`
+	Scale     float64   `json:"scale"`
+	M         int       `json:"m"`
+	S         int       `json:"s"`
+	Tol       float64   `json:"tol"`
+	FaultFree solveSnap `json:"fault_free"`
+	Degraded  solveSnap `json:"degraded"`
+	Slowdown  float64   `json:"degraded_slowdown"`
+	Identical bool      `json:"degraded_replay_identical"`
+}
+
+func rhsFor(n, seed int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + 0.01*float64((i*131+seed*977)%67)
+	}
+	return b
+}
+
+func run(poolSize, devices, jobs int, seed int64, kill string, xferProb float64,
+	maxXfer int, straggle float64, matrix string, scale float64, m, s int,
+	tol float64, repair bool, benchJSON, metricsOut string) error {
+	gen, err := matgen.ByName(matrix, scale)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{M: m, S: s, Tol: tol, Ortho: "CholQR"}
+
+	var killCtx, killDev int
+	var killFrac float64
+	haveKill := kill != ""
+	if haveKill {
+		if _, err := fmt.Sscanf(kill, "%d:%d@%f", &killCtx, &killDev, &killFrac); err != nil {
+			return fmt.Errorf("-kill %q: want ctx:dev@frac: %v", kill, err)
+		}
+		if killCtx < 0 || killCtx >= poolSize || killDev < 0 || killDev >= devices {
+			return fmt.Errorf("-kill %q outside pool %d×%d", kill, poolSize, devices)
+		}
+	}
+
+	// --- Solver layer: fault-free baseline, then a mid-solve death. ---
+	solve := func(plan *gpu.FaultPlan) (*core.Result, error) {
+		ctx := gpu.NewContext(devices, gpu.M2090())
+		if plan != nil {
+			ctx.InjectFaults(*plan)
+		}
+		prob, err := core.NewProblem(ctx, gen.A, rhsFor(gen.A.Rows, 1), core.KWay, true)
+		if err != nil {
+			return nil, err
+		}
+		return core.CAGMRES(prob, opts)
+	}
+	clean, err := solve(nil)
+	if err != nil {
+		return fmt.Errorf("fault-free solve: %w", err)
+	}
+	if !clean.Converged {
+		return fmt.Errorf("fault-free solve did not converge (relres %.2e)", clean.RelRes)
+	}
+	cleanTime := clean.Stats.TotalTime()
+	fmt.Printf("chaos: fault-free %d-device solve: %.6fs modeled, %d iters, relres %.2e\n",
+		devices, cleanTime, clean.Iters, clean.RelRes)
+
+	var bench benchOut
+	if haveKill {
+		killAt := killFrac * cleanTime
+		plan := gpu.FaultPlan{Seed: seed,
+			Deaths: []gpu.DeviceDeath{{Device: killDev, At: killAt}}}
+		deg, err := solve(&plan)
+		if err != nil {
+			return fmt.Errorf("degraded solve: %w", err)
+		}
+		if !deg.Converged {
+			return fmt.Errorf("degraded solve did not converge (relres %.2e)", deg.RelRes)
+		}
+		if deg.Faults == nil || deg.Faults.Repartitions < 1 {
+			return fmt.Errorf("degraded solve reported no repartition: %+v", deg.Faults)
+		}
+		// Replay: the virtual clock makes the degraded run reproducible.
+		deg2, err := solve(&plan)
+		if err != nil {
+			return fmt.Errorf("degraded replay: %w", err)
+		}
+		identical := deg.Stats.TotalTime() == deg2.Stats.TotalTime() &&
+			deg.Iters == deg2.Iters && deg.RelRes == deg2.RelRes
+		if !identical {
+			return fmt.Errorf("degraded replay diverged: %.9fs/%d vs %.9fs/%d",
+				deg.Stats.TotalTime(), deg.Iters, deg2.Stats.TotalTime(), deg2.Iters)
+		}
+		fmt.Printf("chaos: degraded %d→%d-device solve (kill dev %d @ %.6fs): %.6fs modeled (%.2fx), %d iters, relres %.2e, repartitions=%d restores=%d\n",
+			devices, devices-1, killDev, killAt, deg.Stats.TotalTime(),
+			deg.Stats.TotalTime()/cleanTime, deg.Iters, deg.RelRes,
+			deg.Faults.Repartitions, deg.Faults.CheckpointRestores)
+
+		bench = benchOut{
+			Name: "chaos-degraded-mode", Matrix: matrix, Scale: scale,
+			M: m, S: s, Tol: tol,
+			FaultFree: solveSnap{Devices: devices, ModeledSeconds: cleanTime,
+				Iters: clean.Iters, Restarts: clean.Restarts,
+				RelRes: clean.RelRes, Converged: true},
+			Degraded: solveSnap{Devices: devices, ModeledSeconds: deg.Stats.TotalTime(),
+				Iters: deg.Iters, Restarts: deg.Restarts,
+				RelRes: deg.RelRes, Converged: true,
+				KillDevice: killDev, KillAt: killAt, DevicesAfter: devices - 1,
+				Repartitions:       deg.Faults.Repartitions,
+				CheckpointRestores: deg.Faults.CheckpointRestores},
+			Slowdown:  deg.Stats.TotalTime() / cleanTime,
+			Identical: identical,
+		}
+		if benchJSON != "" {
+			data, err := json.MarshalIndent(bench, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(benchJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("chaos: bench written to %s\n", benchJSON)
+		}
+	}
+
+	// --- Scheduler layer: jobs through a pool with armed fault plans. ---
+	plans := make([]gpu.FaultPlan, poolSize)
+	for i := range plans {
+		plans[i].Seed = seed + int64(i)
+		plans[i].TransferFaultProb = xferProb
+		plans[i].MaxTransferFaults = maxXfer
+	}
+	if haveKill {
+		plans[killCtx].Deaths = []gpu.DeviceDeath{{Device: killDev, At: killFrac * cleanTime}}
+	}
+	if straggle > 0 {
+		plans[0].Stragglers = []gpu.Straggler{{Device: 0, Factor: straggle}}
+	}
+	reg := obs.NewRegistry()
+	pool := sched.NewPoolWithConfig(sched.PoolConfig{
+		Size: poolSize, Devices: devices, Model: gpu.M2090(),
+		FaultPlans: plans, Repair: repair,
+	})
+	sc := sched.New(sched.Config{Pool: pool, QueueDepth: jobs + 1, MaxBatch: 4, Registry: reg})
+	sc.Start()
+
+	spec := sched.Spec{Solver: "ca", Matrix: gen.A, Ordering: core.KWay, Balance: true,
+		MatrixKey: matrix, Opts: opts}
+	submitted := make([]*sched.Job, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		js := spec
+		js.B = rhsFor(gen.A.Rows, i)
+		j, err := sc.Submit(context.Background(), js, i%3, 0)
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		submitted = append(submitted, j)
+	}
+	done, failed := 0, 0
+	for _, j := range submitted {
+		select {
+		case <-j.Done():
+		case <-time.After(2 * time.Minute):
+			return fmt.Errorf("job %s never terminated (state %s)", j.ID, j.State())
+		}
+		switch j.State() {
+		case sched.StateDone:
+			done++
+		case sched.StateFailed, sched.StateCanceled:
+			failed++
+		default:
+			return fmt.Errorf("job %s in non-terminal state %s", j.ID, j.State())
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := sc.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	snap := sc.Snapshot()
+	fmt.Printf("chaos: scheduler replay: %d/%d jobs done (%d failed); faults: deaths=%d transfers=%d retries=%d requeues=%d repartitions=%d restores=%d evictions=%d readmissions=%d\n",
+		done, jobs, failed, snap.DevicesLost, snap.TransferFaults, snap.TransferRetries,
+		snap.Requeues, snap.Repartitions, snap.Restores, snap.Evictions, snap.Readmissions)
+	if done == 0 {
+		return fmt.Errorf("no job survived the chaos plan")
+	}
+	if haveKill && snap.DevicesLost == 0 {
+		return fmt.Errorf("kill plan armed but no device death observed")
+	}
+
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("chaos: metrics written to %s\n", metricsOut)
+	}
+	fmt.Println("chaos: ok")
+	return nil
+}

@@ -37,17 +37,25 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 	if opts.Basis != "newton" && opts.Basis != "monomial" {
 		return nil, fmt.Errorf("core: unknown basis %q", opts.Basis)
 	}
+	if opts.M < 1 || opts.M > p.Layout.N {
+		return nil, fmt.Errorf("core: restart length %d out of range for n=%d", opts.M, p.Layout.N)
+	}
+	if opts.S < 1 || opts.S > opts.M {
+		return nil, fmt.Errorf("core: step size s=%d out of range for m=%d", opts.S, opts.M)
+	}
+	return solveHealing(p, opts, "cagmres", func(p *Problem, ck *checkpoint) (*Result, error) {
+		return runCAGMRES(p, opts, tsqr, borth, ck)
+	})
+}
 
+// runCAGMRES is one CA-GMRES solve attempt on the current device
+// context, resuming from the checkpoint when one is captured (iterate,
+// Newton shift schedule and adaptive-step state). solveHealing owns the
+// ledger reset and device-loss recovery around it.
+func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck *checkpoint) (*Result, error) {
 	ctx := p.Ctx
-	ctx.ResetStats()
 	n := p.Layout.N
 	m, s := opts.M, opts.S
-	if m < 1 || m > n {
-		return nil, fmt.Errorf("core: restart length %d out of range for n=%d", m, n)
-	}
-	if s < 1 || s > m {
-		return nil, fmt.Errorf("core: step size s=%d out of range for m=%d", s, m)
-	}
 
 	// Two distributions: depth-s for the matrix powers kernel, depth-1
 	// for residual SpMVs (and the first GMRES cycle).
@@ -77,8 +85,30 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 	sEff := s
 	cleanRestarts := 0
 
+	startRestart := 0
+	if ck.captured {
+		// Resume from the last restart boundary: restore the iterate, the
+		// outer-loop counters, the harvested shift schedule and the
+		// adaptive-step state captured before the device loss.
+		W.SetColFromHost(0, ck.x)
+		res.Restarts, res.Iters = ck.restarts, ck.iters
+		res.History = append([]float64(nil), ck.history...)
+		shiftBlocks = ck.shiftBlocks
+		needShifts = ck.needShifts
+		sEff = ck.sEff
+		cleanRestarts = ck.cleanRestarts
+		startRestart = ck.restart
+	}
+
 	h := la.NewDense(m+1, m)
-	for restart := 0; restart < opts.MaxRestarts; restart++ {
+	for restart := startRestart; restart < opts.MaxRestarts; restart++ {
+		if ctx.FaultsArmed() {
+			ck.capture(W.GatherCol(0), restart, res)
+			ck.shiftBlocks = shiftBlocks
+			ck.needShifts = needShifts
+			ck.sEff = sEff
+			ck.cleanRestarts = cleanRestarts
+		}
 		if opts.canceled() {
 			res.Canceled = true
 			break

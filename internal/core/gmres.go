@@ -115,6 +115,10 @@ type Result struct {
 	// expired) before the solve finished; X holds the best iterate
 	// reached and RelRes its true relative residual.
 	Canceled bool
+	// Faults, when non-nil, reports the injected faults this solve
+	// observed and the recovery actions taken (device re-partitions,
+	// checkpoint restores, transfer retries). Nil for fault-free runs.
+	Faults *FaultReport
 }
 
 // Phase names used by the solvers on the ledger.
@@ -138,13 +142,21 @@ func GMRES(p *Problem, opts Options) (*Result, error) {
 	if opts.Ortho != "MGS" && opts.Ortho != "CGS" {
 		return nil, fmt.Errorf("core: GMRES supports Ortho MGS or CGS, got %q", opts.Ortho)
 	}
+	if opts.M < 1 || opts.M > p.Layout.N {
+		return nil, fmt.Errorf("core: restart length %d out of range for n=%d", opts.M, p.Layout.N)
+	}
+	return solveHealing(p, opts, "gmres", func(p *Problem, ck *checkpoint) (*Result, error) {
+		return runGMRES(p, opts, ck)
+	})
+}
+
+// runGMRES is one GMRES solve attempt on the current device context,
+// resuming from the checkpoint when one is captured. solveHealing owns
+// the ledger reset and device-loss recovery around it.
+func runGMRES(p *Problem, opts Options, ck *checkpoint) (*Result, error) {
 	ctx := p.Ctx
-	ctx.ResetStats()
 	n := p.Layout.N
 	m := opts.M
-	if m < 1 || m > n {
-		return nil, fmt.Errorf("core: restart length %d out of range for n=%d", m, n)
-	}
 
 	A := dist.Distribute(ctx, p.A, p.Layout, 1)
 	mpk := dist.NewMPK(A)
@@ -162,8 +174,20 @@ func GMRES(p *Problem, opts Options) (*Result, error) {
 	}
 
 	res := &Result{Stats: ctx.Stats()}
+	startRestart := 0
+	if ck.captured {
+		// Resume from the last restart boundary: restore the iterate and
+		// the outer-loop counters captured before the device loss.
+		W.SetColFromHost(0, ck.x)
+		res.Restarts, res.Iters = ck.restarts, ck.iters
+		res.History = append([]float64(nil), ck.history...)
+		startRestart = ck.restart
+	}
 	h := la.NewDense(m+1, m)
-	for restart := 0; restart < opts.MaxRestarts; restart++ {
+	for restart := startRestart; restart < opts.MaxRestarts; restart++ {
+		if ctx.FaultsArmed() {
+			ck.capture(W.GatherCol(0), restart, res)
+		}
 		if opts.canceled() {
 			res.Canceled = true
 			break

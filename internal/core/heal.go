@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/obs"
+)
+
+// This file is the solvers' self-healing layer over the fault-injecting
+// runtime (internal/gpu). Device deaths surface as *gpu.DeviceLostError
+// panics raised from ledger charges; the healing wrapper recovers them,
+// re-partitions the problem's row blocks uniformly across the surviving
+// devices, and re-enters the solver from the last restart boundary using
+// a checkpoint of the iterate and the restart-loop state. Transfer
+// faults that exhaust the retry policy (*gpu.TransferError) are not
+// healed here — they are returned as ordinary errors so the scheduler
+// can re-queue the whole job on a healthy context.
+
+// FaultReport summarizes the faults a solve observed and the recovery
+// actions it took. Attached to Result.Faults only when something
+// actually happened, so fault-free solves carry a nil report.
+type FaultReport struct {
+	// DevicesLost lists the physical ids of devices that died during the
+	// solve, ascending.
+	DevicesLost []int
+	// Repartitions counts how many times the row blocks were re-cut
+	// across survivors (once per device-loss recovery).
+	Repartitions int
+	// CheckpointRestores counts recoveries that resumed from a restart
+	// boundary with real progress (checkpointed restart > 0), as opposed
+	// to starting the solve over.
+	CheckpointRestores int
+	// TransferFaults and TransferRetries mirror the runtime's tally of
+	// injected transfer-round failures and successful retries.
+	TransferFaults  int
+	TransferRetries int
+}
+
+// checkpoint is the resume state captured at each restart boundary while
+// a fault plan is armed: the current iterate (prepared coordinates) plus
+// the restart-loop counters, and for CA-GMRES the shift schedule and
+// adaptive-step state. Capturing uses the uncharged GatherCol helper, so
+// checkpoint maintenance never perturbs the modeled ledger.
+type checkpoint struct {
+	captured bool
+	x        []float64 // iterate at the boundary, prepared coordinates
+	restart  int       // restart index to resume at
+	restarts int       // Result counters at the boundary
+	iters    int
+	history  []float64
+
+	// CA-GMRES restart-loop state.
+	shiftBlocks   [][]complex128
+	needShifts    bool
+	sEff          int
+	cleanRestarts int
+}
+
+// capture records the common (GMRES and CA-GMRES) boundary state.
+func (ck *checkpoint) capture(x []float64, restart int, res *Result) {
+	ck.x = x
+	ck.restart = restart
+	ck.restarts = res.Restarts
+	ck.iters = res.Iters
+	ck.history = append(ck.history[:0], res.History...)
+	ck.captured = true
+}
+
+// attemptFunc runs one solve attempt on the given (possibly
+// re-partitioned) problem, resuming from the checkpoint when it is
+// captured and updating it at every restart boundary while faults are
+// armed. It must not reset the ledger — the healing wrapper owns it.
+type attemptFunc func(p *Problem, ck *checkpoint) (*Result, error)
+
+// solveHealing owns the solve lifecycle shared by GMRES and CAGMRES:
+// reset the ledger once, then run attempts until one finishes. A device
+// loss shrinks the problem onto the survivors and retries from the
+// checkpoint; losing the last device is unrecoverable. The loop is
+// bounded by the device count — every heal removes at least one device.
+func solveHealing(p *Problem, opts Options, solver string, run attemptFunc) (*Result, error) {
+	p.Ctx.ResetStats()
+	em := newEmitter(opts.Telemetry, solver, p.Ctx)
+	ck := &checkpoint{}
+	var report *FaultReport
+	cur := p
+	for {
+		res, err := runGuarded(cur, ck, run)
+		var lost *gpu.DeviceLostError
+		if errors.As(err, &lost) {
+			surv, serr := cur.Ctx.Survivors()
+			if serr != nil {
+				return nil, fmt.Errorf("core: solve unrecoverable, no surviving devices: %w", lost)
+			}
+			if report == nil {
+				report = &FaultReport{}
+			}
+			report.DevicesLost = cur.Ctx.DeadDevices()
+			report.Repartitions++
+			if ck.captured && ck.restart > 0 {
+				report.CheckpointRestores++
+			}
+			em.emit(obs.Record{Kind: "repartition", Restart: ck.restart, Step: surv.NumDevices})
+			cur = cur.Repartition(surv)
+			continue
+		}
+		if res != nil {
+			fc := cur.Ctx.FaultCounts()
+			if report == nil && (fc.TransferFaults > 0 || fc.TransferRetries > 0) {
+				report = &FaultReport{}
+			}
+			if report != nil {
+				report.TransferFaults = fc.TransferFaults
+				report.TransferRetries = fc.TransferRetries
+				res.Faults = report
+			}
+		}
+		return res, err
+	}
+}
+
+// runGuarded executes one attempt, converting the runtime's fault panics
+// into errors at this — and only this — recovery boundary. Any other
+// panic is a genuine bug and propagates.
+func runGuarded(p *Problem, ck *checkpoint, run attemptFunc) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case *gpu.DeviceLostError:
+				res, err = nil, e
+			case *gpu.TransferError:
+				res, err = nil, e
+			default:
+				panic(r)
+			}
+		}
+	}()
+	return run(p, ck)
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/obs"
+)
+
+// chaosOpts is the solver configuration every healing test uses, so the
+// fault-free and faulted runs are directly comparable.
+func chaosOpts() Options {
+	return Options{M: 20, S: 5, Tol: 1e-6, Ortho: "CholQR"}
+}
+
+// midSolveDeath runs the workload fault-free on ng devices and returns a
+// death time landing mid-solve (half the fault-free virtual duration) —
+// late enough that real restarts have completed, early enough that real
+// work remains.
+func midSolveDeath(t *testing.T, ng int, solve func(*Problem, Options) (*Result, error), opts Options) float64 {
+	t.Helper()
+	a := laplace2D(20, 20, 0.3)
+	b := randomRHS(400, 10)
+	ctx := gpu.NewContext(ng, gpu.M2090())
+	p, err := NewProblem(ctx, a, b, Natural, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solve(p, opts)
+	if err != nil || !res.Converged {
+		t.Fatalf("fault-free reference did not converge: %v %+v", err, res)
+	}
+	return res.Stats.TotalTime() / 2
+}
+
+// TestCAGMRESSurvivesDeviceLossMidSolve is the acceptance scenario of
+// the fault-injection PR: a seeded chaos plan kills 1 of 3 devices
+// mid-CA-GMRES; the solve must re-partition onto the 2 survivors, resume
+// from the last restart checkpoint, and still converge to the same
+// tolerance as the fault-free run — deterministically, because all of it
+// happens on the virtual clock.
+func TestCAGMRESSurvivesDeviceLossMidSolve(t *testing.T) {
+	at := midSolveDeath(t, 3, CAGMRES, chaosOpts())
+	a := laplace2D(20, 20, 0.3)
+	b := randomRHS(400, 10)
+
+	var reparts []obs.Record
+	run := func() *Result {
+		ctx := gpu.NewContext(3, gpu.M2090())
+		ctx.InjectFaults(gpu.FaultPlan{Seed: 42, Deaths: []gpu.DeviceDeath{{Device: 1, At: at}}})
+		p, err := NewProblem(ctx, a, b, Natural, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := chaosOpts()
+		reparts = reparts[:0]
+		opts.Telemetry = obs.SinkFunc(func(r obs.Record) {
+			if r.Kind == "repartition" {
+				reparts = append(reparts, r)
+			}
+		})
+		res, err := CAGMRES(p, opts)
+		if err != nil {
+			t.Fatalf("solve did not survive the death: %v", err)
+		}
+		return res
+	}
+
+	res := run()
+	if !res.Converged {
+		t.Fatalf("faulted solve did not converge: relres %v", res.RelRes)
+	}
+	solveCheck(t, a, b, res, nil, 1e-5)
+	if res.Faults == nil {
+		t.Fatal("no fault report on a faulted solve")
+	}
+	if got := res.Faults.DevicesLost; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DevicesLost = %v, want [1]", got)
+	}
+	if res.Faults.Repartitions < 1 {
+		t.Fatal("no repartition recorded")
+	}
+	if res.Faults.CheckpointRestores < 1 {
+		t.Fatal("recovery did not resume from a checkpoint with progress")
+	}
+	if len(reparts) != res.Faults.Repartitions {
+		t.Fatalf("telemetry saw %d repartitions, report says %d", len(reparts), res.Faults.Repartitions)
+	}
+	if reparts[0].Step != 2 {
+		t.Fatalf("repartition record reports %d survivors, want 2", reparts[0].Step)
+	}
+
+	// Determinism: the whole scenario — death time, recovery, final
+	// clock — replays bit-identically.
+	res2 := run()
+	if res.Stats.TotalTime() != res2.Stats.TotalTime() {
+		t.Fatalf("chaos runs diverge: %v vs %v", res.Stats.TotalTime(), res2.Stats.TotalTime())
+	}
+	if res.Iters != res2.Iters || res.Restarts != res2.Restarts || res.RelRes != res2.RelRes {
+		t.Fatalf("chaos runs diverge: %+v vs %+v", res, res2)
+	}
+}
+
+func TestGMRESSurvivesDeviceLossMidSolve(t *testing.T) {
+	opts := Options{M: 20, Tol: 1e-6, Ortho: "CGS"}
+	at := midSolveDeath(t, 3, GMRES, opts)
+	a := laplace2D(20, 20, 0.3)
+	b := randomRHS(400, 10)
+
+	ctx := gpu.NewContext(3, gpu.M2090())
+	ctx.InjectFaults(gpu.FaultPlan{Deaths: []gpu.DeviceDeath{{Device: 0, At: at}}})
+	p, err := NewProblem(ctx, a, b, Natural, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GMRES(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveCheck(t, a, b, res, err, 1e-5)
+	if res.Faults == nil || res.Faults.Repartitions < 1 {
+		t.Fatalf("fault report missing or empty: %+v", res.Faults)
+	}
+}
+
+func TestSolveUnrecoverableWhenLastDeviceDies(t *testing.T) {
+	a := laplace2D(10, 10, 0)
+	b := randomRHS(100, 3)
+	ctx := gpu.NewContext(1, gpu.M2090())
+	ctx.InjectFaults(gpu.FaultPlan{Deaths: []gpu.DeviceDeath{{Device: 0, At: 0}}})
+	p, _ := NewProblem(ctx, a, b, Natural, false)
+	_, err := CAGMRES(p, chaosOpts())
+	var lost *gpu.DeviceLostError
+	if err == nil || !errors.As(err, &lost) {
+		t.Fatalf("want wrapped DeviceLostError, got %v", err)
+	}
+}
+
+func TestTransferExhaustionSurfacesAsError(t *testing.T) {
+	// Transfer faults that exhaust the retry policy are NOT healed in
+	// core — they bubble up as errors for the scheduler to re-queue.
+	a := laplace2D(10, 10, 0)
+	b := randomRHS(100, 4)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	ctx.InjectFaults(gpu.FaultPlan{Seed: 5, TransferFaultProb: 1})
+	p, _ := NewProblem(ctx, a, b, Natural, false)
+	_, err := CAGMRES(p, chaosOpts())
+	var te *gpu.TransferError
+	if err == nil || !errors.As(err, &te) {
+		t.Fatalf("want TransferError, got %v", err)
+	}
+}
+
+func TestTransferRetriesReportedOnSuccess(t *testing.T) {
+	a := laplace2D(16, 16, 0.2)
+	b := randomRHS(256, 5)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	ctx.InjectFaults(gpu.FaultPlan{Seed: 9, TransferFaultProb: 0.05})
+	p, _ := NewProblem(ctx, a, b, Natural, false)
+	res, err := CAGMRES(p, chaosOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveCheck(t, a, b, res, err, 1e-5)
+	if res.Faults == nil || res.Faults.TransferRetries == 0 {
+		t.Fatalf("retries not reported: %+v", res.Faults)
+	}
+	if res.Faults.Repartitions != 0 {
+		t.Fatalf("no device died, yet %d repartitions", res.Faults.Repartitions)
+	}
+}
+
+func TestFaultFreeSolveCarriesNoReport(t *testing.T) {
+	a := laplace2D(12, 12, 0.1)
+	b := randomRHS(144, 6)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, _ := NewProblem(ctx, a, b, Natural, false)
+	res, err := CAGMRES(p, chaosOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != nil {
+		t.Fatalf("fault-free solve carries a report: %+v", res.Faults)
+	}
+}

@@ -135,6 +135,21 @@ func (p *Problem) SetB(b []float64) error {
 	return nil
 }
 
+// Repartition re-targets the prepared problem at a different (typically
+// smaller) device context — the self-healing path after a device loss.
+// The permutation, balance and preconditioning stay as they are (they
+// are properties of the matrix, not of the devices); only the block-row
+// layout is re-cut, uniformly across the new context's devices.
+// Partition-derived layouts (kway, hypergraph) degrade to uniform cuts
+// of the same permuted matrix, which keeps the solve correct at the cost
+// of some extra halo volume — the price of surviving.
+func (p *Problem) Repartition(ctx *gpu.Context) *Problem {
+	np := *p
+	np.Ctx = ctx
+	np.Layout = dist.Uniform(p.A.Rows, ctx.NumDevices)
+	return &np
+}
+
 // ApplyJacobi right-preconditions the prepared system with the inverse
 // diagonal: the solvers then iterate on A*D^{-1} y = b and Unmap returns
 // x = D^{-1} y. Diagonal (Jacobi) preconditioning is the one classical

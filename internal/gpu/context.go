@@ -90,10 +90,18 @@ func M2090() CostModel {
 // Context is a simulated multi-GPU node: NumDevices devices, a cost
 // model, and a stats ledger. It is safe for concurrent use by the device
 // goroutines it spawns.
+//
+// A context may carry an armed fault plan (InjectFaults) and may be a
+// Survivors view of a larger context: phys maps the view's logical
+// device indices to the physical device ids of the root context, so the
+// ledger attribution and the death checks always speak physical ids
+// while the layers above address a dense 0..NumDevices-1 range.
 type Context struct {
 	NumDevices int
 	Model      CostModel
 	stats      *Stats
+	faults     *faultState
+	phys       []int // logical -> physical device id; nil = identity
 }
 
 // NewContext creates a context with ng simulated devices.
@@ -193,41 +201,53 @@ func (c *Context) roundTime(bytes []int) (total int, t float64) {
 // device concurrently sends bytes[d] bytes (bytes may have fewer entries
 // than devices; missing entries are zero). The round is charged one
 // latency plus the serialized bus time of the total volume (per path in
-// the multi-node model).
+// the multi-node model). With a fault plan armed, the round first checks
+// scheduled device deaths and then draws the seeded transfer-fault
+// stream, transparently retrying with capped exponential virtual-time
+// backoff.
 func (c *Context) ReduceRound(phase string, bytes []int) {
-	_, t := c.roundTime(bytes)
-	c.stats.addComm(phase, dirD2H, bytes, t)
+	c.commRound(phase, dirD2H, bytes)
 }
 
 // BroadcastRound records one host->device round (scatter/broadcast),
 // symmetric to ReduceRound.
 func (c *Context) BroadcastRound(phase string, bytes []int) {
+	c.commRound(phase, dirH2D, bytes)
+}
+
+func (c *Context) commRound(phase string, dir direction, bytes []int) {
+	c.checkDeaths(phase)
 	_, t := c.roundTime(bytes)
-	c.stats.addComm(phase, dirH2D, bytes, t)
+	c.injectTransferFaults(phase, t)
+	c.stats.addComm(phase, dir, c.devIDs(len(bytes)), bytes, t)
 }
 
 // DeviceKernel records a parallel device kernel: every device executes
 // its own work item concurrently, so the phase advances by the maximum
 // device time while each device's own ledger is charged its own time
-// (work[d] is device d's share — the index is the device id).
+// (work[d] is device d's share — the index is the device id within this
+// context's view; straggler devices are slowed by their configured
+// factor).
 func (c *Context) DeviceKernel(phase string, work []Work) {
+	c.checkDeaths(phase)
 	ts := make([]float64, len(work))
 	for d, w := range work {
-		ts[d] = c.Model.deviceTime(w)
+		ts[d] = c.Model.deviceTime(w) * c.faults.stragglerFactor(c.physOf(d))
 	}
-	c.stats.addCompute(phase, ts, work)
+	c.stats.addCompute(phase, c.devIDs(len(work)), ts, work)
 }
 
 // UniformKernel is DeviceKernel for identical per-device work.
 func (c *Context) UniformKernel(phase string, w Work) {
+	c.checkDeaths(phase)
 	t := c.Model.deviceTime(w)
 	work := make([]Work, c.NumDevices)
 	ts := make([]float64, c.NumDevices)
 	for d := range work {
 		work[d] = w
-		ts[d] = t
+		ts[d] = t * c.faults.stragglerFactor(c.physOf(d))
 	}
-	c.stats.addCompute(phase, ts, work)
+	c.stats.addCompute(phase, c.devIDs(len(work)), ts, work)
 }
 
 // HostCompute records flops executed on the CPU (the Cholesky, small QR,

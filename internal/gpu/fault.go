@@ -1,0 +1,412 @@
+package gpu
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// This file is the deterministic fault-injection layer of the simulated
+// runtime. Real multi-GPU nodes lose devices (ECC double-bit errors, bus
+// drops, driver resets), suffer transient PCIe transfer failures, and
+// develop stragglers; the cost model alone reproduces none of that, so
+// the layers above it — the solvers' re-partitioning recovery, the
+// scheduler's retry/eviction machinery — could never be exercised. A
+// FaultPlan injects those failures *on the virtual clock*: device deaths
+// fire when the ledger's modeled time crosses a threshold, transfer
+// faults are drawn from a seeded RNG in ledger-charge order (which is the
+// solvers' deterministic program order), and retry backoff is charged to
+// the ledger as modeled time. The same plan over the same workload
+// therefore produces bit-identical failure schedules on every machine —
+// every chaos scenario is an ordinary deterministic test.
+
+// DeviceDeath schedules the permanent loss of one device: the first
+// ledger charge at or after virtual time At that involves the device
+// raises a *DeviceLostError.
+type DeviceDeath struct {
+	Device int     // physical device id
+	At     float64 // virtual (modeled) seconds since the plan was armed / the ledger was last reset
+}
+
+// Straggler slows one device: its kernel times are multiplied by Factor
+// (> 1), modeling thermal throttling or a contended PCIe lane. Straggler
+// slowdown is charged through the normal cost model, so the phase
+// aggregates (max over devices) show the collapse-to-slowest effect.
+type Straggler struct {
+	Device int
+	Factor float64
+}
+
+// FaultPlan is a seeded, deterministic failure schedule for one context.
+type FaultPlan struct {
+	// Seed drives the transfer-fault RNG. Two runs of the same workload
+	// with the same seed draw identical fault sequences.
+	Seed int64
+	// Deaths lists scheduled device losses.
+	Deaths []DeviceDeath
+	// TransferFaultProb is the per-communication-round probability of a
+	// transient transfer failure (0 disables). Each retry attempt draws
+	// independently.
+	TransferFaultProb float64
+	// MaxTransferFaults caps the total number of injected transfer
+	// faults (0 = unlimited), so long runs cannot drown in retries.
+	MaxTransferFaults int
+	// Stragglers lists slowed devices.
+	Stragglers []Straggler
+}
+
+// Empty reports whether the plan injects nothing.
+func (p FaultPlan) Empty() bool {
+	return len(p.Deaths) == 0 && p.TransferFaultProb == 0 && len(p.Stragglers) == 0
+}
+
+// RetryPolicy bounds the transparent retry of faulted transfer rounds:
+// capped exponential backoff on the virtual clock. Every failed attempt
+// charges the round's modeled time plus the current backoff to the
+// ledger's "fault" phase, so recovery is visible in the same accounting
+// as regular work.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per round (first attempt
+	// included). Exhausting it raises a *TransferError.
+	MaxAttempts int
+	// Backoff is the virtual-time delay after the first failed attempt.
+	Backoff float64
+	// Factor multiplies the backoff after each failure.
+	Factor float64
+	// MaxBackoff caps the delay.
+	MaxBackoff float64
+}
+
+// DefaultRetryPolicy mirrors a driver-level retry loop: 4 attempts,
+// 50 us initial backoff doubling to at most 1 ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, Backoff: 50e-6, Factor: 2, MaxBackoff: 1e-3}
+}
+
+func (p RetryPolicy) defaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = d.Backoff
+	}
+	if p.Factor <= 1 {
+		p.Factor = d.Factor
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	return p
+}
+
+// DeviceLostError reports a ledger charge that involved a dead device.
+// It is raised as a panic from the charging call and is meant to be
+// recovered at a solver checkpoint boundary (core does); At is the
+// virtual time of detection.
+type DeviceLostError struct {
+	Device int
+	Phase  string
+	At     float64
+}
+
+func (e *DeviceLostError) Error() string {
+	return fmt.Sprintf("gpu: device %d lost (phase %q, t=%.6fs)", e.Device, e.Phase, e.At)
+}
+
+// TransferError reports a communication round whose transient faults
+// exhausted the retry policy. Raised as a panic from the charging call;
+// the scheduler treats it as lease-fatal and re-queues the job.
+type TransferError struct {
+	Phase    string
+	Attempts int
+}
+
+func (e *TransferError) Error() string {
+	return fmt.Sprintf("gpu: transfer failed after %d attempts (phase %q)", e.Attempts, e.Phase)
+}
+
+// FaultCounts is the monotone tally of injected faults and recovery
+// actions on one context (shared by its Survivors views).
+type FaultCounts struct {
+	DeviceDeaths     int     // deaths triggered
+	TransferFaults   int     // transfer-round failures injected
+	TransferRetries  int     // successful retry attempts after a failure
+	StragglerKernels int     // kernel launches slowed by a straggler
+	BackoffSeconds   float64 // virtual seconds charged as retry backoff
+}
+
+// faultState is the mutable injection state, shared between a root
+// context and every Survivors view derived from it. All fields are
+// guarded by mu; ledger charges are serialized by the orchestrating
+// goroutine, so contention is nil in practice.
+type faultState struct {
+	mu       sync.Mutex
+	plan     FaultPlan
+	policy   RetryPolicy
+	rng      *rand.Rand
+	devices  int       // physical device count of the root context
+	dead     []bool    // per physical device
+	consumed []bool    // per plan death entry
+	slow     []float64 // per physical device straggler factor (0 = none)
+	counts   FaultCounts
+}
+
+// InjectFaults arms the plan on this context (and any Survivors views
+// later derived from it). Death times are relative to the ledger clock
+// at future charges — arm immediately after ResetStats so they are
+// relative to the run's start. Re-arming replaces the previous plan and
+// clears dead devices; it is how a pool readmits a repaired context with
+// a fresh schedule.
+func (c *Context) InjectFaults(plan FaultPlan) {
+	f := &faultState{
+		plan:     plan,
+		policy:   DefaultRetryPolicy(),
+		rng:      rand.New(rand.NewSource(plan.Seed)),
+		devices:  c.physDevices(),
+		dead:     make([]bool, c.physDevices()),
+		consumed: make([]bool, len(plan.Deaths)),
+		slow:     make([]float64, c.physDevices()),
+	}
+	if c.faults != nil {
+		f.policy = c.faults.policy
+	}
+	for _, s := range plan.Stragglers {
+		if s.Device >= 0 && s.Device < len(f.slow) && s.Factor > 1 {
+			f.slow[s.Device] = s.Factor
+		}
+	}
+	c.faults = f
+}
+
+// SetRetryPolicy configures the transfer-retry behavior; it arms an
+// empty plan if none is armed (so a fault-free context can still model
+// retries if a plan arrives later).
+func (c *Context) SetRetryPolicy(p RetryPolicy) {
+	if c.faults == nil {
+		c.InjectFaults(FaultPlan{})
+	}
+	c.faults.mu.Lock()
+	c.faults.policy = p.defaults()
+	c.faults.mu.Unlock()
+}
+
+// FaultsArmed reports whether a fault plan is active. The solvers use it
+// to decide whether checkpoint maintenance is worth paying for.
+func (c *Context) FaultsArmed() bool {
+	return c.faults != nil && !c.faults.plan.Empty()
+}
+
+// FaultCounts returns the monotone fault tally (zero value when no plan
+// is armed).
+func (c *Context) FaultCounts() FaultCounts {
+	if c.faults == nil {
+		return FaultCounts{}
+	}
+	c.faults.mu.Lock()
+	defer c.faults.mu.Unlock()
+	return c.faults.counts
+}
+
+// DeadDevices returns the physical ids of devices that have died, in
+// ascending order.
+func (c *Context) DeadDevices() []int {
+	if c.faults == nil {
+		return nil
+	}
+	c.faults.mu.Lock()
+	defer c.faults.mu.Unlock()
+	var out []int
+	for d, dead := range c.faults.dead {
+		if dead {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AliveDevices returns the physical ids of this context's view that are
+// still alive, ascending.
+func (c *Context) AliveDevices() []int {
+	var out []int
+	for d := 0; d < c.NumDevices; d++ {
+		p := c.physOf(d)
+		if c.faults == nil || !c.faults.deadPhys(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Survivors returns a context view over the alive devices: it shares the
+// stats ledger, cost model and fault state of this context, but RunAll
+// and the charging calls address only the survivors (logical device i is
+// physical device Survivors()[i] on the ledger). It errors when no
+// device survives. Do not ResetStats a view — reset the root.
+func (c *Context) Survivors() (*Context, error) {
+	alive := c.AliveDevices()
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("gpu: no surviving devices")
+	}
+	return &Context{
+		NumDevices: len(alive),
+		Model:      c.Model,
+		stats:      c.stats,
+		faults:     c.faults,
+		phys:       alive,
+	}, nil
+}
+
+// Repair clears the dead set and the straggler assignments, modeling a
+// driver reset / device replacement between leases. Scheduled deaths
+// that already fired stay consumed (they do not fire again); pending
+// deaths and the transfer-fault stream stay armed. The fault tally is
+// preserved (it is monotone).
+func (c *Context) Repair() {
+	if c.faults == nil {
+		return
+	}
+	c.faults.mu.Lock()
+	defer c.faults.mu.Unlock()
+	for d := range c.faults.dead {
+		c.faults.dead[d] = false
+	}
+	for d := range c.faults.slow {
+		c.faults.slow[d] = 0
+	}
+}
+
+// physOf maps a logical device index of this view to its physical id.
+func (c *Context) physOf(d int) int {
+	if c.phys == nil {
+		return d
+	}
+	return c.phys[d]
+}
+
+// physDevices returns the physical device count backing this view.
+func (c *Context) physDevices() int {
+	if c.faults != nil {
+		return c.faults.devices
+	}
+	if c.phys == nil {
+		return c.NumDevices
+	}
+	max := 0
+	for _, p := range c.phys {
+		if p+1 > max {
+			max = p + 1
+		}
+	}
+	return max
+}
+
+// devIDs returns the physical ids of the first n logical devices — the
+// ledger attribution of a charge made through this view.
+func (c *Context) devIDs(n int) []int {
+	ids := make([]int, n)
+	for d := range ids {
+		ids[d] = c.physOf(d)
+	}
+	return ids
+}
+
+func (f *faultState) deadPhys(p int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return p < len(f.dead) && f.dead[p]
+}
+
+// checkDeaths triggers any scheduled deaths whose time has come and, if
+// a device of this view is dead, records a fault event and panics with
+// *DeviceLostError. Called before every device-involving ledger charge;
+// a nil fault state costs one pointer test.
+func (c *Context) checkDeaths(phase string) {
+	f := c.faults
+	if f == nil || len(f.plan.Deaths) == 0 {
+		return
+	}
+	now := c.stats.TotalTime()
+	f.mu.Lock()
+	for i, d := range f.plan.Deaths {
+		if !f.consumed[i] && now >= d.At && d.Device >= 0 && d.Device < len(f.dead) {
+			f.consumed[i] = true
+			if !f.dead[d.Device] {
+				f.dead[d.Device] = true
+				f.counts.DeviceDeaths++
+				c.stats.addFault(phase, d.Device, "death", 0)
+			}
+		}
+	}
+	var lost = -1
+	for d := 0; d < c.NumDevices && lost < 0; d++ {
+		if p := c.physOf(d); p < len(f.dead) && f.dead[p] {
+			lost = p
+		}
+	}
+	f.mu.Unlock()
+	if lost >= 0 {
+		panic(&DeviceLostError{Device: lost, Phase: phase, At: now})
+	}
+}
+
+// injectTransferFaults draws the seeded transfer-fault stream for one
+// communication round of modeled duration t. Every failed attempt
+// charges the wasted round plus the current backoff to the ledger's
+// "fault" phase (virtual-time exponential backoff, capped); exhausting
+// the policy panics with *TransferError. Returns normally once an
+// attempt succeeds.
+func (c *Context) injectTransferFaults(phase string, t float64) {
+	f := c.faults
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	prob := f.plan.TransferFaultProb
+	if prob <= 0 ||
+		(f.plan.MaxTransferFaults > 0 && f.counts.TransferFaults >= f.plan.MaxTransferFaults) {
+		f.mu.Unlock()
+		return
+	}
+	policy := f.policy.defaults()
+	attempt := 1
+	backoff := policy.Backoff
+	for f.rng.Float64() < prob {
+		f.counts.TransferFaults++
+		if attempt >= policy.MaxAttempts {
+			f.mu.Unlock()
+			panic(&TransferError{Phase: phase, Attempts: attempt})
+		}
+		// The failed attempt wasted the round's time; the retry waits out
+		// the backoff. Both are modeled time on the "fault" phase.
+		f.counts.TransferRetries++
+		f.counts.BackoffSeconds += backoff
+		c.stats.addFault(phase, HostDevice, "transfer", t+backoff)
+		attempt++
+		backoff *= policy.Factor
+		if backoff > policy.MaxBackoff {
+			backoff = policy.MaxBackoff
+		}
+		if f.plan.MaxTransferFaults > 0 && f.counts.TransferFaults >= f.plan.MaxTransferFaults {
+			break
+		}
+	}
+	f.mu.Unlock()
+}
+
+// stragglerFactor returns the slowdown of a physical device (1 when
+// none) and tallies slowed kernels.
+func (f *faultState) stragglerFactor(p int) float64 {
+	if f == nil {
+		return 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p < len(f.slow) && f.slow[p] > 1 {
+		f.counts.StragglerKernels++
+		return f.slow[p]
+	}
+	return 1
+}

@@ -44,8 +44,16 @@ func (p PhaseStats) DeviceGflops() float64 {
 	return p.DeviceFlops / p.DeviceTime / 1e9
 }
 
+// PhaseFault is the ledger phase charged with fault-recovery overhead:
+// the wasted time of faulted transfer rounds and their retry backoff.
+// Fault-free runs never create it, so existing phase tables are
+// unchanged unless a fault plan actually fired.
+const PhaseFault = "fault"
+
 // Event is one traced ledger entry, in program order. Kind is "reduce",
-// "broadcast", "kernel", or "host".
+// "broadcast", "kernel", "host", or a fault marker ("fault-death",
+// "fault-transfer") recorded by the injection layer; fault events keep
+// the phase of the operation that faulted.
 //
 // Device attributes the event to one simulated device: kernel events
 // carry the device that executed them, while communication rounds and
@@ -165,10 +173,11 @@ func (s *Stats) devGet(d int, phase string) *PhaseStats {
 	return p
 }
 
-// addComm charges one communication round: bytes[d] is device d's share,
-// t the modeled time of the whole round. Every participating device is
-// occupied for the full round, so each per-device ledger is charged t.
-func (s *Stats) addComm(phase string, dir direction, bytes []int, t float64) {
+// addComm charges one communication round: bytes[d] is logical device
+// d's share, devs[d] its physical id on the ledger, t the modeled time
+// of the whole round. Every participating device is occupied for the
+// full round, so each per-device ledger is charged t.
+func (s *Stats) addComm(phase string, dir direction, devs, bytes []int, t float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.get(phase)
@@ -187,7 +196,7 @@ func (s *Stats) addComm(phase string, dir direction, bytes []int, t float64) {
 	}
 	p.CommTime += t
 	for d, b := range bytes {
-		dp := s.devGet(d, phase)
+		dp := s.devGet(devs[d], phase)
 		dp.Rounds++
 		dp.Messages++
 		if dir == dirD2H {
@@ -201,12 +210,12 @@ func (s *Stats) addComm(phase string, dir direction, bytes []int, t float64) {
 }
 
 // addCompute charges one parallel kernel launch: ts[d] and work[d] are
-// device d's modeled time and cost shape. The phase aggregate advances by
-// the slowest device (the devices run concurrently); the per-device
-// ledgers record each device's own time, which is what makes load
-// imbalance visible. One trace event is recorded per device, all sharing
-// a launch Step.
-func (s *Stats) addCompute(phase string, ts []float64, work []Work) {
+// logical device d's modeled time and cost shape, devs[d] its physical
+// id. The phase aggregate advances by the slowest device (the devices
+// run concurrently); the per-device ledgers record each device's own
+// time, which is what makes load imbalance visible. One trace event is
+// recorded per device, all sharing a launch Step.
+func (s *Stats) addCompute(phase string, devs []int, ts []float64, work []Work) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.get(phase)
@@ -223,12 +232,30 @@ func (s *Stats) addCompute(phase string, ts []float64, work []Work) {
 	}
 	step := s.nextStep()
 	for d := range work {
-		dp := s.devGet(d, phase)
+		dp := s.devGet(devs[d], phase)
 		dp.DeviceTime += ts[d]
 		dp.DeviceFlops += work[d].Flops
 		dp.Kernels++
-		s.record(Event{Step: step, Device: d, Phase: phase, Kind: "kernel", Bytes: int(work[d].Bytes), Time: ts[d]})
+		s.record(Event{Step: step, Device: devs[d], Phase: phase, Kind: "kernel", Bytes: int(work[d].Bytes), Time: ts[d]})
 	}
+}
+
+// addFault charges fault-recovery overhead: t modeled seconds on the
+// PhaseFault ledger row (zero for a death marker) and one trace event
+// that keeps the faulted operation's phase. detail is "death" or
+// "transfer".
+func (s *Stats) addFault(phase string, device int, detail string, t float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.get(PhaseFault)
+	p.Rounds++
+	p.CommTime += t
+	if device >= 0 {
+		dp := s.devGet(device, PhaseFault)
+		dp.Rounds++
+		dp.CommTime += t
+	}
+	s.record(Event{Step: s.nextStep(), Device: device, Phase: phase, Kind: "fault-" + detail, Time: t})
 }
 
 func (s *Stats) addHost(phase string, t, flops float64) {

@@ -22,11 +22,11 @@ func fillLedger(rng *rand.Rand, s *Stats, phases []string) {
 		phase := phases[rng.Intn(len(phases))]
 		switch rng.Intn(4) {
 		case 0:
-			s.addComm(phase, dirD2H, []int{rng.Intn(1 << 12), rng.Intn(1 << 12), rng.Intn(1 << 12)}, dyadic(rng))
+			s.addComm(phase, dirD2H, []int{0, 1, 2}, []int{rng.Intn(1 << 12), rng.Intn(1 << 12), rng.Intn(1 << 12)}, dyadic(rng))
 		case 1:
-			s.addComm(phase, dirH2D, []int{rng.Intn(1 << 12), rng.Intn(1 << 12)}, dyadic(rng))
+			s.addComm(phase, dirH2D, []int{0, 1}, []int{rng.Intn(1 << 12), rng.Intn(1 << 12)}, dyadic(rng))
 		case 2:
-			s.addCompute(phase, []float64{dyadic(rng), dyadic(rng)}, []Work{
+			s.addCompute(phase, []int{0, 1}, []float64{dyadic(rng), dyadic(rng)}, []Work{
 				{Flops: float64(rng.Intn(1 << 20)), Bytes: float64(rng.Intn(1 << 20))},
 				{Flops: float64(rng.Intn(1 << 20)), Bytes: float64(rng.Intn(1 << 20))},
 			})

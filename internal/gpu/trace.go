@@ -62,9 +62,9 @@ const (
 // visible on the timeline.
 func laneFor(e Event) (tid int, lane string) {
 	switch e.Kind {
-	case "reduce", "broadcast":
+	case "reduce", "broadcast", "fault-transfer":
 		return commLane, "comm (PCIe/interconnect)"
-	case "kernel":
+	case "kernel", "fault-death":
 		if e.Device >= 0 {
 			return deviceLaneBase + e.Device, fmt.Sprintf("device %d compute", e.Device)
 		}

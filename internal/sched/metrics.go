@@ -1,6 +1,10 @@
 package sched
 
-import "cagmres/internal/obs"
+import (
+	"cagmres/internal/core"
+	"cagmres/internal/gpu"
+	"cagmres/internal/obs"
+)
 
 // Bucket layouts: wall-clock wait/service spans 100 microseconds to ~100
 // seconds; modeled service spans 1 microsecond to ~4 seconds of device
@@ -27,6 +31,16 @@ type metrics struct {
 	leases       obs.Counter
 	leaseSeconds obs.Counter
 	jobs         map[State]obs.Counter
+
+	faultDeaths    obs.Counter
+	faultTransfers obs.Counter
+	retries        obs.Counter
+	evictions      obs.Counter
+	readmissions   obs.Counter
+	requeues       obs.Counter
+	repartitions   obs.Counter
+	restores       obs.Counter
+	leaseTimeouts  obs.Counter
 }
 
 func newMetrics(r *obs.Registry, pool *Pool) *metrics {
@@ -57,6 +71,25 @@ func newMetrics(r *obs.Registry, pool *Pool) *metrics {
 		leaseSeconds: r.Counter("sched_lease_seconds_total",
 			"Wall-clock seconds device contexts were leased."),
 		jobs: make(map[State]obs.Counter),
+
+		faultDeaths: r.CounterL("sched_faults_injected_total",
+			"Faults injected by armed fault plans, by kind.", obs.L("kind", "death")),
+		faultTransfers: r.CounterL("sched_faults_injected_total",
+			"Faults injected by armed fault plans, by kind.", obs.L("kind", "transfer")),
+		retries: r.Counter("sched_transfer_retries_total",
+			"Transfer rounds retried after an injected fault."),
+		evictions: r.Counter("sched_context_evictions_total",
+			"Device contexts evicted by the release health probe."),
+		readmissions: r.Counter("sched_context_readmissions_total",
+			"Evicted contexts repaired and returned to the pool."),
+		requeues: r.Counter("sched_job_requeues_total",
+			"Jobs re-queued after a lease fault."),
+		repartitions: r.Counter("sched_repartitions_total",
+			"Mid-solve row-block re-partitions onto surviving devices."),
+		restores: r.Counter("sched_checkpoint_restores_total",
+			"Solves resumed from a restart-boundary checkpoint after a device loss."),
+		leaseTimeouts: r.Counter("sched_lease_timeouts_total",
+			"Leases canceled by the per-lease timeout."),
 	}
 	for _, st := range []State{StateDone, StateCanceled, StateFailed} {
 		m.jobs[st] = r.CounterL("sched_jobs_total",
@@ -67,6 +100,12 @@ func newMetrics(r *obs.Registry, pool *Pool) *metrics {
 	pool.OnChange(func(inUse, size int) {
 		m.poolInUse.Set(float64(inUse))
 		m.poolSize.Set(float64(size))
+	})
+	pool.OnHealth(func(readmitted bool) {
+		m.evictions.Inc()
+		if readmitted {
+			m.readmissions.Inc()
+		}
 	})
 	return m
 }
@@ -89,6 +128,37 @@ func (m *metrics) lease(seconds float64, jobs int) {
 		m.leaseSeconds.Add(seconds)
 		m.batchJobs.Observe(float64(jobs))
 	}
+}
+
+func (m *metrics) requeued() {
+	if m != nil {
+		m.requeues.Inc()
+	}
+}
+
+func (m *metrics) leaseTimedOut() {
+	if m != nil {
+		m.leaseTimeouts.Inc()
+	}
+}
+
+// faults records one lease's fault-tally delta.
+func (m *metrics) faults(d gpu.FaultCounts) {
+	if m == nil {
+		return
+	}
+	m.faultDeaths.Add(float64(d.DeviceDeaths))
+	m.faultTransfers.Add(float64(d.TransferFaults))
+	m.retries.Add(float64(d.TransferRetries))
+}
+
+// recovered records one job's solver-level recovery actions.
+func (m *metrics) recovered(r *core.FaultReport) {
+	if m == nil {
+		return
+	}
+	m.repartitions.Add(float64(r.Repartitions))
+	m.restores.Add(float64(r.CheckpointRestores))
 }
 
 func (m *metrics) finished(st State, wait, wall, modeled float64) {

@@ -17,6 +17,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -27,25 +28,78 @@ import (
 // check contexts out with Acquire and return them with Release, which
 // resets the stats ledger so every lease starts from a clean clock
 // (trace capacity, if enabled, is preserved by gpu.ResetStats).
+//
+// Release doubles as a health probe: a returned context with dead
+// devices is evicted instead of pooled. With PoolConfig.Repair the
+// context is repaired (driver reset) and readmitted; otherwise the pool
+// shrinks, and once the last healthy context is gone Acquire fails with
+// ErrPoolExhausted.
 type Pool struct {
 	devices int
 	model   gpu.CostModel
 	free    chan *gpu.Context
+	repair  bool
 
-	mu       sync.Mutex
-	inUse    int
-	onChange func(inUse, size int)
+	exhausted chan struct{} // closed when the last healthy context is evicted
+
+	mu           sync.Mutex
+	inUse        int
+	healthy      int
+	evictions    uint64
+	readmissions uint64
+	onChange     func(inUse, size int)
+	onHealth     func(readmitted bool)
 }
 
-// NewPool builds size contexts of devicesPerContext simulated GPUs each.
+// PoolConfig parameterizes a fault-aware pool.
+type PoolConfig struct {
+	// Size is the number of pooled contexts; Devices the simulated GPU
+	// count of each.
+	Size    int
+	Devices int
+	Model   gpu.CostModel
+	// FaultPlans[i], when present and non-empty, is armed on pooled
+	// context i — the chaos harness's way of scheduling deterministic
+	// failures into a running service. Missing entries stay fault-free.
+	FaultPlans []gpu.FaultPlan
+	// Retry, when non-zero, overrides the transfer-retry policy of every
+	// pooled context.
+	Retry gpu.RetryPolicy
+	// Repair readmits evicted contexts after a gpu.Repair (modeling a
+	// driver reset / device replacement between leases); false removes
+	// them from the pool permanently.
+	Repair bool
+}
+
+// ErrPoolExhausted is returned by Acquire once every pooled context has
+// been evicted with repair disabled.
+var ErrPoolExhausted = errors.New("sched: every pooled context has been evicted")
+
+// NewPool builds size fault-free contexts of devicesPerContext simulated
+// GPUs each.
 func NewPool(size, devicesPerContext int, model gpu.CostModel) *Pool {
-	if size < 1 {
-		panic(fmt.Sprintf("sched: NewPool with size %d", size))
+	return NewPoolWithConfig(PoolConfig{Size: size, Devices: devicesPerContext, Model: model})
+}
+
+// NewPoolWithConfig builds a pool, arming the configured fault plans and
+// retry policy on the pooled contexts.
+func NewPoolWithConfig(cfg PoolConfig) *Pool {
+	if cfg.Size < 1 {
+		panic(fmt.Sprintf("sched: NewPool with size %d", cfg.Size))
 	}
-	p := &Pool{devices: devicesPerContext, model: model,
-		free: make(chan *gpu.Context, size)}
-	for i := 0; i < size; i++ {
-		p.free <- gpu.NewContext(devicesPerContext, model)
+	p := &Pool{devices: cfg.Devices, model: cfg.Model, repair: cfg.Repair,
+		free:      make(chan *gpu.Context, cfg.Size),
+		exhausted: make(chan struct{}),
+		healthy:   cfg.Size}
+	for i := 0; i < cfg.Size; i++ {
+		c := gpu.NewContext(cfg.Devices, cfg.Model)
+		if cfg.Retry != (gpu.RetryPolicy{}) {
+			c.SetRetryPolicy(cfg.Retry)
+		}
+		if i < len(cfg.FaultPlans) && !cfg.FaultPlans[i].Empty() {
+			c.InjectFaults(cfg.FaultPlans[i])
+		}
+		p.free <- c
 	}
 	return p
 }
@@ -63,9 +117,35 @@ func (p *Pool) InUse() int {
 	return p.inUse
 }
 
+// Healthy returns how many contexts have not been evicted.
+func (p *Pool) Healthy() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthy
+}
+
+// Evictions and Readmissions return the health-probe tallies.
+func (p *Pool) Evictions() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictions
+}
+
+// Readmissions returns how many evicted contexts were repaired and
+// returned to service.
+func (p *Pool) Readmissions() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readmissions
+}
+
 // OnChange registers a hook called with (inUse, size) after every
 // acquire and release — the metrics bridge. Call before any Acquire.
 func (p *Pool) OnChange(f func(inUse, size int)) { p.onChange = f }
+
+// OnHealth registers a hook called after every eviction with whether the
+// context was readmitted — the metrics bridge. Call before any Acquire.
+func (p *Pool) OnHealth(f func(readmitted bool)) { p.onHealth = f }
 
 func (p *Pool) track(delta int) {
 	p.mu.Lock()
@@ -78,7 +158,8 @@ func (p *Pool) track(delta int) {
 }
 
 // Acquire checks a context out, blocking until one is free or ctx is
-// done. The caller must Release it.
+// done. The caller must Release it. Returns ErrPoolExhausted once every
+// context has been evicted without repair.
 func (p *Pool) Acquire(ctx context.Context) (*gpu.Context, error) {
 	select {
 	case c := <-p.free:
@@ -90,19 +171,59 @@ func (p *Pool) Acquire(ctx context.Context) (*gpu.Context, error) {
 	case c := <-p.free:
 		p.track(1)
 		return c, nil
+	case <-p.exhausted:
+		return nil, ErrPoolExhausted
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 }
 
-// Release returns a leased context after resetting its ledger, so the
-// next lease observes a zero clock and no stale events.
+// Release returns a leased context after a health probe: a context with
+// dead devices is evicted (and, with Repair configured, repaired and
+// readmitted). Healthy returns reset the ledger so the next lease
+// observes a zero clock and no stale events.
 func (p *Pool) Release(c *gpu.Context) {
+	if len(c.DeadDevices()) > 0 {
+		p.evict(c)
+		return
+	}
 	c.ResetStats()
 	p.track(-1)
 	select {
 	case p.free <- c:
 	default:
 		panic("sched: Release of a context the pool does not miss")
+	}
+}
+
+// evict removes an unhealthy context from circulation; with repair
+// enabled it is reset (consumed deaths stay consumed, so a repaired
+// context does not re-die on the same schedule) and readmitted.
+func (p *Pool) evict(c *gpu.Context) {
+	p.mu.Lock()
+	p.evictions++
+	readmit := p.repair
+	if readmit {
+		p.readmissions++
+	} else {
+		p.healthy--
+		if p.healthy == 0 {
+			close(p.exhausted)
+		}
+	}
+	hook := p.onHealth
+	p.mu.Unlock()
+	if hook != nil {
+		hook(readmit)
+	}
+	p.track(-1)
+	if readmit {
+		c.Repair()
+		c.ResetStats()
+		select {
+		case p.free <- c:
+		default:
+			panic("sched: readmission of a context the pool does not miss")
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"cagmres/internal/core"
+	"cagmres/internal/gpu"
 	"cagmres/internal/obs"
 	"cagmres/internal/sparse"
 )
@@ -79,6 +80,7 @@ type Job struct {
 	mu          sync.Mutex
 	state       State
 	dispatchSeq uint64
+	attempts    int // leases this job has run on
 	submitted   time.Time
 	started     time.Time
 	finished    time.Time
@@ -141,6 +143,21 @@ func (j *Job) ServiceSeconds() float64 {
 // boundary.
 func (j *Job) Cancel() { j.cancel() }
 
+// Attempts returns how many leases the job has run on — more than one
+// means the scheduler re-queued it after a lease fault.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+func (j *Job) bumpAttempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempts++
+	return j.attempts
+}
+
 func (j *Job) markDispatched(seq uint64, t time.Time) {
 	j.mu.Lock()
 	j.dispatchSeq = seq
@@ -202,6 +219,22 @@ type Config struct {
 	RetainJobs int
 	// Registry, when non-nil, receives the scheduler instruments.
 	Registry *obs.Registry
+	// MaxJobAttempts bounds how many leases one job may consume before a
+	// retryable lease fault (transfer-retry exhaustion, unrecoverable
+	// device loss) fails it instead of re-queueing it (default 2).
+	MaxJobAttempts int
+	// LeaseTimeout, when > 0, bounds one lease's wall-clock execution:
+	// when it fires, every job still on the lease is canceled so a stuck
+	// batch stops at the solver's next restart boundary instead of
+	// holding a device context forever.
+	LeaseTimeout time.Duration
+	// DrainGrace bounds how long Drain keeps waiting for workers after
+	// its context expires and the jobs have been canceled. When the
+	// grace also runs out — a lease is wedged in code that never checks
+	// cancellation — Drain abandons the remaining jobs and returns a
+	// *DrainTimeoutError listing them. 0 preserves the old behavior of
+	// waiting indefinitely.
+	DrainGrace time.Duration
 }
 
 func (c *Config) defaults() {
@@ -216,6 +249,9 @@ func (c *Config) defaults() {
 	}
 	if c.RetainJobs == 0 {
 		c.RetainJobs = 1024
+	}
+	if c.MaxJobAttempts == 0 {
+		c.MaxJobAttempts = 2
 	}
 }
 
@@ -239,6 +275,15 @@ type Scheduler struct {
 	rejected   uint64
 	leases     uint64
 	batched    uint64 // jobs that shared a lease with at least one other
+
+	// Fault-and-recovery tallies (see Snapshot).
+	requeues        uint64
+	leaseTimeouts   uint64
+	devicesLost     uint64
+	transferFaults  uint64
+	transferRetries uint64
+	repartitions    uint64
+	restores        uint64
 
 	wg sync.WaitGroup
 }
@@ -339,7 +384,24 @@ type Snapshot struct {
 	Batched    uint64
 	PoolSize   int
 	PoolInUse  int
+
+	// Fault-and-recovery state: healthy pool members, injected faults
+	// observed across all leases, and the recovery actions taken.
+	PoolHealthy     int
+	Evictions       uint64
+	Readmissions    uint64
+	Requeues        uint64
+	LeaseTimeouts   uint64
+	DevicesLost     uint64
+	TransferFaults  uint64
+	TransferRetries uint64
+	Repartitions    uint64
+	Restores        uint64
 }
+
+// Degraded reports whether the service has permanently lost capacity:
+// evicted contexts that were not readmitted.
+func (sn Snapshot) Degraded() bool { return sn.PoolHealthy < sn.PoolSize }
 
 // Snapshot returns current counters and queue state.
 func (s *Scheduler) Snapshot() Snapshot {
@@ -354,15 +416,41 @@ func (s *Scheduler) Snapshot() Snapshot {
 		Batched:    s.batched,
 		PoolSize:   s.cfg.Pool.Size(),
 		PoolInUse:  s.cfg.Pool.InUse(),
+
+		PoolHealthy:     s.cfg.Pool.Healthy(),
+		Evictions:       s.cfg.Pool.Evictions(),
+		Readmissions:    s.cfg.Pool.Readmissions(),
+		Requeues:        s.requeues,
+		LeaseTimeouts:   s.leaseTimeouts,
+		DevicesLost:     s.devicesLost,
+		TransferFaults:  s.transferFaults,
+		TransferRetries: s.transferRetries,
+		Repartitions:    s.repartitions,
+		Restores:        s.restores,
 	}
+}
+
+// DrainTimeoutError is returned by Drain when even the post-cancel
+// grace period (Config.DrainGrace) ran out: some lease is wedged in
+// code that never observes cancellation. Abandoned lists the jobs left
+// behind, sorted by ID.
+type DrainTimeoutError struct {
+	Abandoned []string
+}
+
+func (e *DrainTimeoutError) Error() string {
+	return fmt.Sprintf("sched: drain grace expired with %d jobs abandoned: %v",
+		len(e.Abandoned), e.Abandoned)
 }
 
 // Drain stops admission, waits for the queue to empty and every worker
 // to finish, and returns nil. If ctx expires first, all remaining jobs
 // are canceled (they finish with Canceled results at the solvers' next
-// restart boundary) and Drain still waits for the workers before
-// returning ctx's error. After Drain, Submit returns ErrDraining
-// forever; the scheduler is done.
+// restart boundary) and Drain waits for the workers — indefinitely by
+// default, or for at most Config.DrainGrace, after which it gives up on
+// wedged leases and returns a *DrainTimeoutError naming the abandoned
+// jobs. After Drain, Submit returns ErrDraining forever; the scheduler
+// is done.
 func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -398,9 +486,29 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		for _, j := range s.jobs {
 			j.cancel()
 		}
+		grace := s.cfg.DrainGrace
 		s.mu.Unlock()
-		<-done
-		return ctx.Err()
+		if grace <= 0 {
+			<-done
+			return ctx.Err()
+		}
+		timer := time.NewTimer(grace)
+		defer timer.Stop()
+		select {
+		case <-done:
+			return ctx.Err()
+		case <-timer.C:
+			s.mu.Lock()
+			var abandoned []string
+			for id, j := range s.jobs {
+				if st := j.State(); st == StateQueued || st == StateRunning {
+					abandoned = append(abandoned, id)
+				}
+			}
+			s.mu.Unlock()
+			sort.Strings(abandoned)
+			return &DrainTimeoutError{Abandoned: abandoned}
+		}
 	}
 }
 
@@ -473,34 +581,89 @@ func (s *Scheduler) nextBatch() []*Job {
 	return batch
 }
 
+// retryableLeaseFault reports errors worth another lease: transfer-retry
+// exhaustion and unrecoverable device loss are properties of the faulted
+// context, not the job, so the job may well succeed on a healthy one.
+func retryableLeaseFault(err error) bool {
+	var te *gpu.TransferError
+	var dl *gpu.DeviceLostError
+	return errors.As(err, &te) || errors.As(err, &dl)
+}
+
+// requeue puts a fault-hit job back in the admission queue. It keeps its
+// original admission sequence, so it re-dispatches ahead of later
+// arrivals of the same priority.
+func (s *Scheduler) requeue(j *Job) {
+	j.setState(StateQueued)
+	s.mu.Lock()
+	s.requeues++
+	heap.Push(&s.queue, j)
+	depth := len(s.queue)
+	s.mu.Unlock()
+	s.met.setDepth(depth)
+	s.met.requeued()
+	s.cond.Signal()
+}
+
 // execute runs a batch under one device lease: the problem is prepared
 // once from the first live job and re-targeted per right-hand side with
 // SetB. Jobs whose deadline expired while queued are finished as
-// canceled without touching the device.
+// canceled without touching the device. Jobs hit by a lease fault are
+// re-queued up to MaxJobAttempts leases; the fault tally of the lease is
+// harvested into the scheduler counters before the pool's health probe
+// decides the context's fate.
 func (s *Scheduler) execute(batch []*Job) {
 	lease, err := s.cfg.Pool.Acquire(context.Background())
-	if err != nil { // unreachable: Background never cancels
+	if err != nil { // pool exhausted: every context evicted
 		for _, j := range batch {
 			j.finish(StateFailed, nil, err)
+			s.met.finished(StateFailed, j.WaitSeconds(), 0, 0)
 		}
+		s.retain(batch)
 		return
 	}
 	leaseStart := time.Now()
+	fcBefore := lease.FaultCounts()
+	if s.cfg.LeaseTimeout > 0 {
+		timer := time.AfterFunc(s.cfg.LeaseTimeout, func() {
+			s.mu.Lock()
+			s.leaseTimeouts++
+			s.mu.Unlock()
+			s.met.leaseTimedOut()
+			for _, j := range batch {
+				j.Cancel()
+			}
+		})
+		defer timer.Stop()
+	}
 	defer func() {
+		delta := lease.FaultCounts()
+		delta.DeviceDeaths -= fcBefore.DeviceDeaths
+		delta.TransferFaults -= fcBefore.TransferFaults
+		delta.TransferRetries -= fcBefore.TransferRetries
+		s.mu.Lock()
+		s.devicesLost += uint64(delta.DeviceDeaths)
+		s.transferFaults += uint64(delta.TransferFaults)
+		s.transferRetries += uint64(delta.TransferRetries)
+		s.mu.Unlock()
+		s.met.faults(delta)
 		s.cfg.Pool.Release(lease)
 		s.met.lease(time.Since(leaseStart).Seconds(), len(batch))
 	}()
 
 	var problem *core.Problem
+	var terminal []*Job
 	for _, j := range batch {
 		if j.ctx.Err() != nil {
 			// Deadline or cancellation expired while queued: a Canceled
 			// result without spending device time.
 			j.finish(StateCanceled, &core.Result{Canceled: true}, nil)
 			s.met.finished(StateCanceled, j.WaitSeconds(), 0, 0)
+			terminal = append(terminal, j)
 			continue
 		}
 		j.setState(StateRunning)
+		attempt := j.bumpAttempts()
 		start := time.Now()
 
 		var res *core.Result
@@ -523,6 +686,22 @@ func (s *Scheduler) execute(batch []*Job) {
 				err = fmt.Errorf("sched: unknown solver %q", j.Spec.Solver)
 			}
 		}
+		if err != nil && retryableLeaseFault(err) {
+			// The context is suspect after a lease fault: stop preparing
+			// further batch jobs on it and route this one elsewhere.
+			problem = nil
+			if attempt < s.cfg.MaxJobAttempts {
+				s.requeue(j)
+				continue
+			}
+		}
+		if res != nil && res.Faults != nil {
+			s.mu.Lock()
+			s.repartitions += uint64(res.Faults.Repartitions)
+			s.restores += uint64(res.Faults.CheckpointRestores)
+			s.mu.Unlock()
+			s.met.recovered(res.Faults)
+		}
 
 		st := StateDone
 		switch {
@@ -537,11 +716,16 @@ func (s *Scheduler) execute(batch []*Job) {
 		}
 		j.finish(st, res, err)
 		s.met.finished(st, j.WaitSeconds(), time.Since(start).Seconds(), modeled)
+		terminal = append(terminal, j)
 	}
+	s.retain(terminal)
+}
 
-	// Retention: drop the oldest terminal jobs beyond the cap.
+// retain records terminal jobs for by-ID lookup and evicts the oldest
+// beyond the retention cap.
+func (s *Scheduler) retain(jobs []*Job) {
 	s.mu.Lock()
-	for _, j := range batch {
+	for _, j := range jobs {
 		s.terminal = append(s.terminal, j.ID)
 	}
 	for len(s.terminal) > s.cfg.RetainJobs {

@@ -89,6 +89,20 @@ type JobJSON struct {
 	ServiceSeconds float64   `json:"service_seconds,omitempty"`
 	X              []float64 `json:"x,omitempty"`
 	Error          string    `json:"error,omitempty"`
+	// Attempts > 1 means the scheduler re-queued the job after a lease
+	// fault; Faults reports what the winning solve survived.
+	Attempts int         `json:"attempts,omitempty"`
+	Faults   *FaultsJSON `json:"faults,omitempty"`
+}
+
+// FaultsJSON is the wire form of core.FaultReport: the faults a solve
+// observed and the recovery actions it took.
+type FaultsJSON struct {
+	DevicesLost        []int `json:"devices_lost,omitempty"`
+	Repartitions       int   `json:"repartitions,omitempty"`
+	CheckpointRestores int   `json:"checkpoint_restores,omitempty"`
+	TransferFaults     int   `json:"transfer_faults,omitempty"`
+	TransferRetries    int   `json:"transfer_retries,omitempty"`
 }
 
 // Healthz is the GET /healthz body.
@@ -101,13 +115,39 @@ type Healthz struct {
 	Dispatched uint64 `json:"dispatched"`
 	Rejected   uint64 `json:"rejected"`
 	Leases     uint64 `json:"leases"`
+	// Degraded reports permanently lost capacity: contexts evicted by
+	// the pool's health probe and not readmitted. The service is still
+	// OK — it keeps solving on what survives — but operators should know.
+	Degraded        bool   `json:"degraded"`
+	PoolHealthy     int    `json:"pool_healthy"`
+	Evictions       uint64 `json:"evictions"`
+	Readmissions    uint64 `json:"readmissions"`
+	DevicesLost     uint64 `json:"devices_lost"`
+	TransferFaults  uint64 `json:"transfer_faults"`
+	TransferRetries uint64 `json:"transfer_retries"`
+	Requeues        uint64 `json:"requeues"`
+	LeaseTimeouts   uint64 `json:"lease_timeouts"`
+	Repartitions    uint64 `json:"repartitions"`
+	Restores        uint64 `json:"checkpoint_restores"`
 }
 
-// errorJSON is every non-2xx body.
+// errorJSON is every non-2xx body: a stable machine-readable code, the
+// human-readable message, and (for backpressure) the retry hint.
 type errorJSON struct {
+	Code              string  `json:"code"`
 	Error             string  `json:"error"`
 	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 }
+
+// Error codes of errorJSON.Code.
+const (
+	codeBadRequest       = "bad_request"
+	codeQueueFull        = "queue_full"
+	codeDraining         = "draining"
+	codeNotFound         = "not_found"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeInternal         = "internal"
+)
 
 // Server routes HTTP traffic to a scheduler.
 type Server struct {
@@ -154,6 +194,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Dispatched: snap.Dispatched,
 		Rejected:   snap.Rejected,
 		Leases:     snap.Leases,
+
+		Degraded:        snap.Degraded(),
+		PoolHealthy:     snap.PoolHealthy,
+		Evictions:       snap.Evictions,
+		Readmissions:    snap.Readmissions,
+		DevicesLost:     snap.DevicesLost,
+		TransferFaults:  snap.TransferFaults,
+		TransferRetries: snap.TransferRetries,
+		Requeues:        snap.Requeues,
+		LeaseTimeouts:   snap.LeaseTimeouts,
+		Repartitions:    snap.Repartitions,
+		Restores:        snap.Restores,
 	})
 }
 
@@ -212,22 +264,22 @@ func (s *Server) matrix(spec MatrixSpec) (*sparse.CSR, string, error) {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST only"})
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Code: codeMethodNotAllowed, Error: "POST only"})
 		return
 	}
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Code: codeBadRequest, Error: "bad request body: " + err.Error()})
 		return
 	}
 	a, key, err := s.matrix(req.Matrix)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Code: codeBadRequest, Error: "matrix: " + err.Error()})
 		return
 	}
 	b, err := buildRHS(req, a.Rows)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorJSON{Code: codeBadRequest, Error: err.Error()})
 		return
 	}
 	ordering := core.KWay
@@ -236,7 +288,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		case core.Natural, core.RCM, core.KWay, core.Hypergraph:
 			ordering = core.Ordering(req.Ordering)
 		default:
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "unknown ordering " + req.Ordering})
+			writeJSON(w, http.StatusBadRequest, errorJSON{Code: codeBadRequest, Error: "unknown ordering " + req.Ordering})
 			return
 		}
 	}
@@ -268,13 +320,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After",
 				fmt.Sprintf("%d", int(full.RetryAfter.Seconds()+0.999)))
 			writeJSON(w, http.StatusTooManyRequests, errorJSON{
+				Code:              codeQueueFull,
 				Error:             err.Error(),
 				RetryAfterSeconds: full.RetryAfter.Seconds(),
 			})
 		case err == sched.ErrDraining:
-			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error()})
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Code: codeDraining, Error: err.Error()})
 		default:
-			writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
+			writeJSON(w, http.StatusInternalServerError, errorJSON{Code: codeInternal, Error: err.Error()})
 		}
 		return
 	}
@@ -298,7 +351,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
 	job, ok := s.sched.Job(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorJSON{Error: "unknown job " + id})
+		writeJSON(w, http.StatusNotFound, errorJSON{Code: codeNotFound, Error: "unknown job " + id})
 		return
 	}
 	includeX := r.URL.Query().Get("include_x") == "true"
@@ -325,9 +378,21 @@ func jobJSON(j *sched.Job, includeX bool) JobJSON {
 		if res.Stats != nil {
 			out.ModeledSeconds = res.Stats.TotalTime()
 		}
+		if res.Faults != nil {
+			out.Faults = &FaultsJSON{
+				DevicesLost:        res.Faults.DevicesLost,
+				Repartitions:       res.Faults.Repartitions,
+				CheckpointRestores: res.Faults.CheckpointRestores,
+				TransferFaults:     res.Faults.TransferFaults,
+				TransferRetries:    res.Faults.TransferRetries,
+			}
+		}
 		if includeX {
 			out.X = res.X
 		}
+	}
+	if a := j.Attempts(); a > 1 {
+		out.Attempts = a
 	}
 	out.WaitSeconds = j.WaitSeconds()
 	out.ServiceSeconds = j.ServiceSeconds()
