@@ -11,13 +11,15 @@
 # drain. `make chaos-smoke` replays a seeded fault plan — device death
 # mid-solve, transfer-fault stream — through the chaos harness and a
 # chaos-armed daemon, requiring every fault/retry metric family and a
-# clean drain from the degraded service.
+# clean drain from the degraded service. `make overlap-smoke` is the
+# stream-engine regression gate: the overlapped schedule must strictly
+# beat the synchronous one on the full device count.
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke bench-snapshot
+.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke bench-snapshot
 
-check: vet staticcheck race test serve-smoke chaos-smoke
+check: vet staticcheck race test serve-smoke chaos-smoke overlap-smoke
 
 build:
 	$(GO) build ./...
@@ -72,7 +74,14 @@ serve-smoke:
 chaos-smoke:
 	GO="$(GO)" sh scripts/chaos_smoke.sh
 
-# Refresh the committed deterministic benchmark snapshot (modeled
-# Figure 11 kernel study; byte-identical on every machine).
+# Overlap regression smoke: the stream schedule must strictly beat the
+# synchronous schedule on the full device count for every basis depth
+# of the Figure 11 configuration (exit 1 on any regression).
+overlap-smoke:
+	$(GO) run ./cmd/experiments -fig overlap -overlapcheck > /dev/null
+
+# Refresh the committed benchmark snapshot: the modeled overlap study
+# (deterministic) plus the host GEMM wall-clock comparison (machine-
+# dependent by nature; warmup + best-of-5).
 bench-snapshot:
-	$(GO) run ./cmd/experiments -fig 11 -benchjson BENCH_pr3.json > /dev/null
+	$(GO) run ./cmd/experiments -fig overlap -benchjson BENCH_pr5.json > /dev/null

@@ -59,12 +59,13 @@ func main() {
 		sFlag      = flag.Int("s", 5, "matrix-powers step")
 		tol        = flag.Float64("tol", 1e-8, "convergence tolerance")
 		repair     = flag.Bool("repair", true, "repair and readmit contexts evicted after a death")
+		overlap    = flag.Bool("overlap", false, "schedule every solve through the asynchronous stream engine; faults fire on the stream clock and replays must stay bit-identical")
 		benchJSON  = flag.String("benchjson", "", "write the degraded-mode solver bench here")
 		metricsOut = flag.String("metricsout", "", "write the scheduler replay's Prometheus exposition here")
 	)
 	flag.Parse()
 	if err := run(*poolSize, *devices, *jobs, *seed, *kill, *xferProb, *maxXfer, *straggle,
-		*matrix, *scale, *mFlag, *sFlag, *tol, *repair, *benchJSON, *metricsOut); err != nil {
+		*matrix, *scale, *mFlag, *sFlag, *tol, *repair, *overlap, *benchJSON, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
@@ -109,12 +110,12 @@ func rhsFor(n, seed int) []float64 {
 
 func run(poolSize, devices, jobs int, seed int64, kill string, xferProb float64,
 	maxXfer int, straggle float64, matrix string, scale float64, m, s int,
-	tol float64, repair bool, benchJSON, metricsOut string) error {
+	tol float64, repair, overlap bool, benchJSON, metricsOut string) error {
 	gen, err := matgen.ByName(matrix, scale)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{M: m, S: s, Tol: tol, Ortho: "CholQR"}
+	opts := core.Options{M: m, S: s, Tol: tol, Ortho: "CholQR", Overlap: overlap}
 
 	var killCtx, killDev int
 	var killFrac float64
@@ -129,25 +130,34 @@ func run(poolSize, devices, jobs int, seed int64, kill string, xferProb float64,
 	}
 
 	// --- Solver layer: fault-free baseline, then a mid-solve death. ---
-	solve := func(plan *gpu.FaultPlan) (*core.Result, error) {
+	solve := func(plan *gpu.FaultPlan) (*core.Result, *gpu.Context, error) {
 		ctx := gpu.NewContext(devices, gpu.M2090())
 		if plan != nil {
 			ctx.InjectFaults(*plan)
 		}
 		prob, err := core.NewProblem(ctx, gen.A, rhsFor(gen.A.Rows, 1), core.KWay, true)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return core.CAGMRES(prob, opts)
+		res, err := core.CAGMRES(prob, opts)
+		return res, ctx, err
 	}
-	clean, err := solve(nil)
+	clean, cleanCtx, err := solve(nil)
 	if err != nil {
 		return fmt.Errorf("fault-free solve: %w", err)
 	}
 	if !clean.Converged {
 		return fmt.Errorf("fault-free solve did not converge (relres %.2e)", clean.RelRes)
 	}
+	// The kill fraction is relative to the schedule the solve actually
+	// runs: deaths fire on the stream clock under overlap, whose horizon
+	// finishes earlier than the serialized ledger total — scaling the
+	// fraction by the wrong clock would schedule the death after the
+	// solve completes.
 	cleanTime := clean.Stats.TotalTime()
+	if overlap {
+		cleanTime = cleanCtx.OverlappedTime()
+	}
 	fmt.Printf("chaos: fault-free %d-device solve: %.6fs modeled, %d iters, relres %.2e\n",
 		devices, cleanTime, clean.Iters, clean.RelRes)
 
@@ -156,7 +166,7 @@ func run(poolSize, devices, jobs int, seed int64, kill string, xferProb float64,
 		killAt := killFrac * cleanTime
 		plan := gpu.FaultPlan{Seed: seed,
 			Deaths: []gpu.DeviceDeath{{Device: killDev, At: killAt}}}
-		deg, err := solve(&plan)
+		deg, _, err := solve(&plan)
 		if err != nil {
 			return fmt.Errorf("degraded solve: %w", err)
 		}
@@ -167,7 +177,7 @@ func run(poolSize, devices, jobs int, seed int64, kill string, xferProb float64,
 			return fmt.Errorf("degraded solve reported no repartition: %+v", deg.Faults)
 		}
 		// Replay: the virtual clock makes the degraded run reproducible.
-		deg2, err := solve(&plan)
+		deg2, _, err := solve(&plan)
 		if err != nil {
 			return fmt.Errorf("degraded replay: %w", err)
 		}

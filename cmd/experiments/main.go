@@ -5,8 +5,8 @@
 //
 //	experiments [flags]
 //
-//	-fig string     which figure to run: 3, 6, 7, 8, 10, 11, 13, 14, 15
-//	                or "all" (default "all")
+//	-fig string     which figure to run: 3, 6, 7, 8, 10, 11, 13, 14, 15,
+//	                overlap, ablation or "all" (default "all")
 //	-scale float    matrix scale relative to the published sizes
 //	                (default 0.02; 1.0 = paper-sized, slow)
 //	-devices int    maximum simulated GPU count (default 3)
@@ -21,8 +21,15 @@
 //	-serve addr     serve /metrics, /metrics.json, /trace.json and
 //	                /debug/pprof; starts before the figures (so -measured
 //	                runs can be profiled live) and blocks after them
-//	-benchjson file write the modeled Figure 11 kernel study as a
-//	                deterministic JSON benchmark snapshot
+//	-benchjson file write the overlapped-execution study (modeled sync vs
+//	                stream schedule) plus a host GEMM wall-clock comparison
+//	                as a JSON benchmark snapshot
+//	-overlap        arm the asynchronous stream engine in the overlap
+//	                study (default true); -overlap=off is the escape
+//	                hatch that degenerates it to the barrier schedule
+//	-overlapcheck   regression gate: exit 1 unless the stream schedule
+//	                strictly beats the synchronous schedule on the full
+//	                device count for every s in the overlap study
 //
 // By default every figure is a pure function of the calibrated cost
 // model: rerunning produces byte-identical numbers on any machine. Only
@@ -40,6 +47,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -50,7 +58,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (3,6,7,8,10,11,13,14,15,ablation,all)")
+	fig := flag.String("fig", "all", "figure to regenerate (3,6,7,8,10,11,13,14,15,overlap,ablation,all)")
 	scale := flag.Float64("scale", 0.02, "matrix scale relative to published sizes")
 	devices := flag.Int("devices", 3, "maximum simulated GPU count")
 	restarts := flag.Int("restarts", 40, "restart cap per solve")
@@ -60,7 +68,10 @@ func main() {
 	traceEvents := flag.Int("trace-events", bench.DefaultTraceEvents, "per-context event capacity for -traceout")
 	metrics := flag.String("metrics", "", "write Prometheus text-format metrics aggregated over every simulated context to this file")
 	serve := flag.String("serve", "", "serve /metrics, /trace.json and /debug/pprof on this address; starts before the figures run (profile -measured live) and blocks after them")
-	benchJSON := flag.String("benchjson", "", "write the modeled Figure 11 kernel study as a JSON benchmark snapshot to this file (deterministic, no timestamps)")
+	benchJSON := flag.String("benchjson", "", "write the overlap study and host GEMM comparison as a JSON benchmark snapshot to this file")
+	overlap := onOffFlag(true)
+	flag.Var(&overlap, "overlap", "arm the asynchronous stream engine in the overlap study; -overlap=off degenerates it to the barrier schedule")
+	overlapCheck := flag.Bool("overlapcheck", false, "exit 1 unless the stream schedule strictly beats the synchronous schedule on the full device count")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -68,6 +79,7 @@ func main() {
 		MaxDevices:  *devices,
 		MaxRestarts: *restarts,
 		Out:         os.Stdout,
+		Overlap:     bool(overlap),
 	}
 	if *measured {
 		cfg.Timer = &measure.WallTimer{Warmup: 1, Reps: 5, Select: measure.SelectMin}
@@ -128,6 +140,16 @@ func main() {
 		}},
 		{"14", func() { emit("fig14", bench.Fig14(cfg)) }},
 		{"15", func() { emit("fig15", bench.Fig15(cfg)) }},
+		{"overlap", func() {
+			rows := bench.FigOverlap(cfg)
+			emit("figoverlap", rows)
+			if *overlapCheck {
+				if err := checkOverlap(rows, cfg.MaxDevices); err != nil {
+					fatalf("%v", err)
+				}
+				fmt.Println("overlap regression gate: stream schedule strictly beats synchronous")
+			}
+		}},
 		{"ablation", func() {
 			emit("ablation_latency", bench.AblationLatency(cfg))
 			emit("ablation_basis", bench.AblationBasis(cfg))
@@ -137,6 +159,11 @@ func main() {
 		}},
 	}
 
+	if *fig == "all" && !overlap {
+		// The escape hatch applies to the overlap study itself; nothing
+		// else consumes the engine, so "all" stays meaningful either way.
+		fmt.Println("note: -overlap=off, the overlap study runs both arms synchronously")
+	}
 	want := strings.Split(*fig, ",")
 	matched := false
 	for _, d := range drivers {
@@ -153,7 +180,7 @@ func main() {
 		fmt.Printf("---- %.1fs ----\n\n", time.Since(start).Seconds())
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,ablation or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,overlap,ablation or all)\n", *fig)
 		os.Exit(2)
 	}
 	if *traceout != "" {
@@ -210,25 +237,75 @@ func main() {
 	}
 }
 
-// writeBenchJSON runs the Figure 11 kernel study under the deterministic
-// model timer and writes the rows as a benchmark snapshot. No wall-clock
-// values or timestamps enter the file, so reruns are byte-identical and
-// the snapshot can be committed and diffed across changes.
+// onOffFlag is a boolean flag that also accepts on/off, so the
+// documented -overlap=off escape hatch reads naturally alongside the
+// standard boolean spellings.
+type onOffFlag bool
+
+func (f *onOffFlag) String() string {
+	if f == nil || bool(*f) {
+		return "on"
+	}
+	return "off"
+}
+
+func (f *onOffFlag) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "on":
+		*f = true
+	case "off":
+		*f = false
+	default:
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return fmt.Errorf("want on, off, or a boolean")
+		}
+		*f = onOffFlag(v)
+	}
+	return nil
+}
+
+// IsBoolFlag lets a bare -overlap mean -overlap=on.
+func (f *onOffFlag) IsBoolFlag() bool { return true }
+
+// checkOverlap is the regression gate behind -overlapcheck: every row
+// must satisfy overlap <= sync, and the full-device rows must win
+// strictly for every basis depth.
+func checkOverlap(rows []bench.OverlapRow, maxDevices int) error {
+	for _, r := range rows {
+		if r.OverlapSec > r.SyncSec {
+			return fmt.Errorf("overlap regression: s=%d ng=%d stream %.6g s exceeds synchronous %.6g s",
+				r.S, r.Devices, r.OverlapSec, r.SyncSec)
+		}
+		if r.Devices == maxDevices && r.OverlapSec >= r.SyncSec {
+			return fmt.Errorf("overlap regression: s=%d ng=%d no strict win (stream %.6g s, synchronous %.6g s)",
+				r.S, r.Devices, r.OverlapSec, r.SyncSec)
+		}
+	}
+	return nil
+}
+
+// writeBenchJSON writes the PR's benchmark snapshot: the overlapped vs
+// synchronous modeled solve times (deterministic — a pure function of
+// the cost model) plus a wall-clock comparison of the column-sweep and
+// cache-tiled host GEMM kernels (machine-dependent by nature; warmup +
+// best-of-9).
 func writeBenchJSON(path string, scale float64, devices int) error {
-	cfg := bench.Config{Scale: scale, MaxDevices: devices}
+	cfg := bench.Config{Scale: scale, MaxDevices: devices, Overlap: true}
 	cfg.Defaults()
+	wall := &measure.WallTimer{Warmup: 2, Reps: 9, Select: measure.SelectMin}
 	snap := struct {
-		Name    string              `json:"name"`
-		Scale   float64             `json:"scale"`
-		Devices int                 `json:"devices"`
-		Fig11ab []bench.Fig11Kernel `json:"fig11ab"`
-		Fig11c  []bench.Fig11cRow   `json:"fig11c"`
+		Name     string              `json:"name"`
+		Scale    float64             `json:"scale"`
+		Devices  int                 `json:"devices"`
+		Overlap  []bench.OverlapRow  `json:"overlap"`
+		HostGemm []bench.HostGemmRow `json:"host_gemm_wall"`
 	}{
-		Name:    "fig11-kernel-study",
-		Scale:   cfg.Scale,
-		Devices: cfg.MaxDevices,
-		Fig11ab: bench.Fig11ab(cfg),
-		Fig11c:  bench.Fig11c(cfg),
+		Name:     "overlap-engine",
+		Scale:    cfg.Scale,
+		Devices:  cfg.MaxDevices,
+		Overlap:  bench.FigOverlap(cfg),
+		HostGemm: bench.HostGemmStudy(wall, 256),
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

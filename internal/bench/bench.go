@@ -43,6 +43,12 @@ type Config struct {
 	// context the drivers create and collects the rings for export
 	// (cmd/experiments -traceout).
 	Trace *TraceCollector
+	// Overlap arms the asynchronous stream engine in the overlapped arm
+	// of the FigOverlap study (cmd/experiments -overlap, on by default
+	// there; -overlap=off is the escape hatch that degenerates the study
+	// to the barrier schedule). The classic figure drivers always run
+	// synchronously so their tables and goldens are unaffected.
+	Overlap bool
 }
 
 // Defaults fills unset fields.

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"cagmres/internal/core"
+	"cagmres/internal/la"
+	"cagmres/internal/matgen"
+	"cagmres/internal/measure"
+)
+
+// OverlapRow is one configuration of the overlapped-execution study: the
+// same CA-GMRES solve scheduled synchronously (every round a global
+// barrier) and through the stream engine (halo transfers overlapped with
+// interior SpMV, host algebra overlapped with device GEMMs), with the
+// modeled completion times of both schedules.
+type OverlapRow struct {
+	Matrix  string
+	Devices int
+	S       int
+	// SyncSec is the synchronous schedule's modeled solve time.
+	SyncSec float64
+	// OverlapSec is the stream engine's modeled critical path. When the
+	// engine is disabled (Config.Overlap false via the CLI escape hatch)
+	// the overlapped arm degenerates to the barrier schedule and Speedup
+	// reports ~1.
+	OverlapSec float64
+	// Speedup is SyncSec / OverlapSec.
+	Speedup float64
+}
+
+// FigOverlap measures what the asynchronous stream engine buys: the
+// paper's G3_circuit configuration (m = 30, k-way ordering, CholQR)
+// swept over the basis depth s and the device count, solved once per
+// schedule. The iterates are bit-identical between the two arms — the
+// engine reorders time, not arithmetic — so the comparison isolates the
+// schedule. Overlap grows with s (deeper windows mean more interior
+// SpMV to hide the halo exchange behind) and with the device count
+// (more transfer lanes taken off the critical path).
+func FigOverlap(cfg Config) []OverlapRow {
+	cfg.Defaults()
+	mtx := benchG3(cfg.Scale)
+	b := onesRHS(mtx.A.Rows)
+	var out []OverlapRow
+	cfg.printf("Overlap study: CA-GMRES(s, 30) on %s, synchronous vs stream schedule (modeled ms)\n", mtx.Name)
+	cfg.printf("%-16s %3s %3s %12s %12s %8s\n", "matrix", "s", "ng", "sync", "overlap", "speedup")
+	for _, s := range []int{5, 10, 15} {
+		for ng := 1; ng <= cfg.MaxDevices; ng++ {
+			row := OverlapRow{Matrix: mtx.Name, Devices: ng, S: s}
+			row.SyncSec = overlapArm(cfg, mtx, b, s, ng, false)
+			row.OverlapSec = overlapArm(cfg, mtx, b, s, ng, cfg.Overlap)
+			if row.OverlapSec > 0 {
+				row.Speedup = row.SyncSec / row.OverlapSec
+			}
+			out = append(out, row)
+			cfg.printf("%-16s %3d %3d %12.4f %12.4f %8.3f\n",
+				row.Matrix, row.S, row.Devices, ms(row.SyncSec), ms(row.OverlapSec), row.Speedup)
+		}
+	}
+	return out
+}
+
+// overlapArm runs one CA-GMRES solve and returns its modeled time under
+// the requested schedule: the ledger total for the synchronous barrier
+// schedule, the stream horizon for the overlapped one.
+func overlapArm(cfg Config, mtx *matgen.Matrix, b []float64, s, ng int, overlap bool) float64 {
+	ctx := cfg.newContext(ng, cfg.Model)
+	p, err := core.NewProblem(ctx, mtx.A, b, core.KWay, true)
+	if err != nil {
+		panic(err)
+	}
+	_, err = core.CAGMRES(p, core.Options{
+		M: 30, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts,
+		Ortho: "CholQR", Overlap: overlap,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if overlap {
+		return ctx.OverlappedTime()
+	}
+	return ctx.Stats().TotalTime()
+}
+
+// HostGemmRow compares the column-sweep host GEMM against the
+// cache-tiled worker-parallel kernel on n x n operands.
+type HostGemmRow struct {
+	Kernel   string // "GemmNN" or "GemmTN"
+	N        int
+	NaiveSec float64
+	TiledSec float64
+	// Speedup is NaiveSec / TiledSec.
+	Speedup float64
+}
+
+// HostGemmStudy times the pre-tiling column-sweep GEMM against the tiled
+// dispatch now behind la.GemmNN/GemmTN, on square n x n operands. With a
+// wall timer this is a real measurement of the host BLAS fallback (the
+// numbers BENCH_pr5.json commits); with the model timer both arms cost
+// the same and the study only exercises the code paths.
+func HostGemmStudy(t measure.Timer, n int) []HostGemmRow {
+	a := la.NewDense(n, n)
+	b := la.NewDense(n, n)
+	c := la.NewDense(n, n)
+	// Deterministic non-trivial fill; values are irrelevant to timing but
+	// must not be all zero (the kernels skip zero coefficients).
+	for i := range a.Data {
+		a.Data[i] = 1 + float64(i%7)*0.25
+		b.Data[i] = 1 - float64(i%5)*0.125
+	}
+	nf := float64(n)
+	shape := func(name string, par int) measure.Kernel {
+		return measure.Kernel{
+			Name: name, Flops: 2 * nf * nf * nf, Bytes: 8 * 3 * nf * nf,
+			Parallelism: par, Dispatches: par,
+		}
+	}
+	naiveNN := t.Time(shape("gemmnn-naive", 1), func() {
+		for j := 0; j < n; j++ {
+			la.Gemv(1, a, b.Col(j), 0, c.Col(j))
+		}
+	})
+	tiledNN := t.Time(shape("gemmnn-tiled", measure.HostCores), func() {
+		la.GemmNN(1, a, b, 0, c)
+	})
+	naiveTN := t.Time(shape("gemmtn-naive", 1), func() {
+		for j := 0; j < n; j++ {
+			bj := b.Col(j)
+			cj := c.Col(j)
+			for i := 0; i < n; i++ {
+				cj[i] = la.Dot(a.Col(i), bj)
+			}
+		}
+	})
+	tiledTN := t.Time(shape("gemmtn-tiled", measure.HostCores), func() {
+		la.GemmTN(1, a, b, 0, c)
+	})
+	rows := []HostGemmRow{
+		{Kernel: "GemmNN", N: n, NaiveSec: naiveNN.Seconds, TiledSec: tiledNN.Seconds},
+		{Kernel: "GemmTN", N: n, NaiveSec: naiveTN.Seconds, TiledSec: tiledTN.Seconds},
+	}
+	for i := range rows {
+		if rows[i].TiledSec > 0 {
+			rows[i].Speedup = rows[i].NaiveSec / rows[i].TiledSec
+		}
+	}
+	return rows
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/measure"
+)
+
+// TestFigOverlapWins is the PR's acceptance property: on the G3_circuit
+// configuration the stream schedule must never be slower than the
+// synchronous schedule, and on the full device count it must win
+// strictly for every basis depth s in {5, 10, 15}.
+func TestFigOverlapWins(t *testing.T) {
+	cfg := Config{Overlap: true}
+	cfg.Defaults()
+	rows := FigOverlap(cfg)
+	if len(rows) != 3*cfg.MaxDevices {
+		t.Fatalf("got %d rows, want %d", len(rows), 3*cfg.MaxDevices)
+	}
+	for _, r := range rows {
+		if r.OverlapSec > r.SyncSec {
+			t.Errorf("s=%d ng=%d: overlap %.6g exceeds sync %.6g", r.S, r.Devices, r.OverlapSec, r.SyncSec)
+		}
+		if r.Devices == cfg.MaxDevices && r.OverlapSec >= r.SyncSec {
+			t.Errorf("s=%d ng=%d: no strict overlap win (%.6g vs %.6g)", r.S, r.Devices, r.OverlapSec, r.SyncSec)
+		}
+		if r.Speedup < 1 {
+			t.Errorf("s=%d ng=%d: speedup %.4f < 1", r.S, r.Devices, r.Speedup)
+		}
+	}
+}
+
+// TestFigOverlapEscapeHatch: with the engine disabled the overlapped arm
+// degenerates to the barrier schedule (speedup ~1), the -overlap=off
+// behavior of cmd/experiments.
+func TestFigOverlapEscapeHatch(t *testing.T) {
+	cfg := Config{}
+	cfg.Defaults()
+	for _, r := range FigOverlap(cfg) {
+		if r.OverlapSec != r.SyncSec {
+			t.Fatalf("s=%d ng=%d: disabled engine still changed time: %v vs %v",
+				r.S, r.Devices, r.OverlapSec, r.SyncSec)
+		}
+	}
+}
+
+// TestFigOverlapDeterministic: the study is a pure function of the cost
+// model — two runs agree bit for bit.
+func TestFigOverlapDeterministic(t *testing.T) {
+	cfg := Config{Overlap: true}
+	cfg.Defaults()
+	r1 := FigOverlap(cfg)
+	r2 := FigOverlap(cfg)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, r1[i], r2[i])
+		}
+	}
+}
+
+// TestHostGemmStudyModeled: under the model timer the study runs both
+// kernel arms (exercising the tiled dispatch) and returns well-formed
+// rows.
+func TestHostGemmStudyModeled(t *testing.T) {
+	rows := HostGemmStudy(measure.NewModelTimer(gpu.M2090()), 96)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.NaiveSec <= 0 || r.TiledSec <= 0 {
+			t.Fatalf("non-positive time in %+v", r)
+		}
+	}
+}

@@ -60,11 +60,13 @@ func RitzValues(p *Problem, opts Options, start []float64) ([]complex128, error)
 	V.SetColFromHost(0, v0)
 
 	h := la.NewDense(m+1, m)
+	sc := getScratch(m, ctx.NumDevices)
+	defer putScratch(sc)
 	var steps int
 	if s <= 1 {
 		A1 := dist.Distribute(ctx, p.A, p.Layout, 1)
 		mpk := dist.NewMPK(A1)
-		steps = gmresCycle(mpk, V, h, m, 1, 0)
+		steps = gmresCycle(mpk, V, h, m, 1, 0, sc)
 	} else {
 		As := dist.Distribute(ctx, p.A, p.Layout, s)
 		mpk := dist.NewMPK(As)

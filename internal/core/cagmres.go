@@ -68,6 +68,9 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 	W := dist.NewVectors(ctx, p.Layout, 3) // x, b, r
 	W.SetColFromHost(1, p.B)
 
+	sc := getScratch(m, ctx.NumDevices)
+	defer putScratch(sc)
+
 	em := newEmitter(opts.Telemetry, "cagmres", ctx)
 	bNorm := la.Nrm2(p.B)
 	if bNorm == 0 {
@@ -133,14 +136,14 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 
 		if needShifts {
 			// First cycle: standard GMRES iterations, harvesting H.
-			k := gmresCycle(mpk1, V, h, m, beta, bNorm*opts.Tol)
+			k := gmresCycle(mpk1, V, h, m, beta, bNorm*opts.Tol, sc)
 			res.Iters += k
 			if em.enabled() {
 				em.emit(obs.Record{Kind: "cycle", Restart: restart, Step: k, RelRes: relres,
 					OrthoLoss: orthoLoss(V.Window(0, k+1))})
 			}
 			giv := solveSmall(h, k, beta)
-			ctx.HostCompute(PhaseLSQ, 3*float64(m+1)*float64(m+1))
+			ctx.HostComputeOn(PhaseLSQ, 3*float64(m+1)*float64(m+1))
 			W.UpdateWithBasis(0, V, 0, giv[:k], PhaseVec)
 			// Ritz values from the square part of H.
 			hk := la.NewDense(k, k)
@@ -151,7 +154,7 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 			}
 			shifts := newtonShifts(hk, m)
 			shiftBlocks = scheduleShifts(shifts, m, s)
-			ctx.HostCompute(PhaseLSQ, 20*float64(k*k*k))
+			ctx.HostComputeOn(PhaseLSQ, 20*float64(k*k*k))
 			needShifts = false
 			continue
 		}
@@ -233,14 +236,16 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 			if em.enabled() {
 				winLoss = orthoLoss(win)
 			}
+			// The change-of-basis algebra is host work; under overlap it
+			// runs while the devices start the next window's exchange.
 			updateHessenberg(h, bhat, c, r, q, steps)
-			ctx.HostCompute(PhaseLSQ, 2*float64(q+steps)*float64(steps)*float64(q+steps))
+			ctx.HostComputeOn(PhaseLSQ, 2*float64(q+steps)*float64(steps)*float64(q+steps))
 
 			done += steps
 			block++
 			// Residual estimate from the growing Hessenberg system.
 			_, rn := la.HessenbergLS(subHessenberg(h, done), e1(done+1, beta))
-			ctx.HostCompute(PhaseLSQ, 3*float64(done+1)*float64(done+1))
+			ctx.HostComputeOn(PhaseLSQ, 3*float64(done+1)*float64(done+1))
 			relres = rn / bNorm
 			em.emit(obs.Record{Kind: "window", Restart: restart, Step: done, RelRes: relres,
 				OrthoLoss: winLoss, TSQR: tsqr.Name()})
@@ -269,7 +274,7 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 		}
 
 		y, _ := la.HessenbergLS(subHessenberg(h, done), e1(done+1, beta))
-		ctx.HostCompute(PhaseLSQ, 3*float64(done+1)*float64(done+1))
+		ctx.HostComputeOn(PhaseLSQ, 3*float64(done+1)*float64(done+1))
 		W.UpdateWithBasis(0, V, 0, y, PhaseVec)
 		if res.Canceled {
 			break
@@ -290,13 +295,13 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 // already-normalized V[:,0], filling h, and returns the number of
 // iterations performed. Used for the shift-harvesting first cycle of
 // Newton-basis CA-GMRES.
-func gmresCycle(mpk *dist.MPK, v *dist.Vectors, h *la.Dense, m int, beta, absTol float64) int {
-	giv := la.NewGivensQR(m, beta)
+func gmresCycle(mpk *dist.MPK, v *dist.Vectors, h *la.Dense, m int, beta, absTol float64, sc *cycleScratch) int {
+	giv := sc.givens(m, beta)
 	k := 0
 	for ; k < m; k++ {
 		mpk.SpMV(v, k, v, k+1, PhaseSpMV)
-		hcol := make([]float64, k+2)
-		err := arnoldiCGS(v, k, hcol)
+		hcol := sc.hcol[:k+2]
+		err := arnoldiCGS(v, k, hcol, sc)
 		for i := 0; i <= k+1; i++ {
 			h.Set(i, k, hcol[i])
 		}

@@ -52,6 +52,13 @@ type Options struct {
 	// the returned Result. Every record carries the ledger's modeled
 	// clock at emission. A nil sink disables telemetry at zero cost.
 	Telemetry obs.Sink
+	// Overlap enables the overlapped stream schedule on the device
+	// context for this solve: halo transfers overlap local SpMV in the
+	// matrix powers kernel, host-side Hessenberg/Givens work overlaps
+	// device GEMMs, and modeled time becomes the critical path through
+	// the stream dependency DAG (Context.OverlappedTime). Off by default:
+	// the synchronous barrier schedule, identical to previous behavior.
+	Overlap bool
 	// Ctx, when non-nil, makes the solve cancelable: the solvers check it
 	// at every restart boundary (and CA-GMRES additionally between
 	// matrix-powers windows) and, once it is canceled or past its
@@ -165,6 +172,9 @@ func runGMRES(p *Problem, opts Options, ck *checkpoint) (*Result, error) {
 	W := dist.NewVectors(ctx, p.Layout, 3)
 	W.SetColFromHost(1, p.B)
 
+	sc := getScratch(m, ctx.NumDevices)
+	defer putScratch(sc)
+
 	em := newEmitter(opts.Telemetry, "gmres", ctx)
 	bNorm := la.Nrm2(p.B)
 	if bNorm == 0 {
@@ -211,23 +221,25 @@ func runGMRES(p *Problem, opts Options, ck *checkpoint) (*Result, error) {
 		// v_0 = r / beta
 		copyScaled(W, 2, V, 0, 1/beta)
 
-		giv := la.NewGivensQR(m, beta)
+		giv := sc.givens(m, beta)
 		k := 0
 		rel := relres
 		for ; k < m; k++ {
 			mpk.SpMV(V, k, V, k+1, PhaseSpMV)
-			hcol := make([]float64, k+2)
+			hcol := sc.hcol[:k+2]
 			var err error
 			if opts.Ortho == "MGS" {
 				err = arnoldiMGS(V, k, hcol)
 			} else {
-				err = arnoldiCGS(V, k, hcol)
+				err = arnoldiCGS(V, k, hcol, sc)
 			}
 			for i := 0; i <= k+1; i++ {
 				h.Set(i, k, hcol[i])
 			}
+			// The Givens update is tiny host work; under overlap it rides
+			// the host stream while the devices run the next SpMV.
 			rel = giv.Append(hcol) / bNorm
-			ctx.HostCompute(PhaseLSQ, float64(6*(k+1)))
+			ctx.HostComputeOn(PhaseLSQ, float64(6*(k+1)))
 			em.emit(obs.Record{Kind: "step", Restart: restart, Step: k + 1, RelRes: rel})
 			if err != nil {
 				// Happy breakdown: the Krylov space is invariant; the
@@ -247,9 +259,11 @@ func runGMRES(p *Problem, opts Options, ck *checkpoint) (*Result, error) {
 				OrthoLoss: orthoLoss(V.Window(0, k+1))})
 		}
 
-		// Solve the small least-squares problem and update x.
+		// Solve the small least-squares problem and update x. The update's
+		// broadcast depends on the host stream, so the solve's cost is on
+		// the critical path only when the devices catch up first.
 		y := giv.Solve()
-		ctx.HostCompute(PhaseLSQ, 3*float64(m+1)*float64(m+1))
+		ctx.HostComputeOn(PhaseLSQ, 3*float64(m+1)*float64(m+1))
 		W.UpdateWithBasis(0, V, 0, y[:k], PhaseVec)
 	}
 
@@ -276,7 +290,7 @@ func negateInto(w *dist.Vectors, jr, jb int) {
 		}
 		work[d] = gpu.Work{Flops: float64(len(r)), Bytes: 24 * float64(len(r))}
 	})
-	w.Ctx.DeviceKernel(PhaseVec, work)
+	w.Ctx.DeviceKernelOn(PhaseVec, work)
 }
 
 // copyScaled sets dst column jd := alpha * src column js across devices.
@@ -291,7 +305,7 @@ func copyScaled(src *dist.Vectors, js int, dst *dist.Vectors, jd int, alpha floa
 		}
 		work[d] = gpu.Work{Flops: float64(len(s)), Bytes: 16 * float64(len(s))}
 	})
-	src.Ctx.DeviceKernel(PhaseVec, work)
+	src.Ctx.DeviceKernelOn(PhaseVec, work)
 }
 
 // arnoldiMGS orthogonalizes V[:,k+1] against V[:,0..k] by modified
@@ -316,44 +330,47 @@ func arnoldiMGS(v *dist.Vectors, k int, hcol []float64) error {
 // arnoldiCGS orthogonalizes with classical Gram-Schmidt: a single fused
 // device kernel computes all projections and the norm, one reduce and one
 // broadcast round total (the paper's optimized DGEMV kernel), then the
-// Pythagorean identity provides the post-update norm.
-func arnoldiCGS(v *dist.Vectors, k int, hcol []float64) error {
+// Pythagorean identity provides the post-update norm. Work buffers come
+// from the pooled scratch; the kernel/round chain is submitted through
+// the stream API so the host-side combine overlaps the device update.
+func arnoldiCGS(v *dist.Vectors, k int, hcol []float64, sc *cycleScratch) error {
 	ctx := v.Ctx
 	ng := len(v.Local)
-	partial := make([][]float64, ng)
 	work := make([]gpu.Work, ng)
 	ctx.RunAll(func(d int) {
 		vk := v.Local[d].Col(k + 1)
-		buf := make([]float64, k+2)
+		buf := sc.dev[d][:k+2]
 		prev := v.Local[d].ColView(0, k+1)
 		la.ParallelGemvT(prev, vk, buf[:k+1])
 		buf[k+1] = la.Dot(vk, vk)
-		partial[d] = buf
 		rows := float64(len(vk))
 		work[d] = gpu.Work{Flops: 2 * rows * float64(k+2), Bytes: 8 * rows * float64(k+3)}
 	})
-	ctx.DeviceKernel(PhaseOrth, work)
-	bytes := make([]int, ng)
+	kd := ctx.DeviceKernelOn(PhaseOrth, work)
+	bytes := sc.bytes[:ng]
 	for d := range bytes {
 		bytes[d] = (k + 2) * gpu.ScalarBytes
 	}
-	ctx.ReduceRound(PhaseOrth, bytes)
-	sum := make([]float64, k+2)
-	for _, p := range partial {
-		la.Axpy(1, p, sum)
+	ctx.ReduceRoundOn(PhaseOrth, bytes, kd)
+	sum := sc.sum[:k+2]
+	for i := range sum {
+		sum[i] = 0
+	}
+	for d := 0; d < ng; d++ {
+		la.Axpy(1, sc.dev[d][:k+2], sum)
 	}
 	proj := sum[:k+1]
 	vnorm2 := sum[k+1]
 	copy(hcol[:k+1], proj)
 
-	ctx.BroadcastRound(PhaseOrth, bytes)
+	bc := ctx.BroadcastRoundOn(PhaseOrth, bytes)
 	ctx.RunAll(func(d int) {
 		vk := v.Local[d].Col(k + 1)
 		prev := v.Local[d].ColView(0, k+1)
 		la.Gemv(-1, prev, proj, 1, vk)
 		work[d] = gpu.Work{Flops: 2 * float64(len(vk)) * float64(k+1), Bytes: 8 * float64(len(vk)) * float64(k+3)}
 	})
-	ctx.DeviceKernel(PhaseOrth, work)
+	ctx.DeviceKernelOn(PhaseOrth, work, bc)
 
 	newNorm2 := vnorm2 - la.Dot(proj, proj)
 	var nrm float64

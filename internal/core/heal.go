@@ -81,6 +81,7 @@ type attemptFunc func(p *Problem, ck *checkpoint) (*Result, error)
 // bounded by the device count — every heal removes at least one device.
 func solveHealing(p *Problem, opts Options, solver string, run attemptFunc) (*Result, error) {
 	p.Ctx.ResetStats()
+	p.Ctx.SetOverlap(opts.Overlap)
 	em := newEmitter(opts.Telemetry, solver, p.Ctx)
 	ck := &checkpoint{}
 	var report *FaultReport

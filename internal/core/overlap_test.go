@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cagmres/internal/gpu"
+)
+
+// solveOn runs a CA-GMRES solve on a fresh context and returns the
+// result plus the context for ledger inspection.
+func solveOn(t *testing.T, ng int, opts Options) (*Result, *gpu.Context) {
+	t.Helper()
+	a := laplace2D(20, 20, 0.3)
+	b := randomRHS(400, 7)
+	ctx := gpu.NewContext(ng, gpu.M2090())
+	p, err := NewProblem(ctx, a, b, KWay, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CAGMRES(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, ctx
+}
+
+// TestOverlapPreservesNumericsAndWins: the overlapped schedule must not
+// change a single arithmetic operation — identical iterates and
+// residuals — while its modeled completion time beats the synchronous
+// schedule strictly on multiple devices (transfers hidden behind interior
+// SpMV, host algebra hidden behind device GEMMs).
+func TestOverlapPreservesNumericsAndWins(t *testing.T) {
+	base := Options{M: 20, S: 5, Tol: 1e-8, Ortho: "CholQR"}
+	over := base
+	over.Overlap = true
+
+	syncRes, syncCtx := solveOn(t, 3, base)
+	overRes, overCtx := solveOn(t, 3, over)
+
+	if !syncRes.Converged || !overRes.Converged {
+		t.Fatalf("convergence: sync %v overlap %v", syncRes.Converged, overRes.Converged)
+	}
+	for i := range syncRes.X {
+		if syncRes.X[i] != overRes.X[i] {
+			t.Fatalf("overlap changed x[%d]: %v vs %v", i, overRes.X[i], syncRes.X[i])
+		}
+	}
+	if syncRes.Restarts != overRes.Restarts || syncRes.RelRes != overRes.RelRes {
+		t.Fatalf("overlap changed convergence history: %+v vs %+v", overRes, syncRes)
+	}
+	// The ledgers are NOT asserted identical: the interior/boundary MPK
+	// split runs two kernels per step under overlap (extra launch
+	// charges), so the overlapped run pays for its own restructuring.
+	// Despite that, its critical path must strictly beat the synchronous
+	// schedule, and its serial replay must reconcile with its own ledger.
+	syncTime := syncCtx.Stats().TotalTime()
+	overTime := overCtx.OverlappedTime()
+	if overTime >= syncTime {
+		t.Fatalf("overlap %.6g s did not beat synchronous %.6g s", overTime, syncTime)
+	}
+	// Submission-order vs per-phase summation: equal up to rounding.
+	if got, want := overCtx.SerialTime(), overCtx.Stats().TotalTime(); math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("serial time %v != own ledger total %v", got, want)
+	}
+}
+
+// TestOverlapSingleDeviceNoWorse: with one device there is still CPU/GPU
+// and transfer/compute overlap, so the horizon may improve, but it must
+// never exceed the synchronous schedule.
+func TestOverlapSingleDeviceNoWorse(t *testing.T) {
+	opts := Options{M: 20, S: 5, Tol: 1e-8, Ortho: "CholQR", Overlap: true}
+	res, ctx := solveOn(t, 1, opts)
+	if !res.Converged {
+		t.Fatal("no convergence")
+	}
+	if h, s := ctx.OverlappedTime(), ctx.SerialTime(); h > s {
+		t.Fatalf("single-device horizon %v exceeds serial %v", h, s)
+	}
+}
+
+// TestOverlapFaultedReplayIdentical: under an armed fault plan the
+// overlapped engine must stay deterministic — two identical runs produce
+// bit-identical solutions, fault reports and stream horizons (faults
+// fire on the stream clock, which is itself deterministic).
+func TestOverlapFaultedReplayIdentical(t *testing.T) {
+	run := func() (*Result, float64) {
+		a := laplace2D(20, 20, 0.3)
+		b := randomRHS(400, 11)
+		ctx := gpu.NewContext(3, gpu.M2090())
+		ctx.InjectFaults(gpu.FaultPlan{
+			Seed:              42,
+			TransferFaultProb: 0.05,
+			MaxTransferFaults: 20,
+		})
+		p, err := NewProblem(ctx, a, b, KWay, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CAGMRES(p, Options{M: 20, S: 5, Tol: 1e-8, Ortho: "CholQR", Overlap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ctx.OverlappedTime()
+	}
+	r1, h1 := run()
+	r2, h2 := run()
+	if h1 != h2 {
+		t.Fatalf("horizons differ: %v vs %v", h1, h2)
+	}
+	for i := range r1.X {
+		if r1.X[i] != r2.X[i] {
+			t.Fatalf("faulted overlap replay diverged at x[%d]", i)
+		}
+	}
+	if (r1.Faults == nil) != (r2.Faults == nil) {
+		t.Fatal("fault reports differ in presence")
+	}
+	if r1.Faults != nil {
+		if r1.Faults.TransferFaults != r2.Faults.TransferFaults ||
+			r1.Faults.TransferRetries != r2.Faults.TransferRetries {
+			t.Fatalf("fault reports differ: %+v vs %+v", *r1.Faults, *r2.Faults)
+		}
+	}
+}
+
+// TestOverlapGMRESPath: the standard GMRES driver honors the option too.
+func TestOverlapGMRESPath(t *testing.T) {
+	base := Options{M: 25, Tol: 1e-8, Ortho: "CGS"}
+	over := base
+	over.Overlap = true
+	a := laplace2D(18, 18, 0.2)
+	b := randomRHS(324, 3)
+	solve := func(opts Options) (*Result, *gpu.Context) {
+		ctx := gpu.NewContext(2, gpu.M2090())
+		p, err := NewProblem(ctx, a, b, KWay, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := GMRES(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ctx
+	}
+	sr, sctx := solve(base)
+	or, octx := solve(over)
+	if !sr.Converged || !or.Converged {
+		t.Fatal("no convergence")
+	}
+	for i := range sr.X {
+		if sr.X[i] != or.X[i] {
+			t.Fatalf("overlap changed GMRES x[%d]", i)
+		}
+	}
+	if h, s := octx.OverlappedTime(), sctx.Stats().TotalTime(); h >= s {
+		t.Fatalf("GMRES overlap %v did not beat synchronous %v", h, s)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync"
+
+	"cagmres/internal/la"
+)
+
+// cycleScratch pools the per-restart work buffers of the solvers' hot
+// loops: the current Hessenberg column, the host-side reduction combine
+// buffer, the per-device partials of the fused CGS kernel, the byte
+// vectors of the communication rounds and the incremental Givens solver.
+// Before pooling, every restart cycle reallocated all of these (one
+// Hessenberg column and one combine buffer per inner iteration, a Givens
+// solver per restart) — on a leased context solving many small systems
+// the garbage added up. A scratch is fetched once per solve attempt and
+// returned when it finishes.
+type cycleScratch struct {
+	m, ng int
+	hcol  []float64   // m+2 entries: the Hessenberg column being built
+	sum   []float64   // m+2 entries: host-side combine of device partials
+	bytes []int       // per-device byte vector for comm rounds
+	dev   [][]float64 // per-device fused-kernel partials, m+2 entries each
+	giv   *la.GivensQR
+}
+
+var scratchPool sync.Pool
+
+// getScratch fetches a scratch able to serve restart length m on ng
+// devices, allocating only when the pool has nothing big enough.
+func getScratch(m, ng int) *cycleScratch {
+	if v := scratchPool.Get(); v != nil {
+		sc := v.(*cycleScratch)
+		if sc.m >= m && sc.ng >= ng {
+			return sc
+		}
+		// Too small for this solve; drop it and build a bigger one.
+	}
+	sc := &cycleScratch{
+		m:     m,
+		ng:    ng,
+		hcol:  make([]float64, m+2),
+		sum:   make([]float64, m+2),
+		bytes: make([]int, ng),
+		dev:   make([][]float64, ng),
+	}
+	for d := range sc.dev {
+		sc.dev[d] = make([]float64, m+2)
+	}
+	return sc
+}
+
+func putScratch(sc *cycleScratch) {
+	if sc != nil {
+		scratchPool.Put(sc)
+	}
+}
+
+// givens returns the pooled incremental Givens solver, reset for a new
+// restart cycle with initial residual beta.
+func (sc *cycleScratch) givens(m int, beta float64) *la.GivensQR {
+	if sc.giv == nil || sc.giv.Size() < m {
+		sc.giv = la.NewGivensQR(m, beta)
+		return sc.giv
+	}
+	sc.giv.Reset(beta)
+	return sc.giv
+}

@@ -45,6 +45,13 @@ type DeviceMatrix struct {
 	// NNZPrefix[t] is nnz of the first RowsAtDist[t] rows of Ext, the
 	// per-step flop bookkeeping (t = 0..s-1).
 	NNZPrefix []int
+	// InteriorRows / InteriorNNZ describe the interior of the owned block:
+	// owned rows of Ext whose columns are all owned (relabeled index <
+	// NOwn). The first MPK step over these rows needs no halo values, so
+	// under overlapped scheduling it runs while the halo exchange is still
+	// in flight; only the remaining (boundary) rows wait for the halo.
+	InteriorRows int
+	InteriorNNZ  int
 }
 
 // Matrix is a block-row distributed sparse matrix prepared for MPK(s):
@@ -218,14 +225,32 @@ func buildDeviceMatrix(a *sparse.CSR, l *Layout, d, s int) *DeviceMatrix {
 		nnzPrefix[t] = ext.RowPtr[rowsAtDist[t]]
 	}
 
+	// Interior split: owned rows touching only owned columns.
+	intRows, intNNZ := 0, 0
+	for i := 0; i < nOwn; i++ {
+		interior := true
+		for k := ext.RowPtr[i]; k < ext.RowPtr[i+1]; k++ {
+			if ext.ColIdx[k] >= nOwn {
+				interior = false
+				break
+			}
+		}
+		if interior {
+			intRows++
+			intNNZ += ext.RowPtr[i+1] - ext.RowPtr[i]
+		}
+	}
+
 	return &DeviceMatrix{
-		NOwn:       nOwn,
-		Halo:       halo,
-		HaloDist:   haloDist,
-		RowsAtDist: rowsAtDist,
-		Ext:        ext,
-		EllExt:     sparse.ToELL(ext),
-		NNZPrefix:  nnzPrefix,
+		NOwn:         nOwn,
+		Halo:         halo,
+		HaloDist:     haloDist,
+		RowsAtDist:   rowsAtDist,
+		Ext:          ext,
+		EllExt:       sparse.ToELL(ext),
+		NNZPrefix:    nnzPrefix,
+		InteriorRows: intRows,
+		InteriorNNZ:  intNNZ,
 	}
 }
 

@@ -24,15 +24,23 @@ type mpkWorkspace struct {
 // exchange, then s communication-free local SpMV steps per device.
 type MPK struct {
 	M *Matrix
-	// host staging buffer for the gather/expand/scatter of the setup
-	// phase (the full vector w of the paper's pseudocode).
-	w  []float64
-	ws []*mpkWorkspace
+	// w is the double-buffered host staging area for the gather / expand /
+	// scatter of the setup phase (the full vector of the paper's
+	// pseudocode). Two buffers alternate between consecutive exchanges so
+	// that, under overlapped scheduling, packing the next window's
+	// boundary values never has to wait for the previous window's
+	// broadcast to drain the staging area — the write-after-read hazard a
+	// single buffer would impose.
+	w    [2][]float64
+	wIdx int
+	ws   []*mpkWorkspace
 }
 
 // NewMPK allocates the kernel workspaces for a distributed matrix.
 func NewMPK(m *Matrix) *MPK {
-	k := &MPK{M: m, w: make([]float64, m.Layout.N), ws: make([]*mpkWorkspace, len(m.Dev))}
+	k := &MPK{M: m, ws: make([]*mpkWorkspace, len(m.Dev))}
+	k.w[0] = make([]float64, m.Layout.N)
+	k.w[1] = make([]float64, m.Layout.N)
 	for d, dm := range m.Dev {
 		ws := &mpkWorkspace{}
 		ext := dm.NOwn + len(dm.Halo)
@@ -65,7 +73,15 @@ func (k *MPK) Generate(v *Vectors, j0, steps int, shifts []complex128, phase str
 	validateShiftPairs(shifts)
 
 	// --- Setup: halo exchange of column j0 (Figure 4's setup phase). ---
-	k.exchange(v, j0, phase)
+	halo := k.exchange(v, j0, phase)
+
+	// Under overlapped scheduling with more than one device, the first
+	// step is split into an interior launch (owned rows touching only
+	// owned columns — independent of the halo, so it runs concurrently
+	// with the exchange) and a boundary launch that waits for the halo.
+	// The split only changes how the step's cost is charged to the
+	// streams; the numerical kernel below is identical either way.
+	split := m.Ctx.OverlapEnabled() && len(m.Dev) > 1
 
 	// --- Matrix powers: s communication-free steps. ---
 	bhat := la.NewDense(steps+1, steps)
@@ -119,7 +135,15 @@ func (k *MPK) Generate(v *Vectors, j0, steps int, shifts []complex128, phase str
 			}
 			work[d] = gpu.Work{Flops: flops, Bytes: bytes}
 		})
-		m.Ctx.DeviceKernel(phase, work)
+		if step == 1 && split {
+			k.splitFirstStep(work, halo, phase)
+		} else if step == 1 {
+			m.Ctx.DeviceKernelOn(phase, work, halo)
+		} else {
+			// Later steps read the previous step's output on the same
+			// compute stream; stream ordering is the dependency.
+			m.Ctx.DeviceKernelOn(phase, work)
+		}
 
 		// Change-of-basis column.
 		col := step - 1
@@ -137,13 +161,51 @@ func (k *MPK) Generate(v *Vectors, j0, steps int, shifts []complex128, phase str
 	return bhat
 }
 
+// splitFirstStep charges the first MPK step as two launches per device:
+// an interior kernel that depends only on previously computed columns
+// (it overlaps the halo exchange) and a boundary kernel carrying the
+// remaining rows (and any shift work) that waits for the halo event.
+// work holds the full per-device step cost computed by the caller.
+func (k *MPK) splitFirstStep(work []gpu.Work, halo gpu.StreamEvent, phase string) {
+	m := k.M
+	interior := make([]gpu.Work, len(work))
+	boundary := make([]gpu.Work, len(work))
+	for d := range work {
+		dm := m.Dev[d]
+		iw := gpu.Work{
+			Flops: 2 * float64(dm.InteriorNNZ),
+			Bytes: float64(dm.InteriorNNZ)*12 + float64(dm.InteriorRows)*16,
+		}
+		if iw.Flops > work[d].Flops {
+			iw.Flops = work[d].Flops
+		}
+		if iw.Bytes > work[d].Bytes {
+			iw.Bytes = work[d].Bytes
+		}
+		interior[d] = iw
+		boundary[d] = gpu.Work{Flops: work[d].Flops - iw.Flops, Bytes: work[d].Bytes - iw.Bytes}
+	}
+	m.Ctx.DeviceKernelOn(phase, interior)
+	m.Ctx.DeviceKernelOn(phase, boundary, halo)
+}
+
 // exchange fills every device's extended z[0] buffer with column j of v:
 // owned values locally, halo values through the compress / expand /
 // scatter protocol of the paper's setup phase (one reduce round and one
-// broadcast round on the ledger).
-func (k *MPK) exchange(v *Vectors, j int, phase string) {
+// broadcast round on the ledger). The reduce depends on the compute
+// fence (the packed column is the output of earlier kernels); the
+// returned event fires when the halo values have landed on the devices.
+func (k *MPK) exchange(v *Vectors, j int, phase string) gpu.StreamEvent {
 	m := k.M
 	ng := len(m.Dev)
+	w := k.w[k.wIdx]
+	k.wIdx = 1 - k.wIdx
+
+	// The column being exchanged was produced by device kernels; the
+	// gather cannot start before they finish. Capture the fence *before*
+	// submitting anything else so later interior kernels do not serialize
+	// the exchange behind themselves.
+	prod := m.Ctx.ComputeFence()
 
 	// Device side: copy owned values into z[0] and "send" the compressed
 	// w^(d) to the host staging vector. Devices write disjoint global
@@ -155,11 +217,11 @@ func (k *MPK) exchange(v *Vectors, j int, phase string) {
 		copy(k.ws[d].z[0][:dm.NOwn], col)
 		base := m.Layout.OwnStart(d)
 		for _, li := range dm.SendIdx {
-			k.w[base+li] = col[li]
+			w[base+li] = col[li]
 		}
 		sendBytes[d] = len(dm.SendIdx) * gpu.ScalarBytes
 	})
-	m.Ctx.ReduceRound(phase, sendBytes)
+	red := m.Ctx.ReduceRoundOn(phase, sendBytes, prod)
 
 	// Host -> device: each device receives its halo values.
 	recvBytes := make([]int, ng)
@@ -167,11 +229,11 @@ func (k *MPK) exchange(v *Vectors, j int, phase string) {
 		dm := m.Dev[d]
 		z := k.ws[d].z[0]
 		for h, g := range dm.Halo {
-			z[dm.NOwn+h] = k.w[g]
+			z[dm.NOwn+h] = w[g]
 		}
 		recvBytes[d] = len(dm.Halo) * gpu.ScalarBytes
 	})
-	m.Ctx.BroadcastRound(phase, recvBytes)
+	return m.Ctx.BroadcastRoundOn(phase, recvBytes, red)
 }
 
 // validateShiftPairs enforces the pairing convention: a shift with
@@ -203,7 +265,7 @@ func (k *MPK) SpMV(src *Vectors, jSrc int, dst *Vectors, jDst int, phase string)
 		k.spmvDeep(src, jSrc, dst, jDst, phase)
 		return
 	}
-	k.exchange(src, jSrc, phase)
+	halo := k.exchange(src, jSrc, phase)
 	work := make([]gpu.Work, len(m.Dev))
 	m.Ctx.RunAll(func(d int) {
 		dm := m.Dev[d]
@@ -213,13 +275,20 @@ func (k *MPK) SpMV(src *Vectors, jSrc int, dst *Vectors, jDst int, phase string)
 		nnz := dm.NNZPrefix[0]
 		work[d] = gpu.Work{Flops: 2 * float64(nnz), Bytes: float64(nnz)*12 + float64(rows)*16}
 	})
-	m.Ctx.DeviceKernel(phase, work)
+	if m.Ctx.OverlapEnabled() && len(m.Dev) > 1 {
+		k.splitFirstStep(work, halo, phase)
+	} else {
+		m.Ctx.DeviceKernelOn(phase, work, halo)
+	}
 }
 
 func (k *MPK) spmvDeep(src *Vectors, jSrc int, dst *Vectors, jDst int, phase string) {
 	m := k.M
 	// Exchange only the distance-1 halo.
 	ng := len(m.Dev)
+	w := k.w[k.wIdx]
+	k.wIdx = 1 - k.wIdx
+	prod := m.Ctx.ComputeFence()
 	sendBytes := make([]int, ng)
 	m.Ctx.RunAll(func(d int) {
 		dm := m.Dev[d]
@@ -227,22 +296,22 @@ func (k *MPK) spmvDeep(src *Vectors, jSrc int, dst *Vectors, jDst int, phase str
 		copy(k.ws[d].z[0][:dm.NOwn], col)
 		base := m.Layout.OwnStart(d)
 		for _, li := range dm.SendIdx {
-			k.w[base+li] = col[li]
+			w[base+li] = col[li]
 		}
 		sendBytes[d] = len(dm.SendIdx) * gpu.ScalarBytes
 	})
-	m.Ctx.ReduceRound(phase, sendBytes)
+	red := m.Ctx.ReduceRoundOn(phase, sendBytes, prod)
 	recvBytes := make([]int, ng)
 	m.Ctx.RunAll(func(d int) {
 		dm := m.Dev[d]
 		z := k.ws[d].z[0]
 		n1 := dm.RowsAtDist[1] - dm.NOwn // distance-1 halo entries
 		for h := 0; h < n1; h++ {
-			z[dm.NOwn+h] = k.w[dm.Halo[h]]
+			z[dm.NOwn+h] = w[dm.Halo[h]]
 		}
 		recvBytes[d] = n1 * gpu.ScalarBytes
 	})
-	m.Ctx.BroadcastRound(phase, recvBytes)
+	halo := m.Ctx.BroadcastRoundOn(phase, recvBytes, red)
 	work := make([]gpu.Work, ng)
 	m.Ctx.RunAll(func(d int) {
 		dm := m.Dev[d]
@@ -251,7 +320,11 @@ func (k *MPK) spmvDeep(src *Vectors, jSrc int, dst *Vectors, jDst int, phase str
 		nnz := dm.NNZPrefix[0]
 		work[d] = gpu.Work{Flops: 2 * float64(nnz), Bytes: float64(nnz)*12 + float64(rows)*16}
 	})
-	m.Ctx.DeviceKernel(phase, work)
+	if m.Ctx.OverlapEnabled() && len(m.Dev) > 1 {
+		k.splitFirstStep(work, halo, phase)
+	} else {
+		m.Ctx.DeviceKernelOn(phase, work, halo)
+	}
 }
 
 // ChangeOfBasisCond returns the 2-norm condition estimate of the basis

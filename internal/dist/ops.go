@@ -12,6 +12,13 @@ import (
 // device kernel; every reduction is one device-to-host round (local
 // partial results travel to the CPU, the CPU combines them) and, when the
 // result is needed back on the devices, one host-to-device round.
+//
+// All operations are submitted through the stream API: each device's
+// kernels are ordered on its compute stream, rounds on its transfer
+// stream, and the data dependencies between them are explicit events
+// (kernel -> reduce, broadcast -> kernel, host result -> broadcast).
+// With overlap disabled every submission is a barrier, reproducing the
+// synchronous schedule exactly.
 
 // DotCols returns the inner product of columns jx and jy: one local dot
 // per device plus a reduce round of one scalar per device.
@@ -25,12 +32,12 @@ func (v *Vectors) DotCols(jx, jy int, phase string) float64 {
 		partial[d] = la.Dot(x, y)
 		work[d] = gpu.Work{Flops: 2 * float64(len(x)), Bytes: 16 * float64(len(x))}
 	})
-	v.Ctx.DeviceKernel(phase, work)
+	k := v.Ctx.DeviceKernelOn(phase, work)
 	bytes := make([]int, ng)
 	for d := range bytes {
 		bytes[d] = gpu.ScalarBytes
 	}
-	v.Ctx.ReduceRound(phase, bytes)
+	v.Ctx.ReduceRoundOn(phase, bytes, k)
 	var s float64
 	for _, p := range partial {
 		s += p
@@ -52,7 +59,7 @@ func (v *Vectors) AxpyCol(alpha float64, jx, jy int, phase string) {
 		la.Axpy(alpha, x, v.Local[d].Col(jy))
 		work[d] = gpu.Work{Flops: 2 * float64(len(x)), Bytes: 24 * float64(len(x))}
 	})
-	v.Ctx.DeviceKernel(phase, work)
+	v.Ctx.DeviceKernelOn(phase, work)
 }
 
 // ScaleCol multiplies column j by alpha. The scalar is broadcast to the
@@ -64,14 +71,17 @@ func (v *Vectors) ScaleCol(alpha float64, j int, phase string) {
 	for d := range bytes {
 		bytes[d] = gpu.ScalarBytes
 	}
-	v.Ctx.BroadcastRound(phase, bytes)
+	// The scalar is host-side state (e.g. a norm the host just combined);
+	// the broadcast starts once the host holds it, the kernel once the
+	// broadcast lands.
+	bc := v.Ctx.BroadcastRoundOn(phase, bytes, v.Ctx.HostFence())
 	work := make([]gpu.Work, ng)
 	v.Ctx.RunAll(func(d int) {
 		col := v.Local[d].Col(j)
 		la.Scal(alpha, col)
 		work[d] = gpu.Work{Flops: float64(len(col)), Bytes: 16 * float64(len(col))}
 	})
-	v.Ctx.DeviceKernel(phase, work)
+	v.Ctx.DeviceKernelOn(phase, work, bc)
 }
 
 // CopyCol copies column jSrc into jDst. Purely local.
@@ -83,7 +93,7 @@ func (v *Vectors) CopyCol(jSrc, jDst int, phase string) {
 		copy(v.Local[d].Col(jDst), src)
 		work[d] = gpu.Work{Bytes: 16 * float64(len(src))}
 	})
-	v.Ctx.DeviceKernel(phase, work)
+	v.Ctx.DeviceKernelOn(phase, work)
 }
 
 // UpdateWithBasis computes column jx of v += basis[:, j0:j0+k] * y for a
@@ -98,7 +108,9 @@ func (v *Vectors) UpdateWithBasis(jx int, basis *Vectors, j0 int, y []float64, p
 	for d := range bytes {
 		bytes[d] = k * gpu.ScalarBytes
 	}
-	v.Ctx.BroadcastRound(phase, bytes)
+	// y is computed on the host (the least-squares solve), so the
+	// broadcast depends on the host stream, and the GEMV on the broadcast.
+	bc := v.Ctx.BroadcastRoundOn(phase, bytes, v.Ctx.HostFence())
 	work := make([]gpu.Work, ng)
 	v.Ctx.RunAll(func(d int) {
 		panel := basis.Local[d].ColView(j0, j0+k)
@@ -106,5 +118,5 @@ func (v *Vectors) UpdateWithBasis(jx int, basis *Vectors, j0 int, y []float64, p
 		rows := float64(v.Local[d].Rows)
 		work[d] = gpu.Work{Flops: 2 * rows * float64(k), Bytes: 8 * rows * float64(k+2)}
 	})
-	v.Ctx.DeviceKernel(phase, work)
+	v.Ctx.DeviceKernelOn(phase, work, bc)
 }

@@ -101,6 +101,7 @@ type Context struct {
 	Model      CostModel
 	stats      *Stats
 	faults     *faultState
+	timeline   *Timeline
 	phys       []int // logical -> physical device id; nil = identity
 }
 
@@ -109,7 +110,7 @@ func NewContext(ng int, model CostModel) *Context {
 	if ng < 1 {
 		panic(fmt.Sprintf("gpu: NewContext with %d devices", ng))
 	}
-	return &Context{NumDevices: ng, Model: model, stats: NewStats()}
+	return &Context{NumDevices: ng, Model: model, stats: NewStats(), timeline: newTimeline(false)}
 }
 
 // Stats returns the ledger for inspection.
@@ -117,13 +118,15 @@ func (c *Context) Stats() *Stats { return c.stats }
 
 // ResetStats clears the ledger (benchmarks and solvers call this at the
 // start of a run). Trace recording, if enabled, stays enabled with the
-// same capacity.
+// same capacity; so does the overlap setting of the stream timeline,
+// which resets to time zero alongside the ledger.
 func (c *Context) ResetStats() {
 	traceCap := c.stats.traceCap
 	c.stats = NewStats()
 	if traceCap > 0 {
 		c.stats.EnableTrace(traceCap)
 	}
+	c.timeline = newTimeline(c.timeline.overlapEnabled())
 }
 
 // RunAll executes f(d) for every device d on its own goroutine and waits
@@ -206,20 +209,26 @@ func (c *Context) roundTime(bytes []int) (total int, t float64) {
 // stream, transparently retrying with capped exponential virtual-time
 // backoff.
 func (c *Context) ReduceRound(phase string, bytes []int) {
-	c.commRound(phase, dirD2H, bytes)
+	c.commRound(phase, dirD2H, bytes, true, nil)
 }
 
 // BroadcastRound records one host->device round (scatter/broadcast),
 // symmetric to ReduceRound.
 func (c *Context) BroadcastRound(phase string, bytes []int) {
-	c.commRound(phase, dirH2D, bytes)
+	c.commRound(phase, dirH2D, bytes, true, nil)
 }
 
-func (c *Context) commRound(phase string, dir direction, bytes []int) {
+// commRound is the shared implementation behind the synchronous rounds
+// (barrier=true: a full barrier on every stream) and the *On stream
+// variants (barrier=false: the round occupies only the participating
+// transfer streams when overlap is enabled). The ledger charge is
+// identical in both modes.
+func (c *Context) commRound(phase string, dir direction, bytes []int, barrier bool, after []StreamEvent) StreamEvent {
 	c.checkDeaths(phase)
 	_, t := c.roundTime(bytes)
-	c.injectTransferFaults(phase, t)
+	stall := c.injectTransferFaults(phase, t)
 	c.stats.addComm(phase, dir, c.devIDs(len(bytes)), bytes, t)
+	return c.timeline.comm(phase, dir == dirH2D, c.devIDs(len(bytes)), t, stall, barrier, after)
 }
 
 // DeviceKernel records a parallel device kernel: every device executes
@@ -229,12 +238,17 @@ func (c *Context) commRound(phase string, dir direction, bytes []int) {
 // context's view; straggler devices are slowed by their configured
 // factor).
 func (c *Context) DeviceKernel(phase string, work []Work) {
+	c.deviceKernel(phase, work, true, nil)
+}
+
+func (c *Context) deviceKernel(phase string, work []Work, barrier bool, after []StreamEvent) StreamEvent {
 	c.checkDeaths(phase)
 	ts := make([]float64, len(work))
 	for d, w := range work {
 		ts[d] = c.Model.deviceTime(w) * c.faults.stragglerFactor(c.physOf(d))
 	}
 	c.stats.addCompute(phase, c.devIDs(len(work)), ts, work)
+	return c.timeline.kernel(phase, c.devIDs(len(work)), ts, barrier, after)
 }
 
 // UniformKernel is DeviceKernel for identical per-device work.
@@ -248,13 +262,19 @@ func (c *Context) UniformKernel(phase string, w Work) {
 		ts[d] = t * c.faults.stragglerFactor(c.physOf(d))
 	}
 	c.stats.addCompute(phase, c.devIDs(len(work)), ts, work)
+	c.timeline.kernel(phase, c.devIDs(len(work)), ts, true, nil)
 }
 
 // HostCompute records flops executed on the CPU (the Cholesky, small QR,
 // eigenvalue and least-squares work the paper leaves on the host).
 func (c *Context) HostCompute(phase string, flops float64) {
+	c.hostCompute(phase, flops, true, nil)
+}
+
+func (c *Context) hostCompute(phase string, flops float64, barrier bool, after []StreamEvent) StreamEvent {
 	t := flops / (c.Model.HostGflops * 1e9)
 	c.stats.addHost(phase, t, flops)
+	return c.timeline.hostOp(phase, t, barrier, after)
 }
 
 // ScalarBytes is the wire size of one float64.

@@ -145,9 +145,9 @@ func TestHostCompute(t *testing.T) {
 func TestStatsMerge(t *testing.T) {
 	a := NewStats()
 	b := NewStats()
-	ctx := &Context{NumDevices: 1, Model: M2090(), stats: a}
+	ctx := &Context{NumDevices: 1, Model: M2090(), stats: a, timeline: newTimeline(false)}
 	ctx.ReduceRound("p", []int{8})
-	ctx2 := &Context{NumDevices: 1, Model: M2090(), stats: b}
+	ctx2 := &Context{NumDevices: 1, Model: M2090(), stats: b, timeline: newTimeline(false)}
 	ctx2.ReduceRound("p", []int{8})
 	ctx2.HostCompute("q", 1e9)
 	a.Merge(b)

@@ -255,6 +255,7 @@ func (c *Context) Survivors() (*Context, error) {
 		Model:      c.Model,
 		stats:      c.stats,
 		faults:     c.faults,
+		timeline:   c.timeline,
 		phys:       alive,
 	}, nil
 }
@@ -328,7 +329,15 @@ func (c *Context) checkDeaths(phase string) {
 	if f == nil || len(f.plan.Deaths) == 0 {
 		return
 	}
+	// Deaths fire on the modeled clock. Under the synchronous schedule
+	// that is the ledger's TotalTime (unchanged, so every existing fault
+	// schedule replays byte-identically); under overlapped scheduling the
+	// physical clock is the stream timeline's horizon — the same plan
+	// fires at the times the overlapped execution actually reaches.
 	now := c.stats.TotalTime()
+	if c.timeline.overlapEnabled() {
+		now = c.timeline.horizon()
+	}
 	f.mu.Lock()
 	for i, d := range f.plan.Deaths {
 		if !f.consumed[i] && now >= d.At && d.Device >= 0 && d.Device < len(f.dead) {
@@ -355,24 +364,27 @@ func (c *Context) checkDeaths(phase string) {
 // injectTransferFaults draws the seeded transfer-fault stream for one
 // communication round of modeled duration t. Every failed attempt
 // charges the wasted round plus the current backoff to the ledger's
-// "fault" phase (virtual-time exponential backoff, capped); exhausting
-// the policy panics with *TransferError. Returns normally once an
-// attempt succeeds.
-func (c *Context) injectTransferFaults(phase string, t float64) {
+// "fault" phase (virtual-time exponential backoff, capped) and to the
+// stream timeline's fault lane; exhausting the policy panics with
+// *TransferError. Returns the total stall (the retries' modeled time,
+// which extends the round on its transfer streams) once an attempt
+// succeeds.
+func (c *Context) injectTransferFaults(phase string, t float64) float64 {
 	f := c.faults
 	if f == nil {
-		return
+		return 0
 	}
 	f.mu.Lock()
 	prob := f.plan.TransferFaultProb
 	if prob <= 0 ||
 		(f.plan.MaxTransferFaults > 0 && f.counts.TransferFaults >= f.plan.MaxTransferFaults) {
 		f.mu.Unlock()
-		return
+		return 0
 	}
 	policy := f.policy.defaults()
 	attempt := 1
 	backoff := policy.Backoff
+	stall := 0.0
 	for f.rng.Float64() < prob {
 		f.counts.TransferFaults++
 		if attempt >= policy.MaxAttempts {
@@ -384,6 +396,8 @@ func (c *Context) injectTransferFaults(phase string, t float64) {
 		f.counts.TransferRetries++
 		f.counts.BackoffSeconds += backoff
 		c.stats.addFault(phase, HostDevice, "transfer", t+backoff)
+		c.timeline.chargeFault(t + backoff)
+		stall += t + backoff
 		attempt++
 		backoff *= policy.Factor
 		if backoff > policy.MaxBackoff {
@@ -394,6 +408,7 @@ func (c *Context) injectTransferFaults(phase string, t float64) {
 		}
 	}
 	f.mu.Unlock()
+	return stall
 }
 
 // stragglerFactor returns the slowdown of a physical device (1 when

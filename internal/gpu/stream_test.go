@@ -1,0 +1,294 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+// streamWorkload drives a representative mix of stream operations with
+// explicit dependencies through a context: kernels feeding reduces,
+// broadcasts feeding kernels, host compute between rounds, and fences.
+// It is deterministic, so two contexts driven through it see identical
+// charge sequences.
+func streamWorkload(ctx *Context) {
+	ng := ctx.NumDevices
+	work := func(f, b float64) []Work {
+		w := make([]Work, ng)
+		for d := range w {
+			w[d] = Work{Flops: f * float64(d+1), Bytes: b}
+		}
+		return w
+	}
+	bytes := func(n int) []int {
+		bs := make([]int, ng)
+		for d := range bs {
+			bs[d] = n
+		}
+		return bs
+	}
+	for i := 0; i < 4; i++ {
+		k := ctx.DeviceKernelOn("spmv", work(2e6, 3e6))
+		red := ctx.ReduceRoundOn("orth", bytes(256), k)
+		// The broadcast relays the reduce's payload (implicit hostData
+		// ordering); the host's small update then overlaps the device-side
+		// broadcast + kernel — the paper's CPU/GPU overlap.
+		bc := ctx.BroadcastRoundOn("orth", bytes(128), red)
+		ctx.DeviceKernelOn("orth", work(1e6, 8e6), bc)
+		ctx.HostComputeOn("lsq", 1e6)
+		if i%2 == 1 {
+			prod := ctx.ComputeFence()
+			ctx.ReduceRoundOn("tsqr", bytes(512), prod)
+			ctx.HostComputeOn("tsqr", 3e6)
+			ctx.BroadcastRoundOn("tsqr", bytes(512), ctx.HostFence())
+			ctx.DeviceKernelOn("tsqr", work(4e6, 2e6), ctx.TransferFence())
+		}
+	}
+	// A legacy synchronous op in the middle must stay a correct barrier
+	// even with overlap enabled.
+	ctx.UniformKernel("vec", Work{Flops: 1e6, Bytes: 4e6})
+	ctx.HostCompute("lsq", 2e6)
+}
+
+// syncWorkload is streamWorkload expressed through the legacy
+// synchronous API (no events, no fences — every call a barrier).
+func syncWorkload(ctx *Context) {
+	ng := ctx.NumDevices
+	work := func(f, b float64) []Work {
+		w := make([]Work, ng)
+		for d := range w {
+			w[d] = Work{Flops: f * float64(d+1), Bytes: b}
+		}
+		return w
+	}
+	bytes := func(n int) []int {
+		bs := make([]int, ng)
+		for d := range bs {
+			bs[d] = n
+		}
+		return bs
+	}
+	for i := 0; i < 4; i++ {
+		ctx.DeviceKernel("spmv", work(2e6, 3e6))
+		ctx.ReduceRound("orth", bytes(256))
+		ctx.BroadcastRound("orth", bytes(128))
+		ctx.DeviceKernel("orth", work(1e6, 8e6))
+		ctx.HostCompute("lsq", 1e6)
+		if i%2 == 1 {
+			ctx.ReduceRound("tsqr", bytes(512))
+			ctx.HostCompute("tsqr", 3e6)
+			ctx.BroadcastRound("tsqr", bytes(512))
+			ctx.DeviceKernel("tsqr", work(4e6, 2e6))
+		}
+	}
+	ctx.UniformKernel("vec", Work{Flops: 1e6, Bytes: 4e6})
+	ctx.HostCompute("lsq", 2e6)
+}
+
+// Property (a): with overlap disabled (the default), the stream API is
+// the synchronous schedule bit-for-bit — the ledger is byte-identical to
+// the one the legacy API produces, and the timeline's horizon equals its
+// own serial accumulator exactly.
+func TestStreamDegeneratesToSynchronous(t *testing.T) {
+	for _, ng := range []int{1, 2, 3} {
+		onCtx := NewContext(ng, M2090())
+		syncCtx := NewContext(ng, M2090())
+		streamWorkload(onCtx)
+		syncWorkload(syncCtx)
+		if got, want := onCtx.Stats().String(), syncCtx.Stats().String(); got != want {
+			t.Fatalf("ng=%d: stream-API ledger differs from synchronous ledger:\n%s\n--- vs ---\n%s", ng, got, want)
+		}
+		if got, want := onCtx.Stats().TotalTime(), syncCtx.Stats().TotalTime(); got != want {
+			t.Fatalf("ng=%d: TotalTime %v != %v", ng, got, want)
+		}
+		if h, s := onCtx.OverlappedTime(), onCtx.SerialTime(); h != s {
+			t.Fatalf("ng=%d: overlap off but Horizon %v != SerialTime %v", ng, h, s)
+		}
+		if h1, h2 := onCtx.OverlappedTime(), syncCtx.OverlappedTime(); h1 != h2 {
+			t.Fatalf("ng=%d: stream horizon %v != sync horizon %v", ng, h1, h2)
+		}
+	}
+}
+
+// Property (a) continued: the ledger is invariant under the overlap
+// flag — enabling overlap changes scheduling, never charges.
+func TestOverlapLeavesLedgerUntouched(t *testing.T) {
+	off := NewContext(3, M2090())
+	on := NewContext(3, M2090())
+	on.SetOverlap(true)
+	streamWorkload(off)
+	streamWorkload(on)
+	if got, want := on.Stats().String(), off.Stats().String(); got != want {
+		t.Fatalf("overlap changed the ledger:\n%s\n--- vs ---\n%s", got, want)
+	}
+	if got, want := on.SerialTime(), off.SerialTime(); got != want {
+		t.Fatalf("overlap changed SerialTime: %v != %v", got, want)
+	}
+}
+
+// Property (b): per-stream lane sums reconcile exactly with the ledger's
+// per-device phase totals.
+func TestLanesReconcileWithDevicePhases(t *testing.T) {
+	ctx := NewContext(3, M2090())
+	ctx.SetOverlap(true)
+	streamWorkload(ctx)
+	st := ctx.Stats()
+	for d := 0; d < ctx.NumDevices; d++ {
+		for _, phase := range []string{"spmv", "orth", "tsqr", "vec"} {
+			dp := st.DevicePhase(d, phase)
+			if got := ctx.LaneTime(LaneCompute, d, phase); got != dp.DeviceTime {
+				t.Fatalf("compute lane (d=%d, %s) = %v, ledger DeviceTime = %v", d, phase, got, dp.DeviceTime)
+			}
+			if got := ctx.LaneTime(LaneTransfer, d, phase); got != dp.CommTime {
+				t.Fatalf("transfer lane (d=%d, %s) = %v, ledger CommTime = %v", d, phase, got, dp.CommTime)
+			}
+		}
+	}
+	for _, phase := range []string{"lsq", "tsqr"} {
+		if got, want := ctx.LaneTime(LaneHost, HostDevice, phase), st.Phase(phase).HostTime; got != want {
+			t.Fatalf("host lane (%s) = %v, ledger HostTime = %v", phase, got, want)
+		}
+	}
+}
+
+// Property (b) continued: the fault lane reconciles with the ledger's
+// fault phase when a transfer-fault plan is armed, in every mode.
+func TestFaultLaneReconciles(t *testing.T) {
+	for _, overlap := range []bool{false, true} {
+		ctx := NewContext(3, M2090())
+		ctx.SetOverlap(overlap)
+		ctx.InjectFaults(FaultPlan{Seed: 11, TransferFaultProb: 0.3, MaxTransferFaults: 50})
+		streamWorkload(ctx)
+		if ctx.FaultCounts().TransferFaults == 0 {
+			t.Fatalf("overlap=%v: plan injected no faults — test is vacuous", overlap)
+		}
+		got := ctx.LaneTime(LaneFault, HostDevice, PhaseFault)
+		want := ctx.Stats().Phase(PhaseFault).CommTime
+		if got != want {
+			t.Fatalf("overlap=%v: fault lane %v != ledger fault CommTime %v", overlap, got, want)
+		}
+	}
+}
+
+// Property (c): overlapped modeled time never exceeds the synchronous
+// schedule — exactly, in floating point, not just approximately.
+func TestOverlapNeverExceedsSerial(t *testing.T) {
+	for _, ng := range []int{1, 2, 3, 4} {
+		ctx := NewContext(ng, M2090())
+		ctx.SetOverlap(true)
+		streamWorkload(ctx)
+		h, s := ctx.OverlappedTime(), ctx.SerialTime()
+		if h > s {
+			t.Fatalf("ng=%d: overlapped horizon %v > serial %v", ng, h, s)
+		}
+		if ng >= 2 && h >= s {
+			t.Fatalf("ng=%d: workload has real overlap but horizon %v >= serial %v", ng, h, s)
+		}
+	}
+}
+
+// The overlapped schedule is deterministic: the same program replays to
+// the bit-identical horizon.
+func TestOverlapDeterministicReplay(t *testing.T) {
+	run := func() (float64, float64, string) {
+		ctx := NewContext(3, M2090())
+		ctx.SetOverlap(true)
+		ctx.InjectFaults(FaultPlan{Seed: 7, TransferFaultProb: 0.2, MaxTransferFaults: 20})
+		streamWorkload(ctx)
+		return ctx.OverlappedTime(), ctx.SerialTime(), ctx.Stats().String()
+	}
+	h1, s1, l1 := run()
+	h2, s2, l2 := run()
+	if h1 != h2 || s1 != s2 || l1 != l2 {
+		t.Fatalf("overlapped replay diverged: horizon %v vs %v, serial %v vs %v", h1, h2, s1, s2)
+	}
+}
+
+// ResetStats rewinds the timeline to zero but keeps the overlap setting,
+// mirroring how it preserves trace capacity.
+func TestResetStatsPreservesOverlap(t *testing.T) {
+	ctx := NewContext(2, M2090())
+	ctx.SetOverlap(true)
+	streamWorkload(ctx)
+	if ctx.OverlappedTime() == 0 {
+		t.Fatal("workload advanced no time")
+	}
+	ctx.ResetStats()
+	if !ctx.OverlapEnabled() {
+		t.Fatal("ResetStats dropped the overlap setting")
+	}
+	if ctx.OverlappedTime() != 0 || ctx.SerialTime() != 0 {
+		t.Fatal("ResetStats did not rewind the timeline")
+	}
+}
+
+// Survivors views share the root's timeline: charges through the view
+// land on the same streams (at the physical device ids), and the view
+// sees the root's horizon.
+func TestSurvivorsShareTimeline(t *testing.T) {
+	ctx := NewContext(3, M2090())
+	ctx.SetOverlap(true)
+	ctx.InjectFaults(FaultPlan{Seed: 1, Deaths: []DeviceDeath{{Device: 1, At: 0}}})
+	func() {
+		defer func() { _ = recover() }()
+		ctx.DeviceKernelOn("spmv", []Work{{Flops: 1e6}, {Flops: 1e6}, {Flops: 1e6}})
+	}()
+	view, err := ctx.Survivors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view.DeviceKernelOn("spmv", []Work{{Flops: 1e6}, {Flops: 1e6}})
+	if got, want := view.OverlappedTime(), ctx.OverlappedTime(); got != want {
+		t.Fatalf("view horizon %v != root horizon %v", got, want)
+	}
+	// The view's logical devices 0,1 are physical 0,2 — the lane charges
+	// must land on the physical ids.
+	if ctx.LaneTime(LaneCompute, 2, "spmv") == 0 {
+		t.Fatal("view charge did not land on physical device 2's lane")
+	}
+}
+
+// With overlap enabled, scheduled deaths fire on the stream horizon; the
+// same plan on the same program still replays deterministically.
+func TestDeathsFireOnStreamClock(t *testing.T) {
+	run := func() (float64, bool) {
+		ctx := NewContext(2, M2090())
+		ctx.SetOverlap(true)
+		ctx.InjectFaults(FaultPlan{Seed: 3, Deaths: []DeviceDeath{{Device: 0, At: 1e-4}}})
+		died := false
+		var at float64
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e := r.(*DeviceLostError)
+					died = true
+					at = e.At
+				}
+			}()
+			streamWorkload(ctx)
+		}()
+		return at, died
+	}
+	at1, died1 := run()
+	at2, died2 := run()
+	if !died1 || !died2 {
+		t.Fatal("scheduled death did not fire under overlap")
+	}
+	if at1 != at2 {
+		t.Fatalf("death times diverged across replays: %v vs %v", at1, at2)
+	}
+	if math.IsNaN(at1) || at1 < 1e-4 {
+		t.Fatalf("death fired before its scheduled time: %v", at1)
+	}
+}
+
+// Join and the zero StreamEvent behave as documented.
+func TestStreamEventJoin(t *testing.T) {
+	var zero StreamEvent
+	if zero.Seconds() != 0 {
+		t.Fatal("zero event not at time 0")
+	}
+	e := Join(StreamEvent{at: 2}, zero, StreamEvent{at: 5}, StreamEvent{at: 3})
+	if e.Seconds() != 5 {
+		t.Fatalf("Join = %v, want 5", e.Seconds())
+	}
+}

@@ -7,26 +7,47 @@ import "fmt"
 //
 // The loop is organized along columns (axpy form) so that each column of A
 // is traversed contiguously, which is the cache-friendly direction for
-// column-major tall-skinny matrices.
+// column-major tall-skinny matrices. The beta scaling is fused into the
+// first contributing column update instead of a separate pass over y, so a
+// beta != 1 call streams y through the cache one time fewer; y is scaled
+// at the end only when no column contributes (alpha == 0 or all-zero x).
 func Gemv(alpha float64, a *Dense, x []float64, beta float64, y []float64) {
 	if len(x) != a.Cols || len(y) != a.Rows {
 		panic(fmt.Sprintf("la: Gemv shape mismatch A=%dx%d x=%d y=%d", a.Rows, a.Cols, len(x), len(y)))
 	}
-	if beta != 1 {
-		if beta == 0 {
-			Zero(y)
-		} else {
-			Scal(beta, y)
-		}
-	}
+	scaled := beta == 1
 	for j := 0; j < a.Cols; j++ {
 		axj := alpha * x[j]
 		if axj == 0 {
 			continue
 		}
 		col := a.Col(j)
-		for i, v := range col {
-			y[i] += axj * v
+		switch {
+		case scaled:
+			for i, v := range col {
+				y[i] += axj * v
+			}
+		case beta == 0:
+			for i, v := range col {
+				y[i] = axj * v
+			}
+			scaled = true
+		default:
+			for i, v := range col {
+				// Two statements so the compiler cannot contract the
+				// scale and the update into one fused multiply-add,
+				// keeping results bit-identical to the two-pass form.
+				t := beta * y[i]
+				y[i] = t + axj*v
+			}
+			scaled = true
+		}
+	}
+	if !scaled {
+		if beta == 0 {
+			Zero(y)
+		} else {
+			Scal(beta, y)
 		}
 	}
 }
@@ -57,6 +78,10 @@ func GemmNN(alpha float64, a, b *Dense, beta float64, c *Dense) {
 		panic(fmt.Sprintf("la: GemmNN shape mismatch A=%dx%d B=%dx%d C=%dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
 	}
+	if minDim3(a.Rows, a.Cols, b.Cols) >= gemmTileMin {
+		gemmNNTiled(alpha, a, b, beta, c)
+		return
+	}
 	for j := 0; j < b.Cols; j++ {
 		Gemv(alpha, a, b.Col(j), beta, c.Col(j))
 	}
@@ -69,6 +94,10 @@ func GemmTN(alpha float64, a, b *Dense, beta float64, c *Dense) {
 	if a.Rows != b.Rows || c.Rows != a.Cols || c.Cols != b.Cols {
 		panic(fmt.Sprintf("la: GemmTN shape mismatch A=%dx%d B=%dx%d C=%dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	if minDim3(a.Rows, a.Cols, b.Cols) >= gemmTileMin {
+		gemmTNTiled(alpha, a, b, beta, c)
+		return
 	}
 	for j := 0; j < b.Cols; j++ {
 		bj := b.Col(j)

@@ -83,6 +83,23 @@ func NewGivensQR(m int, beta float64) *GivensQR {
 	return q
 }
 
+// Size returns the maximum column count the solver was allocated for.
+func (q *GivensQR) Size() int { return len(q.cs) }
+
+// Reset rewinds the solver for a fresh system with initial residual beta
+// (right-hand side beta*e_1), reusing every allocation. Only the
+// transformed right-hand side needs clearing: Append fully overwrites the
+// rotation entries and the column prefix it reads, and Solve only touches
+// the leading k x k block written this cycle, so stale factor data is
+// never observed.
+func (q *GivensQR) Reset(beta float64) {
+	for i := range q.g {
+		q.g[i] = 0
+	}
+	q.g[0] = beta
+	q.k = 0
+}
+
 // Append absorbs Hessenberg column h (length k+2 for the k-th column,
 // 0-indexed: entries h[0..k+1]) and returns the updated residual norm.
 func (q *GivensQR) Append(h []float64) float64 {

@@ -37,26 +37,28 @@ func (BOrthCGS) Project(ctx *gpu.Context, p, w []*la.Dense, phase string) *la.De
 	pc, wc := cols(p), cols(w)
 	ng := len(w)
 	partial := make([]*la.Dense, ng)
-	deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+	k := deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 		cpart := la.NewDense(pc, wc)
 		la.BatchedGemmTN(p[d], w[d], cpart)
 		partial[d] = cpart
 		rows := float64(p[d].Rows)
 		return gpu.Work{Flops: 2 * rows * float64(pc) * float64(wc), Bytes: 8 * rows * float64(pc+wc)}
 	})
-	ctx.ReduceRound(phase, scalarBytesAll(ng, pc*wc*gpu.ScalarBytes))
+	ctx.ReduceRoundOn(phase, scalarBytesAll(ng, pc*wc*gpu.ScalarBytes), k)
 	c := la.NewDense(pc, wc)
 	for _, part := range partial {
 		for j := 0; j < wc; j++ {
 			la.Axpy(1, part.Col(j), c.Col(j))
 		}
 	}
-	ctx.BroadcastRound(phase, scalarBytesAll(ng, pc*wc*gpu.ScalarBytes))
-	deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+	// The broadcast relays the reduced C (implicit host-arrival ordering);
+	// the rank-update waits only for it, leaving the host free.
+	bc := ctx.BroadcastRoundOn(phase, scalarBytesAll(ng, pc*wc*gpu.ScalarBytes))
+	deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 		la.ParallelGemmNN(-1, p[d], c, 1, w[d])
 		rows := float64(p[d].Rows)
 		return gpu.Work{Flops: 2 * rows * float64(pc) * float64(wc), Bytes: 8 * rows * float64(pc+2*wc)}
-	})
+	}, bc)
 	return c
 }
 
@@ -81,7 +83,7 @@ func (BOrthMGS) Project(ctx *gpu.Context, p, w []*la.Dense, phase string) *la.De
 	partial := make([][]float64, ng)
 	for l := 0; l < pc; l++ {
 		// row l of C: c_l = p_l' W
-		deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+		k := deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 			pl := p[d].Col(l)
 			row := make([]float64, wc)
 			la.GemvT(1, w[d], pl, 0, row)
@@ -89,7 +91,7 @@ func (BOrthMGS) Project(ctx *gpu.Context, p, w []*la.Dense, phase string) *la.De
 			rows := float64(len(pl))
 			return gpu.Work{Flops: 2 * rows * float64(wc), Bytes: 8 * rows * float64(wc+1)}
 		})
-		ctx.ReduceRound(phase, scalarBytesAll(ng, wc*gpu.ScalarBytes))
+		ctx.ReduceRoundOn(phase, scalarBytesAll(ng, wc*gpu.ScalarBytes), k)
 		row := make([]float64, wc)
 		for _, part := range partial {
 			la.Axpy(1, part, row)
@@ -97,16 +99,16 @@ func (BOrthMGS) Project(ctx *gpu.Context, p, w []*la.Dense, phase string) *la.De
 		for j := 0; j < wc; j++ {
 			c.Set(l, j, row[j])
 		}
-		ctx.BroadcastRound(phase, scalarBytesAll(ng, wc*gpu.ScalarBytes))
+		bc := ctx.BroadcastRoundOn(phase, scalarBytesAll(ng, wc*gpu.ScalarBytes))
 		// rank-1 update W -= p_l c_l
-		deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+		deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 			pl := p[d].Col(l)
 			for j := 0; j < wc; j++ {
 				la.Axpy(-row[j], pl, w[d].Col(j))
 			}
 			rows := float64(len(pl))
 			return gpu.Work{Flops: 2 * rows * float64(wc), Bytes: 8 * rows * float64(2*wc+1)}
-		})
+		}, bc)
 	}
 	return c
 }

@@ -31,15 +31,24 @@ func (q CAQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, 
 	ng := len(w)
 	localQ := make([]*la.Dense, ng)
 	localR := make([]*la.Dense, ng)
-	deviceWork(ctx, phase, ng, func(d int) gpu.Work {
-		var f *la.QRFactor
-		if q.BlockSize > 0 {
-			f = la.BlockedQR(w[d], q.BlockSize)
+	k := deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
+		if w[d].Rows < c {
+			// Short-wide panel (a device owning fewer rows than the window
+			// is wide): generalized TSQR. Factor the leading square block,
+			// keep the full orthonormal Q (rows x rows) and the
+			// upper-trapezoidal R := Q'W (rows x c); stacking trapezoidal
+			// factors still reconstructs W_d = Q_d (Q_stack,d R).
+			localQ[d], localR[d] = wideLocalQR(w[d])
 		} else {
-			f = la.HouseholderQR(w[d])
+			var f *la.QRFactor
+			if q.BlockSize > 0 {
+				f = la.BlockedQR(w[d], q.BlockSize)
+			} else {
+				f = la.HouseholderQR(w[d])
+			}
+			localQ[d] = f.FormQ()
+			localR[d] = f.R()
 		}
-		localQ[d] = f.FormQ()
-		localR[d] = f.R()
 		rows := float64(w[d].Rows)
 		// 2ns^2 flops for the factorization + 2ns^2 to form Q explicitly.
 		// Unlike the one-pass BLAS-3 Gram kernel, Householder QR sweeps
@@ -49,33 +58,43 @@ func (q CAQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, 
 		cc := float64(c) * float64(c)
 		return gpu.Work{Flops: 4 * rows * cc, Bytes: 8 * rows * cc}
 	})
-	// Gather the R factors (c x c each).
-	ctx.ReduceRound(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes))
+	// Gather the R factors (min(rows, c) x c each).
+	ctx.ReduceRoundOn(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes), k)
 
-	// Host: QR of the stacked R factors.
-	stack := la.NewDense(ng*c, c)
+	// Host: QR of the stacked R factors. The row offset of device d's
+	// block inside the stack (blocks are square except short panels').
+	off := make([]int, ng+1)
+	for d := 0; d < ng; d++ {
+		off[d+1] = off[d] + localR[d].Rows
+	}
+	if off[ng] < c {
+		return la.NewDense(c, c), ErrRankDeficient
+	}
+	stack := la.NewDense(off[ng], c)
 	for d := 0; d < ng; d++ {
 		for j := 0; j < c; j++ {
-			copy(stack.Col(j)[d*c:(d+1)*c], localR[d].Col(j))
+			copy(stack.Col(j)[off[d]:off[d+1]], localR[d].Col(j))
 		}
 	}
 	f := la.HouseholderQR(stack)
 	qStack := f.FormQ()
 	r := f.R()
 	la.FixRSigns(qStack, r)
-	ctx.HostCompute(phase, 4*float64(ng*c)*float64(c)*float64(c))
+	// The host tree-reduction starts when the stacked R factors arrive;
+	// qStack is host-computed, so the scatter explicitly depends on it.
+	hqr := ctx.HostComputeOn(phase, 4*float64(ng*c)*float64(c)*float64(c))
 
 	// Scatter the Q blocks; each device forms its final panel
 	// Q_d := localQ_d * qStack_d.
-	ctx.BroadcastRound(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes))
-	deviceWork(ctx, phase, ng, func(d int) gpu.Work {
-		qd := qStack.RowView(d*c, (d+1)*c)
+	bc := ctx.BroadcastRoundOn(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes), hqr)
+	deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
+		qd := qStack.RowView(off[d], off[d+1])
 		out := la.NewDense(w[d].Rows, c)
 		la.ParallelGemmNN(1, localQ[d], qd, 0, out)
 		w[d].CopyFrom(out)
 		rows := float64(w[d].Rows)
 		return gpu.Work{Flops: 2 * rows * float64(c) * float64(c), Bytes: 24 * rows * float64(c)}
-	})
+	}, bc)
 	// Zero columns produce zero diagonals in R; surface as rank
 	// deficiency for parity with the other strategies.
 	for i := 0; i < c; i++ {
@@ -84,4 +103,23 @@ func (q CAQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, 
 		}
 	}
 	return r, nil
+}
+
+// wideLocalQR factors a short-wide panel W (rows < cols) as W = Q*R with
+// Q (rows x rows) orthonormal and R (rows x cols) upper-trapezoidal: a
+// Householder QR of the leading square block supplies Q and the leading
+// triangle, the trailing columns are Q'W. Previously such panels made
+// the local factorization panic, which a device owning fewer rows than
+// the CA window is wide could trigger on tiny problems.
+func wideLocalQR(w *la.Dense) (qOut, rOut *la.Dense) {
+	rows, c := w.Rows, w.Cols
+	f := la.HouseholderQR(w.ColView(0, rows))
+	qOut = f.FormQ()
+	rOut = la.NewDense(rows, c)
+	for j := 0; j < rows; j++ {
+		copy(rOut.Col(j), f.R().Col(j))
+	}
+	tail := w.ColView(rows, c)
+	la.GemmTN(1, qOut, tail, 0, rOut.ColView(rows, c))
+	return qOut, rOut
 }

@@ -27,13 +27,15 @@ func (CholQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, 
 	if err != nil {
 		return nil, err
 	}
+	// The host factorization starts once the reduced Gram matrix has
+	// arrived (hostData ordering); the devices are free in the meantime.
 	c := b.Rows
 	r, err := la.Cholesky(b)
-	ctx.HostCompute(phase, float64(c*c*c)/3)
+	chol := ctx.HostComputeOn(phase, float64(c*c*c)/3)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRankDeficient, err)
 	}
-	applyInvR(ctx, w, r, phase)
+	applyInvR(ctx, w, r, phase, chol)
 	return r, nil
 }
 
@@ -75,7 +77,7 @@ func (SVQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, er
 	}
 	// Eigendecomposition of the scaled Gram matrix.
 	eig, u := la.JacobiEig(bs)
-	ctx.HostCompute(phase, 9*float64(c*c*c)) // Jacobi sweeps
+	ctx.HostComputeOn(phase, 9*float64(c*c*c)) // Jacobi sweeps
 	smax := eig[0]
 	if smax <= 0 {
 		return nil, fmt.Errorf("%w: Gram matrix has no positive eigenvalues", ErrRankDeficient)
@@ -97,8 +99,8 @@ func (SVQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, er
 	f := la.HouseholderQR(m)
 	rfac := f.R()
 	la.FixRSigns(nil, rfac)
-	ctx.HostCompute(phase, 2*float64(c*c*c))
-	applyInvR(ctx, w, rfac, phase)
+	hqr := ctx.HostComputeOn(phase, 2*float64(c*c*c))
+	applyInvR(ctx, w, rfac, phase, hqr)
 	return rfac, nil
 }
 
@@ -108,14 +110,14 @@ func gramReduce(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error
 	c := cols(w)
 	ng := len(w)
 	partial := make([]*la.Dense, ng)
-	deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+	k := deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 		g := la.NewDense(c, c)
 		la.BatchedGram(w[d], g)
 		partial[d] = g
 		rows := float64(w[d].Rows)
 		return gpu.Work{Flops: rows * float64(c) * float64(c), Bytes: 8 * rows * float64(c)}
 	})
-	ctx.ReduceRound(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes))
+	ctx.ReduceRoundOn(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes), k)
 	b := la.NewDense(c, c)
 	for _, p := range partial {
 		for j := 0; j < c; j++ {
@@ -132,15 +134,16 @@ func gramReduce(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error
 	return b, nil
 }
 
-// applyInvR broadcasts R and runs the device-side triangular solve
-// V := V R^{-1} (MAGMA DTRSM in the paper).
-func applyInvR(ctx *gpu.Context, w []*la.Dense, r *la.Dense, phase string) {
+// applyInvR broadcasts R (once the host has produced it — the after
+// events) and runs the device-side triangular solve V := V R^{-1} (MAGMA
+// DTRSM in the paper).
+func applyInvR(ctx *gpu.Context, w []*la.Dense, r *la.Dense, phase string, after ...gpu.StreamEvent) {
 	c := r.Rows
 	ng := len(w)
-	ctx.BroadcastRound(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes))
-	deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+	bc := ctx.BroadcastRoundOn(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes), after...)
+	deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 		la.TrsmRightUpper(w[d], r)
 		rows := float64(w[d].Rows)
 		return gpu.Work{Flops: rows * float64(c) * float64(c), Bytes: 16 * rows * float64(c)}
-	})
+	}, bc)
 }

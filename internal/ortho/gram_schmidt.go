@@ -27,12 +27,12 @@ func (MGS) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, err
 		projSq := 0.0 // accumulated ||r_{1:k-1,k}||^2, for breakdown detection
 		for l := 0; l < k; l++ {
 			// r_lk = v_l' v_k: local dots, one reduce round.
-			deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+			kd := deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 				vl, vk := w[d].Col(l), w[d].Col(k)
 				partial[d] = la.Dot(vl, vk)
 				return gpu.Work{Flops: 2 * float64(len(vl)), Bytes: 16 * float64(len(vl))}
 			})
-			ctx.ReduceRound(phase, scalarBytesAll(ng, gpu.ScalarBytes))
+			ctx.ReduceRoundOn(phase, scalarBytesAll(ng, gpu.ScalarBytes), kd)
 			rlk := 0.0
 			for _, p := range partial {
 				rlk += p
@@ -40,20 +40,20 @@ func (MGS) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, err
 			r.Set(l, k, rlk)
 			projSq += rlk * rlk
 			// broadcast r_lk, local axpy v_k -= r_lk v_l
-			ctx.BroadcastRound(phase, scalarBytesAll(ng, gpu.ScalarBytes))
-			deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+			bc := ctx.BroadcastRoundOn(phase, scalarBytesAll(ng, gpu.ScalarBytes))
+			deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 				vl, vk := w[d].Col(l), w[d].Col(k)
 				la.Axpy(-rlk, vl, vk)
 				return gpu.Work{Flops: 2 * float64(len(vl)), Bytes: 24 * float64(len(vl))}
-			})
+			}, bc)
 		}
 		// r_kk = ||v_k||: reduce, then broadcast for the scale.
-		deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+		kd := deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 			vk := w[d].Col(k)
 			partial[d] = la.Dot(vk, vk)
 			return gpu.Work{Flops: 2 * float64(len(vk)), Bytes: 8 * float64(len(vk))}
 		})
-		ctx.ReduceRound(phase, scalarBytesAll(ng, gpu.ScalarBytes))
+		ctx.ReduceRoundOn(phase, scalarBytesAll(ng, gpu.ScalarBytes), kd)
 		ssq := 0.0
 		for _, p := range partial {
 			ssq += p
@@ -65,12 +65,12 @@ func (MGS) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, err
 		if rkk <= 1e-14*math.Sqrt(projSq+ssq) {
 			return nil, ErrRankDeficient
 		}
-		ctx.BroadcastRound(phase, scalarBytesAll(ng, gpu.ScalarBytes))
-		deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+		bc := ctx.BroadcastRoundOn(phase, scalarBytesAll(ng, gpu.ScalarBytes))
+		deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 			vk := w[d].Col(k)
 			la.Scal(1/rkk, vk)
 			return gpu.Work{Flops: float64(len(vk)), Bytes: 16 * float64(len(vk))}
-		})
+		}, bc)
 	}
 	return r, nil
 }
@@ -99,7 +99,7 @@ func (CGS) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, err
 	partial := make([]*la.Dense, ng) // (k+1)-vector per device: [V'v; ||v||^2]
 	for k := 0; k < c; k++ {
 		// Local fused projection+norm, one reduce round.
-		deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+		kd := deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 			vk := w[d].Col(k)
 			buf := la.NewDense(k+1, 1)
 			if k > 0 {
@@ -111,7 +111,7 @@ func (CGS) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, err
 			rows := float64(len(vk))
 			return gpu.Work{Flops: 2 * rows * float64(k+1), Bytes: 8 * rows * float64(k+2)}
 		})
-		ctx.ReduceRound(phase, scalarBytesAll(ng, (k+1)*gpu.ScalarBytes))
+		ctx.ReduceRoundOn(phase, scalarBytesAll(ng, (k+1)*gpu.ScalarBytes), kd)
 		sum := make([]float64, k+1)
 		for _, p := range partial {
 			la.Axpy(1, p.Col(0), sum)
@@ -126,9 +126,10 @@ func (CGS) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, err
 		newNorm2 := vnorm2 - rnorm2
 		needRecompute := newNorm2 <= 0.5*vnorm2*1e-8 || newNorm2 < 0
 
-		// Broadcast coefficients, local update.
-		ctx.BroadcastRound(phase, scalarBytesAll(ng, (k+1)*gpu.ScalarBytes))
-		deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+		// Broadcast coefficients, local update. The host-side Pythagorean
+		// bookkeeping above overlaps with the device-side update.
+		bc := ctx.BroadcastRoundOn(phase, scalarBytesAll(ng, (k+1)*gpu.ScalarBytes))
+		deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 			vk := w[d].Col(k)
 			if k > 0 {
 				prev := w[d].ColView(0, k)
@@ -136,18 +137,18 @@ func (CGS) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, err
 			}
 			rows := float64(len(vk))
 			return gpu.Work{Flops: 2 * rows * float64(k), Bytes: 8 * rows * float64(k+2)}
-		})
+		}, bc)
 
 		var rkk float64
 		if needRecompute {
 			// Cancellation: one extra reduce for the true norm.
 			part := make([]float64, ng)
-			deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+			kd2 := deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 				vk := w[d].Col(k)
 				part[d] = la.Dot(vk, vk)
 				return gpu.Work{Flops: 2 * float64(len(vk)), Bytes: 8 * float64(len(vk))}
 			})
-			ctx.ReduceRound(phase, scalarBytesAll(ng, gpu.ScalarBytes))
+			ctx.ReduceRoundOn(phase, scalarBytesAll(ng, gpu.ScalarBytes), kd2)
 			ssq := 0.0
 			for _, p := range part {
 				ssq += p
@@ -156,7 +157,7 @@ func (CGS) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, err
 			// The scale still rides on the already-counted broadcast of
 			// the next column in spirit; charge one explicit round to
 			// stay honest.
-			ctx.BroadcastRound(phase, scalarBytesAll(ng, gpu.ScalarBytes))
+			bc = ctx.BroadcastRoundOn(phase, scalarBytesAll(ng, gpu.ScalarBytes))
 		} else {
 			rkk = math.Sqrt(newNorm2)
 			// rkk was derived host-side from already-communicated data
@@ -167,11 +168,11 @@ func (CGS) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, err
 		if rkk <= 1e-14*math.Sqrt(vnorm2) || math.IsNaN(rkk) {
 			return nil, ErrRankDeficient
 		}
-		deviceWork(ctx, phase, ng, func(d int) gpu.Work {
+		deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 			vk := w[d].Col(k)
 			la.Scal(1/rkk, vk)
 			return gpu.Work{Flops: float64(len(vk)), Bytes: 16 * float64(len(vk))}
-		})
+		}, bc)
 	}
 	return r, nil
 }

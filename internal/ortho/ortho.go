@@ -73,11 +73,18 @@ func scalarBytesAll(ng, b int) []int {
 // deviceWork runs f on every device, collecting per-device Work, and
 // charges it as one parallel kernel.
 func deviceWork(ctx *gpu.Context, phase string, ndev int, f func(d int) gpu.Work) {
+	deviceWorkOn(ctx, phase, ndev, f)
+}
+
+// deviceWorkOn is deviceWork as a stream operation: the launch waits for
+// the given events and the returned event fires when the slowest device
+// finishes.
+func deviceWorkOn(ctx *gpu.Context, phase string, ndev int, f func(d int) gpu.Work, after ...gpu.StreamEvent) gpu.StreamEvent {
 	work := make([]gpu.Work, ndev)
 	ctx.RunAll(func(d int) {
 		work[d] = f(d)
 	})
-	ctx.DeviceKernel(phase, work)
+	return ctx.DeviceKernelOn(phase, work, after...)
 }
 
 // Reorth wraps a strategy with one reorthogonalization pass (the "2x"
@@ -102,10 +109,12 @@ func (r Reorth) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense
 		return nil, err
 	}
 	// R = R2 * R1 (both upper triangular, host-side small product).
+	// The small triangular product runs on the host while the devices
+	// continue past the second factorization.
 	c := r1.Rows
 	out := la.NewDense(c, c)
 	la.GemmNN(1, r2, r1, 0, out)
-	ctx.HostCompute(phase, float64(c*c*c)/3)
+	ctx.HostComputeOn(phase, float64(c*c*c)/3)
 	return out, nil
 }
 

@@ -21,7 +21,7 @@ GO="${GO:-go}"
 DIR="${1:-${TMPDIR:-/tmp}/cagmres-chaos-smoke}"
 mkdir -p "$DIR"
 rm -f "$DIR/cagmresd.port" "$DIR/cagmresd.log" "$DIR/metrics.prom" \
-      "$DIR/chaos-metrics.prom" "$DIR/bench.json"
+      "$DIR/chaos-metrics.prom" "$DIR/chaos-overlap-metrics.prom" "$DIR/bench.json"
 
 "$GO" build -o "$DIR/chaos" ./cmd/chaos
 "$GO" build -o "$DIR/cagmresd" ./cmd/cagmresd
@@ -35,6 +35,14 @@ FAULT_FAMILIES=sched_faults_injected_total,sched_transfer_retries_total,sched_co
 "$DIR/chaos" -pool 2 -devices 3 -jobs 8 -seed 7 -kill 0:1@0.9 -xferprob 0.02 \
     -repair -benchjson "$DIR/bench.json" -metricsout "$DIR/chaos-metrics.prom"
 "$DIR/obslint" -prom "$DIR/chaos-metrics.prom" -require "$FAULT_FAMILIES"
+
+# Same fault plan through the asynchronous stream engine: overlap
+# reorders modeled time, not arithmetic, and faults fire on the stream
+# clock — the degraded replay must stay bit-identical with streams on
+# (the harness exits non-zero if it diverges).
+"$DIR/chaos" -pool 2 -devices 3 -jobs 8 -seed 7 -kill 0:1@0.9 -xferprob 0.02 \
+    -repair -overlap -metricsout "$DIR/chaos-overlap-metrics.prom"
+"$DIR/obslint" -prom "$DIR/chaos-overlap-metrics.prom" -require "$FAULT_FAMILIES"
 
 # Layer 2: the daemon with chaos armed must keep serving and drain clean.
 "$DIR/cagmresd" -addr 127.0.0.1:0 -pool 2 -devices 3 -portfile "$DIR/cagmresd.port" \
