@@ -17,9 +17,9 @@
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke bench-snapshot
+.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke fuzz-smoke cover-profile bench-snapshot
 
-check: vet staticcheck race test serve-smoke chaos-smoke overlap-smoke
+check: vet staticcheck race test fuzz-smoke cover-profile serve-smoke chaos-smoke overlap-smoke
 
 build:
 	$(GO) build ./...
@@ -37,11 +37,11 @@ staticcheck:
 	fi
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./internal/gpu/... ./internal/la/... ./internal/ortho/... ./internal/obs/... \
-		./internal/sched/... ./internal/server/...
+		./internal/sched/... ./internal/server/... ./internal/profile/... ./internal/dist/...
 
 # Opt-in wall-clock kernel comparison (needs an unloaded machine).
 measured:
@@ -80,8 +80,27 @@ chaos-smoke:
 overlap-smoke:
 	$(GO) run ./cmd/experiments -fig overlap -overlapcheck > /dev/null
 
-# Refresh the committed benchmark snapshot: the modeled overlap study
+# Short-budget fuzz pass over the hostile-input surfaces: the
+# MatrixMarket body of POST /solve and the machine-profile JSON decoder.
+# The committed corpora replay first, so regressions fail fast even when
+# the random budget finds nothing new.
+fuzz-smoke:
+	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzMatrixMarketSpec -fuzztime 5s
+	$(GO) test ./internal/profile/ -run '^$$' -fuzz FuzzDecode -fuzztime 5s
+
+# Coverage floor for the machine-profile package: the conformance suite
+# is the fence the profile refactor landed behind, so its coverage must
+# not rot.
+PROFILE_COVER_FLOOR := 90.0
+cover-profile:
+	@out=$$($(GO) test -cover ./internal/profile/ | tail -1); \
+	echo "$$out"; \
+	echo "$$out" | awk -v floor=$(PROFILE_COVER_FLOOR) '{ for (i = 1; i <= NF; i++) if ($$i ~ /%$$/) { sub(/%/, "", $$i); if ($$i + 0 < floor + 0) { printf "internal/profile coverage %s%% below floor %s%%\n", $$i, floor; exit 1 } } }'
+
+# Refresh the committed benchmark snapshots: the modeled overlap study
 # (deterministic) plus the host GEMM wall-clock comparison (machine-
-# dependent by nature; warmup + best-of-5).
+# dependent by nature; warmup + best-of-5), and the interconnect-topology
+# study (deterministic).
 bench-snapshot:
 	$(GO) run ./cmd/experiments -fig overlap -benchjson BENCH_pr5.json > /dev/null
+	$(GO) run ./cmd/experiments -fig topology -devices 4 -topologyjson BENCH_pr6.json > /dev/null

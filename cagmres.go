@@ -40,6 +40,7 @@ import (
 	"cagmres/internal/la"
 	"cagmres/internal/matgen"
 	"cagmres/internal/ortho"
+	"cagmres/internal/profile"
 	"cagmres/internal/sparse"
 )
 
@@ -62,6 +63,17 @@ type (
 	Ordering = core.Ordering
 	// CostModel holds the simulated hardware constants.
 	CostModel = gpu.CostModel
+	// Profile is a full machine description: cost model plus interconnect
+	// topology. Shipped profiles live in internal/profile (m2090,
+	// a100-pcie, h100-nvlink); Options.Profile re-targets a solve.
+	Profile = gpu.Profile
+	// Topology describes the device-to-device fabric: a kind plus peer
+	// link constants. Peer kinds route halo exchange device-to-device
+	// instead of bouncing it through the host.
+	Topology = gpu.Topology
+	// TopoKind names an interconnect shape (host-hub, pcie-switch,
+	// nvlink-ring, all-to-all).
+	TopoKind = gpu.TopoKind
 	// Context is the simulated multi-GPU node.
 	Context = gpu.Context
 	// Matrix is a sparse matrix in compressed sparse row form.
@@ -87,6 +99,23 @@ func NewContext(ng int) *Context { return gpu.NewContext(ng, gpu.M2090()) }
 func NewContextWithModel(ng int, model CostModel) *Context {
 	return gpu.NewContext(ng, model)
 }
+
+// NewContextWithProfile creates a simulated node from a full machine
+// description — cost model plus interconnect topology. Profiles with a
+// peer-to-peer topology route device-to-device halo traffic over the
+// fabric instead of bouncing it through the host.
+func NewContextWithProfile(ng int, p Profile) *Context {
+	return gpu.NewContextWithProfile(ng, p)
+}
+
+// MachineProfile resolves a shipped machine profile by name: "m2090"
+// (the paper's testbed, host-hub PCIe 2.0), "a100-pcie" (PCIe-switch
+// peer routing) or "h100-nvlink" (NVLink ring). Names are
+// case-insensitive.
+func MachineProfile(name string) (Profile, error) { return profile.ByName(name) }
+
+// MachineProfiles lists the shipped machine profile names.
+func MachineProfiles() []string { return profile.Names() }
 
 // M2090Model returns the default cost model (NVIDIA M2090 on PCIe 2.0).
 func M2090Model() CostModel { return gpu.M2090() }

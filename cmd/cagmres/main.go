@@ -25,6 +25,7 @@ import (
 	"cagmres/internal/gpu"
 	"cagmres/internal/matgen"
 	"cagmres/internal/obs"
+	"cagmres/internal/profile"
 	"cagmres/internal/sparse"
 )
 
@@ -52,6 +53,8 @@ func main() {
 	telemetry := flag.String("telemetry", "", "write the solve's convergence telemetry as JSON lines to this file")
 	metrics := flag.String("metrics", "", "write Prometheus text-format metrics (per-phase ledger, histograms, convergence) to this file")
 	serve := flag.String("serve", "", "after solving, serve /metrics, /metrics.json, /trace.json and /debug/pprof on this address and block (e.g. :9090)")
+	profName := flag.String("profile", "", "machine profile (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
+	topoName := flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
 	flag.Parse()
 
 	a, name, err := loadMatrix(*file, *matrix, *scale)
@@ -90,7 +93,17 @@ func main() {
 		fatal(fmt.Errorf("unknown -ordering %q", *ordering))
 	}
 
-	ctx := gpu.NewContext(*devices, gpu.M2090())
+	prof, err := profile.FromFlags(*profName, *topoName)
+	if err != nil {
+		fatal(err)
+	}
+	newCtx := func() *gpu.Context {
+		if prof != nil {
+			return gpu.NewContextWithProfile(*devices, *prof)
+		}
+		return gpu.NewContext(*devices, gpu.M2090())
+	}
+	ctx := newCtx()
 	traceCap := *trace
 	// The metrics histograms and the /trace.json endpoint are built from
 	// the event ring, so -metrics and -serve imply tracing.
@@ -153,7 +166,7 @@ func main() {
 				}
 				fmt.Printf("note: %s failed (%v); retrying with %s\n", opts.Ortho, err, next)
 				opts.Ortho = next
-				ctx = gpu.NewContext(*devices, gpu.M2090())
+				ctx = newCtx()
 				if traceCap > 0 {
 					ctx.Stats().EnableTrace(traceCap)
 				}

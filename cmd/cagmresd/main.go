@@ -34,6 +34,7 @@ import (
 
 	"cagmres/internal/gpu"
 	"cagmres/internal/obs"
+	"cagmres/internal/profile"
 	"cagmres/internal/sched"
 	"cagmres/internal/server"
 )
@@ -58,9 +59,16 @@ func main() {
 		chaosMaxXfer = flag.Int("chaos-max-xfer", 0, "stop injecting transfer faults after this many (0 = unlimited)")
 		chaosStrag   = flag.String("chaos-straggle", "", "comma-separated stragglers, each ctx:dev@factor, e.g. 0:2@3.0")
 		repair       = flag.Bool("repair", false, "repair and readmit contexts evicted after a device death (driver reset) instead of shrinking the pool")
+
+		profName = flag.String("profile", "", "machine profile for the pooled contexts (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
+		topoName = flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
 	)
 	flag.Parse()
-	plans, err := chaosPlans(*poolSize, *chaosSeed, *chaosKill, *chaosXfer, *chaosMaxXfer, *chaosStrag)
+	prof, err := profile.FromFlags(*profName, *topoName)
+	var plans []gpu.FaultPlan
+	if err == nil {
+		plans, err = chaosPlans(*poolSize, *chaosSeed, *chaosKill, *chaosXfer, *chaosMaxXfer, *chaosStrag)
+	}
 	if err == nil {
 		err = run(daemonConfig{
 			addr: *addr, poolSize: *poolSize, devices: *devices,
@@ -68,6 +76,7 @@ func main() {
 			retryAfter: *retryAfter, drainTimeout: *drainTimeout,
 			drainGrace: *drainGrace, leaseTimeout: *leaseTimeout,
 			portFile: *portFile, plans: plans, repair: *repair,
+			prof: prof,
 		})
 	}
 	if err != nil {
@@ -86,6 +95,7 @@ type daemonConfig struct {
 	portFile                 string
 	plans                    []gpu.FaultPlan
 	repair                   bool
+	prof                     *gpu.Profile
 }
 
 // chaosPlans translates the -chaos-* flags into per-context fault plans.
@@ -156,7 +166,7 @@ func run(cfg daemonConfig) error {
 	reg := obs.NewRegistry()
 	pool := sched.NewPoolWithConfig(sched.PoolConfig{
 		Size: cfg.poolSize, Devices: cfg.devices, Model: gpu.M2090(),
-		FaultPlans: cfg.plans, Repair: cfg.repair,
+		Profile: cfg.prof, FaultPlans: cfg.plans, Repair: cfg.repair,
 	})
 	s := sched.New(sched.Config{
 		Pool:         pool,
@@ -174,8 +184,9 @@ func run(cfg daemonConfig) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("cagmresd: serving on %s (pool %d×%d GPUs, queue %d, batch %d)\n",
-		bound, cfg.poolSize, cfg.devices, cfg.queueDepth, cfg.maxBatch)
+	p := pool.Profile()
+	fmt.Printf("cagmresd: serving on %s (pool %d×%d GPUs, profile %s/%s, queue %d, batch %d)\n",
+		bound, cfg.poolSize, cfg.devices, p.Name, p.Topo.Kind, cfg.queueDepth, cfg.maxBatch)
 	if len(cfg.plans) > 0 {
 		fmt.Printf("cagmresd: chaos armed on %d contexts (repair=%t)\n", len(cfg.plans), cfg.repair)
 	}

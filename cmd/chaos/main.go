@@ -40,6 +40,7 @@ import (
 	"cagmres/internal/gpu"
 	"cagmres/internal/matgen"
 	"cagmres/internal/obs"
+	"cagmres/internal/profile"
 	"cagmres/internal/sched"
 )
 
@@ -62,10 +63,17 @@ func main() {
 		overlap    = flag.Bool("overlap", false, "schedule every solve through the asynchronous stream engine; faults fire on the stream clock and replays must stay bit-identical")
 		benchJSON  = flag.String("benchjson", "", "write the degraded-mode solver bench here")
 		metricsOut = flag.String("metricsout", "", "write the scheduler replay's Prometheus exposition here")
+		profName   = flag.String("profile", "", "machine profile for every context (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
+		topoName   = flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
 	)
 	flag.Parse()
+	prof, err := profile.FromFlags(*profName, *topoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
 	if err := run(*poolSize, *devices, *jobs, *seed, *kill, *xferProb, *maxXfer, *straggle,
-		*matrix, *scale, *mFlag, *sFlag, *tol, *repair, *overlap, *benchJSON, *metricsOut); err != nil {
+		*matrix, *scale, *mFlag, *sFlag, *tol, *repair, *overlap, *benchJSON, *metricsOut, prof); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
@@ -100,6 +108,15 @@ type benchOut struct {
 	Identical bool      `json:"degraded_replay_identical"`
 }
 
+// newCtx builds one simulated context on the selected machine profile
+// (nil keeps the paper's M2090 host-hub machine).
+func newCtx(devices int, prof *gpu.Profile) *gpu.Context {
+	if prof != nil {
+		return gpu.NewContextWithProfile(devices, *prof)
+	}
+	return gpu.NewContext(devices, gpu.M2090())
+}
+
 func rhsFor(n, seed int) []float64 {
 	b := make([]float64, n)
 	for i := range b {
@@ -110,7 +127,7 @@ func rhsFor(n, seed int) []float64 {
 
 func run(poolSize, devices, jobs int, seed int64, kill string, xferProb float64,
 	maxXfer int, straggle float64, matrix string, scale float64, m, s int,
-	tol float64, repair, overlap bool, benchJSON, metricsOut string) error {
+	tol float64, repair, overlap bool, benchJSON, metricsOut string, prof *gpu.Profile) error {
 	gen, err := matgen.ByName(matrix, scale)
 	if err != nil {
 		return err
@@ -131,7 +148,7 @@ func run(poolSize, devices, jobs int, seed int64, kill string, xferProb float64,
 
 	// --- Solver layer: fault-free baseline, then a mid-solve death. ---
 	solve := func(plan *gpu.FaultPlan) (*core.Result, *gpu.Context, error) {
-		ctx := gpu.NewContext(devices, gpu.M2090())
+		ctx := newCtx(devices, prof)
 		if plan != nil {
 			ctx.InjectFaults(*plan)
 		}
@@ -234,7 +251,7 @@ func run(poolSize, devices, jobs int, seed int64, kill string, xferProb float64,
 	}
 	reg := obs.NewRegistry()
 	pool := sched.NewPoolWithConfig(sched.PoolConfig{
-		Size: poolSize, Devices: devices, Model: gpu.M2090(),
+		Size: poolSize, Devices: devices, Model: gpu.M2090(), Profile: prof,
 		FaultPlans: plans, Repair: repair,
 	})
 	sc := sched.New(sched.Config{Pool: pool, QueueDepth: jobs + 1, MaxBatch: 4, Registry: reg})

@@ -6,7 +6,7 @@
 //	experiments [flags]
 //
 //	-fig string     which figure to run: 3, 6, 7, 8, 10, 11, 13, 14, 15,
-//	                overlap, ablation or "all" (default "all")
+//	                overlap, topology, ablation or "all" (default "all")
 //	-scale float    matrix scale relative to the published sizes
 //	                (default 0.02; 1.0 = paper-sized, slow)
 //	-devices int    maximum simulated GPU count (default 3)
@@ -30,6 +30,14 @@
 //	-overlapcheck   regression gate: exit 1 unless the stream schedule
 //	                strictly beats the synchronous schedule on the full
 //	                device count for every s in the overlap study
+//	-profile name   machine profile for the figure drivers (m2090,
+//	                a100-pcie, h100-nvlink); the classic figures were
+//	                calibrated against m2090, so under another profile
+//	                they answer "this figure, on that box"
+//	-topology kind  override the profile's interconnect (host-hub,
+//	                pcie-switch, nvlink-ring, all-to-all)
+//	-topologyjson f write the interconnect-topology study (deterministic)
+//	                as a JSON benchmark snapshot
 //
 // By default every figure is a pure function of the calibrated cost
 // model: rerunning produces byte-identical numbers on any machine. Only
@@ -55,10 +63,11 @@ import (
 	"cagmres/internal/gpu"
 	"cagmres/internal/measure"
 	"cagmres/internal/obs"
+	"cagmres/internal/profile"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (3,6,7,8,10,11,13,14,15,overlap,ablation,all)")
+	fig := flag.String("fig", "all", "figure to regenerate (3,6,7,8,10,11,13,14,15,overlap,topology,ablation,all)")
 	scale := flag.Float64("scale", 0.02, "matrix scale relative to published sizes")
 	devices := flag.Int("devices", 3, "maximum simulated GPU count")
 	restarts := flag.Int("restarts", 40, "restart cap per solve")
@@ -69,17 +78,29 @@ func main() {
 	metrics := flag.String("metrics", "", "write Prometheus text-format metrics aggregated over every simulated context to this file")
 	serve := flag.String("serve", "", "serve /metrics, /trace.json and /debug/pprof on this address; starts before the figures run (profile -measured live) and blocks after them")
 	benchJSON := flag.String("benchjson", "", "write the overlap study and host GEMM comparison as a JSON benchmark snapshot to this file")
+	profName := flag.String("profile", "", "machine profile for the figure drivers (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
+	topoName := flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
+	topoJSON := flag.String("topologyjson", "", "write the interconnect-topology study (deterministic) as a JSON benchmark snapshot to this file")
 	overlap := onOffFlag(true)
 	flag.Var(&overlap, "overlap", "arm the asynchronous stream engine in the overlap study; -overlap=off degenerates it to the barrier schedule")
 	overlapCheck := flag.Bool("overlapcheck", false, "exit 1 unless the stream schedule strictly beats the synchronous schedule on the full device count")
 	flag.Parse()
 
+	prof, err := profile.FromFlags(*profName, *topoName)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	cfg := bench.Config{
 		Scale:       *scale,
 		MaxDevices:  *devices,
 		MaxRestarts: *restarts,
 		Out:         os.Stdout,
 		Overlap:     bool(overlap),
+		Profile:     prof,
+	}
+	if prof != nil {
+		cfg.Model = prof.Model
+		fmt.Printf("machine profile: %s (topology %s)\n", prof.Name, prof.Topo.Kind)
 	}
 	if *measured {
 		cfg.Timer = &measure.WallTimer{Warmup: 1, Reps: 5, Select: measure.SelectMin}
@@ -150,6 +171,7 @@ func main() {
 				fmt.Println("overlap regression gate: stream schedule strictly beats synchronous")
 			}
 		}},
+		{"topology", func() { emit("figtopology", bench.FigTopology(cfg)) }},
 		{"ablation", func() {
 			emit("ablation_latency", bench.AblationLatency(cfg))
 			emit("ablation_basis", bench.AblationBasis(cfg))
@@ -180,7 +202,7 @@ func main() {
 		fmt.Printf("---- %.1fs ----\n\n", time.Since(start).Seconds())
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,overlap,ablation or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,overlap,topology,ablation or all)\n", *fig)
 		os.Exit(2)
 	}
 	if *traceout != "" {
@@ -229,6 +251,12 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
+	}
+	if *topoJSON != "" {
+		if err := writeTopologyJSON(*topoJSON, *scale, *devices); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *topoJSON)
 	}
 
 	if *serve != "" {
@@ -306,6 +334,29 @@ func writeBenchJSON(path string, scale float64, devices int) error {
 		Devices:  cfg.MaxDevices,
 		Overlap:  bench.FigOverlap(cfg),
 		HostGemm: bench.HostGemmStudy(wall, 256),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeTopologyJSON writes the interconnect-topology study as a JSON
+// benchmark snapshot. The study is a pure function of the cost model —
+// regenerating on any machine produces byte-identical numbers.
+func writeTopologyJSON(path string, scale float64, devices int) error {
+	cfg := bench.Config{Scale: scale, MaxDevices: devices}
+	snap := struct {
+		Name     string              `json:"name"`
+		Scale    float64             `json:"scale"`
+		Devices  int                 `json:"devices"`
+		Topology []bench.TopologyRow `json:"topology"`
+	}{
+		Name:     "topology-study",
+		Scale:    scale,
+		Devices:  devices,
+		Topology: bench.FigTopology(cfg),
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

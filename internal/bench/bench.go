@@ -29,6 +29,13 @@ type Config struct {
 	MaxDevices int
 	// Model is the device cost model (default gpu.M2090()).
 	Model gpu.CostModel
+	// Profile, when non-nil, overrides Model with a full machine
+	// description (cost model + interconnect topology) for every context
+	// the drivers create — the cmd/experiments -profile/-topology flags.
+	// The classic figure drivers were calibrated against the paper's
+	// machine; under a different profile their tables answer "this figure, on
+	// that box" rather than reproducing the publication.
+	Profile *gpu.Profile
 	// Out receives the printed tables; nil discards them.
 	Out io.Writer
 	// MaxRestarts caps solver restart loops so sweeps stay bounded.
@@ -77,7 +84,21 @@ func (c *Config) Defaults() {
 // registering it with the trace collector when tracing is on. Every
 // driver goes through here so -traceout sees the whole run.
 func (c *Config) newContext(ng int, model gpu.CostModel) *gpu.Context {
+	if c.Profile != nil {
+		p := *c.Profile
+		return c.newContextProfile(ng, p)
+	}
 	ctx := gpu.NewContext(ng, model)
+	if c.Trace != nil {
+		c.Trace.attach(ctx)
+	}
+	return ctx
+}
+
+// newContextProfile is newContext for an explicit machine profile (the
+// topology study builds its own sweep and bypasses Config.Profile).
+func (c *Config) newContextProfile(ng int, p gpu.Profile) *gpu.Context {
+	ctx := gpu.NewContextWithProfile(ng, p)
 	if c.Trace != nil {
 		c.Trace.attach(ctx)
 	}

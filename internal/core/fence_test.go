@@ -1,0 +1,65 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cagmres/internal/gpu"
+)
+
+var updateFence = flag.Bool("update", false, "rewrite golden files with the current output")
+
+func fenceCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateFence {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestSolverLedgerFence pins a whole solve's ledger under the default
+// machine description: the per-phase table, the convergence history and
+// the modeled clock of a fixed CA-GMRES run were captured before the
+// machine-profile refactor, and the M2090 profile must keep reproducing
+// them byte-for-byte. This is the end-to-end arm of the golden fence —
+// any cost-model or routing drift that survives the unit fence shows up
+// here.
+func TestSolverLedgerFence(t *testing.T) {
+	a := laplace2D(20, 20, 0.3)
+	b := randomRHS(400, 7)
+	ctx := gpu.NewContext(3, gpu.M2090())
+	p, err := NewProblem(ctx, a, b, KWay, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CAGMRES(p, Options{M: 20, S: 5, Tol: 1e-8, Ortho: "CholQR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(res.Stats.String())
+	fmt.Fprintf(&sb, "converged %v restarts %d iters %d relres %.15e\n",
+		res.Converged, res.Restarts, res.Iters, res.RelRes)
+	for i, h := range res.History {
+		fmt.Fprintf(&sb, "history[%d] %.15e\n", i, h)
+	}
+	fmt.Fprintf(&sb, "total %.15e\n", res.Stats.TotalTime())
+	fenceCompare(t, "solver_ledger.golden", sb.String())
+}

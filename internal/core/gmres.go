@@ -59,6 +59,14 @@ type Options struct {
 	// the stream dependency DAG (Context.OverlappedTime). Off by default:
 	// the synchronous barrier schedule, identical to previous behavior.
 	Overlap bool
+	// Profile, when non-nil, re-targets the device context at this
+	// machine profile for the solve: cost model and interconnect topology
+	// swap together before the ledger resets (see gpu.Profile). Profiles
+	// reorder modeled time, never arithmetic — iterates and convergence
+	// histories are bit-identical across profiles. Nil keeps whatever
+	// profile the context already carries (the paper's M2090 host-hub by
+	// default).
+	Profile *gpu.Profile
 	// Ctx, when non-nil, makes the solve cancelable: the solvers check it
 	// at every restart boundary (and CA-GMRES additionally between
 	// matrix-powers windows) and, once it is canceled or past its

@@ -80,6 +80,9 @@ type attemptFunc func(p *Problem, ck *checkpoint) (*Result, error)
 // checkpoint; losing the last device is unrecoverable. The loop is
 // bounded by the device count — every heal removes at least one device.
 func solveHealing(p *Problem, opts Options, solver string, run attemptFunc) (*Result, error) {
+	if opts.Profile != nil {
+		p.Ctx.SetProfile(*opts.Profile)
+	}
 	p.Ctx.ResetStats()
 	p.Ctx.SetOverlap(opts.Overlap)
 	em := newEmitter(opts.Telemetry, solver, p.Ctx)

@@ -63,6 +63,16 @@ type Matrix struct {
 	Global *sparse.CSR
 	S      int
 	Dev    []*DeviceMatrix
+
+	// PeerTraffic[src][dst] is the byte volume device src ships to device
+	// dst in one full-depth halo exchange when the context's topology
+	// routes device-to-device traffic peer-to-peer: every halo row of dst
+	// is sent by its owner, so a boundary value consumed by two devices
+	// travels twice (the host staging buffer deduplicates it on the
+	// host-mediated path — that asymmetry is part of the routing model).
+	// PeerTraffic1 is the same for a depth-1 (plain SpMV) exchange.
+	PeerTraffic  [][]int
+	PeerTraffic1 [][]int
 }
 
 // Format selects the device-side sparse storage.
@@ -129,6 +139,24 @@ func DistributeFormat(ctx *gpu.Context, a *sparse.CSR, l *Layout, s int, format 
 			}
 		}
 		m.Dev[o].SendIdx = append([]int(nil), send...)
+	}
+
+	// Pairwise halo traffic for peer-to-peer routing: dst's halo row g is
+	// shipped by its owner. Full depth and depth-1 variants.
+	m.PeerTraffic = make([][]int, ng)
+	m.PeerTraffic1 = make([][]int, ng)
+	for s := 0; s < ng; s++ {
+		m.PeerTraffic[s] = make([]int, ng)
+		m.PeerTraffic1[s] = make([]int, ng)
+	}
+	for d := 0; d < ng; d++ {
+		for h, g := range m.Dev[d].Halo {
+			o := l.Owner(g)
+			m.PeerTraffic[o][d] += gpu.ScalarBytes
+			if m.Dev[d].HaloDist[h] == 1 {
+				m.PeerTraffic1[o][d] += gpu.ScalarBytes
+			}
+		}
 	}
 	return m
 }

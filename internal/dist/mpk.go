@@ -190,11 +190,15 @@ func (k *MPK) splitFirstStep(work []gpu.Work, halo gpu.StreamEvent, phase string
 }
 
 // exchange fills every device's extended z[0] buffer with column j of v:
-// owned values locally, halo values through the compress / expand /
-// scatter protocol of the paper's setup phase (one reduce round and one
-// broadcast round on the ledger). The reduce depends on the compute
-// fence (the packed column is the output of earlier kernels); the
-// returned event fires when the halo values have landed on the devices.
+// owned values locally, halo values through the exchange protocol the
+// context's topology dictates. On a host-hub machine that is the paper's
+// compress / expand / scatter (one reduce round and one broadcast round
+// on the ledger); on a peer-to-peer topology the owners ship the halo
+// values directly in one routed round (the host staging buffer still
+// carries the numerical values — it stands in for the peer copy engine).
+// The charge depends on the compute fence (the packed column is the
+// output of earlier kernels); the returned event fires when the halo
+// values have landed on the devices.
 func (k *MPK) exchange(v *Vectors, j int, phase string) gpu.StreamEvent {
 	m := k.M
 	ng := len(m.Dev)
@@ -221,9 +225,10 @@ func (k *MPK) exchange(v *Vectors, j int, phase string) gpu.StreamEvent {
 		}
 		sendBytes[d] = len(dm.SendIdx) * gpu.ScalarBytes
 	})
-	red := m.Ctx.ReduceRoundOn(phase, sendBytes, prod)
 
-	// Host -> device: each device receives its halo values.
+	// Each device picks up its halo values. The copies charge nothing on
+	// the ledger, so running them before the exchange charge keeps the
+	// host-path ledger identical to the historical reduce-then-broadcast.
 	recvBytes := make([]int, ng)
 	m.Ctx.RunAll(func(d int) {
 		dm := m.Dev[d]
@@ -233,7 +238,7 @@ func (k *MPK) exchange(v *Vectors, j int, phase string) gpu.StreamEvent {
 		}
 		recvBytes[d] = len(dm.Halo) * gpu.ScalarBytes
 	})
-	return m.Ctx.BroadcastRoundOn(phase, recvBytes, red)
+	return m.Ctx.HaloExchangeOn(phase, sendBytes, recvBytes, m.PeerTraffic, prod)
 }
 
 // validateShiftPairs enforces the pairing convention: a shift with
@@ -300,7 +305,6 @@ func (k *MPK) spmvDeep(src *Vectors, jSrc int, dst *Vectors, jDst int, phase str
 		}
 		sendBytes[d] = len(dm.SendIdx) * gpu.ScalarBytes
 	})
-	red := m.Ctx.ReduceRoundOn(phase, sendBytes, prod)
 	recvBytes := make([]int, ng)
 	m.Ctx.RunAll(func(d int) {
 		dm := m.Dev[d]
@@ -311,7 +315,7 @@ func (k *MPK) spmvDeep(src *Vectors, jSrc int, dst *Vectors, jDst int, phase str
 		}
 		recvBytes[d] = n1 * gpu.ScalarBytes
 	})
-	halo := m.Ctx.BroadcastRoundOn(phase, recvBytes, red)
+	halo := m.Ctx.HaloExchangeOn(phase, sendBytes, recvBytes, m.PeerTraffic1, prod)
 	work := make([]gpu.Work, ng)
 	m.Ctx.RunAll(func(d int) {
 		dm := m.Dev[d]

@@ -99,18 +99,22 @@ func M2090() CostModel {
 type Context struct {
 	NumDevices int
 	Model      CostModel
+	prof       Profile
 	stats      *Stats
 	faults     *faultState
 	timeline   *Timeline
 	phys       []int // logical -> physical device id; nil = identity
 }
 
-// NewContext creates a context with ng simulated devices.
+// NewContext creates a context with ng simulated devices and a bare cost
+// model (host-mediated routing — the paper's machine shape). Use
+// NewContextWithProfile to select an interconnect topology too.
 func NewContext(ng int, model CostModel) *Context {
 	if ng < 1 {
 		panic(fmt.Sprintf("gpu: NewContext with %d devices", ng))
 	}
-	return &Context{NumDevices: ng, Model: model, stats: NewStats(), timeline: newTimeline(false)}
+	return &Context{NumDevices: ng, Model: model, prof: defaultProfile(model),
+		stats: NewStats(), timeline: newTimeline(false)}
 }
 
 // Stats returns the ledger for inspection.

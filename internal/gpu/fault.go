@@ -253,6 +253,7 @@ func (c *Context) Survivors() (*Context, error) {
 	return &Context{
 		NumDevices: len(alive),
 		Model:      c.Model,
+		prof:       c.prof,
 		stats:      c.stats,
 		faults:     c.faults,
 		timeline:   c.timeline,

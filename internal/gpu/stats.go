@@ -21,6 +21,7 @@ type PhaseStats struct {
 	Messages    int     // individual device messages
 	BytesD2H    int     // device-to-host volume
 	BytesH2D    int     // host-to-device volume
+	BytesPeer   int     // device-to-device volume routed peer-to-peer
 	CommTime    float64 // modeled seconds of communication
 	DeviceTime  float64 // modeled seconds of device compute (max over devices per kernel)
 	DeviceFlops float64 // total flops summed over devices
@@ -32,8 +33,9 @@ type PhaseStats struct {
 // Total returns the modeled wall time of the phase.
 func (p PhaseStats) Total() float64 { return p.CommTime + p.DeviceTime + p.HostTime }
 
-// Bytes returns the total transferred volume in both directions.
-func (p PhaseStats) Bytes() int { return p.BytesD2H + p.BytesH2D }
+// Bytes returns the total transferred volume over every path: both host
+// directions plus peer-to-peer.
+func (p PhaseStats) Bytes() int { return p.BytesD2H + p.BytesH2D + p.BytesPeer }
 
 // DeviceGflops returns the achieved device compute rate of the phase in
 // Gflop/s (zero when no device time was charged).
@@ -240,6 +242,42 @@ func (s *Stats) addCompute(phase string, devs []int, ts []float64, work []Work) 
 	}
 }
 
+// addPeer charges one peer-to-peer exchange round: traffic[s][d] is the
+// volume logical device s shipped to logical device d, devs the physical
+// ids, t the routed time of the whole round. Every participating device
+// is occupied for the full round; each device's ledger is charged the
+// bytes it sent plus the bytes it received.
+func (s *Stats) addPeer(phase string, devs []int, traffic [][]int, t float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.get(phase)
+	p.Rounds++
+	p.CommTime += t
+	total := 0
+	sent := make([]int, len(traffic))
+	recv := make([]int, len(traffic))
+	for a, row := range traffic {
+		for b, v := range row {
+			if a == b || v <= 0 {
+				continue
+			}
+			p.Messages++
+			total += v
+			sent[a] += v
+			recv[b] += v
+		}
+	}
+	p.BytesPeer += total
+	for d := range traffic {
+		dp := s.devGet(devs[d], phase)
+		dp.Rounds++
+		dp.Messages++
+		dp.BytesPeer += sent[d] + recv[d]
+		dp.CommTime += t
+	}
+	s.record(Event{Step: s.nextStep(), Device: HostDevice, Phase: phase, Kind: "peer", Bytes: total, Time: t})
+}
+
 // addFault charges fault-recovery overhead: t modeled seconds on the
 // PhaseFault ledger row (zero for a death marker) and one trace event
 // that keeps the faulted operation's phase. detail is "death" or
@@ -339,6 +377,7 @@ func addInto(p, op *PhaseStats) {
 	p.Messages += op.Messages
 	p.BytesD2H += op.BytesD2H
 	p.BytesH2D += op.BytesH2D
+	p.BytesPeer += op.BytesPeer
 	p.CommTime += op.CommTime
 	p.DeviceTime += op.DeviceTime
 	p.DeviceFlops += op.DeviceFlops
@@ -364,16 +403,38 @@ func (s *Stats) Merge(other *Stats) {
 	}
 }
 
-// String renders a compact per-phase table.
+// hasPeerTraffic reports whether any phase routed bytes peer-to-peer.
+// It gates the extra bytesP2P report column, so host-routed profiles
+// (the paper's machine, and every pre-profile golden) render exactly the
+// historical table.
+func (s *Stats) hasPeerTraffic() bool {
+	for _, name := range s.Phases() {
+		if s.Phase(name).BytesPeer > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a compact per-phase table. A bytesP2P column appears
+// only when some phase actually moved peer-to-peer traffic.
 func (s *Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %8s %8s %12s %12s %10s %10s %10s %8s %12s %10s\n",
-		"phase", "rounds", "msgs", "bytesD2H", "bytesH2D", "comm(ms)", "dev(ms)", "host(ms)",
+	peer := s.hasPeerTraffic()
+	peerHdr, peerCell := "", ""
+	if peer {
+		peerHdr = fmt.Sprintf(" %12s", "bytesP2P")
+	}
+	fmt.Fprintf(&b, "%-10s %8s %8s %12s %12s%s %10s %10s %10s %8s %12s %10s\n",
+		"phase", "rounds", "msgs", "bytesD2H", "bytesH2D", peerHdr, "comm(ms)", "dev(ms)", "host(ms)",
 		"kernels", "devflops", "Gflop/s")
 	for _, name := range s.Phases() {
 		p := s.Phase(name)
-		fmt.Fprintf(&b, "%-10s %8d %8d %12d %12d %10.3f %10.3f %10.3f %8d %12.3e %10.2f\n",
-			name, p.Rounds, p.Messages, p.BytesD2H, p.BytesH2D,
+		if peer {
+			peerCell = fmt.Sprintf(" %12d", p.BytesPeer)
+		}
+		fmt.Fprintf(&b, "%-10s %8d %8d %12d %12d%s %10.3f %10.3f %10.3f %8d %12.3e %10.2f\n",
+			name, p.Rounds, p.Messages, p.BytesD2H, p.BytesH2D, peerCell,
 			p.CommTime*1e3, p.DeviceTime*1e3, p.HostTime*1e3,
 			p.Kernels, p.DeviceFlops, p.DeviceGflops())
 	}
@@ -387,18 +448,26 @@ func (s *Stats) String() string {
 // Figures 6-8.
 func (s *Stats) DeviceString() string {
 	var b strings.Builder
+	peer := s.hasPeerTraffic()
+	peerHdr, peerCell := "", ""
+	if peer {
+		peerHdr = fmt.Sprintf(" %12s", "bytesP2P")
+	}
 	nd := s.TrackedDevices()
 	for d := 0; d < nd; d++ {
 		fmt.Fprintf(&b, "device %d:\n", d)
-		fmt.Fprintf(&b, "  %-10s %8s %12s %12s %10s %10s %8s %10s\n",
-			"phase", "rounds", "bytesD2H", "bytesH2D", "comm(ms)", "dev(ms)", "kernels", "Gflop/s")
+		fmt.Fprintf(&b, "  %-10s %8s %12s %12s%s %10s %10s %8s %10s\n",
+			"phase", "rounds", "bytesD2H", "bytesH2D", peerHdr, "comm(ms)", "dev(ms)", "kernels", "Gflop/s")
 		for _, name := range s.Phases() {
 			p := s.DevicePhase(d, name)
 			if p == (PhaseStats{}) {
 				continue
 			}
-			fmt.Fprintf(&b, "  %-10s %8d %12d %12d %10.3f %10.3f %8d %10.2f\n",
-				name, p.Rounds, p.BytesD2H, p.BytesH2D,
+			if peer {
+				peerCell = fmt.Sprintf(" %12d", p.BytesPeer)
+			}
+			fmt.Fprintf(&b, "  %-10s %8d %12d %12d%s %10.3f %10.3f %8d %10.2f\n",
+				name, p.Rounds, p.BytesD2H, p.BytesH2D, peerCell,
 				p.CommTime*1e3, p.DeviceTime*1e3, p.Kernels, p.DeviceGflops())
 		}
 	}

@@ -247,6 +247,38 @@ func (tl *Timeline) comm(phase string, h2d bool, devs []int, t, stall float64, b
 	return StreamEvent{at: fin}
 }
 
+// peer submits one peer-to-peer exchange round of duration t (+stall of
+// faulted retries) occupying the transfer streams of every participating
+// device. Unlike comm, the host is not on the path: the round neither
+// waits for hostData nor advances it — the whole point of peer routing.
+func (tl *Timeline) peer(phase string, devs []int, t, stall float64, barrier bool, after []StreamEvent) StreamEvent {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	dur := t + stall
+	start := depMax(after)
+	if barrier || !tl.overlap {
+		if m := tl.maxAllLocked(); m > start {
+			start = m
+		}
+	} else {
+		for _, d := range devs {
+			if c := cursorAt(&tl.transfer, d); c > start {
+				start = c
+			}
+		}
+	}
+	fin := start + dur
+	for _, d := range devs {
+		setCursor(&tl.transfer, d, fin)
+		tl.lanes[laneKey{LaneTransfer, d, phase}] += t
+	}
+	if barrier || !tl.overlap {
+		tl.advanceAllLocked(fin)
+	}
+	tl.serial += dur
+	return StreamEvent{at: fin}
+}
+
 // hostOp submits host compute of duration t on the host stream. The
 // host cannot start work on data that has not arrived (start >=
 // hostData).

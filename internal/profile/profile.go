@@ -1,0 +1,314 @@
+// Package profile ships the calibrated machine profiles the simulator
+// can be pointed at: the paper's 2014 testbed (M2090 GPUs behind one
+// host PCIe hub) and two modern references (A100 boxes joined by a PCIe
+// switch, H100 boxes joined by an NVLink ring). A profile bundles the
+// per-device compute constants with an explicit interconnect topology
+// (gpu.Profile); the solver program is identical under every profile —
+// only the modeled time changes, which is exactly what lets the
+// topology study ask how the paper's CA-vs-standard trade-off shifts as
+// device-to-device links get fatter.
+//
+// All constants are sustained (not peak) figures from vendor
+// documentation and published STREAM/DGEMM measurements, in the same
+// spirit as the M2090 calibration in internal/gpu.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cagmres/internal/gpu"
+)
+
+// M2090 is the paper-faithful default: the testbed of the source paper
+// (three Tesla M2090 Fermi GPUs on a shared PCIe 2.0 x16 segment behind
+// two 8-core Sandy Bridge CPUs). Host-hub topology — device-to-device
+// traffic bounces through host memory, so its ledger is byte-identical
+// to the pre-profile simulator.
+func M2090() gpu.Profile {
+	return gpu.Profile{
+		Name:  "m2090",
+		Model: gpu.M2090(),
+		Topo: gpu.Topology{
+			Kind:          gpu.TopoHostHub,
+			PeerLatency:   15e-6, // a peer "hop" is still a host hop here
+			PeerBandwidth: 6e9,
+		},
+	}
+}
+
+// A100PCIe models a contemporary PCIe server: A100-80GB (PCIe) devices,
+// each with a private Gen4 x16 up-link into a non-blocking PCIe switch,
+// driven by a two-socket Ice Lake host. Peer traffic crosses the switch
+// without touching the host.
+func A100PCIe() gpu.Profile {
+	return gpu.Profile{
+		Name: "a100-pcie",
+		Model: gpu.CostModel{
+			Latency:      10e-6,  // host<->device round (driver + DMA setup)
+			Bandwidth:    24e9,   // sustained PCIe 4.0 x16
+			DeviceGflops: 8500,   // sustained FP64 DGEMM (9.7 Tflop/s peak w/o TC)
+			DeviceMemBW:  1.4e12, // sustained of 1.9 TB/s HBM2e
+			HostGflops:   1500,   // 2x Ice Lake 32-core threaded MKL
+			HostMemBW:    300e9,  // two-socket sustained stream
+			KernelLaunch: 3e-6,
+		},
+		Topo: gpu.Topology{
+			Kind:          gpu.TopoPCIeSwitch,
+			PeerLatency:   5e-6, // P2P DMA through the switch, no host IRQ
+			PeerBandwidth: 22e9, // per-link, slightly under the host link
+		},
+	}
+}
+
+// H100NVLink models an NVLink-class node: H100-SXM devices joined in an
+// NVLink ring (the DGX wiring reduced to its ring backbone), PCIe 5.0
+// to the host, Sapphire Rapids CPUs. Peer traffic takes the shortest
+// arc around the ring at NVLink bandwidth — the "fat links" end of the
+// topology study.
+func H100NVLink() gpu.Profile {
+	return gpu.Profile{
+		Name: "h100-nvlink",
+		Model: gpu.CostModel{
+			Latency:      8e-6,
+			Bandwidth:    40e9,   // sustained PCIe 5.0 x16
+			DeviceGflops: 26000,  // sustained FP64 DGEMM (34 Tflop/s peak)
+			DeviceMemBW:  3.0e12, // sustained of 3.35 TB/s HBM3
+			HostGflops:   2000,   // 2x Sapphire Rapids threaded MKL
+			HostMemBW:    400e9,
+			KernelLaunch: 2e-6,
+		},
+		Topo: gpu.Topology{
+			Kind:          gpu.TopoNVLinkRing,
+			PeerLatency:   2e-6,  // NVLink hop latency
+			PeerBandwidth: 150e9, // per-direction sustained of one ring link
+		},
+	}
+}
+
+// builders maps canonical profile names to constructors. Construction
+// on every lookup keeps the returned values independent — callers may
+// mutate their copy freely.
+var builders = map[string]func() gpu.Profile{
+	"m2090":       M2090,
+	"a100-pcie":   A100PCIe,
+	"h100-nvlink": H100NVLink,
+}
+
+// Names returns the shipped profile names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every shipped profile, ordered by name.
+func All() []gpu.Profile {
+	names := Names()
+	out := make([]gpu.Profile, len(names))
+	for i, n := range names {
+		out[i] = builders[n]()
+	}
+	return out
+}
+
+// ByName resolves a profile by its canonical name (case-insensitive).
+func ByName(name string) (gpu.Profile, error) {
+	b, ok := builders[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return gpu.Profile{}, fmt.Errorf("profile: unknown profile %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	return b(), nil
+}
+
+// WithTopology returns a copy of p rewired with the named topology
+// kind, keeping p's peer link constants. Use it to ask counterfactuals
+// like "the A100 box, but with its devices rung together": the compute
+// model stays fixed while the interconnect shape varies — the knob the
+// topology study (bench.FigTopology) turns.
+func WithTopology(p gpu.Profile, kind gpu.TopoKind) (gpu.Profile, error) {
+	t := gpu.Topology{Kind: kind, PeerLatency: p.Topo.PeerLatency, PeerBandwidth: p.Topo.PeerBandwidth}
+	if !t.Valid() {
+		return gpu.Profile{}, fmt.Errorf("profile: unknown topology kind %q", kind)
+	}
+	p.Topo = t
+	if kind != "" {
+		p.Name = p.Name + "+" + string(kind)
+	}
+	return p, nil
+}
+
+// FromFlags resolves the -profile/-topology flag pair every command-line
+// front end exposes. Both empty means "keep the built-in default" (nil).
+// A -topology override on its own rewires the default m2090 machine.
+func FromFlags(name, topo string) (*gpu.Profile, error) {
+	if name == "" && topo == "" {
+		return nil, nil
+	}
+	p := M2090()
+	if name != "" {
+		var err error
+		if p, err = ByName(name); err != nil {
+			return nil, err
+		}
+	}
+	if topo != "" {
+		var err error
+		if p, err = WithTopology(p, gpu.TopoKind(strings.ToLower(strings.TrimSpace(topo)))); err != nil {
+			return nil, err
+		}
+	}
+	return &p, nil
+}
+
+// Spec is the JSON wire form of a profile selection: a shipped base
+// profile plus optional overrides. Every override field is optional;
+// zero/empty means "keep the base value". It is what the HTTP solve API
+// and the config decoder accept.
+type Spec struct {
+	// Base names a shipped profile ("m2090", "a100-pcie", "h100-nvlink").
+	// Empty selects m2090, the paper's machine.
+	Base string `json:"base,omitempty"`
+	// Topology overrides the base profile's topology kind ("host-hub",
+	// "pcie-switch", "nvlink-ring", "all-to-all").
+	Topology string `json:"topology,omitempty"`
+	// PeerLatencyUS / PeerBandwidthGBs override the peer link constants
+	// (microseconds / GB/s — wire-friendly units).
+	PeerLatencyUS    float64 `json:"peer_latency_us,omitempty"`
+	PeerBandwidthGBs float64 `json:"peer_bandwidth_gbs,omitempty"`
+	// Model overrides individual cost-model constants; nil keeps the
+	// base model.
+	Model *ModelSpec `json:"model,omitempty"`
+}
+
+// ModelSpec carries optional cost-model overrides in wire-friendly
+// units. Zero fields keep the base profile's value.
+type ModelSpec struct {
+	LatencyUS      float64 `json:"latency_us,omitempty"`
+	BandwidthGBs   float64 `json:"bandwidth_gbs,omitempty"`
+	DeviceGflops   float64 `json:"device_gflops,omitempty"`
+	DeviceMemBWGBs float64 `json:"device_mem_bw_gbs,omitempty"`
+	HostGflops     float64 `json:"host_gflops,omitempty"`
+	HostMemBWGBs   float64 `json:"host_mem_bw_gbs,omitempty"`
+	KernelLaunchUS float64 `json:"kernel_launch_us,omitempty"`
+}
+
+// Resolve materializes the spec into a profile: base lookup, then
+// overrides, then validation. It never panics on hostile input — every
+// failure is an error, which is what makes it safe to fuzz and to wire
+// straight to the HTTP API.
+func (s Spec) Resolve() (gpu.Profile, error) {
+	base := s.Base
+	if strings.TrimSpace(base) == "" {
+		base = "m2090"
+	}
+	p, err := ByName(base)
+	if err != nil {
+		return gpu.Profile{}, err
+	}
+	if s.Topology != "" {
+		kind := gpu.TopoKind(strings.ToLower(strings.TrimSpace(s.Topology)))
+		q, err := WithTopology(p, kind)
+		if err != nil {
+			return gpu.Profile{}, err
+		}
+		p = q
+	}
+	if s.PeerLatencyUS != 0 {
+		p.Topo.PeerLatency = s.PeerLatencyUS * 1e-6
+	}
+	if s.PeerBandwidthGBs != 0 {
+		p.Topo.PeerBandwidth = s.PeerBandwidthGBs * 1e9
+	}
+	if m := s.Model; m != nil {
+		if m.LatencyUS != 0 {
+			p.Model.Latency = m.LatencyUS * 1e-6
+		}
+		if m.BandwidthGBs != 0 {
+			p.Model.Bandwidth = m.BandwidthGBs * 1e9
+		}
+		if m.DeviceGflops != 0 {
+			p.Model.DeviceGflops = m.DeviceGflops
+		}
+		if m.DeviceMemBWGBs != 0 {
+			p.Model.DeviceMemBW = m.DeviceMemBWGBs * 1e9
+		}
+		if m.HostGflops != 0 {
+			p.Model.HostGflops = m.HostGflops
+		}
+		if m.HostMemBWGBs != 0 {
+			p.Model.HostMemBW = m.HostMemBWGBs * 1e9
+		}
+		if m.KernelLaunchUS != 0 {
+			p.Model.KernelLaunch = m.KernelLaunchUS * 1e-6
+		}
+	}
+	if err := validate(p); err != nil {
+		return gpu.Profile{}, err
+	}
+	return p, nil
+}
+
+// Decode parses a JSON profile spec and resolves it. Empty input (or
+// JSON null) yields the default m2090 profile.
+func Decode(data []byte) (gpu.Profile, error) {
+	if len(strings.TrimSpace(string(data))) == 0 {
+		return M2090(), nil
+	}
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return gpu.Profile{}, fmt.Errorf("profile: bad spec: %w", err)
+	}
+	// Trailing garbage after the object is a malformed request, not an
+	// extension point.
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err == nil {
+		return gpu.Profile{}, fmt.Errorf("profile: trailing data after spec")
+	}
+	return s.Resolve()
+}
+
+// validate rejects physically meaningless profiles: every rate must be
+// positive and finite, every latency non-negative and finite.
+func validate(p gpu.Profile) error {
+	pos := func(name string, v float64) error {
+		if !(v > 0) || v > 1e30 { // NaN fails the comparison too
+			return fmt.Errorf("profile: %s must be positive and finite, got %g", name, v)
+		}
+		return nil
+	}
+	nonneg := func(name string, v float64) error {
+		if !(v >= 0) || v > 1e30 {
+			return fmt.Errorf("profile: %s must be non-negative and finite, got %g", name, v)
+		}
+		return nil
+	}
+	m := p.Model
+	checks := []error{
+		nonneg("latency", m.Latency),
+		pos("bandwidth", m.Bandwidth),
+		pos("device_gflops", m.DeviceGflops),
+		pos("device_mem_bw", m.DeviceMemBW),
+		pos("host_gflops", m.HostGflops),
+		pos("host_mem_bw", m.HostMemBW),
+		nonneg("kernel_launch", m.KernelLaunch),
+		nonneg("peer_latency", p.Topo.PeerLatency),
+		pos("peer_bandwidth", p.Topo.PeerBandwidth),
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	if !p.Topo.Valid() {
+		return fmt.Errorf("profile: unknown topology kind %q", p.Topo.Kind)
+	}
+	return nil
+}

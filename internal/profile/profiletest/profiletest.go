@@ -1,0 +1,274 @@
+// Package profiletest is a reusable conformance suite for machine
+// profiles: any gpu.Profile handed to Run must satisfy the invariants
+// the solver stack assumes of a machine description — sane times,
+// monotone costs, symmetric routing, a ledger that reconciles with the
+// stream timeline, and charge/replay determinism. New profiles get
+// fenced by instantiating Run in a one-line test; the suite is what
+// lets the simulator accept user-supplied profiles (HTTP API, config
+// files) without auditing each one by hand.
+package profiletest
+
+import (
+	"math"
+	"testing"
+
+	"cagmres/internal/gpu"
+)
+
+// devCount is the device count the suite exercises: enough for a ring
+// with a non-trivial shortest arc and distinct switch links.
+const devCount = 4
+
+// Run asserts the full conformance suite against one profile.
+func Run(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	t.Run("finite-times", func(t *testing.T) { checkFiniteTimes(t, p) })
+	t.Run("monotone-comm", func(t *testing.T) { checkMonotoneComm(t, p) })
+	t.Run("monotone-compute", func(t *testing.T) { checkMonotoneCompute(t, p) })
+	t.Run("route-symmetry", func(t *testing.T) { checkRouteSymmetry(t, p) })
+	t.Run("lane-ledger", func(t *testing.T) { checkLaneLedger(t, p) })
+	t.Run("overlap-identity", func(t *testing.T) { checkOverlapIdentity(t, p) })
+	t.Run("fault-replay", func(t *testing.T) { checkFaultReplay(t, p) })
+}
+
+// workload drives every charging path of the runtime with deterministic
+// shapes: host-mediated rounds, per-device and uniform kernels, host
+// compute, a peer exchange, and the stream (*On) variants with a
+// dependency chain.
+func workload(c *gpu.Context) {
+	ng := c.NumDevices
+	uniform := func(b int) []int {
+		out := make([]int, ng)
+		for d := range out {
+			out[d] = b
+		}
+		return out
+	}
+	c.ReduceRound("setup", uniform(4096))
+	c.BroadcastRound("setup", uniform(8192))
+
+	work := make([]gpu.Work, ng)
+	for d := range work {
+		work[d] = gpu.Work{Flops: float64(1+d) * 2e6, Bytes: float64(1+d) * 1.5e6}
+	}
+	c.DeviceKernel("spmv", work)
+	c.UniformKernel("tsqr", gpu.Work{Flops: 3e6, Bytes: 2e6})
+	c.HostCompute("lsq", 5e5)
+
+	c.PeerExchange("mpk", ringTraffic(ng, 4096))
+
+	ev := c.ReduceRoundOn("orth", uniform(2048), c.ComputeFence())
+	c.DeviceKernelOn("orth", work, ev)
+	c.HostComputeOn("lsq", 1e5)
+	c.HaloExchangeOn("mpk", uniform(1024), uniform(3072), ringTraffic(ng, 1024))
+}
+
+// ringTraffic builds a neighbor-exchange traffic matrix: every device
+// ships b bytes to each ring neighbor.
+func ringTraffic(ng, b int) [][]int {
+	tr := make([][]int, ng)
+	for s := range tr {
+		tr[s] = make([]int, ng)
+		if ng > 1 {
+			tr[s][(s+1)%ng] += b
+			tr[s][(s+ng-1)%ng] += b
+		}
+	}
+	return tr
+}
+
+// pairTraffic puts b bytes on the single ordered pair s->d.
+func pairTraffic(ng, s, d, b int) [][]int {
+	tr := make([][]int, ng)
+	for i := range tr {
+		tr[i] = make([]int, ng)
+	}
+	tr[s][d] = b
+	return tr
+}
+
+func checkFiniteTimes(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	c := gpu.NewContextWithProfile(devCount, p)
+	workload(c)
+	st := c.Stats()
+	if tt := st.TotalTime(); !(tt > 0) || math.IsInf(tt, 0) || math.IsNaN(tt) {
+		t.Fatalf("total time not positive finite: %g", tt)
+	}
+	for _, phase := range st.Phases() {
+		ps := st.Phase(phase)
+		for name, v := range map[string]float64{
+			"comm": ps.CommTime, "device": ps.DeviceTime, "host": ps.HostTime,
+		} {
+			if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Errorf("phase %s: %s time %g not finite and non-negative", phase, name, v)
+			}
+		}
+		if ps.Bytes() < 0 || ps.Rounds < 0 || ps.Messages < 0 {
+			t.Errorf("phase %s: negative counters %+v", phase, ps)
+		}
+	}
+}
+
+// checkMonotoneComm asserts the round cost never decreases as the byte
+// volume grows, for both the host-mediated and the peer-routed path.
+func checkMonotoneComm(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	hostCost := func(b int) float64 {
+		c := gpu.NewContextWithProfile(devCount, p)
+		bytes := make([]int, devCount)
+		for d := range bytes {
+			bytes[d] = b
+		}
+		c.ReduceRound("x", bytes)
+		return c.Stats().TotalTime()
+	}
+	peerCost := func(b int) float64 {
+		c := gpu.NewContextWithProfile(devCount, p)
+		c.PeerExchange("x", ringTraffic(devCount, b))
+		return c.Stats().TotalTime()
+	}
+	sizes := []int{0, 64, 4096, 1 << 20, 64 << 20}
+	for name, cost := range map[string]func(int) float64{"host": hostCost, "peer": peerCost} {
+		prev := -1.0
+		for _, b := range sizes {
+			got := cost(b)
+			if got < prev {
+				t.Errorf("%s path: cost decreased from %g to %g at %d bytes", name, prev, got, b)
+			}
+			prev = got
+		}
+	}
+}
+
+// checkMonotoneCompute asserts kernel cost never decreases in flops or
+// bytes, on the device and on the host.
+func checkMonotoneCompute(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	devCost := func(flops, bytes float64) float64 {
+		c := gpu.NewContextWithProfile(devCount, p)
+		c.UniformKernel("x", gpu.Work{Flops: flops, Bytes: bytes})
+		return c.Stats().TotalTime()
+	}
+	hostCost := func(flops float64) float64 {
+		c := gpu.NewContextWithProfile(devCount, p)
+		c.HostCompute("x", flops)
+		return c.Stats().TotalTime()
+	}
+	prev := -1.0
+	for _, f := range []float64{0, 1e3, 1e6, 1e9, 1e12} {
+		if got := devCost(f, 0); got < prev {
+			t.Errorf("device cost decreased to %g at %g flops", got, f)
+		} else {
+			prev = got
+		}
+	}
+	prev = -1.0
+	for _, b := range []float64{0, 1e3, 1e6, 1e9} {
+		if got := devCost(0, b); got < prev {
+			t.Errorf("device cost decreased to %g at %g bytes", got, b)
+		} else {
+			prev = got
+		}
+	}
+	prev = -1.0
+	for _, f := range []float64{0, 1e3, 1e6, 1e9} {
+		if got := hostCost(f); got < prev {
+			t.Errorf("host cost decreased to %g at %g flops", got, f)
+		} else {
+			prev = got
+		}
+	}
+}
+
+// checkRouteSymmetry asserts a unit transfer s->d costs exactly what
+// d->s costs, for every ordered device pair — no topology the simulator
+// ships has asymmetric links.
+func checkRouteSymmetry(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	cost := func(s, d int) float64 {
+		c := gpu.NewContextWithProfile(devCount, p)
+		c.PeerExchange("x", pairTraffic(devCount, s, d, 1<<16))
+		return c.Stats().TotalTime()
+	}
+	for s := 0; s < devCount; s++ {
+		for d := s + 1; d < devCount; d++ {
+			fwd, rev := cost(s, d), cost(d, s)
+			if fwd != rev {
+				t.Errorf("asymmetric route: %d->%d costs %g, %d->%d costs %g", s, d, fwd, d, s, rev)
+			}
+		}
+	}
+}
+
+// checkLaneLedger reconciles the overlap timeline's accounting lanes
+// with the Stats ledger: per phase, every device's transfer lane equals
+// the phase's CommTime (all rounds here involve all devices), each
+// device's compute lane equals its own DevicePhase kernel time, and the
+// host lane equals HostTime.
+func checkLaneLedger(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	c := gpu.NewContextWithProfile(devCount, p)
+	c.SetOverlap(true)
+	workload(c)
+	st := c.Stats()
+	const tol = 1e-12
+	for _, phase := range st.Phases() {
+		ps := st.Phase(phase)
+		for d := 0; d < devCount; d++ {
+			if lane := c.LaneTime(gpu.LaneTransfer, d, phase); math.Abs(lane-ps.CommTime) > tol*(1+ps.CommTime) {
+				t.Errorf("phase %s device %d: transfer lane %g != ledger comm %g", phase, d, lane, ps.CommTime)
+			}
+			dev := st.DevicePhase(d, phase)
+			if lane := c.LaneTime(gpu.LaneCompute, d, phase); math.Abs(lane-dev.DeviceTime) > tol*(1+dev.DeviceTime) {
+				t.Errorf("phase %s device %d: compute lane %g != ledger device %g", phase, d, lane, dev.DeviceTime)
+			}
+		}
+		if lane := c.LaneTime(gpu.LaneHost, gpu.HostDevice, phase); math.Abs(lane-ps.HostTime) > tol*(1+ps.HostTime) {
+			t.Errorf("phase %s: host lane %g != ledger host %g", phase, lane, ps.HostTime)
+		}
+	}
+	if h, s := c.OverlappedTime(), c.SerialTime(); h > s*(1+tol) {
+		t.Errorf("overlapped horizon %g exceeds serial time %g", h, s)
+	}
+}
+
+// checkOverlapIdentity asserts the ledger charges are bit-identical
+// with and without overlapped scheduling — overlap reorders time, it
+// never changes what is charged.
+func checkOverlapIdentity(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	render := func(overlap bool) string {
+		c := gpu.NewContextWithProfile(devCount, p)
+		c.SetOverlap(overlap)
+		workload(c)
+		return c.Stats().String() + "\n" + c.Stats().DeviceString()
+	}
+	sync, over := render(false), render(true)
+	if sync != over {
+		t.Errorf("ledger differs between sync and overlap schedules:\n--- sync ---\n%s\n--- overlap ---\n%s", sync, over)
+	}
+}
+
+// checkFaultReplay asserts a seeded fault plan replays bit-identically:
+// same plan, same workload, same ledger and fault tallies.
+func checkFaultReplay(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	run := func() (string, gpu.FaultCounts) {
+		c := gpu.NewContextWithProfile(devCount, p)
+		c.InjectFaults(gpu.FaultPlan{Seed: 7, TransferFaultProb: 0.4, MaxTransferFaults: 5})
+		workload(c)
+		return c.Stats().String() + "\n" + c.Stats().DeviceString(), c.FaultCounts()
+	}
+	s1, f1 := run()
+	s2, f2 := run()
+	if s1 != s2 {
+		t.Errorf("fault replay diverged:\n--- first ---\n%s\n--- second ---\n%s", s1, s2)
+	}
+	if f1 != f2 {
+		t.Errorf("fault counts diverged: %+v vs %+v", f1, f2)
+	}
+	if f1.TransferFaults == 0 {
+		t.Errorf("fault plan injected nothing: counts %+v", f1)
+	}
+}

@@ -37,6 +37,7 @@ import (
 type Pool struct {
 	devices int
 	model   gpu.CostModel
+	prof    *gpu.Profile
 	free    chan *gpu.Context
 	repair  bool
 
@@ -58,6 +59,11 @@ type PoolConfig struct {
 	Size    int
 	Devices int
 	Model   gpu.CostModel
+	// Profile, when non-nil, is the machine description of every pooled
+	// context — cost model plus interconnect topology. It supersedes
+	// Model (which survives for callers that only care about the compute
+	// constants and implies the paper's host-hub wiring).
+	Profile *gpu.Profile
 	// FaultPlans[i], when present and non-empty, is armed on pooled
 	// context i — the chaos harness's way of scheduling deterministic
 	// failures into a running service. Missing entries stay fault-free.
@@ -87,12 +93,17 @@ func NewPoolWithConfig(cfg PoolConfig) *Pool {
 	if cfg.Size < 1 {
 		panic(fmt.Sprintf("sched: NewPool with size %d", cfg.Size))
 	}
-	p := &Pool{devices: cfg.Devices, model: cfg.Model, repair: cfg.Repair,
+	p := &Pool{devices: cfg.Devices, model: cfg.Model, prof: cfg.Profile, repair: cfg.Repair,
 		free:      make(chan *gpu.Context, cfg.Size),
 		exhausted: make(chan struct{}),
 		healthy:   cfg.Size}
 	for i := 0; i < cfg.Size; i++ {
-		c := gpu.NewContext(cfg.Devices, cfg.Model)
+		var c *gpu.Context
+		if cfg.Profile != nil {
+			c = gpu.NewContextWithProfile(cfg.Devices, *cfg.Profile)
+		} else {
+			c = gpu.NewContext(cfg.Devices, cfg.Model)
+		}
 		if cfg.Retry != (gpu.RetryPolicy{}) {
 			c.SetRetryPolicy(cfg.Retry)
 		}
@@ -103,6 +114,18 @@ func NewPoolWithConfig(cfg PoolConfig) *Pool {
 	}
 	return p
 }
+
+// profile returns the machine description pooled contexts are (re)set
+// to between leases.
+func (p *Pool) profile() gpu.Profile {
+	if p.prof != nil {
+		return *p.prof
+	}
+	return gpu.DefaultProfile(p.model)
+}
+
+// Profile returns the pool's configured machine description.
+func (p *Pool) Profile() gpu.Profile { return p.profile() }
 
 // Size returns the number of contexts the pool owns.
 func (p *Pool) Size() int { return cap(p.free) }
@@ -187,6 +210,10 @@ func (p *Pool) Release(c *gpu.Context) {
 		p.evict(c)
 		return
 	}
+	// A solve may have re-targeted the lease at a per-request machine
+	// profile (core.Options.Profile); restore the pool's configuration
+	// so the next lease does not inherit it.
+	c.SetProfile(p.profile())
 	c.ResetStats()
 	p.track(-1)
 	select {
@@ -219,6 +246,7 @@ func (p *Pool) evict(c *gpu.Context) {
 	p.track(-1)
 	if readmit {
 		c.Repair()
+		c.SetProfile(p.profile())
 		c.ResetStats()
 		select {
 		case p.free <- c:

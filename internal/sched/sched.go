@@ -302,6 +302,9 @@ func New(cfg Config) *Scheduler {
 }
 
 // Start launches one worker goroutine per pooled context. Idempotent.
+// Pool returns the device pool the scheduler leases from.
+func (s *Scheduler) Pool() *Pool { return s.cfg.Pool }
+
 func (s *Scheduler) Start() {
 	s.mu.Lock()
 	defer s.mu.Unlock()

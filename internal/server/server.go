@@ -27,8 +27,10 @@ import (
 	"time"
 
 	"cagmres/internal/core"
+	"cagmres/internal/gpu"
 	"cagmres/internal/matgen"
 	"cagmres/internal/obs"
+	"cagmres/internal/profile"
 	"cagmres/internal/sched"
 	"cagmres/internal/sparse"
 )
@@ -62,6 +64,12 @@ type SolveRequest struct {
 	// the solution vector (it can be large).
 	Wait     bool `json:"wait,omitempty"`
 	IncludeX bool `json:"include_x,omitempty"`
+	// Profile selects the machine description the solve is costed on: a
+	// profile.Spec object ({"base": "a100-pcie", "topology":
+	// "nvlink-ring", ...}). Omitted, the leased context keeps the
+	// daemon's configured profile. Profiles change modeled time only —
+	// the numerical result is identical under every profile.
+	Profile json.RawMessage `json:"profile,omitempty"`
 }
 
 // MatrixSpec names a built-in generator (matgen.ByName) or carries an
@@ -107,7 +115,11 @@ type FaultsJSON struct {
 
 // Healthz is the GET /healthz body.
 type Healthz struct {
-	OK         bool   `json:"ok"`
+	OK bool `json:"ok"`
+	// Profile and Topology name the machine description pooled contexts
+	// are configured with (per-request profiles override it per solve).
+	Profile    string `json:"profile,omitempty"`
+	Topology   string `json:"topology,omitempty"`
 	PoolSize   int    `json:"pool_size"`
 	PoolInUse  int    `json:"pool_in_use"`
 	QueueDepth int    `json:"queue_depth"`
@@ -185,8 +197,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.sched.Snapshot()
+	prof := s.sched.Pool().Profile()
 	writeJSON(w, http.StatusOK, Healthz{
 		OK:         !snap.Draining,
+		Profile:    prof.Name,
+		Topology:   string(prof.Topo.Kind),
 		PoolSize:   snap.PoolSize,
 		PoolInUse:  snap.PoolInUse,
 		QueueDepth: snap.QueueDepth,
@@ -296,6 +311,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Balance != nil {
 		balance = *req.Balance
 	}
+	var prof *gpu.Profile
+	if len(req.Profile) > 0 {
+		p, err := profile.Decode(req.Profile)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Code: codeBadRequest, Error: err.Error()})
+			return
+		}
+		prof = &p
+	}
 	spec := sched.Spec{
 		Matrix:    a,
 		MatrixKey: key,
@@ -306,6 +330,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Opts: core.Options{
 			M: req.M, S: req.S, Tol: req.Tol, MaxRestarts: req.MaxRestarts,
 			Ortho: req.Ortho, BOrth: req.BOrth, Basis: req.Basis,
+			Profile: prof,
 		},
 	}
 

@@ -461,3 +461,64 @@ func TestServerDrainLeavesNoGoroutines(t *testing.T) {
 	t.Fatalf("goroutines leaked across server lifecycle: %d before, %d after",
 		before, runtime.NumGoroutine())
 }
+
+// TestProfileOverHTTP drives the per-request machine-profile selection
+// end to end: a profiled solve returns the same iterate as the pool's
+// default machine (profiles reorder time, never arithmetic) with a
+// different modeled cost, a bad profile is a 400, the pool's default is
+// restored for the next lease, and /healthz names the configured
+// machine.
+func TestProfileOverHTTP(t *testing.T) {
+	h := newHarness(t, 16)
+	n := testN(t)
+
+	base := solveReq(n, 3, true)
+	code, def, _ := h.post(t, base)
+	if code != http.StatusOK || !def.Converged {
+		t.Fatalf("default solve: status %d, job %+v", code, def)
+	}
+
+	prof := base
+	prof.Profile = json.RawMessage(`{"base": "h100-nvlink"}`)
+	code, fast, _ := h.post(t, prof)
+	if code != http.StatusOK || !fast.Converged {
+		t.Fatalf("profiled solve: status %d, job %+v", code, fast)
+	}
+	if len(fast.X) != len(def.X) {
+		t.Fatalf("iterate lengths diverged: %d vs %d", len(fast.X), len(def.X))
+	}
+	for i := range def.X {
+		if def.X[i] != fast.X[i] {
+			t.Fatalf("x[%d] diverged across profiles: %x vs %x", i, def.X[i], fast.X[i])
+		}
+	}
+	if fast.ModeledSeconds >= def.ModeledSeconds {
+		t.Fatalf("h100-nvlink not faster than m2090: %g vs %g", fast.ModeledSeconds, def.ModeledSeconds)
+	}
+
+	// The per-request profile must not leak into the next lease.
+	code, again, _ := h.post(t, base)
+	if code != http.StatusOK || again.ModeledSeconds != def.ModeledSeconds {
+		t.Fatalf("default profile not restored: status %d, modeled %g want %g",
+			code, again.ModeledSeconds, def.ModeledSeconds)
+	}
+
+	bad := base
+	bad.Profile = json.RawMessage(`{"base": "k20"}`)
+	if code, _, _ := h.post(t, bad); code != http.StatusBadRequest {
+		t.Fatalf("unknown profile base: status %d, want 400", code)
+	}
+
+	resp, err := http.Get(h.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz Healthz
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Profile != "m2090" || hz.Topology != "host-hub" {
+		t.Fatalf("healthz machine = %q/%q, want m2090/host-hub", hz.Profile, hz.Topology)
+	}
+}

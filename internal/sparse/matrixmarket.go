@@ -55,8 +55,17 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		}
 		break
 	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: negative size %d %d %d", rows, cols, nnz)
+	}
 
-	entries := make([]Coord, 0, nnz*2)
+	// Preallocation is capped: nnz comes straight from untrusted input,
+	// and an absurd claim must not allocate before the entries exist.
+	capHint := nnz * 2
+	if capHint > 1<<20 || capHint < 0 {
+		capHint = 1 << 20
+	}
+	entries := make([]Coord, 0, capHint)
 	for read := 0; read < nnz; {
 		line, err := br.ReadString('\n')
 		if err != nil && line == "" {
@@ -77,6 +86,9 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		j, err := strconv.Atoi(f[1])
 		if err != nil {
 			return nil, fmt.Errorf("sparse: bad col index %q: %w", f[1], err)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", i, j, rows, cols)
 		}
 		v := 1.0
 		if valType != "pattern" {
