@@ -13,13 +13,16 @@
 # chaos-armed daemon, requiring every fault/retry metric family and a
 # clean drain from the degraded service. `make overlap-smoke` is the
 # stream-engine regression gate: the overlapped schedule must strictly
-# beat the synchronous one on the full device count.
+# beat the synchronous one on the full device count. `make trace-smoke`
+# drives a traced workload through the daemon and validates the
+# request-tracing/SLO surface: traceparent round trip, span-stream lint,
+# stitched Chrome trace, /slo report, and the slo_*/trace_* families.
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke fuzz-smoke cover-profile bench-snapshot
+.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke trace-smoke fuzz-smoke cover-profile bench-snapshot
 
-check: vet staticcheck race test fuzz-smoke cover-profile serve-smoke chaos-smoke overlap-smoke
+check: vet staticcheck race test fuzz-smoke cover-profile serve-smoke chaos-smoke overlap-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -41,7 +44,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/gpu/... ./internal/la/... ./internal/ortho/... ./internal/obs/... \
-		./internal/sched/... ./internal/server/... ./internal/profile/... ./internal/dist/...
+		./internal/sched/... ./internal/server/... ./internal/profile/... ./internal/dist/... \
+		./cmd/loadgen/...
 
 # Opt-in wall-clock kernel comparison (needs an unloaded machine).
 measured:
@@ -73,6 +77,11 @@ serve-smoke:
 # and a chaos-armed daemon; fault/retry metric families required.
 chaos-smoke:
 	GO="$(GO)" sh scripts/chaos_smoke.sh
+
+# Tracing/SLO smoke test: traced load through the daemon, span-stream
+# lint, stitched Chrome trace, /slo report, slo_*/trace_* families.
+trace-smoke:
+	GO="$(GO)" sh scripts/trace_smoke.sh
 
 # Overlap regression smoke: the stream schedule must strictly beat the
 # synchronous schedule on the full device count for every basis depth

@@ -55,6 +55,8 @@ func main() {
 	serve := flag.String("serve", "", "after solving, serve /metrics, /metrics.json, /trace.json and /debug/pprof on this address and block (e.g. :9090)")
 	profName := flag.String("profile", "", "machine profile (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
 	topoName := flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
+	traceparent := flag.String("traceparent", "", "adopt this W3C traceparent as the solve's trace context (a fresh trace id is minted when empty or invalid)")
+	spansout := flag.String("spansout", "", "write the solve's request-trace span stream (root + solver phases) as JSON lines to this file")
 	flag.Parse()
 
 	a, name, err := loadMatrix(*file, *matrix, *scale)
@@ -132,9 +134,22 @@ func main() {
 	if *telemetry != "" || *metrics != "" || *serve != "" {
 		reg = obs.NewRegistry()
 	}
+	// Request tracing: the CLI mints (or adopts, via -traceparent) one root
+	// span for the whole solve; every fallback retry hangs its phase spans
+	// under the same root as a new attempt.
+	var tracer *obs.Tracer
+	var jt *obs.JobTrace
+	if *spansout != "" || *traceparent != "" {
+		tracer = obs.NewTracer(reg)
+		root := tracer.Root("cli solve", *traceparent)
+		root.SetAttr("solver", *solver)
+		root.SetAttr("matrix", name)
+		jt = obs.NewJobTrace(tracer, root)
+	}
+	attempt := 0
 	var telBuf bytes.Buffer
 	attachTelemetry := func() {
-		if reg == nil {
+		if reg == nil && jt == nil {
 			return
 		}
 		telBuf.Reset()
@@ -142,7 +157,14 @@ func main() {
 		if *telemetry != "" {
 			next = obs.NewJSONLSink(&telBuf)
 		}
-		opts.Telemetry = reg.ConvergenceSink(next)
+		if reg != nil {
+			next = reg.ConvergenceSink(next)
+		}
+		if jt != nil {
+			attempt++
+			next = jt.SolverSink(tracer, jt.Root(), "cli", attempt, next)
+		}
+		opts.Telemetry = next
 	}
 	attachTelemetry()
 
@@ -232,6 +254,28 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *traceout)
+	}
+
+	if jt != nil {
+		jt.AttachStats(res.Stats)
+		jt.SetRootAttr("converged", fmt.Sprintf("%t", res.Converged))
+		jt.SetRootAttr("restarts", fmt.Sprintf("%d", res.Restarts))
+		jt.FinishRoot(float64(time.Now().UnixNano())/1e9, res.Stats.TotalTime())
+		fmt.Printf("\ntraceparent: %s\n", jt.Root().Traceparent())
+	}
+	if *spansout != "" {
+		f, err := os.Create(*spansout)
+		if err != nil {
+			fatal(err)
+		}
+		err = jt.WriteSpansJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *spansout)
 	}
 
 	if *telemetry != "" {

@@ -62,9 +62,16 @@ func main() {
 
 		profName = flag.String("profile", "", "machine profile for the pooled contexts (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
 		topoName = flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
+
+		sloTarget   = flag.String("slo-target", "", "SLO classes as name:minprio:latency:objective, comma-separated (minprio \"*\" catches all), e.g. interactive:1:1.0:0.99,standard:*:5.0:0.95; empty keeps the defaults")
+		traceEvents = flag.Int("trace-events", 1<<14, "per-context event-trace ring capacity feeding /jobs/{id}/trace.json device lanes (0 disables)")
 	)
 	flag.Parse()
 	prof, err := profile.FromFlags(*profName, *topoName)
+	var classes []obs.SLOClass
+	if err == nil {
+		classes, err = sloClasses(*sloTarget)
+	}
 	var plans []gpu.FaultPlan
 	if err == nil {
 		plans, err = chaosPlans(*poolSize, *chaosSeed, *chaosKill, *chaosXfer, *chaosMaxXfer, *chaosStrag)
@@ -76,7 +83,7 @@ func main() {
 			retryAfter: *retryAfter, drainTimeout: *drainTimeout,
 			drainGrace: *drainGrace, leaseTimeout: *leaseTimeout,
 			portFile: *portFile, plans: plans, repair: *repair,
-			prof: prof,
+			prof: prof, sloClasses: classes, traceEvents: *traceEvents,
 		})
 	}
 	if err != nil {
@@ -96,6 +103,50 @@ type daemonConfig struct {
 	plans                    []gpu.FaultPlan
 	repair                   bool
 	prof                     *gpu.Profile
+	sloClasses               []obs.SLOClass
+	traceEvents              int
+}
+
+// sloClasses parses the -slo-target flag: comma-separated
+// name:minprio:latencySeconds:objective entries, where minprio "*"
+// marks the catch-all class. Empty input keeps the default two-tier
+// policy.
+func sloClasses(spec string) ([]obs.SLOClass, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []obs.SLOClass
+	for _, item := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("-slo-target %q: want name:minprio:latency:objective", item)
+		}
+		c := obs.SLOClass{Name: parts[0]}
+		if c.Name == "" {
+			return nil, fmt.Errorf("-slo-target %q: empty class name", item)
+		}
+		if parts[1] == "*" {
+			c.MinPriority = -1 << 31
+		} else {
+			p, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("-slo-target %q: minprio: %v", item, err)
+			}
+			c.MinPriority = p
+		}
+		lat, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || lat <= 0 {
+			return nil, fmt.Errorf("-slo-target %q: latency must be positive seconds", item)
+		}
+		c.LatencyTarget = lat
+		obj, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil || obj <= 0 || obj >= 1 {
+			return nil, fmt.Errorf("-slo-target %q: objective must be in (0,1)", item)
+		}
+		c.Objective = obj
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // chaosPlans translates the -chaos-* flags into per-context fault plans.
@@ -167,6 +218,7 @@ func run(cfg daemonConfig) error {
 	pool := sched.NewPoolWithConfig(sched.PoolConfig{
 		Size: cfg.poolSize, Devices: cfg.devices, Model: gpu.M2090(),
 		Profile: cfg.prof, FaultPlans: cfg.plans, Repair: cfg.repair,
+		TraceEvents: cfg.traceEvents,
 	})
 	s := sched.New(sched.Config{
 		Pool:         pool,
@@ -177,6 +229,7 @@ func run(cfg daemonConfig) error {
 		LeaseTimeout: cfg.leaseTimeout,
 		DrainGrace:   cfg.drainGrace,
 		Registry:     reg,
+		SLO:          obs.NewSLOEngine(reg, obs.SLOConfig{Classes: cfg.sloClasses}),
 	})
 	s.Start()
 

@@ -5,7 +5,13 @@
 //
 //	-mode live     drives a running daemon over HTTP (POST /solve?wait)
 //	               and reports wall-clock and server-side modeled
-//	               latency percentiles. Used by make serve-smoke.
+//	               latency percentiles. -traceparent stamps every
+//	               request with a caller trace context and asserts the
+//	               daemon echoes the same trace id; -traceout /
+//	               -spansout / -sloout fetch the first job's Chrome
+//	               trace, its span stream, and the /slo report after
+//	               the run. Used by make serve-smoke and
+//	               make trace-smoke.
 //
 //	-mode virtual  runs no server at all: it computes each request's
 //	               modeled service time by executing the solver on a
@@ -13,10 +19,11 @@
 //	               overhead through the virtual-time measure.ModelTimer,
 //	               and replays the closed loop as an event simulation
 //	               over the -pool device contexts. The reported
-//	               percentiles are a pure function of the cost model —
-//	               byte-identical on every machine — so -sweep produces
-//	               a reproducible concurrency-vs-latency curve
-//	               (EXPERIMENTS.md).
+//	               percentiles, queue waits, and SLO burn rates are a
+//	               pure function of the cost model — byte-identical on
+//	               every machine — so -sweep produces a reproducible
+//	               concurrency-vs-latency curve (EXPERIMENTS.md) and
+//	               -slojson a pinnable SLO report.
 package main
 
 import (
@@ -37,7 +44,18 @@ import (
 	"cagmres/internal/gpu"
 	"cagmres/internal/matgen"
 	"cagmres/internal/measure"
+	"cagmres/internal/obs"
 )
+
+// artifacts collects the optional outputs either mode can produce.
+type artifacts struct {
+	traceparent string // live: send on every request and assert the echoed trace id
+	traceOut    string // live: write the first job's /jobs/{id}/trace.json here
+	spansOut    string // live: write the first job's /jobs/{id}/spans.jsonl here
+	sloOut      string // live: write the /slo report here
+	metricsOut  string // live: write the /metrics scrape here
+	sloJSON     string // virtual: write the last sweep point's SLO replay report here
+}
 
 func main() {
 	var (
@@ -55,17 +73,26 @@ func main() {
 		sFlag      = flag.Int("s", 5, "matrix-powers step")
 		tol        = flag.Float64("tol", 1e-8, "convergence tolerance")
 		metricsOut = flag.String("metricsout", "", "live mode: fetch /metrics after the run and write it here")
+		traceparnt = flag.String("traceparent", "", "live mode: send this W3C traceparent on every request and assert the daemon echoes its trace id")
+		traceOut   = flag.String("traceout", "", "live mode: fetch the first job's /jobs/{id}/trace.json after the run and write it here")
+		spansOut   = flag.String("spansout", "", "live mode: fetch the first job's /jobs/{id}/spans.jsonl after the run and write it here")
+		sloOut     = flag.String("sloout", "", "live mode: fetch /slo after the run and write it here")
+		sloJSON    = flag.String("slojson", "", "virtual mode: write the final sweep point's deterministic SLO replay report as JSON here")
 	)
 	flag.Parse()
+	arts := artifacts{
+		traceparent: *traceparnt, traceOut: *traceOut, spansOut: *spansOut,
+		sloOut: *sloOut, metricsOut: *metricsOut, sloJSON: *sloJSON,
+	}
 	if err := run(*mode, *addr, *portFile, *clients, *requests, *sweep, *pool, *devices,
-		*matrix, *scale, *mFlag, *sFlag, *tol, *metricsOut); err != nil {
+		*matrix, *scale, *mFlag, *sFlag, *tol, arts); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
 func run(mode, addr, portFile string, clients, requests int, sweep string, pool, devices int,
-	matrix string, scale float64, m, s int, tol float64, metricsOut string) error {
+	matrix string, scale float64, m, s int, tol float64, arts artifacts) error {
 	switch mode {
 	case "live":
 		if portFile != "" {
@@ -78,7 +105,7 @@ func run(mode, addr, portFile string, clients, requests int, sweep string, pool,
 		if addr == "" {
 			return fmt.Errorf("live mode needs -addr or -portfile")
 		}
-		return runLive(addr, clients, requests, matrix, scale, m, s, tol, metricsOut)
+		return runLive(addr, clients, requests, matrix, scale, m, s, tol, arts)
 	case "virtual":
 		counts := []int{clients}
 		if sweep != "" {
@@ -91,7 +118,7 @@ func run(mode, addr, portFile string, clients, requests int, sweep string, pool,
 				counts = append(counts, v)
 			}
 		}
-		return runVirtual(counts, requests, pool, devices, matrix, scale, m, s, tol)
+		return runVirtual(counts, requests, pool, devices, matrix, scale, m, s, tol, arts.sloJSON)
 	}
 	return fmt.Errorf("unknown mode %q (want live or virtual)", mode)
 }
@@ -111,7 +138,7 @@ func rhsFor(n, seed int) []float64 {
 // live mode
 
 func runLive(addr string, clients, requests int, matrix string, scale float64,
-	m, s int, tol float64, metricsOut string) error {
+	m, s int, tol float64, arts artifacts) error {
 	base := "http://" + addr
 	gen, err := matgen.ByName(matrix, scale)
 	if err != nil {
@@ -119,11 +146,21 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 	}
 	n := gen.A.Rows
 
+	wantTrace := ""
+	if arts.traceparent != "" {
+		tid, _, ok := obs.ParseTraceparent(arts.traceparent)
+		if !ok {
+			return fmt.Errorf("bad -traceparent %q", arts.traceparent)
+		}
+		wantTrace = tid
+	}
+
 	type sample struct {
 		wall    float64 // client-observed seconds
 		modeled float64 // server-reported device seconds
 	}
 	samples := make([][]sample, clients)
+	firstJob := make([]string, clients)
 	errs := make([]error, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -139,12 +176,22 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 					"rhs":  rhsFor(n, seed),
 					"wait": true,
 				})
-				t0 := time.Now()
-				resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(body))
+				req, err := http.NewRequest("POST", base+"/solve", bytes.NewReader(body))
 				if err != nil {
 					errs[c] = err
 					return
 				}
+				req.Header.Set("Content-Type", "application/json")
+				if arts.traceparent != "" {
+					req.Header.Set("traceparent", arts.traceparent)
+				}
+				t0 := time.Now()
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				echo := resp.Header.Get("traceparent")
 				data, err := io.ReadAll(resp.Body)
 				resp.Body.Close()
 				if err != nil {
@@ -155,7 +202,16 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 					errs[c] = fmt.Errorf("client %d request %d: status %d: %s", c, i, resp.StatusCode, data)
 					return
 				}
+				if wantTrace != "" {
+					tid, _, ok := obs.ParseTraceparent(echo)
+					if !ok || tid != wantTrace {
+						errs[c] = fmt.Errorf("client %d request %d: traceparent not echoed (sent trace %s, got %q)",
+							c, i, wantTrace, echo)
+						return
+					}
+				}
 				var job struct {
+					ID             string  `json:"id"`
 					State          string  `json:"state"`
 					Converged      bool    `json:"converged"`
 					ModeledSeconds float64 `json:"modeled_seconds"`
@@ -167,6 +223,9 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 				if job.State != "done" || !job.Converged {
 					errs[c] = fmt.Errorf("client %d request %d: state=%s converged=%t", c, i, job.State, job.Converged)
 					return
+				}
+				if firstJob[c] == "" {
+					firstJob[c] = job.ID
 				}
 				samples[c] = append(samples[c], sample{wall: time.Since(t0).Seconds(), modeled: job.ModeledSeconds})
 			}
@@ -192,11 +251,14 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 		clients, requests, addr, matrix, n)
 	fmt.Printf("  completed %d solves in %.3fs wall (%.1f solves/s)\n",
 		total, elapsed, float64(total)/elapsed)
+	if wantTrace != "" {
+		fmt.Printf("  traceparent echoed on all %d responses (trace %s)\n", total, wantTrace)
+	}
 	printPercentiles("wall latency", wall)
 	printPercentiles("modeled device seconds", modeled)
 
-	if metricsOut != "" {
-		resp, err := http.Get(base + "/metrics")
+	fetch := func(path, out string) error {
+		resp, err := http.Get(base + path)
 		if err != nil {
 			return err
 		}
@@ -205,10 +267,40 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(metricsOut, data, 0o644); err != nil {
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d: %s", path, resp.StatusCode, data)
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("  wrote %s (%d bytes)\n", metricsOut, len(data))
+		fmt.Printf("  wrote %s (%d bytes)\n", out, len(data))
+		return nil
+	}
+	if arts.traceOut != "" || arts.spansOut != "" {
+		job := firstJob[0]
+		if job == "" {
+			return fmt.Errorf("no completed job to fetch a trace for")
+		}
+		if arts.traceOut != "" {
+			if err := fetch("/jobs/"+job+"/trace.json", arts.traceOut); err != nil {
+				return err
+			}
+		}
+		if arts.spansOut != "" {
+			if err := fetch("/jobs/"+job+"/spans.jsonl", arts.spansOut); err != nil {
+				return err
+			}
+		}
+	}
+	if arts.sloOut != "" {
+		if err := fetch("/slo", arts.sloOut); err != nil {
+			return err
+		}
+	}
+	if arts.metricsOut != "" {
+		if err := fetch("/metrics", arts.metricsOut); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -219,9 +311,11 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 // runVirtual replays the closed loop in virtual time: modeled service
 // seconds per request from the solver's own cost ledger, per-request
 // RPC overhead from the measure.ModelTimer, and an event simulation of
-// k clients contending for c device contexts.
+// k clients contending for c device contexts. The same per-request
+// (submit, start, finish) stamps feed an obs.SLOEngine on the virtual
+// clock, so queue waits and burn rates are deterministic too.
 func runVirtual(counts []int, requests, pool, devices int, matrix string, scale float64,
-	m, s int, tol float64) error {
+	m, s int, tol float64, sloJSON string) error {
 	gen, err := matgen.ByName(matrix, scale)
 	if err != nil {
 		return err
@@ -265,24 +359,66 @@ func runVirtual(counts []int, requests, pool, devices int, matrix string, scale 
 
 	fmt.Printf("loadgen virtual: %s n=%d, pool %d×%d GPUs, %d requests/client, rpc overhead %.1fus\n",
 		matrix, n, pool, devices, requests, overhead*1e6)
-	fmt.Printf("%8s %10s %10s %10s %10s %10s %12s\n",
-		"clients", "p50", "p90", "p99", "max", "mean", "throughput/s")
+	fmt.Printf("%8s %10s %10s %10s %10s %10s %12s %10s %10s\n",
+		"clients", "p50", "p90", "p99", "max", "mean", "throughput/s", "wait p50", "wait p99")
+	var lastReport *obs.SLOReport
 	for _, k := range counts {
-		lat, makespan := replay(k, requests, pool, service, overhead)
+		rs, makespan := replay(k, requests, pool, service, overhead)
+		lat := make([]float64, len(rs))
+		wait := make([]float64, len(rs))
+		for i, r := range rs {
+			lat[i] = r.finish - r.submit
+			wait[i] = r.start - r.submit
+		}
 		sort.Float64s(lat)
-		fmt.Printf("%8d %10.4f %10.4f %10.4f %10.4f %10.4f %12.2f\n",
+		sort.Float64s(wait)
+		fmt.Printf("%8d %10.4f %10.4f %10.4f %10.4f %10.4f %12.2f %10.4f %10.4f\n",
 			k, pct(lat, 50), pct(lat, 90), pct(lat, 99), lat[len(lat)-1],
-			mean(lat), float64(k*requests)/makespan)
+			mean(lat), float64(k*requests)/makespan, pct(wait, 50), pct(wait, 99))
+
+		// SLO replay: judge every request against the default classes on
+		// the virtual clock (sorted by finish, the order a live daemon
+		// would observe them).
+		eng := obs.NewSLOEngine(nil, obs.SLOConfig{})
+		ordered := append([]reqSample(nil), rs...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].finish < ordered[j].finish })
+		for _, r := range ordered {
+			eng.ObserveAt(r.finish, 0, r.finish-r.submit, false)
+		}
+		rep := eng.ReportAt(makespan)
+		for _, cr := range rep.Classes {
+			if cr.Requests == 0 {
+				continue
+			}
+			fmt.Printf("         slo %s: %d/%d bad, budget %.4f, burn fast %.4f slow %.4f\n",
+				cr.Name, cr.Bad, cr.Requests, cr.BudgetRemaining, cr.BurnFast, cr.BurnSlow)
+		}
+		lastReport = &rep
+	}
+	if sloJSON != "" && lastReport != nil {
+		data, err := json.MarshalIndent(lastReport, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(sloJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", sloJSON)
 	}
 	return nil
 }
 
+// reqSample is one replayed request's life in virtual seconds.
+type reqSample struct {
+	submit, start, finish float64
+}
+
 // replay event-simulates the closed loop: each of k clients submits its
 // next request the moment the previous one finishes; c servers take the
-// earliest-submitted pending request (FIFO). Returns per-request
-// latencies (queue wait + service + overhead) and the makespan, all in
-// virtual seconds.
-func replay(k, requests, c int, service []float64, overhead float64) (lat []float64, makespan float64) {
+// earliest-submitted pending request (FIFO). Returns each request's
+// (submit, start, finish) stamps and the makespan, all in virtual
+// seconds; latency is finish-submit and queue wait start-submit.
+func replay(k, requests, c int, service []float64, overhead float64) (rs []reqSample, makespan float64) {
 	type client struct {
 		nextSubmit float64
 		issued     int
@@ -317,14 +453,14 @@ func replay(k, requests, c int, service []float64, overhead float64) (lat []floa
 		}
 		finish := start + service[seed] + overhead
 		servers[si] = finish
-		lat = append(lat, finish-submit)
+		rs = append(rs, reqSample{submit: submit, start: start, finish: finish})
 		cl.nextSubmit = finish
 		cl.issued++
 		if finish > makespan {
 			makespan = finish
 		}
 	}
-	return lat, makespan
+	return rs, makespan
 }
 
 func pct(sorted []float64, p float64) float64 {

@@ -4,14 +4,20 @@
 //	obslint -prom out.prom        lint Prometheus text-format metrics
 //	obslint -jsonl out.jsonl      lint a convergence-telemetry stream
 //	obslint -trace out.trace.json validate a Chrome trace_event export
+//	obslint -spans out.spans.jsonl validate a request-trace span stream
+//	                               (required fields, unique ids, one
+//	                               trace id, acyclic parentage, child
+//	                               intervals nested in their parents)
 //
 // -require, combined with -prom, additionally demands that the named
 // metric families are declared — how make serve-smoke asserts a running
-// cagmresd exports the scheduler's queue/lease/latency instruments.
+// cagmresd exports the scheduler's queue/lease/latency instruments, and
+// make trace-smoke the slo_*/trace_* families.
 //
 // Any combination of flags may be given; the command exits non-zero on
 // the first failing artifact. make metrics-smoke runs a small solve and
-// pushes all three outputs through this command.
+// pushes the first three outputs through this command; make trace-smoke
+// adds the span stream of a traced request.
 package main
 
 import (
@@ -28,10 +34,11 @@ func main() {
 	prom := flag.String("prom", "", "Prometheus text-format file to lint")
 	jsonl := flag.String("jsonl", "", "JSON-lines telemetry file to lint")
 	trace := flag.String("trace", "", "Chrome trace_event JSON file to validate")
+	spans := flag.String("spans", "", "JSON-lines span-stream file to validate")
 	require := flag.String("require", "", "comma-separated metric families that -prom must declare")
 	flag.Parse()
-	if *prom == "" && *jsonl == "" && *trace == "" {
-		fmt.Fprintln(os.Stderr, "obslint: nothing to do (want -prom, -jsonl and/or -trace)")
+	if *prom == "" && *jsonl == "" && *trace == "" && *spans == "" {
+		fmt.Fprintln(os.Stderr, "obslint: nothing to do (want -prom, -jsonl, -trace and/or -spans)")
 		os.Exit(2)
 	}
 	if *require != "" && *prom == "" {
@@ -80,6 +87,15 @@ func main() {
 			fail(*trace, fmt.Errorf("no traceEvents"))
 		}
 		fmt.Printf("%s: ok (%d trace events)\n", *trace, len(tf.TraceEvents))
+	}
+	if *spans != "" {
+		data := read(*spans)
+		ss, err := obs.LintSpans(data)
+		if err != nil {
+			fail(*spans, err)
+		}
+		fmt.Printf("%s: ok (%d spans, trace %s, acyclic and nested)\n",
+			*spans, len(ss), ss[0].TraceID)
 	}
 }
 

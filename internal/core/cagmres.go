@@ -111,6 +111,7 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 			ck.needShifts = needShifts
 			ck.sEff = sEff
 			ck.cleanRestarts = cleanRestarts
+			em.emit(obs.Record{Kind: "checkpoint", Restart: restart, Step: res.Iters})
 		}
 		if opts.canceled() {
 			res.Canceled = true

@@ -205,6 +205,7 @@ func runGMRES(p *Problem, opts Options, ck *checkpoint) (*Result, error) {
 	for restart := startRestart; restart < opts.MaxRestarts; restart++ {
 		if ctx.FaultsArmed() {
 			ck.capture(W.GatherCol(0), restart, res)
+			em.emit(obs.Record{Kind: "checkpoint", Restart: restart, Step: res.Iters})
 		}
 		if opts.canceled() {
 			res.Canceled = true

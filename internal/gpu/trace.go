@@ -74,6 +74,14 @@ func laneFor(e Event) (tid int, lane string) {
 	}
 }
 
+// EventLane maps an event to its stable Chrome-trace thread lane: id 0 is
+// the shared communication row, 1 the host CPU, and 2+d device d. External
+// exporters (the request-trace stitching in internal/obs) use this so a
+// job's device lanes match the standalone ledger export slice for slice.
+func EventLane(e Event) (tid int, name string) {
+	return laneFor(e)
+}
+
 // WriteChromeTrace renders the traces in Chrome trace_event format: each
 // Trace becomes one process (pid), each event a complete-duration slice
 // on its lane — one lane per device plus shared comm and host lanes.

@@ -192,6 +192,115 @@ func LintTelemetry(data []byte) ([]Record, error) {
 	return out, nil
 }
 
+// LintSpans validates a JSON-lines span stream (the
+// /jobs/{id}/spans.jsonl body, or a CLI -spansout file): every line must
+// be a valid JSON Span carrying trace_id, span_id and name; span ids must
+// be unique and share one trace id; parent references must be acyclic
+// with at least one root (an empty parent, or a parent outside the
+// stream — the upstream caller's span when a traceparent was adopted);
+// intervals must be well-formed (end >= start in each clock domain); and
+// every child must nest inside its resolved parent in whichever clock
+// domain the two spans share (wall when both carry wall stamps, virtual
+// when both are virtual). Returns the parsed spans on success.
+func LintSpans(data []byte) ([]Span, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var spans []Span
+	byID := map[string]int{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			return nil, fmt.Errorf("line %d: invalid JSON: %w", lineNo, err)
+		}
+		switch {
+		case s.TraceID == "":
+			return nil, fmt.Errorf("line %d: span without trace_id", lineNo)
+		case s.SpanID == "":
+			return nil, fmt.Errorf("line %d: span without span_id", lineNo)
+		case s.Name == "":
+			return nil, fmt.Errorf("line %d: span without name", lineNo)
+		}
+		if len(spans) > 0 && s.TraceID != spans[0].TraceID {
+			return nil, fmt.Errorf("line %d: span %s has trace %s, stream is %s",
+				lineNo, s.SpanID, s.TraceID, spans[0].TraceID)
+		}
+		if _, dup := byID[s.SpanID]; dup {
+			return nil, fmt.Errorf("line %d: duplicate span id %s", lineNo, s.SpanID)
+		}
+		if s.Start != 0 && s.End != 0 && s.End < s.Start {
+			return nil, fmt.Errorf("line %d: span %s wall end before start", lineNo, s.SpanID)
+		}
+		if s.Virtual && s.VEnd < s.VStart {
+			return nil, fmt.Errorf("line %d: span %s virtual end before start", lineNo, s.SpanID)
+		}
+		byID[s.SpanID] = len(spans)
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("empty span stream")
+	}
+	// Parentage: acyclic, with at least one root. A parent id absent from
+	// the stream marks a root (the trace continues upstream).
+	roots := 0
+	for i := range spans {
+		if spans[i].Parent == "" {
+			roots++
+			continue
+		}
+		if _, ok := byID[spans[i].Parent]; !ok {
+			roots++
+		}
+	}
+	if roots == 0 {
+		return nil, fmt.Errorf("span stream has no root (every parent resolves in-stream)")
+	}
+	for i := range spans {
+		seen := map[int]bool{i: true}
+		at := i
+		for {
+			pi, ok := byID[spans[at].Parent]
+			if spans[at].Parent == "" || !ok {
+				break
+			}
+			if seen[pi] {
+				return nil, fmt.Errorf("span %s: cyclic parentage", spans[i].SpanID)
+			}
+			seen[pi] = true
+			at = pi
+		}
+	}
+	// Nesting per shared clock domain.
+	for _, s := range spans {
+		pi, ok := byID[s.Parent]
+		if s.Parent == "" || !ok {
+			continue
+		}
+		p := spans[pi]
+		if s.Start != 0 && p.Start != 0 {
+			if s.Start < p.Start || s.End > p.End {
+				return nil, fmt.Errorf("span %s [%v,%v] not nested in wall parent %s [%v,%v]",
+					s.SpanID, s.Start, s.End, p.SpanID, p.Start, p.End)
+			}
+		}
+		if s.Virtual && p.Virtual {
+			if s.VStart < p.VStart || s.VEnd > p.VEnd {
+				return nil, fmt.Errorf("span %s [%v,%v] not nested in virtual parent %s [%v,%v]",
+					s.SpanID, s.VStart, s.VEnd, p.SpanID, p.VStart, p.VEnd)
+			}
+		}
+	}
+	return spans, nil
+}
+
 type bucketSam struct {
 	le  float64
 	cum float64

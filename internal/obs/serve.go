@@ -1,12 +1,26 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
 
 	"cagmres/internal/gpu"
 )
+
+// WriteError writes the structured error body shared with
+// internal/server: {"code","error"} JSON with the right Content-Type, so
+// a client can branch on code without parsing prose regardless of which
+// layer of the stack rejected the request.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Code  string `json:"code"`
+		Error string `json:"error"`
+	}{Code: code, Error: msg})
+}
 
 // Handler returns an http.Handler exposing the observability surface:
 //
@@ -17,7 +31,8 @@ import (
 //	               wall-clock runs can be profiled while they execute
 //
 // traces is called per request, so a long-running process serves its
-// current state.
+// current state. Error paths return the structured {"code","error"}
+// JSON convention of internal/server.
 func Handler(r *Registry, traces func() []gpu.Trace) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -30,7 +45,7 @@ func Handler(r *Registry, traces func() []gpu.Trace) http.Handler {
 	})
 	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
 		if traces == nil {
-			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			WriteError(w, http.StatusNotFound, "not_found", "tracing not enabled")
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -34,6 +34,14 @@ type Record struct {
 	OrthoLoss float64 `json:"ortho_loss,omitempty"`
 	// TSQR names the factorization strategy of a CA window.
 	TSQR string `json:"tsqr,omitempty"`
+	// TraceID, JobID and Attempt correlate the record with the request
+	// trace that owns the solve: chaos re-runs and healed retries of the
+	// same job are distinguishable by attempt. All three are absent from
+	// records emitted outside the serving stack, keeping standalone
+	// telemetry streams byte-identical to earlier releases.
+	TraceID string `json:"trace_id,omitempty"`
+	JobID   string `json:"job_id,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
 }
 
 // Sink consumes telemetry records. Implementations must be safe for use

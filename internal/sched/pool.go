@@ -75,6 +75,12 @@ type PoolConfig struct {
 	// driver reset / device replacement between leases); false removes
 	// them from the pool permanently.
 	Repair bool
+	// TraceEvents, when > 0, enables the bounded event-trace ring on
+	// every pooled context with that capacity. The ring is what the
+	// request-trace endpoint stitches into per-device lanes; ResetStats
+	// preserves the capacity across leases, so every job gets a fresh
+	// ring of the same size.
+	TraceEvents int
 }
 
 // ErrPoolExhausted is returned by Acquire once every pooled context has
@@ -106,6 +112,9 @@ func NewPoolWithConfig(cfg PoolConfig) *Pool {
 		}
 		if cfg.Retry != (gpu.RetryPolicy{}) {
 			c.SetRetryPolicy(cfg.Retry)
+		}
+		if cfg.TraceEvents > 0 {
+			c.Stats().EnableTrace(cfg.TraceEvents)
 		}
 		if i < len(cfg.FaultPlans) && !cfg.FaultPlans[i].Empty() {
 			c.InjectFaults(cfg.FaultPlans[i])

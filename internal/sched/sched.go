@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -73,6 +74,12 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// trace is the job's request trace: the root span (minted by the
+	// submitter or by the scheduler), the queue/lease/heal/solver spans
+	// recorded while the job runs, and the finishing attempt's ledger.
+	// Set once at Submit, immutable afterwards.
+	trace *obs.JobTrace
 
 	seq   uint64 // admission sequence, the FIFO tiebreak
 	index int    // heap position
@@ -142,6 +149,12 @@ func (j *Job) ServiceSeconds() float64 {
 // result at dispatch, a running one stops at the solver's next restart
 // boundary.
 func (j *Job) Cancel() { j.cancel() }
+
+// Trace returns the job's request trace (never nil for admitted jobs).
+func (j *Job) Trace() *obs.JobTrace { return j.trace }
+
+// TraceID returns the trace id shared by every span of the job.
+func (j *Job) TraceID() string { return j.trace.TraceID() }
 
 // Attempts returns how many leases the job has run on — more than one
 // means the scheduler re-queued it after a lease fault.
@@ -235,6 +248,13 @@ type Config struct {
 	// *DrainTimeoutError listing them. 0 preserves the old behavior of
 	// waiting indefinitely.
 	DrainGrace time.Duration
+	// Tracer mints the request-trace identifiers; nil gets a fresh
+	// tracer over Registry. Every job carries a trace whether or not the
+	// submitter provided a root span.
+	Tracer *obs.Tracer
+	// SLO judges finished jobs against per-priority objectives; nil gets
+	// the default two-class engine over Registry.
+	SLO *obs.SLOEngine
 }
 
 func (c *Config) defaults() {
@@ -252,6 +272,12 @@ func (c *Config) defaults() {
 	}
 	if c.MaxJobAttempts == 0 {
 		c.MaxJobAttempts = 2
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(c.Registry)
+	}
+	if c.SLO == nil {
+		c.SLO = obs.NewSLOEngine(c.Registry, obs.SLOConfig{})
 	}
 }
 
@@ -305,6 +331,12 @@ func New(cfg Config) *Scheduler {
 // Pool returns the device pool the scheduler leases from.
 func (s *Scheduler) Pool() *Pool { return s.cfg.Pool }
 
+// Tracer returns the scheduler's trace-id mint (never nil after New).
+func (s *Scheduler) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// SLO returns the scheduler's SLO engine (never nil after New).
+func (s *Scheduler) SLO() *obs.SLOEngine { return s.cfg.SLO }
+
 func (s *Scheduler) Start() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -348,6 +380,13 @@ func (s *Scheduler) Submit(parent context.Context, spec Spec, priority int, dead
 	}
 	seq := s.nextSeq
 	s.nextSeq++
+	// The request root span travels in via the parent context (the HTTP
+	// layer minted it from the traceparent header); a bare Submit gets a
+	// fresh root so every job is traceable.
+	root, ok := obs.SpanFromContext(parent)
+	if !ok {
+		root = s.cfg.Tracer.Root("solve", "")
+	}
 	j := &Job{
 		ID:       fmt.Sprintf("job-%d", seq+1),
 		Priority: priority,
@@ -358,6 +397,17 @@ func (s *Scheduler) Submit(parent context.Context, spec Spec, priority int, dead
 		state:    StateQueued,
 		done:     make(chan struct{}),
 	}
+	root.SetAttr("job_id", j.ID)
+	root.SetAttr("priority", strconv.Itoa(priority))
+	solver := spec.Solver
+	if solver == "" {
+		solver = "ca"
+	}
+	root.SetAttr("solver", solver)
+	if deadline > 0 {
+		root.SetAttr("deadline", deadline.String())
+	}
+	j.trace = obs.NewJobTrace(s.cfg.Tracer, root)
 	j.submitted = time.Now()
 	heap.Push(&s.queue, j)
 	s.jobs[j.ID] = j
@@ -470,7 +520,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		for _, j := range orphans {
-			j.finish(StateCanceled, &core.Result{Canceled: true}, nil)
+			s.finishJob(j, StateCanceled, &core.Result{Canceled: true}, nil)
 			s.met.finished(StateCanceled, 0, 0, 0)
 		}
 		s.met.setDepth(0)
@@ -545,6 +595,7 @@ func (s *Scheduler) nextBatch() []*Job {
 	now := time.Now()
 	head := heap.Pop(&s.queue).(*Job)
 	head.markDispatched(s.nextDispatch, now)
+	s.queueSpan(head, now)
 	s.nextDispatch++
 	s.dispatched++
 	batch := []*Job{head}
@@ -569,6 +620,7 @@ func (s *Scheduler) nextBatch() []*Job {
 		for _, j := range mates {
 			heap.Remove(&s.queue, j.index)
 			j.markDispatched(s.nextDispatch, now)
+			s.queueSpan(j, now)
 			s.nextDispatch++
 			s.dispatched++
 			batch = append(batch, j)
@@ -582,6 +634,57 @@ func (s *Scheduler) nextBatch() []*Job {
 	s.mu.Unlock()
 	s.met.setDepth(depth)
 	return batch
+}
+
+// unixSeconds renders a wall timestamp in the float Unix-seconds form
+// spans carry.
+func unixSeconds(t time.Time) float64 { return float64(t.UnixNano()) / 1e9 }
+
+// queueSpan records the admission-queue wait as a child span of the
+// job's root: submitted → dispatched. A re-queued job gets a second
+// queue span for its second wait. Called with s.mu held.
+func (s *Scheduler) queueSpan(j *Job, dispatched time.Time) {
+	root := j.trace.Root()
+	q := s.cfg.Tracer.Child(root, "queue", obs.KindQueue)
+	j.mu.Lock()
+	q.Start = unixSeconds(j.submitted)
+	q.SetAttr("attempt", strconv.Itoa(j.attempts+1))
+	j.mu.Unlock()
+	if q.Start < root.Start {
+		q.Start = root.Start
+	}
+	q.End = unixSeconds(dispatched)
+	if q.End < q.Start {
+		q.End = q.Start
+	}
+	j.trace.Add(q)
+}
+
+// finishJob moves a job to its terminal state and closes out its trace
+// and SLO accounting: the finishing attempt's ledger is attached (its
+// device lanes become the stitched Chrome trace), the root span is
+// widened over its children and stamped with the outcome, and the
+// end-to-end latency is judged against the job's priority class.
+// Canceled jobs are judged by latency alone — a deadline expiry usually
+// blows the latency target on its own, while a fast user cancel is not
+// the service's failure.
+func (s *Scheduler) finishJob(j *Job, st State, res *core.Result, err error) {
+	modeled := 0.0
+	if res != nil && res.Stats != nil {
+		modeled = res.Stats.TotalTime()
+		j.trace.AttachStats(res.Stats)
+	}
+	j.trace.SetRootAttr("state", string(st))
+	if err != nil {
+		j.trace.SetRootAttr("error", err.Error())
+	}
+	j.finish(st, res, err)
+	j.mu.Lock()
+	end := j.finished
+	latency := j.finished.Sub(j.submitted).Seconds()
+	j.mu.Unlock()
+	j.trace.FinishRoot(unixSeconds(end), modeled)
+	s.cfg.SLO.Observe(j.Priority, latency, st == StateFailed)
 }
 
 // retryableLeaseFault reports errors worth another lease: transfer-retry
@@ -619,7 +722,7 @@ func (s *Scheduler) execute(batch []*Job) {
 	lease, err := s.cfg.Pool.Acquire(context.Background())
 	if err != nil { // pool exhausted: every context evicted
 		for _, j := range batch {
-			j.finish(StateFailed, nil, err)
+			s.finishJob(j, StateFailed, nil, err)
 			s.met.finished(StateFailed, j.WaitSeconds(), 0, 0)
 		}
 		s.retain(batch)
@@ -660,7 +763,7 @@ func (s *Scheduler) execute(batch []*Job) {
 		if j.ctx.Err() != nil {
 			// Deadline or cancellation expired while queued: a Canceled
 			// result without spending device time.
-			j.finish(StateCanceled, &core.Result{Canceled: true}, nil)
+			s.finishJob(j, StateCanceled, &core.Result{Canceled: true}, nil)
 			s.met.finished(StateCanceled, j.WaitSeconds(), 0, 0)
 			terminal = append(terminal, j)
 			continue
@@ -668,6 +771,13 @@ func (s *Scheduler) execute(batch []*Job) {
 		j.setState(StateRunning)
 		attempt := j.bumpAttempts()
 		start := time.Now()
+
+		// One lease span per solve attempt; the solver-phase and heal
+		// spans the telemetry sink derives hang under it.
+		ls := s.cfg.Tracer.Child(j.trace.Root(), fmt.Sprintf("lease attempt %d", attempt), obs.KindLease)
+		ls.Start = unixSeconds(start)
+		ls.SetAttr("attempt", strconv.Itoa(attempt))
+		ls.SetAttr("batch", strconv.Itoa(len(batch)))
 
 		var res *core.Result
 		var err error
@@ -680,6 +790,7 @@ func (s *Scheduler) execute(batch []*Job) {
 		if err == nil {
 			opts := j.Spec.Opts
 			opts.Ctx = j.ctx
+			opts.Telemetry = j.trace.SolverSink(s.cfg.Tracer, ls, j.ID, attempt, opts.Telemetry)
 			switch j.Spec.Solver {
 			case "gmres":
 				res, err = core.GMRES(problem, opts)
@@ -689,11 +800,17 @@ func (s *Scheduler) execute(batch []*Job) {
 				err = fmt.Errorf("sched: unknown solver %q", j.Spec.Solver)
 			}
 		}
+		closeLease := func(outcome string) {
+			ls.End = unixSeconds(time.Now())
+			ls.SetAttr("outcome", outcome)
+			j.trace.Add(ls)
+		}
 		if err != nil && retryableLeaseFault(err) {
 			// The context is suspect after a lease fault: stop preparing
 			// further batch jobs on it and route this one elsewhere.
 			problem = nil
 			if attempt < s.cfg.MaxJobAttempts {
+				closeLease("requeued")
 				s.requeue(j)
 				continue
 			}
@@ -713,11 +830,12 @@ func (s *Scheduler) execute(batch []*Job) {
 		case res.Canceled:
 			st = StateCanceled
 		}
+		closeLease(string(st))
 		modeled := 0.0
 		if res != nil && res.Stats != nil {
 			modeled = res.Stats.TotalTime()
 		}
-		j.finish(st, res, err)
+		s.finishJob(j, st, res, err)
 		s.met.finished(st, j.WaitSeconds(), time.Since(start).Seconds(), modeled)
 		terminal = append(terminal, j)
 	}

@@ -4,9 +4,15 @@
 //	POST /solve     submit a solve job (matrix-generator spec or inline
 //	                MatrixMarket body); ?wait / "wait": true blocks for
 //	                the result, otherwise the job id comes back
-//	                immediately
-//	GET  /jobs/{id} poll a job's state and result
-//	GET  /healthz   liveness + pool/queue snapshot
+//	                immediately. A W3C traceparent request header is
+//	                adopted as the job's trace id and echoed back.
+//	GET  /jobs/{id}             poll a job's state and result
+//	GET  /jobs/{id}/trace.json  the job's stitched Chrome trace: request/
+//	                            queue/lease spans, solver phases, and the
+//	                            per-device ledger lanes of the solve
+//	GET  /jobs/{id}/spans.jsonl the raw span tree as JSON lines
+//	GET  /slo                   per-class error budgets and burn rates
+//	GET  /healthz   liveness + pool/queue snapshot + SLO degradation
 //
 // mounted next to the internal/obs surface (/metrics, /metrics.json,
 // /trace.json, /debug/pprof), so one scrape sees both the scheduler
@@ -16,6 +22,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -101,6 +108,10 @@ type JobJSON struct {
 	// fault; Faults reports what the winning solve survived.
 	Attempts int         `json:"attempts,omitempty"`
 	Faults   *FaultsJSON `json:"faults,omitempty"`
+	// TraceID correlates the job with its request trace
+	// (/jobs/{id}/trace.json, /jobs/{id}/spans.jsonl) and with the
+	// submitter's own tracing when a traceparent header was sent.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // FaultsJSON is the wire form of core.FaultReport: the faults a solve
@@ -141,6 +152,12 @@ type Healthz struct {
 	LeaseTimeouts   uint64 `json:"lease_timeouts"`
 	Repartitions    uint64 `json:"repartitions"`
 	Restores        uint64 `json:"checkpoint_restores"`
+	// SLODegraded mirrors the SLO engine's multi-window burn-rate alarm:
+	// some class is burning error budget above threshold on both the
+	// fast and the slow window. SLO carries the full per-class report
+	// (/slo returns the same body on its own).
+	SLODegraded bool           `json:"slo_degraded"`
+	SLO         *obs.SLOReport `json:"slo,omitempty"`
 }
 
 // errorJSON is every non-2xx body: a stable machine-readable code, the
@@ -177,6 +194,7 @@ func New(s *sched.Scheduler, reg *obs.Registry) *Server {
 	srv := &Server{sched: s, mux: http.NewServeMux(), cache: make(map[string]*sparse.CSR)}
 	srv.mux.HandleFunc("/solve", srv.handleSolve)
 	srv.mux.HandleFunc("/jobs/", srv.handleJob)
+	srv.mux.HandleFunc("/slo", srv.handleSLO)
 	srv.mux.HandleFunc("/healthz", srv.handleHealthz)
 	if reg != nil {
 		srv.mux.Handle("/", obs.Handler(reg, nil))
@@ -195,9 +213,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// handleSLO serves the SLO engine's current report: per-class error
+// budgets and fast/slow burn rates, the signal an autoscaler consumes.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Code: codeMethodNotAllowed, Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sched.SLO().Report())
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.sched.Snapshot()
 	prof := s.sched.Pool().Profile()
+	slo := s.sched.SLO().Report()
 	writeJSON(w, http.StatusOK, Healthz{
 		OK:         !snap.Draining,
 		Profile:    prof.Name,
@@ -221,6 +250,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		LeaseTimeouts:   snap.LeaseTimeouts,
 		Repartitions:    snap.Repartitions,
 		Restores:        snap.Restores,
+
+		SLODegraded: slo.Degraded,
+		SLO:         &slo,
 	})
 }
 
@@ -282,6 +314,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Code: codeMethodNotAllowed, Error: "POST only"})
 		return
 	}
+	// Mint the request root span before touching the body: a caller's
+	// traceparent is adopted (their span becomes our parent) and echoed on
+	// every response — including rejections — so the trace id round-trips
+	// no matter what happens to the request.
+	root := s.sched.Tracer().Root("solve", r.Header.Get("traceparent"))
+	w.Header().Set("traceparent", root.Traceparent())
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Code: codeBadRequest, Error: "bad request body: " + err.Error()})
@@ -335,9 +373,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The job outlives the HTTP request unless the client waits, so the
-	// request context must not be its parent.
-	job, err := s.sched.Submit(nil, spec, req.Priority,
-		time.Duration(req.DeadlineMS)*time.Millisecond)
+	// request context must not be its parent — only the root span rides
+	// along, on a fresh background context.
+	job, err := s.sched.Submit(obs.ContextWithSpan(context.Background(), root),
+		spec, req.Priority, time.Duration(req.DeadlineMS)*time.Millisecond)
 	if err != nil {
 		var full *sched.QueueFullError
 		switch {
@@ -374,17 +413,37 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	// Sub-resources: /jobs/{id}/trace.json and /jobs/{id}/spans.jsonl.
+	sub := ""
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id, sub = id[:i], id[i+1:]
+	}
 	job, ok := s.sched.Job(id)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorJSON{Code: codeNotFound, Error: "unknown job " + id})
 		return
 	}
-	includeX := r.URL.Query().Get("include_x") == "true"
-	writeJSON(w, http.StatusOK, jobJSON(job, includeX))
+	switch sub {
+	case "":
+		includeX := r.URL.Query().Get("include_x") == "true"
+		writeJSON(w, http.StatusOK, jobJSON(job, includeX))
+	case "trace.json":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("traceparent", job.Trace().Root().Traceparent())
+		_ = job.Trace().WriteChromeTrace(w)
+	case "spans.jsonl":
+		w.Header().Set("Content-Type", "application/jsonl")
+		w.Header().Set("traceparent", job.Trace().Root().Traceparent())
+		_ = job.Trace().WriteSpansJSONL(w)
+	default:
+		writeJSON(w, http.StatusNotFound, errorJSON{Code: codeNotFound,
+			Error: "unknown job resource " + sub + " (want trace.json or spans.jsonl)"})
+	}
 }
 
 func jobJSON(j *sched.Job, includeX bool) JobJSON {
-	out := JobJSON{ID: j.ID, State: string(j.State()), Priority: j.Priority}
+	out := JobJSON{ID: j.ID, State: string(j.State()), Priority: j.Priority,
+		TraceID: j.TraceID()}
 	select {
 	case <-j.Done():
 	default:
