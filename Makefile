@@ -17,12 +17,15 @@
 # drives a traced workload through the daemon and validates the
 # request-tracing/SLO surface: traceparent round trip, span-stream lint,
 # stitched Chrome trace, /slo report, and the slo_*/trace_* families.
+# `make cluster-smoke` federates 3 in-process nodes behind
+# cagmres-router, kills one mid-run, and requires re-routing, health
+# degrade/recover, a bit-identical chaos replay, and a graceful drain.
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke trace-smoke fuzz-smoke cover-profile bench-snapshot
+.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke trace-smoke cluster-smoke fuzz-smoke cover-profile bench-snapshot
 
-check: vet staticcheck race test fuzz-smoke cover-profile serve-smoke chaos-smoke overlap-smoke trace-smoke
+check: vet staticcheck race test fuzz-smoke cover-profile serve-smoke chaos-smoke overlap-smoke trace-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -45,7 +48,7 @@ test:
 race:
 	$(GO) test -race ./internal/gpu/... ./internal/la/... ./internal/ortho/... ./internal/obs/... \
 		./internal/sched/... ./internal/server/... ./internal/profile/... ./internal/dist/... \
-		./cmd/loadgen/...
+		./internal/cluster/... ./cmd/loadgen/...
 
 # Opt-in wall-clock kernel comparison (needs an unloaded machine).
 measured:
@@ -83,6 +86,12 @@ chaos-smoke:
 trace-smoke:
 	GO="$(GO)" sh scripts/trace_smoke.sh
 
+# Cluster smoke test: router + 3 in-process backends, cluster loadgen,
+# kill a node mid-run (healthz degrades, solves re-route to survivors),
+# revive (healthz recovers), chaos cluster replay, graceful drain.
+cluster-smoke:
+	GO="$(GO)" sh scripts/cluster_smoke.sh
+
 # Overlap regression smoke: the stream schedule must strictly beat the
 # synchronous schedule on the full device count for every basis depth
 # of the Figure 11 configuration (exit 1 on any regression).
@@ -96,6 +105,7 @@ overlap-smoke:
 fuzz-smoke:
 	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzMatrixMarketSpec -fuzztime 5s
 	$(GO) test ./internal/profile/ -run '^$$' -fuzz FuzzDecode -fuzztime 5s
+	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzRouterDecode -fuzztime 5s
 
 # Coverage floor for the machine-profile package: the conformance suite
 # is the fence the profile refactor landed behind, so its coverage must
@@ -108,8 +118,11 @@ cover-profile:
 
 # Refresh the committed benchmark snapshots: the modeled overlap study
 # (deterministic) plus the host GEMM wall-clock comparison (machine-
-# dependent by nature; warmup + best-of-5), and the interconnect-topology
-# study (deterministic).
+# dependent by nature; warmup + best-of-5), the interconnect-topology
+# study, the standing-figures rerun, and the multi-node cluster scaling
+# study (all deterministic).
 bench-snapshot:
 	$(GO) run ./cmd/experiments -fig overlap -benchjson BENCH_pr5.json > /dev/null
 	$(GO) run ./cmd/experiments -fig topology -devices 4 -topologyjson BENCH_pr6.json > /dev/null
+	$(GO) run ./cmd/experiments -fig overlap -devices 4 -standingjson BENCH_pr7.json > /dev/null
+	$(GO) run ./cmd/experiments -fig cluster -clusterjson BENCH_pr8.json > /dev/null

@@ -74,6 +74,16 @@ type (
 	// TopoKind names an interconnect shape (host-hub, pcie-switch,
 	// nvlink-ring, all-to-all).
 	TopoKind = gpu.TopoKind
+	// Cluster is the optional second tier of a Profile: devices grouped
+	// into simulated compute nodes joined by an inter-node Fabric. The
+	// zero value keeps the single-node machine.
+	Cluster = gpu.Cluster
+	// Fabric holds the inter-node interconnect constants (α/β of one
+	// node uplink) of a clustered Profile.
+	Fabric = gpu.Fabric
+	// FabricKind names an inter-node interconnect generation (ib-hdr,
+	// ib-edr, ethernet-100g, ethernet-25g).
+	FabricKind = gpu.FabricKind
 	// Context is the simulated multi-GPU node.
 	Context = gpu.Context
 	// Matrix is a sparse matrix in compressed sparse row form.

@@ -1,0 +1,230 @@
+// Command cagmres-router fronts a federation of cagmresd backends: it
+// shards solve requests across nodes by matrix identity (rendezvous
+// hashing, so every router instance agrees without coordination),
+// forwards on backend overload or node death with a bounded hop budget,
+// and aggregates the per-node health/SLO surfaces into cluster views.
+//
+// Two membership modes, composable:
+//
+//	cagmres-router -backends node0=http://h0:8080,node1=http://h1:8080
+//	cagmres-router -local 3 -devices 2
+//
+// -local N boots N full in-process nodes (pool + scheduler + HTTP
+// surface each), which is how the smoke tests and the chaos harness
+// simulate a cluster in one process; -backends federates real daemons.
+//
+// POST /admin/kill/{name} simulates whole-node death at the router
+// (requests stop reaching the backend); /admin/revive/{name} restores
+// it. In-flight jobs on a killed node fail over to the shard's next
+// rendezvous candidate, attempts preserved.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cagmres/internal/cluster"
+	"cagmres/internal/gpu"
+	"cagmres/internal/obs"
+	"cagmres/internal/profile"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address (\":0\" picks a free port)")
+		portFile = flag.String("portfile", "", "write the bound address to this file once listening")
+
+		backendsFlag = flag.String("backends", "", "comma-separated backend daemons, each name=url (or a bare url, auto-named nodeN)")
+		localN       = flag.Int("local", 0, "boot this many in-process backends instead of (or in addition to) -backends")
+		maxHops      = flag.Int("max-hops", 3, "forwarding hop budget per solve (candidates tried before rejecting)")
+		shardMapPath = flag.String("shard-map", "", "JSON shard-map file: {\"assign\":{key:backend},\"weights\":{backend:w}}")
+
+		poolSize       = flag.Int("pool", 1, "pooled device contexts per -local node")
+		devices        = flag.Int("devices", 3, "simulated GPUs per context on -local nodes")
+		queueDepth     = flag.Int("queue", 64, "admission queue depth per -local node")
+		maxBatch       = flag.Int("batch", 8, "max batched jobs per lease on -local nodes")
+		maxJobAttempts = flag.Int("max-job-attempts", 0, "attempt cap per job on -local nodes (0 keeps the sched default)")
+		repair         = flag.Bool("repair", false, "repair contexts evicted after device death on -local nodes")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "grace period for -local nodes at shutdown")
+
+		profName       = flag.String("profile", "", "machine profile for -local nodes (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
+		topoName       = flag.String("topology", "", "override the profile's node-local interconnect topology")
+		devicesPerNode = flag.Int("devices-per-node", 0, "arm the two-tier interconnect: devices per simulated node (0 keeps flat single-node profiles)")
+		fabricName     = flag.String("fabric", "", "inter-node fabric for the two-tier interconnect ("+strings.Join(profile.FabricNames(), ", ")+"); default "+profile.DefaultFabricName)
+
+		chaosSeed = flag.Int64("chaos-seed", 0, "seed for -chaos-kill-node fault plans")
+		chaosKill = flag.String("chaos-kill-node", "", "arm whole-node death on a -local node: name@seconds (virtual time) kills every device of that node's contexts, e.g. node0@0.001")
+	)
+	flag.Parse()
+	if err := run(*addr, *portFile, *backendsFlag, *localN, *maxHops, *shardMapPath,
+		*poolSize, *devices, *queueDepth, *maxBatch, *maxJobAttempts, *repair, *drainTimeout,
+		*profName, *topoName, *devicesPerNode, *fabricName, *chaosSeed, *chaosKill); err != nil {
+		fmt.Fprintln(os.Stderr, "cagmres-router:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBackends turns the -backends flag into HTTP backends.
+func parseBackends(spec string, startIdx int) ([]*cluster.Backend, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []*cluster.Backend
+	for i, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(item, "=")
+		if !ok {
+			name, url = fmt.Sprintf("node%d", startIdx+i), item
+		}
+		b, err := cluster.NewHTTPBackend(name, url)
+		if err != nil {
+			return nil, fmt.Errorf("-backends %q: %w", item, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// nodeDeathPlan arms the -chaos-kill-node flag: every device of every
+// pooled context on the named node dies at the given virtual time, so
+// the node's jobs fail terminally and the router must re-route them.
+func nodeDeathPlan(spec string, poolSize, devices int, seed int64) (string, []gpu.FaultPlan, error) {
+	if spec == "" {
+		return "", nil, nil
+	}
+	name, at, ok := strings.Cut(spec, "@")
+	if !ok || name == "" {
+		return "", nil, fmt.Errorf("-chaos-kill-node %q: want name@seconds", spec)
+	}
+	var t float64
+	if _, err := fmt.Sscanf(at, "%g", &t); err != nil || t < 0 {
+		return "", nil, fmt.Errorf("-chaos-kill-node %q: bad virtual time %q", spec, at)
+	}
+	plans := make([]gpu.FaultPlan, poolSize)
+	for i := range plans {
+		plans[i].Seed = seed + int64(i)
+		for d := 0; d < devices; d++ {
+			plans[i].Deaths = append(plans[i].Deaths, gpu.DeviceDeath{Device: d, At: t})
+		}
+	}
+	return name, plans, nil
+}
+
+func run(addr, portFile, backendsFlag string, localN, maxHops int, shardMapPath string,
+	poolSize, devices, queueDepth, maxBatch, maxJobAttempts int, repair bool, drainTimeout time.Duration,
+	profName, topoName string, devicesPerNode int, fabricName string, chaosSeed int64, chaosKill string) error {
+
+	prof, err := profile.FromFlags(profName, topoName)
+	if err != nil {
+		return err
+	}
+	prof, err = profile.ClusterFromFlags(prof, devicesPerNode, fabricName)
+	if err != nil {
+		return err
+	}
+
+	var shardMap *cluster.ShardMap
+	if shardMapPath != "" {
+		data, err := os.ReadFile(shardMapPath)
+		if err != nil {
+			return err
+		}
+		if shardMap, err = cluster.DecodeShardMap(data); err != nil {
+			return err
+		}
+	}
+
+	remote, err := parseBackends(backendsFlag, localN)
+	if err != nil {
+		return err
+	}
+	doomed, plans, err := nodeDeathPlan(chaosKill, poolSize, devices, chaosSeed)
+	if err != nil {
+		return err
+	}
+
+	var nodes []*cluster.LocalNode
+	var backends []*cluster.Backend
+	for i := 0; i < localN; i++ {
+		name := fmt.Sprintf("node%d", i)
+		cfg := cluster.LocalNodeConfig{
+			Name: name, PoolSize: poolSize, Devices: devices, Profile: prof,
+			QueueDepth: queueDepth, MaxBatch: maxBatch,
+			MaxJobAttempts: maxJobAttempts, Repair: repair,
+		}
+		if name == doomed {
+			cfg.MaxJobAttempts = 1 // every retry lands on the same dead node
+			cfg.FaultPlans = plans
+		}
+		n := cluster.NewLocalNode(cfg)
+		nodes = append(nodes, n)
+		backends = append(backends, n.Backend())
+	}
+	if doomed != "" && localN == 0 {
+		return fmt.Errorf("-chaos-kill-node needs -local nodes")
+	}
+	backends = append(backends, remote...)
+	if len(backends) == 0 {
+		return fmt.Errorf("no backends: give -backends and/or -local")
+	}
+
+	router := cluster.New(cluster.Config{
+		Backends: backends, MaxHops: maxHops, ShardMap: shardMap,
+	})
+	srv, bound, err := obs.Serve(addr, router)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cagmres-router: serving on %s (%d backends: %s; max hops %d)\n",
+		bound, len(backends), strings.Join(router.Backends(), ", "), maxHops)
+	if localN > 0 {
+		fmt.Printf("cagmres-router: %d in-process nodes (pool %d×%d GPUs, profile %s)\n",
+			localN, poolSize, devices, nodeProfileName(prof))
+	}
+	if doomed != "" {
+		fmt.Printf("cagmres-router: chaos armed, whole-node death on %s\n", doomed)
+	}
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(bound), 0o644); err != nil {
+			return err
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("cagmres-router: %v, draining %d local nodes (timeout %v)\n", got, len(nodes), drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	for _, n := range nodes {
+		if err := n.Drain(ctx); err != nil {
+			fmt.Printf("cagmres-router: drain %s: %v\n", n.Name, err)
+		}
+	}
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		_ = srv.Close()
+	}
+	solves, reroutes, rejects := router.Counts()
+	fmt.Printf("cagmres-router: drained; routed=%d reroutes=%d rejects=%d\n", solves, reroutes, rejects)
+	return nil
+}
+
+// nodeProfileName names the local nodes' profile for the banner.
+func nodeProfileName(p *gpu.Profile) string {
+	if p == nil {
+		return "m2090"
+	}
+	return p.Name
+}

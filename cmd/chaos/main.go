@@ -29,13 +29,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"time"
 
+	"cagmres/internal/cluster"
 	"cagmres/internal/core"
 	"cagmres/internal/gpu"
 	"cagmres/internal/matgen"
@@ -65,6 +68,9 @@ func main() {
 		metricsOut = flag.String("metricsout", "", "write the scheduler replay's Prometheus exposition here")
 		profName   = flag.String("profile", "", "machine profile for every context (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
 		topoName   = flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
+
+		clusterRun = flag.Bool("cluster", false, "cluster layer: federate -nodes in-process backends behind a router, kill the shard's whole first-choice node mid-solve, and require completion on a survivor plus a bit-identical replay")
+		nodes      = flag.Int("nodes", 3, "in-process backends for -cluster")
 	)
 	flag.Parse()
 	prof, err := profile.FromFlags(*profName, *topoName)
@@ -72,11 +78,134 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
+	if *clusterRun {
+		if err := runCluster(*nodes, *devices, *seed, *matrix, *scale, *mFlag, *sFlag, *tol, prof); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*poolSize, *devices, *jobs, *seed, *kill, *xferProb, *maxXfer, *straggle,
 		*matrix, *scale, *mFlag, *sFlag, *tol, *repair, *overlap, *benchJSON, *metricsOut, prof); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
+}
+
+// clusterJob is the slice of a routed job's wire form the cluster layer
+// compares across the degraded run and its replay.
+type clusterJob struct {
+	ID             string  `json:"id"`
+	State          string  `json:"state"`
+	Converged      bool    `json:"converged"`
+	ModeledSeconds float64 `json:"modeled_seconds"`
+	Iters          int     `json:"iters"`
+	RelRes         float64 `json:"relres"`
+	Attempts       int     `json:"attempts"`
+	Backend        string  `json:"backend"`
+	Hops           int     `json:"hops"`
+	Error          string  `json:"error"`
+}
+
+// clusterSolve drives one waited solve through a router built over
+// fresh in-process nodes; doomed (if non-empty) gets a whole-node death
+// plan — every device of its context dies at killAt virtual seconds.
+func clusterSolve(n, devices int, seed int64, doomed string, killAt float64,
+	matrix string, scale float64, m, s int, tol float64, prof *gpu.Profile) (clusterJob, error) {
+	var locals []*cluster.LocalNode
+	var backends []*cluster.Backend
+	for i := 0; i < n; i++ {
+		cfg := cluster.LocalNodeConfig{Name: fmt.Sprintf("node%d", i), Devices: devices, Profile: prof}
+		if cfg.Name == doomed {
+			plan := gpu.FaultPlan{Seed: seed}
+			for d := 0; d < devices; d++ {
+				plan.Deaths = append(plan.Deaths, gpu.DeviceDeath{Device: d, At: killAt})
+			}
+			cfg.FaultPlans = []gpu.FaultPlan{plan}
+			cfg.MaxJobAttempts = 1 // retries would land on the same dead node
+		}
+		node := cluster.NewLocalNode(cfg)
+		locals = append(locals, node)
+		backends = append(backends, node.Backend())
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, node := range locals {
+			_ = node.Drain(ctx)
+		}
+	}()
+	router := cluster.New(cluster.Config{Backends: backends, MaxHops: n})
+	body, _ := json.Marshal(map[string]any{
+		"matrix": map[string]any{"name": matrix, "scale": scale},
+		"m":      m, "s": s, "tol": tol, "ortho": "CholQR", "wait": true,
+	})
+	rec := httptest.NewRecorder()
+	router.ServeHTTP(rec, httptest.NewRequest("POST", "/solve", bytes.NewReader(body)))
+	var job clusterJob
+	if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil {
+		return job, fmt.Errorf("routed solve: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Code != 200 {
+		return job, fmt.Errorf("routed solve: HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	return job, nil
+}
+
+// runCluster is the cluster chaos layer: a probe run on a healthy
+// federation finds the shard's first-choice node and its fault-free
+// modeled time, the degraded run kills that whole node (every device)
+// halfway through the solve and must complete on a survivor with the
+// burned attempt accounted, and a replay of the degraded run under the
+// same seed must be bit-identical.
+func runCluster(n, devices int, seed int64, matrix string, scale float64,
+	m, s int, tol float64, prof *gpu.Profile) error {
+	if n < 2 {
+		return fmt.Errorf("-cluster needs at least 2 nodes, got %d", n)
+	}
+	probe, err := clusterSolve(n, devices, seed, "", 0, matrix, scale, m, s, tol, prof)
+	if err != nil {
+		return err
+	}
+	if probe.State != "done" || !probe.Converged || probe.Hops != 1 {
+		return fmt.Errorf("probe solve on healthy federation: %+v", probe)
+	}
+	fmt.Printf("chaos cluster: probe solve on %d nodes: shard owner %s, %.6fs modeled, %d iters\n",
+		n, probe.Backend, probe.ModeledSeconds, probe.Iters)
+
+	killAt := 0.5 * probe.ModeledSeconds
+	deg, err := clusterSolve(n, devices, seed, probe.Backend, killAt, matrix, scale, m, s, tol, prof)
+	if err != nil {
+		return err
+	}
+	if deg.State != "done" || !deg.Converged {
+		return fmt.Errorf("degraded routed solve did not converge: %+v", deg)
+	}
+	if deg.Backend == probe.Backend {
+		return fmt.Errorf("job stayed on the dead node %s: %+v", probe.Backend, deg)
+	}
+	if deg.Hops < 2 {
+		return fmt.Errorf("node death did not force a reroute: %+v", deg)
+	}
+	if deg.Attempts < 2 {
+		return fmt.Errorf("attempt burned on the dead node lost from the accounting: %+v", deg)
+	}
+	fmt.Printf("chaos cluster: node %s killed @ %.6fs (all %d devices): job rerouted to %s, hops=%d attempts=%d, %.6fs modeled, relres %.2e\n",
+		probe.Backend, killAt, devices, deg.Backend, deg.Hops, deg.Attempts, deg.ModeledSeconds, deg.RelRes)
+
+	deg2, err := clusterSolve(n, devices, seed, probe.Backend, killAt, matrix, scale, m, s, tol, prof)
+	if err != nil {
+		return fmt.Errorf("degraded replay: %w", err)
+	}
+	if deg2.ModeledSeconds != deg.ModeledSeconds || deg2.Iters != deg.Iters ||
+		deg2.RelRes != deg.RelRes || deg2.Backend != deg.Backend ||
+		deg2.Hops != deg.Hops || deg2.Attempts != deg.Attempts {
+		return fmt.Errorf("degraded cluster replay diverged:\n  run 1: %+v\n  run 2: %+v", deg, deg2)
+	}
+	fmt.Printf("chaos cluster: degraded replay bit-identical (%.9fs modeled, %d iters, relres %.17g)\n",
+		deg2.ModeledSeconds, deg2.Iters, deg2.RelRes)
+	fmt.Println("chaos: ok")
+	return nil
 }
 
 // solveSnap is one solve's record in the bench JSON.

@@ -6,7 +6,8 @@
 //	experiments [flags]
 //
 //	-fig string     which figure to run: 3, 6, 7, 8, 10, 11, 13, 14, 15,
-//	                overlap, topology, ablation or "all" (default "all")
+//	                overlap, topology, cluster, ablation or "all"
+//	                (default "all")
 //	-scale float    matrix scale relative to the published sizes
 //	                (default 0.02; 1.0 = paper-sized, slow)
 //	-devices int    maximum simulated GPU count (default 3)
@@ -38,6 +39,10 @@
 //	                pcie-switch, nvlink-ring, all-to-all)
 //	-topologyjson f write the interconnect-topology study (deterministic)
 //	                as a JSON benchmark snapshot
+//	-clusterjson f  write the multi-node cluster scaling study
+//	                (deterministic) as a JSON benchmark snapshot
+//	-standingjson f write a rerun of the standing modeled studies
+//	                (overlap + topology, deterministic) as one snapshot
 //
 // By default every figure is a pure function of the calibrated cost
 // model: rerunning produces byte-identical numbers on any machine. Only
@@ -67,7 +72,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (3,6,7,8,10,11,13,14,15,overlap,topology,ablation,all)")
+	fig := flag.String("fig", "all", "figure to regenerate (3,6,7,8,10,11,13,14,15,overlap,topology,cluster,ablation,all)")
 	scale := flag.Float64("scale", 0.02, "matrix scale relative to published sizes")
 	devices := flag.Int("devices", 3, "maximum simulated GPU count")
 	restarts := flag.Int("restarts", 40, "restart cap per solve")
@@ -81,6 +86,8 @@ func main() {
 	profName := flag.String("profile", "", "machine profile for the figure drivers (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
 	topoName := flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
 	topoJSON := flag.String("topologyjson", "", "write the interconnect-topology study (deterministic) as a JSON benchmark snapshot to this file")
+	clusterJSON := flag.String("clusterjson", "", "write the multi-node cluster scaling study (deterministic) as a JSON benchmark snapshot to this file")
+	standingJSON := flag.String("standingjson", "", "write a rerun of the standing modeled studies (overlap + topology, deterministic) as a JSON benchmark snapshot to this file")
 	overlap := onOffFlag(true)
 	flag.Var(&overlap, "overlap", "arm the asynchronous stream engine in the overlap study; -overlap=off degenerates it to the barrier schedule")
 	overlapCheck := flag.Bool("overlapcheck", false, "exit 1 unless the stream schedule strictly beats the synchronous schedule on the full device count")
@@ -172,6 +179,7 @@ func main() {
 			}
 		}},
 		{"topology", func() { emit("figtopology", bench.FigTopology(cfg)) }},
+		{"cluster", func() { emit("figcluster", bench.FigCluster(cfg)) }},
 		{"ablation", func() {
 			emit("ablation_latency", bench.AblationLatency(cfg))
 			emit("ablation_basis", bench.AblationBasis(cfg))
@@ -202,7 +210,7 @@ func main() {
 		fmt.Printf("---- %.1fs ----\n\n", time.Since(start).Seconds())
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,overlap,topology,ablation or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,overlap,topology,cluster,ablation or all)\n", *fig)
 		os.Exit(2)
 	}
 	if *traceout != "" {
@@ -257,6 +265,18 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *topoJSON)
+	}
+	if *clusterJSON != "" {
+		if err := writeClusterJSON(*clusterJSON, *scale); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *clusterJSON)
+	}
+	if *standingJSON != "" {
+		if err := writeStandingJSON(*standingJSON, *scale, *devices); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *standingJSON)
 	}
 
 	if *serve != "" {
@@ -357,6 +377,53 @@ func writeTopologyJSON(path string, scale float64, devices int) error {
 		Scale:    scale,
 		Devices:  devices,
 		Topology: bench.FigTopology(cfg),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeClusterJSON writes the multi-node scaling study as a JSON
+// benchmark snapshot. The study is a pure function of the cost model —
+// regenerating on any machine produces byte-identical numbers.
+func writeClusterJSON(path string, scale float64) error {
+	cfg := bench.Config{Scale: scale}
+	snap := struct {
+		Name    string             `json:"name"`
+		Scale   float64            `json:"scale"`
+		Cluster []bench.ClusterRow `json:"cluster"`
+	}{
+		Name:    "cluster-study",
+		Scale:   scale,
+		Cluster: bench.FigCluster(cfg),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeStandingJSON reruns the standing modeled studies — the overlap
+// engine and the interconnect-topology sweep — into one deterministic
+// snapshot, so the perf trajectory stays dense across PRs that change
+// the serving layer rather than the solver arithmetic.
+func writeStandingJSON(path string, scale float64, devices int) error {
+	cfg := bench.Config{Scale: scale, MaxDevices: devices, Overlap: true}
+	snap := struct {
+		Name     string              `json:"name"`
+		Scale    float64             `json:"scale"`
+		Devices  int                 `json:"devices"`
+		Overlap  []bench.OverlapRow  `json:"overlap"`
+		Topology []bench.TopologyRow `json:"topology"`
+	}{
+		Name:     "standing-figures-rerun",
+		Scale:    scale,
+		Devices:  devices,
+		Overlap:  bench.FigOverlap(cfg),
+		Topology: bench.FigTopology(bench.Config{Scale: scale, MaxDevices: devices}),
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -59,7 +59,7 @@ type artifacts struct {
 
 func main() {
 	var (
-		mode       = flag.String("mode", "virtual", "live (drive a daemon over HTTP) or virtual (deterministic replay)")
+		mode       = flag.String("mode", "virtual", "live (drive a daemon over HTTP), cluster (drive a cagmres-router: shard spread + per-backend stats), or virtual (deterministic replay)")
 		addr       = flag.String("addr", "", "daemon address for -mode live (host:port)")
 		portFile   = flag.String("portfile", "", "read the daemon address from this file (written by cagmresd -portfile)")
 		clients    = flag.Int("clients", 4, "concurrent closed-loop clients")
@@ -94,7 +94,7 @@ func main() {
 func run(mode, addr, portFile string, clients, requests int, sweep string, pool, devices int,
 	matrix string, scale float64, m, s int, tol float64, arts artifacts) error {
 	switch mode {
-	case "live":
+	case "live", "cluster":
 		if portFile != "" {
 			data, err := os.ReadFile(portFile)
 			if err != nil {
@@ -103,9 +103,9 @@ func run(mode, addr, portFile string, clients, requests int, sweep string, pool,
 			addr = strings.TrimSpace(string(data))
 		}
 		if addr == "" {
-			return fmt.Errorf("live mode needs -addr or -portfile")
+			return fmt.Errorf("%s mode needs -addr or -portfile", mode)
 		}
-		return runLive(addr, clients, requests, matrix, scale, m, s, tol, arts)
+		return runLive(addr, clients, requests, matrix, scale, m, s, tol, mode == "cluster", arts)
 	case "virtual":
 		counts := []int{clients}
 		if sweep != "" {
@@ -120,7 +120,7 @@ func run(mode, addr, portFile string, clients, requests int, sweep string, pool,
 		}
 		return runVirtual(counts, requests, pool, devices, matrix, scale, m, s, tol, arts.sloJSON)
 	}
-	return fmt.Errorf("unknown mode %q (want live or virtual)", mode)
+	return fmt.Errorf("unknown mode %q (want live, cluster, or virtual)", mode)
 }
 
 // rhsFor builds the deterministic per-request right-hand side; request
@@ -137,8 +137,12 @@ func rhsFor(n, seed int) []float64 {
 // ---------------------------------------------------------------------
 // live mode
 
+// runLive drives a daemon (or, with cluster set, a cagmres-router) with
+// a closed loop of waited solves. Cluster mode jitters the matrix scale
+// per client so the shard keys spread over the backends, tallies the
+// per-backend routing, and checks the aggregated /healthz afterwards.
 func runLive(addr string, clients, requests int, matrix string, scale float64,
-	m, s int, tol float64, arts artifacts) error {
+	m, s int, tol float64, cluster bool, arts artifacts) error {
 	base := "http://" + addr
 	gen, err := matgen.ByName(matrix, scale)
 	if err != nil {
@@ -159,8 +163,20 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 		wall    float64 // client-observed seconds
 		modeled float64 // server-reported device seconds
 	}
+	// Cluster mode jitters the scale per client: the shard key is derived
+	// from the exact scale string, so distinct clients land on distinct
+	// backends while the generated problem stays the same size.
+	scaleFor := func(c int) float64 {
+		if !cluster {
+			return scale
+		}
+		return scale * (1 + 1e-9*float64(c))
+	}
+
 	samples := make([][]sample, clients)
 	firstJob := make([]string, clients)
+	viaBackend := make([]map[string]int, clients)
+	hopTotal := make([]int, clients)
 	errs := make([]error, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -168,12 +184,22 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			viaBackend[c] = make(map[string]int)
+			nc := n
+			if cluster {
+				g, err := matgen.ByName(matrix, scaleFor(c))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				nc = g.A.Rows
+			}
 			for i := 0; i < requests; i++ {
 				seed := c*requests + i
 				body, _ := json.Marshal(map[string]any{
-					"matrix": map[string]any{"name": matrix, "scale": scale},
+					"matrix": map[string]any{"name": matrix, "scale": scaleFor(c)},
 					"m":      m, "s": s, "tol": tol, "ortho": "CholQR",
-					"rhs":  rhsFor(n, seed),
+					"rhs":  rhsFor(nc, seed),
 					"wait": true,
 				})
 				req, err := http.NewRequest("POST", base+"/solve", bytes.NewReader(body))
@@ -215,6 +241,8 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 					State          string  `json:"state"`
 					Converged      bool    `json:"converged"`
 					ModeledSeconds float64 `json:"modeled_seconds"`
+					Backend        string  `json:"backend"`
+					Hops           int     `json:"hops"`
 				}
 				if err := json.Unmarshal(data, &job); err != nil {
 					errs[c] = err
@@ -223,6 +251,14 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 				if job.State != "done" || !job.Converged {
 					errs[c] = fmt.Errorf("client %d request %d: state=%s converged=%t", c, i, job.State, job.Converged)
 					return
+				}
+				if cluster {
+					if job.Backend == "" {
+						errs[c] = fmt.Errorf("client %d request %d: cluster response without a backend (is %s a router?)", c, i, addr)
+						return
+					}
+					viaBackend[c][job.Backend]++
+					hopTotal[c] += job.Hops
 				}
 				if firstJob[c] == "" {
 					firstJob[c] = job.ID
@@ -247,10 +283,38 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 		}
 	}
 	total := len(wall)
-	fmt.Printf("loadgen live: %d clients × %d requests against %s (%s n=%d)\n",
-		clients, requests, addr, matrix, n)
+	modeName := "live"
+	if cluster {
+		modeName = "cluster"
+	}
+	fmt.Printf("loadgen %s: %d clients × %d requests against %s (%s n=%d)\n",
+		modeName, clients, requests, addr, matrix, n)
 	fmt.Printf("  completed %d solves in %.3fs wall (%.1f solves/s)\n",
 		total, elapsed, float64(total)/elapsed)
+	if cluster {
+		dist := make(map[string]int)
+		hops := 0
+		for c := range viaBackend {
+			for name, k := range viaBackend[c] {
+				dist[name] += k
+			}
+			hops += hopTotal[c]
+		}
+		names := make([]string, 0, len(dist))
+		for name := range dist {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s:%d", name, dist[name])
+		}
+		fmt.Printf("  sharded over %d backends (%s), %.2f hops/solve\n",
+			len(dist), strings.Join(parts, " "), float64(hops)/float64(total))
+		if err := checkClusterHealth(base); err != nil {
+			return err
+		}
+	}
 	if wantTrace != "" {
 		fmt.Printf("  traceparent echoed on all %d responses (trace %s)\n", total, wantTrace)
 	}
@@ -302,6 +366,40 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 			return err
 		}
 	}
+	return nil
+}
+
+// checkClusterHealth asserts the router's aggregated health view after
+// a cluster-mode run: the federation must report OK with at least one
+// healthy backend.
+func checkClusterHealth(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /healthz: status %d: %s", resp.StatusCode, data)
+	}
+	var h struct {
+		OK       bool `json:"ok"`
+		Degraded bool `json:"degraded"`
+		Backends int  `json:"backends"`
+		Healthy  int  `json:"healthy"`
+		Reroutes int  `json:"reroutes"`
+	}
+	if err := json.Unmarshal(data, &h); err != nil {
+		return fmt.Errorf("GET /healthz: %v: %s", err, data)
+	}
+	if !h.OK || h.Healthy == 0 {
+		return fmt.Errorf("cluster unhealthy after run: %s", data)
+	}
+	fmt.Printf("  cluster healthz: ok, %d/%d backends healthy, degraded=%t, reroutes=%d\n",
+		h.Healthy, h.Backends, h.Degraded, h.Reroutes)
 	return nil
 }
 

@@ -1,0 +1,148 @@
+// Package cluster federates multiple cagmresd-style solver backends
+// behind one router: jobs shard across backends by matrix key with
+// rendezvous hashing, overloaded or dead backends are skipped with
+// bounded forwarding hops, traceparent headers propagate end to end,
+// and the per-backend health/SLO surfaces aggregate into cluster-level
+// views. Backends are either in-process (a server.Server handler —
+// what the tier-1 tests and the router's -local mode use) or remote
+// HTTP daemons; the router speaks to both through the same client
+// path, so every routing decision is exercised identically in tests
+// and in production.
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+)
+
+// Backend is one solver shard the router can forward to: a name (the
+// shard identity rendezvous hashing scores against), a transport, and
+// an administrative kill switch that simulates whole-node death or a
+// network partition deterministically.
+type Backend struct {
+	name   string
+	base   string // URL base for HTTP backends, "" for in-process
+	client *http.Client
+	down   atomic.Bool
+}
+
+// NewHTTPBackend wires a backend reached over the network, e.g. a
+// cagmresd daemon at http://host:8080.
+func NewHTTPBackend(name, baseURL string) (*Backend, error) {
+	name = strings.TrimSpace(name)
+	if name == "" || strings.ContainsAny(name, "/ \t\n") {
+		return nil, fmt.Errorf("cluster: backend name %q must be non-empty without slashes or spaces", name)
+	}
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("cluster: backend %s: bad base URL %q", name, baseURL)
+	}
+	return &Backend{
+		name:   name,
+		base:   strings.TrimRight(u.String(), "/"),
+		client: &http.Client{},
+	}, nil
+}
+
+// NewLocalBackend wires an in-process backend: requests dispatch
+// straight into the handler (normally a server.Server) with no network
+// in between. The routing, error mapping and header propagation paths
+// are byte-identical to the HTTP case.
+func NewLocalBackend(name string, h http.Handler) *Backend {
+	return &Backend{
+		name:   strings.TrimSpace(name),
+		client: &http.Client{Transport: handlerTransport{h: h}},
+	}
+}
+
+// Name returns the backend's shard identity.
+func (b *Backend) Name() string { return b.name }
+
+// Down reports whether the backend is administratively dead.
+func (b *Backend) Down() bool { return b.down.Load() }
+
+// Kill marks the backend dead: every forward fails like an unreachable
+// host until Revive. This is the deterministic stand-in for whole-node
+// death the chaos harness and the cluster smoke test lean on.
+func (b *Backend) Kill() { b.down.Store(true) }
+
+// Revive clears the kill switch.
+func (b *Backend) Revive() { b.down.Store(false) }
+
+// do forwards one request. path must begin with "/"; header entries are
+// copied onto the outgoing request (traceparent propagation).
+func (b *Backend) do(method, path, rawQuery string, header http.Header, body []byte) (*http.Response, error) {
+	if b.down.Load() {
+		return nil, fmt.Errorf("cluster: backend %s is down", b.name)
+	}
+	base := b.base
+	if base == "" {
+		base = "http://" + b.name + ".local" // in-process: host is cosmetic
+	}
+	u := base + path
+	if rawQuery != "" {
+		u += "?" + rawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	return b.client.Do(req)
+}
+
+// handlerTransport adapts an http.Handler into a RoundTripper so an
+// in-process backend is addressed exactly like a remote one.
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &memResponse{header: make(http.Header), code: http.StatusOK}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        http.StatusText(rec.code),
+		StatusCode:    rec.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// memResponse is the minimal in-memory http.ResponseWriter behind
+// handlerTransport.
+type memResponse struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+	wrote  bool
+}
+
+func (m *memResponse) Header() http.Header { return m.header }
+
+func (m *memResponse) WriteHeader(code int) {
+	if !m.wrote {
+		m.code = code
+		m.wrote = true
+	}
+}
+
+func (m *memResponse) Write(p []byte) (int, error) {
+	m.wrote = true
+	return m.body.Write(p)
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cagmres/internal/server"
+)
+
+// FuzzRouterDecode hammers the two decoders on the router's hostile
+// surface: the solve-body route view (shard-key derivation) and the
+// shard-map config. Whatever the bytes, both must return structured
+// errors, never panic, and the shard key must be deterministic.
+func FuzzRouterDecode(f *testing.F) {
+	// Solve bodies.
+	f.Add([]byte(`{"matrix":{"name":"laplace3d","scale":0.01},"wait":true}`))
+	f.Add([]byte(`{"matrix":{"matrixmarket":"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n"}}`))
+	f.Add([]byte(`{"matrix":{}}`))
+	f.Add([]byte(`{"matrix":{"name":"g3","scale":-1},"m":30,"s":5}`))
+	// Shard maps.
+	f.Add([]byte(`{"assign":{"gen:laplace3d@0.01":"node2"},"weights":{"node0":2.5}}`))
+	f.Add([]byte(`{"weights":{"a":1e308}}`))
+	f.Add([]byte(`{"routes":{}}`))
+	f.Add([]byte(`{} {}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var view routeView
+		if err := json.Unmarshal(data, &view); err == nil {
+			key, err := ShardKey(view.Matrix)
+			if err == nil {
+				if key == "" {
+					t.Fatalf("ShardKey accepted %+v but returned an empty key", view.Matrix)
+				}
+				key2, err2 := ShardKey(view.Matrix)
+				if err2 != nil || key2 != key {
+					t.Fatalf("ShardKey not deterministic: %q then %q (%v)", key, key2, err2)
+				}
+			}
+		}
+		m, err := DecodeShardMap(data)
+		if err == nil {
+			if m == nil {
+				t.Fatal("DecodeShardMap returned nil map without error")
+			}
+			// An accepted map must be usable: weights resolve, assignments
+			// survive a re-encode round trip.
+			for key := range m.Assign {
+				if _, ok := m.assigned(key); !ok {
+					t.Fatalf("accepted assignment %q not retrievable", key)
+				}
+			}
+			for name := range m.Weights {
+				if w := m.weight(name); !(w > 0) {
+					t.Fatalf("accepted weight for %q resolves to %g", name, w)
+				}
+			}
+			reenc, encErr := json.Marshal(m)
+			if encErr != nil {
+				t.Fatalf("accepted shard map does not re-encode: %v", encErr)
+			}
+			if _, err := DecodeShardMap(reenc); err != nil {
+				t.Fatalf("accepted shard map does not round-trip: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzShardKeyStability pins the key derivation against the server's
+// matrix-cache identity: same spec, same key, and the two spec forms
+// never collide in prefix.
+func FuzzShardKeyStability(f *testing.F) {
+	f.Add("laplace3d", 0.01, "")
+	f.Add("", 0.0, "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n")
+	f.Add("g3", -2.5, "body")
+	f.Fuzz(func(t *testing.T, name string, scale float64, mm string) {
+		spec := server.MatrixSpec{Name: name, Scale: scale, MatrixMarket: mm}
+		key, err := ShardKey(spec)
+		if err != nil {
+			return
+		}
+		key2, err2 := ShardKey(spec)
+		if err2 != nil || key2 != key {
+			t.Fatalf("unstable key: %q then %q (%v)", key, key2, err2)
+		}
+		switch {
+		case mm != "":
+			if key[:3] != "mm:" {
+				t.Fatalf("matrixmarket spec keyed %q", key)
+			}
+		default:
+			if key[:4] != "gen:" {
+				t.Fatalf("generator spec keyed %q", key)
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"context"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/obs"
+	"cagmres/internal/sched"
+	"cagmres/internal/server"
+)
+
+// LocalNodeConfig configures one in-process backend: a full
+// cagmresd-style stack (device pool, scheduler, HTTP surface) living in
+// the router's process. The tier-1 tests, the chaos harness's cluster
+// mode and the router daemon's -local mode all build nodes this way, so
+// a simulated federation is one process with deterministic scheduling.
+type LocalNodeConfig struct {
+	// Name is the backend's shard identity (must be unique in a router).
+	Name string
+	// PoolSize / Devices shape the node's simulated hardware (defaults
+	// 1 pooled context × 3 GPUs, the paper's node).
+	PoolSize int
+	Devices  int
+	// Profile selects the machine description of the pooled contexts;
+	// nil keeps the paper's m2090.
+	Profile *gpu.Profile
+	// FaultPlans arms deterministic chaos on the pooled contexts (see
+	// sched.PoolConfig); Repair readmits evicted contexts after a death.
+	FaultPlans []gpu.FaultPlan
+	Repair     bool
+	// Scheduler knobs; zero values take the sched defaults.
+	QueueDepth     int
+	MaxBatch       int
+	MaxJobAttempts int
+	TraceEvents    int
+}
+
+// LocalNode is one in-process backend: its scheduler, HTTP surface, and
+// private metrics registry.
+type LocalNode struct {
+	Name     string
+	Sched    *sched.Scheduler
+	Server   *server.Server
+	Registry *obs.Registry
+}
+
+// NewLocalNode builds and starts an in-process node.
+func NewLocalNode(cfg LocalNodeConfig) *LocalNode {
+	if cfg.Name == "" {
+		cfg.Name = "node0"
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 1
+	}
+	if cfg.Devices == 0 {
+		cfg.Devices = 3
+	}
+	reg := obs.NewRegistry()
+	pool := sched.NewPoolWithConfig(sched.PoolConfig{
+		Size:        cfg.PoolSize,
+		Devices:     cfg.Devices,
+		Model:       gpu.M2090(),
+		Profile:     cfg.Profile,
+		FaultPlans:  cfg.FaultPlans,
+		Repair:      cfg.Repair,
+		TraceEvents: cfg.TraceEvents,
+	})
+	s := sched.New(sched.Config{
+		Pool:           pool,
+		QueueDepth:     cfg.QueueDepth,
+		MaxBatch:       cfg.MaxBatch,
+		MaxJobAttempts: cfg.MaxJobAttempts,
+		Registry:       reg,
+	})
+	s.Start()
+	return &LocalNode{
+		Name:     cfg.Name,
+		Sched:    s,
+		Server:   server.New(s, reg),
+		Registry: reg,
+	}
+}
+
+// Backend wraps the node as a router backend.
+func (n *LocalNode) Backend() *Backend { return NewLocalBackend(n.Name, n.Server) }
+
+// Drain stops the node's scheduler gracefully.
+func (n *LocalNode) Drain(ctx context.Context) error { return n.Sched.Drain(ctx) }

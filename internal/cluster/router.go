@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"cagmres/internal/obs"
+	"cagmres/internal/server"
+)
+
+// Error codes of the router's errorJSON bodies, extending the server's
+// convention (stable machine-readable code + human message) with the
+// federation-specific rejections.
+const (
+	codeBadRequest       = "bad_request"
+	codeNotFound         = "not_found"
+	codeMethodNotAllowed = "method_not_allowed"
+	// codeNoBackend: the router has no backends configured at all.
+	codeNoBackend = "no_backend"
+	// codeHopLimit: the forwarding hop budget ran out with candidate
+	// backends still untried.
+	codeHopLimit = "hop_limit"
+	// codeShardUnavailable: every candidate backend for the shard was
+	// tried and none could take the job.
+	codeShardUnavailable = "shard_unavailable"
+	// codeUpstreamError: a pass-through request reached its backend but
+	// the transport failed mid-flight.
+	codeUpstreamError = "upstream_error"
+)
+
+// errorJSON mirrors the server's rejection body shape.
+type errorJSON struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// Config configures a Router.
+type Config struct {
+	// Backends is the cluster membership, in any order (rendezvous
+	// hashing makes the order irrelevant).
+	Backends []*Backend
+	// MaxHops bounds how many candidate backends one solve may be
+	// forwarded to before the router gives up; 0 means 3. The effective
+	// budget is never more than the backend count.
+	MaxHops int
+	// Registry receives the router's own instruments; nil allocates a
+	// private one. Per-backend metrics stay on the backends (pass
+	// through /backends/{name}/metrics) so Prometheus family names never
+	// collide.
+	Registry *obs.Registry
+	// ShardMap optionally pins keys and weights routing; nil routes by
+	// pure rendezvous hashing.
+	ShardMap *ShardMap
+}
+
+// Router fronts the federation. It is an http.Handler serving:
+//
+//	POST /solve                     route a solve to its shard (forwarding
+//	                                on overload/death, bounded hops)
+//	GET  /jobs/{backend}/{id}[/..]  proxy a job lookup to its backend
+//	GET  /healthz                   aggregated cluster health
+//	GET  /slo                       aggregated per-backend SLO reports
+//	GET  /metrics                   the router's own instruments
+//	GET  /backends/{name}/{path}    pass one backend's surface through
+//	POST /admin/kill/{name}         mark a backend dead (simulated node death)
+//	POST /admin/revive/{name}       bring it back
+type Router struct {
+	backends []*Backend
+	byName   map[string]*Backend
+	maxHops  int
+	shardMap *ShardMap
+	reg      *obs.Registry
+	mux      *http.ServeMux
+
+	mu       sync.Mutex
+	solves   uint64 // solve requests accepted by some backend
+	reroutes uint64 // forward hops past the first candidate
+	rejects  uint64 // solve requests the router itself rejected
+
+	metSolves   obs.Counter
+	metReroutes obs.Counter
+	metRejects  obs.Counter
+}
+
+// New builds a router over the membership.
+func New(cfg Config) *Router {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	maxHops := cfg.MaxHops
+	if maxHops <= 0 {
+		maxHops = 3
+	}
+	r := &Router{
+		backends: cfg.Backends,
+		byName:   make(map[string]*Backend, len(cfg.Backends)),
+		maxHops:  maxHops,
+		shardMap: cfg.ShardMap,
+		reg:      cfg.Registry,
+		mux:      http.NewServeMux(),
+	}
+	for _, b := range cfg.Backends {
+		r.byName[b.Name()] = b
+	}
+	r.metSolves = cfg.Registry.Counter("router_solves_total", "solve requests routed to a backend")
+	r.metReroutes = cfg.Registry.Counter("router_reroutes_total", "forward hops past the first-choice backend")
+	r.metRejects = cfg.Registry.Counter("router_rejects_total", "solve requests rejected by the router itself")
+	r.mux.HandleFunc("/solve", r.handleSolve)
+	r.mux.HandleFunc("/jobs/", r.handleJob)
+	r.mux.HandleFunc("/healthz", r.handleHealthz)
+	r.mux.HandleFunc("/slo", r.handleSLO)
+	r.mux.HandleFunc("/metrics", r.handleMetrics)
+	r.mux.HandleFunc("/backends/", r.handleBackendPass)
+	r.mux.HandleFunc("/admin/kill/", r.handleAdmin)
+	r.mux.HandleFunc("/admin/revive/", r.handleAdmin)
+	return r
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.mux.ServeHTTP(w, req)
+}
+
+// Backends returns the membership names, in configuration order.
+func (r *Router) Backends() []string {
+	out := make([]string, len(r.backends))
+	for i, b := range r.backends {
+		out[i] = b.Name()
+	}
+	return out
+}
+
+// Counts returns the routing tallies (solves accepted, reroute hops,
+// router-level rejections).
+func (r *Router) Counts() (solves, reroutes, rejects uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.solves, r.reroutes, r.rejects
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (r *Router) reject(w http.ResponseWriter, status int, code, msg string) {
+	r.mu.Lock()
+	r.rejects++
+	r.mu.Unlock()
+	r.metRejects.Inc()
+	writeJSON(w, status, errorJSON{Code: code, Error: msg})
+}
+
+// routeView is the part of a solve body the router itself reads: the
+// matrix spec (shard key) and the wait flag (failed-result re-routing).
+// Everything else passes through opaque — full validation is the
+// backend's job.
+type routeView struct {
+	Matrix server.MatrixSpec `json:"matrix"`
+	Wait   bool              `json:"wait,omitempty"`
+}
+
+// RoutedJob is the router's wire form of a job: the backend's JobJSON
+// with the id qualified as "backend/id" plus the federation accounting.
+type RoutedJob struct {
+	server.JobJSON
+	// Backend names the shard that holds the job.
+	Backend string `json:"backend,omitempty"`
+	// Hops counts the backends tried for this solve, including the one
+	// that took it (1 = first choice).
+	Hops int `json:"hops,omitempty"`
+}
+
+// forwardHeader copies the headers the router propagates downstream.
+func forwardHeader(req *http.Request) http.Header {
+	h := make(http.Header)
+	if tp := req.Header.Get("traceparent"); tp != "" {
+		h.Set("traceparent", tp)
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	return h
+}
+
+func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		r.reject(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		r.reject(w, http.StatusBadRequest, codeBadRequest, "read body: "+err.Error())
+		return
+	}
+	var view routeView
+	if err := json.Unmarshal(body, &view); err != nil {
+		r.reject(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	key, err := ShardKey(view.Matrix)
+	if err != nil {
+		r.reject(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	if len(r.backends) == 0 {
+		r.reject(w, http.StatusServiceUnavailable, codeNoBackend, "no backends configured")
+		return
+	}
+	wait := view.Wait || req.URL.Query().Get("wait") == "true"
+	candidates := rank(r.backends, key, r.shardMap)
+	budget := r.maxHops
+	if budget > len(candidates) {
+		budget = len(candidates)
+	}
+
+	priorAttempts := 0
+	var lastErr string
+	for hop := 0; hop < budget; hop++ {
+		b := candidates[hop]
+		if hop > 0 {
+			r.mu.Lock()
+			r.reroutes++
+			r.mu.Unlock()
+			r.metReroutes.Inc()
+		}
+		resp, err := b.do(http.MethodPost, "/solve", req.URL.RawQuery, forwardHeader(req), body)
+		if err != nil {
+			lastErr = err.Error()
+			continue
+		}
+		respBody, readErr := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if readErr != nil {
+			lastErr = fmt.Sprintf("backend %s: %v", b.Name(), readErr)
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			// Overloaded or draining: forward to the next candidate.
+			lastErr = fmt.Sprintf("backend %s: %s", b.Name(), strings.TrimSpace(string(respBody)))
+			continue
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Sprintf("backend %s: HTTP %d", b.Name(), resp.StatusCode)
+			continue
+		case resp.StatusCode >= 400:
+			// The request itself is bad; no backend will like it better.
+			// Pass the backend's structured rejection through verbatim.
+			copyHeader(w, resp)
+			w.WriteHeader(resp.StatusCode)
+			_, _ = w.Write(respBody)
+			return
+		}
+		var job server.JobJSON
+		if err := json.Unmarshal(respBody, &job); err != nil {
+			lastErr = fmt.Sprintf("backend %s: bad job body: %v", b.Name(), err)
+			continue
+		}
+		if wait && job.State == "failed" {
+			// The backend accepted but could not finish the job (e.g. its
+			// simulated node died mid-solve). Re-route to the next shard
+			// candidate, carrying the burned attempts along so the
+			// federation's accounting matches a single node's.
+			priorAttempts += attemptCount(job)
+			lastErr = fmt.Sprintf("backend %s: job failed: %s", b.Name(), job.Error)
+			continue
+		}
+		r.mu.Lock()
+		r.solves++
+		r.mu.Unlock()
+		r.metSolves.Inc()
+		out := RoutedJob{JobJSON: job, Backend: b.Name(), Hops: hop + 1}
+		out.ID = b.Name() + "/" + job.ID
+		if priorAttempts > 0 {
+			out.Attempts = priorAttempts + attemptCount(job)
+		}
+		copyHeader(w, resp)
+		writeJSON(w, resp.StatusCode, out)
+		return
+	}
+	detail := ""
+	if lastErr != "" {
+		detail = ": last error: " + lastErr
+	}
+	if budget < len(candidates) {
+		r.reject(w, http.StatusServiceUnavailable, codeHopLimit,
+			fmt.Sprintf("hop limit %d reached with %d candidates left%s", budget, len(candidates)-budget, detail))
+		return
+	}
+	r.reject(w, http.StatusServiceUnavailable, codeShardUnavailable,
+		fmt.Sprintf("all %d backends for shard %s unavailable%s", len(candidates), key, detail))
+}
+
+// attemptCount reads a job's attempt tally (the wire form omits 1).
+func attemptCount(j server.JobJSON) int {
+	if j.Attempts > 0 {
+		return j.Attempts
+	}
+	return 1
+}
+
+// copyHeader forwards the traceparent echo (and content type) from a
+// backend response.
+func copyHeader(w http.ResponseWriter, resp *http.Response) {
+	if tp := resp.Header.Get("traceparent"); tp != "" {
+		w.Header().Set("traceparent", tp)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+}
+
+func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		r.reject(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET only")
+		return
+	}
+	rest := strings.TrimPrefix(req.URL.Path, "/jobs/")
+	name, sub, ok := strings.Cut(rest, "/")
+	if !ok || name == "" || sub == "" {
+		r.reject(w, http.StatusNotFound, codeNotFound,
+			"cluster job ids are backend/id; want /jobs/{backend}/{id}")
+		return
+	}
+	b, found := r.byName[name]
+	if !found {
+		r.reject(w, http.StatusNotFound, codeNotFound, "unknown backend "+name)
+		return
+	}
+	resp, err := b.do(http.MethodGet, "/jobs/"+sub, req.URL.RawQuery, forwardHeader(req), nil)
+	if err != nil {
+		r.reject(w, http.StatusBadGateway, codeUpstreamError, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	// Qualify the id on plain job bodies; sub-resources (trace.json,
+	// spans.jsonl) stream through untouched.
+	if resp.StatusCode == http.StatusOK && !strings.Contains(sub, "/") {
+		respBody, err := io.ReadAll(resp.Body)
+		if err != nil {
+			r.reject(w, http.StatusBadGateway, codeUpstreamError, err.Error())
+			return
+		}
+		var job server.JobJSON
+		if json.Unmarshal(respBody, &job) == nil {
+			out := RoutedJob{JobJSON: job, Backend: name}
+			out.ID = name + "/" + job.ID
+			copyHeader(w, resp)
+			writeJSON(w, http.StatusOK, out)
+			return
+		}
+		copyHeader(w, resp)
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(respBody)
+		return
+	}
+	copyHeader(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		r.reject(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = r.reg.WritePrometheus(w)
+}
+
+// handleBackendPass proxies GET /backends/{name}/{path} to one
+// backend's own surface (/metrics, /healthz, /slo, ...), keeping the
+// per-backend Prometheus families separate from the router's.
+func (r *Router) handleBackendPass(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		r.reject(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET only")
+		return
+	}
+	rest := strings.TrimPrefix(req.URL.Path, "/backends/")
+	name, sub, ok := strings.Cut(rest, "/")
+	if !ok || name == "" || sub == "" {
+		r.reject(w, http.StatusNotFound, codeNotFound, "want /backends/{name}/{path}")
+		return
+	}
+	b, found := r.byName[name]
+	if !found {
+		r.reject(w, http.StatusNotFound, codeNotFound, "unknown backend "+name)
+		return
+	}
+	resp, err := b.do(http.MethodGet, "/"+sub, req.URL.RawQuery, forwardHeader(req), nil)
+	if err != nil {
+		r.reject(w, http.StatusBadGateway, codeUpstreamError, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+func (r *Router) handleAdmin(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		r.reject(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
+		return
+	}
+	var name, action string
+	switch {
+	case strings.HasPrefix(req.URL.Path, "/admin/kill/"):
+		name, action = strings.TrimPrefix(req.URL.Path, "/admin/kill/"), "kill"
+	case strings.HasPrefix(req.URL.Path, "/admin/revive/"):
+		name, action = strings.TrimPrefix(req.URL.Path, "/admin/revive/"), "revive"
+	}
+	b, found := r.byName[name]
+	if !found {
+		r.reject(w, http.StatusNotFound, codeNotFound, "unknown backend "+name)
+		return
+	}
+	if action == "kill" {
+		b.Kill()
+	} else {
+		b.Revive()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "backend": name, "down": b.Down()})
+}

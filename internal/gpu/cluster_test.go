@@ -1,0 +1,263 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+)
+
+// clusterProfile is a 2-node × 2-device machine: PCIe-switch peer links
+// inside each node, an easy-arithmetic fabric between them.
+func clusterProfile() Profile {
+	return Profile{
+		Name:  "test-cluster",
+		Model: M2090(),
+		Topo:  Topology{Kind: TopoPCIeSwitch, PeerLatency: 5e-6, PeerBandwidth: 20e9},
+		Cluster: Cluster{
+			DevicesPerNode: 2,
+			Fabric:         Fabric{Kind: FabricIBHDR, Latency: 10e-6, Bandwidth: 10e9},
+		},
+	}
+}
+
+func TestNodeOfAndNumNodes(t *testing.T) {
+	c := NewContextWithProfile(4, clusterProfile())
+	if got := c.NumNodes(); got != 2 {
+		t.Fatalf("NumNodes = %d, want 2", got)
+	}
+	wantNode := []int{0, 0, 1, 1}
+	for d, want := range wantNode {
+		if got := c.NodeOf(d); got != want {
+			t.Errorf("NodeOf(%d) = %d, want %d", d, got, want)
+		}
+	}
+	// Single-node contexts report one node and device 0's node for all.
+	s := NewContext(3, M2090())
+	if s.NumNodes() != 1 || s.NodeOf(2) != 0 {
+		t.Errorf("single-node: NumNodes=%d NodeOf(2)=%d, want 1/0", s.NumNodes(), s.NodeOf(2))
+	}
+}
+
+// TestClusterPeerTiering: a same-node pair lands on BytesPeer at switch
+// cost; a cross-node pair lands on BytesInterNode and pays the fabric.
+func TestClusterPeerTiering(t *testing.T) {
+	p := clusterProfile()
+	const B = 1 << 20
+	c := NewContextWithProfile(4, p)
+
+	// Same node (0 -> 1): pure node-local switch round.
+	before := c.Stats().TotalTime()
+	c.PeerExchange("local", pair(4, 0, 1, B))
+	got := c.Stats().TotalTime() - before
+	want := p.Topo.PeerLatency + float64(B)/p.Topo.PeerBandwidth
+	if !almostEq(got, want) {
+		t.Errorf("same-node pair: got %g want %g", got, want)
+	}
+	ps := c.Stats().Phase("local")
+	if ps.BytesPeer != B || ps.BytesInterNode != 0 {
+		t.Errorf("same-node ledger: peer %d inter %d, want %d/0", ps.BytesPeer, ps.BytesInterNode, B)
+	}
+
+	// Cross node (0 -> 2): fabric leg only, no intra traffic.
+	before = c.Stats().TotalTime()
+	c.PeerExchange("cross", pair(4, 0, 2, B))
+	got = c.Stats().TotalTime() - before
+	fab := p.Cluster.Fabric
+	want = fab.Latency + float64(B)/fab.Bandwidth
+	if !almostEq(got, want) {
+		t.Errorf("cross-node pair: got %g want %g", got, want)
+	}
+	ps = c.Stats().Phase("cross")
+	if ps.BytesPeer != 0 || ps.BytesInterNode != B {
+		t.Errorf("cross-node ledger: peer %d inter %d, want 0/%d", ps.BytesPeer, ps.BytesInterNode, B)
+	}
+
+	// Mixed round: the intra leg (slowest node) and the fabric leg are
+	// sequential.
+	tr := pair(4, 0, 1, B)
+	tr[2][0] = B
+	before = c.Stats().TotalTime()
+	c.PeerExchange("mixed", tr)
+	got = c.Stats().TotalTime() - before
+	want = (p.Topo.PeerLatency + float64(B)/p.Topo.PeerBandwidth) +
+		(fab.Latency + float64(B)/fab.Bandwidth)
+	if !almostEq(got, want) {
+		t.Errorf("mixed round: got %g want %g", got, want)
+	}
+	ps = c.Stats().Phase("mixed")
+	if ps.BytesPeer != B || ps.BytesInterNode != B {
+		t.Errorf("mixed ledger: peer %d inter %d, want %d/%d", ps.BytesPeer, ps.BytesInterNode, B, B)
+	}
+}
+
+// TestClusterHostRound: a reduce round charges every byte on the host
+// column and additionally charges remote nodes' shares to the fabric.
+func TestClusterHostRound(t *testing.T) {
+	p := clusterProfile()
+	c := NewContextWithProfile(4, p)
+	bytes := []int{100, 200, 300, 400}
+	before := c.Stats().TotalTime()
+	c.ReduceRound("red", bytes)
+	got := c.Stats().TotalTime() - before
+	// Node volumes: node0=300, node1=700. Local leg pays the most loaded
+	// node link; the remote node's aggregate then crosses the fabric.
+	fab := p.Cluster.Fabric
+	want := (p.Model.Latency + 700/p.Model.Bandwidth) + (fab.Latency + 700/fab.Bandwidth)
+	if !almostEq(got, want) {
+		t.Errorf("clustered reduce: got %g want %g", got, want)
+	}
+	ps := c.Stats().Phase("red")
+	if ps.BytesD2H != 1000 {
+		t.Errorf("BytesD2H = %d, want 1000", ps.BytesD2H)
+	}
+	if ps.BytesInterNode != 700 {
+		t.Errorf("BytesInterNode = %d, want 700 (node 1's share)", ps.BytesInterNode)
+	}
+	// Per-device: only the remote node's devices carry fabric bytes.
+	for d, wantInter := range []int{0, 0, 300, 400} {
+		dp := c.Stats().DevicePhase(d, "red")
+		if dp.BytesInterNode != wantInter {
+			t.Errorf("device %d BytesInterNode = %d, want %d", d, dp.BytesInterNode, wantInter)
+		}
+	}
+}
+
+// TestClusterSingleNodeDegenerate: a cluster whose devices all fit one
+// node charges host rounds exactly like the flat model.
+func TestClusterSingleNodeDegenerate(t *testing.T) {
+	p := clusterProfile()
+	p.Cluster.DevicesPerNode = 4 // all four devices on node 0
+	c := NewContextWithProfile(4, p)
+	flat := NewContext(4, p.Model)
+	bytes := []int{100, 200, 300, 400}
+	c.ReduceRound("x", bytes)
+	flat.ReduceRound("x", bytes)
+	a, b := c.Stats().Phase("x"), flat.Stats().Phase("x")
+	if a.CommTime != b.CommTime || a.BytesD2H != b.BytesD2H {
+		t.Errorf("one-node cluster reduce differs from flat: %v vs %v", a, b)
+	}
+	if a.BytesInterNode != 0 {
+		t.Errorf("one-node cluster charged %d fabric bytes", a.BytesInterNode)
+	}
+}
+
+// TestClusterRouteSymmetry: transposing the traffic matrix must not
+// change the round cost (out/in swaps are max-invariant on both tiers).
+func TestClusterRouteSymmetry(t *testing.T) {
+	c := NewContextWithProfile(4, clusterProfile())
+	tr := pair(4, 0, 1, 1000)
+	tr[0][3] = 5000
+	tr[2][1] = 700
+	tt := make([][]int, 4)
+	for i := range tt {
+		tt[i] = make([]int, 4)
+		for j := range tt[i] {
+			tt[i][j] = tr[j][i]
+		}
+	}
+	fwd, _ := c.routeCluster(tr)
+	rev, _ := c.routeCluster(tt)
+	if !almostEq(fwd, rev) {
+		t.Errorf("cluster route asymmetric: fwd %g rev %g", fwd, rev)
+	}
+}
+
+// TestClusterSurvivorsKeepNodes: after a device death, the Survivors
+// view routes on physical node membership — physical device 2 stays on
+// node 1 even though it is logical device 1 of the view.
+func TestClusterSurvivorsKeepNodes(t *testing.T) {
+	p := clusterProfile()
+	const B = 1 << 20
+	c := NewContextWithProfile(4, p)
+	c.InjectFaults(FaultPlan{Seed: 1, Deaths: []DeviceDeath{{Device: 1, At: 0}}})
+	func() {
+		defer func() { recover() }()
+		c.ReduceRound("x", []int{8, 8, 8, 8})
+	}()
+	surv, err := c.Survivors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surv.NumDevices != 3 {
+		t.Fatalf("survivors: %d devices, want 3", surv.NumDevices)
+	}
+	// View logical 0,1,2 = physical 0,2,3 = nodes 0,1,1.
+	for d, want := range []int{0, 1, 1} {
+		if got := surv.NodeOf(d); got != want {
+			t.Errorf("survivor NodeOf(%d) = %d, want %d", d, got, want)
+		}
+	}
+	// Logical 0 -> 1 is physical 0 -> 2: cross-node, must pay the fabric.
+	before := surv.Stats().TotalTime()
+	surv.PeerExchange("surv", pair(3, 0, 1, B))
+	got := surv.Stats().TotalTime() - before
+	fab := p.Cluster.Fabric
+	want := fab.Latency + float64(B)/fab.Bandwidth
+	if !almostEq(got, want) {
+		t.Errorf("survivor cross-node pair: got %g want %g", got, want)
+	}
+	if ps := surv.Stats().Phase("surv"); ps.BytesInterNode != B {
+		t.Errorf("survivor fabric bytes = %d, want %d", ps.BytesInterNode, B)
+	}
+}
+
+// TestInterNodeColumnGating: the bytesInter report column appears only
+// on ledgers that actually crossed the fabric.
+func TestInterNodeColumnGating(t *testing.T) {
+	flat := NewContext(2, M2090())
+	flat.ReduceRound("x", []int{8, 8})
+	if strings.Contains(flat.Stats().String(), "bytesInter") {
+		t.Error("single-node ledger rendered a bytesInter column")
+	}
+	cl := NewContextWithProfile(4, clusterProfile())
+	cl.ReduceRound("x", []int{8, 8, 8, 8})
+	if !strings.Contains(cl.Stats().String(), "bytesInter") {
+		t.Error("clustered ledger missing the bytesInter column")
+	}
+	if !strings.Contains(cl.Stats().DeviceString(), "bytesInter") {
+		t.Error("clustered device breakdown missing the bytesInter column")
+	}
+}
+
+// TestClusterMonotoneInBytes: doubling any pair's volume must not reduce
+// the round cost on either tier.
+func TestClusterMonotoneInBytes(t *testing.T) {
+	c := NewContextWithProfile(4, clusterProfile())
+	base := pair(4, 0, 1, 1000)
+	base[0][2] = 2000
+	base[3][1] = 500
+	t0, _ := c.routeCluster(base)
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if s == d {
+				continue
+			}
+			tr := pair(4, 0, 1, 1000)
+			tr[0][2] = 2000
+			tr[3][1] = 500
+			tr[s][d] += 4000
+			t1, _ := c.routeCluster(tr)
+			if t1 < t0-1e-18 {
+				t.Errorf("adding bytes on %d->%d reduced cost: %g -> %g", s, d, t0, t1)
+			}
+		}
+	}
+}
+
+func TestFabricValidAndString(t *testing.T) {
+	f := Fabric{Kind: FabricIBHDR, Latency: 5e-6, Bandwidth: 25e9}
+	if !f.Valid() {
+		t.Error("valid fabric rejected")
+	}
+	for _, bad := range []Fabric{
+		{Latency: -1, Bandwidth: 1e9},
+		{Latency: 0, Bandwidth: 0},
+		{Latency: 0, Bandwidth: -5},
+	} {
+		if bad.Valid() {
+			t.Errorf("invalid fabric accepted: %+v", bad)
+		}
+	}
+	if s := f.String(); !strings.Contains(s, "ib-hdr") {
+		t.Errorf("Fabric.String() = %q, want kind in it", s)
+	}
+}

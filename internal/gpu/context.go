@@ -229,6 +229,14 @@ func (c *Context) BroadcastRound(phase string, bytes []int) {
 // identical in both modes.
 func (c *Context) commRound(phase string, dir direction, bytes []int, barrier bool, after []StreamEvent) StreamEvent {
 	c.checkDeaths(phase)
+	if c.clustered() {
+		// Two-tier machine: each node's share crosses its own host link,
+		// then remote nodes' aggregates cross the fabric to the root host.
+		t, _ := c.clusterRoundTime(bytes)
+		stall := c.injectTransferFaults(phase, t)
+		c.stats.addCommTiered(phase, dir, c.devIDs(len(bytes)), bytes, c.nodeOfLogical(len(bytes)), t)
+		return c.timeline.comm(phase, dir == dirH2D, c.devIDs(len(bytes)), t, stall, barrier, after)
+	}
 	_, t := c.roundTime(bytes)
 	stall := c.injectTransferFaults(phase, t)
 	c.stats.addComm(phase, dir, c.devIDs(len(bytes)), bytes, t)

@@ -74,13 +74,20 @@ func (t Topology) Valid() bool {
 }
 
 // Profile is a complete, swappable machine description: a name for
-// reports and the HTTP API, the compute/host-link cost model, and the
-// peer interconnect topology.
+// reports and the HTTP API, the compute/host-link cost model, the peer
+// interconnect topology of one node, and (optionally) the cluster tier
+// grouping the devices into nodes joined by an inter-node fabric.
 type Profile struct {
 	Name  string
 	Model CostModel
 	Topo  Topology
+	// Cluster, when enabled, makes the profile a two-tier machine: the
+	// zero value keeps the single-node charging paths byte-identical.
+	Cluster Cluster
 }
+
+// Clustered reports whether the profile describes a multi-node machine.
+func (p Profile) Clustered() bool { return p.Cluster.Enabled() }
 
 // DefaultProfile wraps a bare cost model the way NewContext always has:
 // host-mediated routing, peer constants mirroring the host link.
@@ -232,12 +239,20 @@ func peerMessages(traffic [][]int) int {
 }
 
 // peerRound is the shared implementation of the peer exchange charges:
-// death check, routing, fault injection, ledger, timeline.
+// death check, routing, fault injection, ledger, timeline. On a
+// clustered profile the round routes over the two-tier interconnect and
+// splits the ledger charge between the node-local and fabric columns.
 func (c *Context) peerRound(phase string, traffic [][]int, barrier bool, after []StreamEvent) StreamEvent {
 	if len(traffic) != c.NumDevices {
 		panic(fmt.Sprintf("gpu: peer traffic for %d devices on a %d-device context", len(traffic), c.NumDevices))
 	}
 	c.checkDeaths(phase)
+	if c.clustered() {
+		t, _ := c.routeCluster(traffic)
+		stall := c.injectTransferFaults(phase, t)
+		c.stats.addPeerTiered(phase, c.devIDs(len(traffic)), traffic, c.nodeOfLogical(len(traffic)), t)
+		return c.timeline.peer(phase, c.devIDs(len(traffic)), t, stall, barrier, after)
+	}
 	t := c.routePeer(traffic)
 	stall := c.injectTransferFaults(phase, t)
 	c.stats.addPeer(phase, c.devIDs(len(traffic)), traffic, t)
@@ -252,7 +267,7 @@ func (c *Context) peerRound(phase string, traffic [][]int, barrier bool, after [
 // followed by a broadcast round of the receive totals. A full barrier,
 // like the other synchronous charges.
 func (c *Context) PeerExchange(phase string, traffic [][]int) {
-	if !c.prof.Topo.PeerToPeer() {
+	if !c.prof.Topo.PeerToPeer() && !c.clustered() {
 		c.commRound(phase, dirD2H, rowTotals(traffic), true, nil)
 		c.commRound(phase, dirH2D, colTotals(traffic), true, nil)
 		return
@@ -264,7 +279,7 @@ func (c *Context) PeerExchange(phase string, traffic [][]int) {
 // occupies the transfer streams of every participating device after its
 // dependencies. Ledger charges are identical to PeerExchange.
 func (c *Context) PeerExchangeOn(phase string, traffic [][]int, after ...StreamEvent) StreamEvent {
-	if !c.prof.Topo.PeerToPeer() {
+	if !c.prof.Topo.PeerToPeer() && !c.clustered() {
 		red := c.commRound(phase, dirD2H, rowTotals(traffic), false, after)
 		return c.commRound(phase, dirH2D, colTotals(traffic), false, []StreamEvent{red})
 	}
@@ -281,7 +296,9 @@ func (c *Context) PeerExchangeOn(phase string, traffic [][]int, after ...StreamE
 // deduplicating staging buffer) in a single routed round. A nil traffic
 // matrix forces the host path regardless of topology.
 func (c *Context) HaloExchangeOn(phase string, sendBytes, recvBytes []int, traffic [][]int, after ...StreamEvent) StreamEvent {
-	if traffic != nil && c.prof.Topo.PeerToPeer() {
+	// A clustered profile always routes the traffic matrix: node-local
+	// pairs over the peer tier, cross-node pairs over the fabric.
+	if traffic != nil && (c.prof.Topo.PeerToPeer() || c.clustered()) {
 		return c.peerRound(phase, traffic, false, after)
 	}
 	red := c.commRound(phase, dirD2H, sendBytes, false, after)

@@ -17,12 +17,18 @@ const (
 // PhaseStats aggregates everything charged to one named phase (e.g.
 // "spmv", "mpk", "borth", "tsqr", "lsq").
 type PhaseStats struct {
-	Rounds      int     // communication rounds (latency events)
-	Messages    int     // individual device messages
-	BytesD2H    int     // device-to-host volume
-	BytesH2D    int     // host-to-device volume
-	BytesPeer   int     // device-to-device volume routed peer-to-peer
-	CommTime    float64 // modeled seconds of communication
+	Rounds    int // communication rounds (latency events)
+	Messages  int // individual device messages
+	BytesD2H  int // device-to-host volume
+	BytesH2D  int // host-to-device volume
+	BytesPeer int // device-to-device volume routed peer-to-peer
+	// BytesInterNode is the volume that crossed the inter-node fabric of
+	// a clustered profile: cross-node pairs of a routed exchange, plus
+	// the aggregated remote share of host rounds (those bytes also appear
+	// in BytesD2H/H2D — they really do travel twice, once over the node's
+	// local tier and once over the fabric). Zero on single-node profiles.
+	BytesInterNode int
+	CommTime       float64 // modeled seconds of communication
 	DeviceTime  float64 // modeled seconds of device compute (max over devices per kernel)
 	DeviceFlops float64 // total flops summed over devices
 	HostTime    float64 // modeled seconds of host compute
@@ -33,9 +39,12 @@ type PhaseStats struct {
 // Total returns the modeled wall time of the phase.
 func (p PhaseStats) Total() float64 { return p.CommTime + p.DeviceTime + p.HostTime }
 
-// Bytes returns the total transferred volume over every path: both host
-// directions plus peer-to-peer.
-func (p PhaseStats) Bytes() int { return p.BytesD2H + p.BytesH2D + p.BytesPeer }
+// Bytes returns the total wire volume over every path: both host
+// directions, peer-to-peer, and the inter-node fabric. A byte that hops
+// two tiers (node-local then fabric) counts once per wire it crossed.
+func (p PhaseStats) Bytes() int {
+	return p.BytesD2H + p.BytesH2D + p.BytesPeer + p.BytesInterNode
+}
 
 // DeviceGflops returns the achieved device compute rate of the phase in
 // Gflop/s (zero when no device time was charged).
@@ -278,6 +287,95 @@ func (s *Stats) addPeer(phase string, devs []int, traffic [][]int, t float64) {
 	s.record(Event{Step: s.nextStep(), Device: HostDevice, Phase: phase, Kind: "peer", Bytes: total, Time: t})
 }
 
+// addPeerTiered charges one exchange round routed over a two-tier
+// cluster interconnect: same-node pairs of the traffic matrix land in
+// BytesPeer (the node-local tier), cross-node pairs in BytesInterNode
+// (the fabric). nodeOf[d] is logical device d's node. One trace event is
+// recorded for the whole round, like addPeer.
+func (s *Stats) addPeerTiered(phase string, devs []int, traffic [][]int, nodeOf []int, t float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.get(phase)
+	p.Rounds++
+	p.CommTime += t
+	total := 0
+	sentLocal := make([]int, len(traffic))
+	recvLocal := make([]int, len(traffic))
+	sentInter := make([]int, len(traffic))
+	recvInter := make([]int, len(traffic))
+	for a, row := range traffic {
+		for b, v := range row {
+			if a == b || v <= 0 {
+				continue
+			}
+			p.Messages++
+			total += v
+			if nodeOf[a] == nodeOf[b] {
+				p.BytesPeer += v
+				sentLocal[a] += v
+				recvLocal[b] += v
+			} else {
+				p.BytesInterNode += v
+				sentInter[a] += v
+				recvInter[b] += v
+			}
+		}
+	}
+	for d := range traffic {
+		dp := s.devGet(devs[d], phase)
+		dp.Rounds++
+		dp.Messages++
+		dp.BytesPeer += sentLocal[d] + recvLocal[d]
+		dp.BytesInterNode += sentInter[d] + recvInter[d]
+		dp.CommTime += t
+	}
+	s.record(Event{Step: s.nextStep(), Device: HostDevice, Phase: phase, Kind: "peer", Bytes: total, Time: t})
+}
+
+// addCommTiered is addComm for a clustered context: the host round's
+// full volume stays on the D2H/H2D column (every byte crosses its own
+// node's local tier), while each remote-node device's share is
+// additionally charged to BytesInterNode — the second hop those bytes
+// take over the fabric to reach the root node's host.
+func (s *Stats) addCommTiered(phase string, dir direction, devs, bytes []int, nodeOf []int, t float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.get(phase)
+	p.Rounds++
+	p.Messages += len(bytes)
+	var total, inter int
+	for d, b := range bytes {
+		total += b
+		if nodeOf[d] != 0 {
+			inter += b
+		}
+	}
+	kind := "reduce"
+	if dir == dirD2H {
+		p.BytesD2H += total
+	} else {
+		p.BytesH2D += total
+		kind = "broadcast"
+	}
+	p.BytesInterNode += inter
+	p.CommTime += t
+	for d, b := range bytes {
+		dp := s.devGet(devs[d], phase)
+		dp.Rounds++
+		dp.Messages++
+		if dir == dirD2H {
+			dp.BytesD2H += b
+		} else {
+			dp.BytesH2D += b
+		}
+		if nodeOf[d] != 0 {
+			dp.BytesInterNode += b
+		}
+		dp.CommTime += t
+	}
+	s.record(Event{Step: s.nextStep(), Device: HostDevice, Phase: phase, Kind: kind, Bytes: total, Time: t})
+}
+
 // addFault charges fault-recovery overhead: t modeled seconds on the
 // PhaseFault ledger row (zero for a death marker) and one trace event
 // that keeps the faulted operation's phase. detail is "death" or
@@ -378,6 +476,7 @@ func addInto(p, op *PhaseStats) {
 	p.BytesD2H += op.BytesD2H
 	p.BytesH2D += op.BytesH2D
 	p.BytesPeer += op.BytesPeer
+	p.BytesInterNode += op.BytesInterNode
 	p.CommTime += op.CommTime
 	p.DeviceTime += op.DeviceTime
 	p.DeviceFlops += op.DeviceFlops
@@ -416,25 +515,46 @@ func (s *Stats) hasPeerTraffic() bool {
 	return false
 }
 
+// hasInterNodeTraffic reports whether any phase crossed the inter-node
+// fabric; it gates the bytesInter column the way hasPeerTraffic gates
+// bytesP2P, so single-node ledgers render the historical table.
+func (s *Stats) hasInterNodeTraffic() bool {
+	for _, name := range s.Phases() {
+		if s.Phase(name).BytesInterNode > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders a compact per-phase table. A bytesP2P column appears
-// only when some phase actually moved peer-to-peer traffic.
+// only when some phase actually moved peer-to-peer traffic, and a
+// bytesInter column only when some phase crossed the inter-node fabric.
 func (s *Stats) String() string {
 	var b strings.Builder
 	peer := s.hasPeerTraffic()
+	inter := s.hasInterNodeTraffic()
 	peerHdr, peerCell := "", ""
+	interHdr, interCell := "", ""
 	if peer {
 		peerHdr = fmt.Sprintf(" %12s", "bytesP2P")
 	}
-	fmt.Fprintf(&b, "%-10s %8s %8s %12s %12s%s %10s %10s %10s %8s %12s %10s\n",
-		"phase", "rounds", "msgs", "bytesD2H", "bytesH2D", peerHdr, "comm(ms)", "dev(ms)", "host(ms)",
+	if inter {
+		interHdr = fmt.Sprintf(" %12s", "bytesInter")
+	}
+	fmt.Fprintf(&b, "%-10s %8s %8s %12s %12s%s%s %10s %10s %10s %8s %12s %10s\n",
+		"phase", "rounds", "msgs", "bytesD2H", "bytesH2D", peerHdr, interHdr, "comm(ms)", "dev(ms)", "host(ms)",
 		"kernels", "devflops", "Gflop/s")
 	for _, name := range s.Phases() {
 		p := s.Phase(name)
 		if peer {
 			peerCell = fmt.Sprintf(" %12d", p.BytesPeer)
 		}
-		fmt.Fprintf(&b, "%-10s %8d %8d %12d %12d%s %10.3f %10.3f %10.3f %8d %12.3e %10.2f\n",
-			name, p.Rounds, p.Messages, p.BytesD2H, p.BytesH2D, peerCell,
+		if inter {
+			interCell = fmt.Sprintf(" %12d", p.BytesInterNode)
+		}
+		fmt.Fprintf(&b, "%-10s %8d %8d %12d %12d%s%s %10.3f %10.3f %10.3f %8d %12.3e %10.2f\n",
+			name, p.Rounds, p.Messages, p.BytesD2H, p.BytesH2D, peerCell, interCell,
 			p.CommTime*1e3, p.DeviceTime*1e3, p.HostTime*1e3,
 			p.Kernels, p.DeviceFlops, p.DeviceGflops())
 	}
@@ -449,15 +569,20 @@ func (s *Stats) String() string {
 func (s *Stats) DeviceString() string {
 	var b strings.Builder
 	peer := s.hasPeerTraffic()
+	inter := s.hasInterNodeTraffic()
 	peerHdr, peerCell := "", ""
+	interHdr, interCell := "", ""
 	if peer {
 		peerHdr = fmt.Sprintf(" %12s", "bytesP2P")
+	}
+	if inter {
+		interHdr = fmt.Sprintf(" %12s", "bytesInter")
 	}
 	nd := s.TrackedDevices()
 	for d := 0; d < nd; d++ {
 		fmt.Fprintf(&b, "device %d:\n", d)
-		fmt.Fprintf(&b, "  %-10s %8s %12s %12s%s %10s %10s %8s %10s\n",
-			"phase", "rounds", "bytesD2H", "bytesH2D", peerHdr, "comm(ms)", "dev(ms)", "kernels", "Gflop/s")
+		fmt.Fprintf(&b, "  %-10s %8s %12s %12s%s%s %10s %10s %8s %10s\n",
+			"phase", "rounds", "bytesD2H", "bytesH2D", peerHdr, interHdr, "comm(ms)", "dev(ms)", "kernels", "Gflop/s")
 		for _, name := range s.Phases() {
 			p := s.DevicePhase(d, name)
 			if p == (PhaseStats{}) {
@@ -466,8 +591,11 @@ func (s *Stats) DeviceString() string {
 			if peer {
 				peerCell = fmt.Sprintf(" %12d", p.BytesPeer)
 			}
-			fmt.Fprintf(&b, "  %-10s %8d %12d %12d%s %10.3f %10.3f %8d %10.2f\n",
-				name, p.Rounds, p.BytesD2H, p.BytesH2D, peerCell,
+			if inter {
+				interCell = fmt.Sprintf(" %12d", p.BytesInterNode)
+			}
+			fmt.Fprintf(&b, "  %-10s %8d %12d %12d%s%s %10.3f %10.3f %8d %10.2f\n",
+				name, p.Rounds, p.BytesD2H, p.BytesH2D, peerCell, interCell,
 				p.CommTime*1e3, p.DeviceTime*1e3, p.Kernels, p.DeviceGflops())
 		}
 	}

@@ -1,0 +1,103 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cagmres/internal/gpu"
+)
+
+// This file ships the inter-node fabric catalog and the helpers that arm
+// the cluster tier on a profile. A fabric is one node uplink's α/β into
+// the cluster network; constants are sustained figures for the usual
+// datacenter interconnect generations, calibrated to published MPI
+// pt2pt/osu-benchmark numbers rather than NIC line rates.
+
+// fabrics maps canonical fabric names to their link constants.
+var fabrics = map[string]gpu.Fabric{
+	// HDR InfiniBand with RDMA: ~2 us NIC-to-NIC plus MPI overhead,
+	// ~25 GB/s sustained of a 200 Gb/s link.
+	"ib-hdr": {Kind: gpu.FabricIBHDR, Latency: 5e-6, Bandwidth: 25e9},
+	// EDR InfiniBand (100 Gb/s): the Summit-era baseline.
+	"ib-edr": {Kind: gpu.FabricIBEDR, Latency: 6e-6, Bandwidth: 12e9},
+	// 100G Ethernet with RoCE: near-IB bandwidth, more protocol latency.
+	"ethernet-100g": {Kind: gpu.FabricEthernet100G, Latency: 10e-6, Bandwidth: 12e9},
+	// Plain 25G Ethernet through a kernel TCP stack — the high-latency,
+	// thin-pipe end of the scaling study.
+	"ethernet-25g": {Kind: gpu.FabricEthernet25G, Latency: 30e-6, Bandwidth: 3e9},
+}
+
+// DefaultFabricName is the fabric the flag and spec layers assume when a
+// cluster is armed without naming one.
+const DefaultFabricName = "ib-hdr"
+
+// FabricNames returns the shipped fabric names, sorted.
+func FabricNames() []string {
+	names := make([]string, 0, len(fabrics))
+	for n := range fabrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FabricByName resolves a shipped fabric by its canonical name
+// (case-insensitive).
+func FabricByName(name string) (gpu.Fabric, error) {
+	f, ok := fabrics[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return gpu.Fabric{}, fmt.Errorf("profile: unknown fabric %q (have %s)", name, strings.Join(FabricNames(), ", "))
+	}
+	return f, nil
+}
+
+// WithCluster returns a copy of p with the cluster tier armed: the
+// devices grouped into simulated nodes of devicesPerNode, joined by the
+// fabric. Like WithTopology it is the counterfactual knob of the
+// cluster study: the node-local machine stays fixed while the node
+// count and fabric generation vary.
+func WithCluster(p gpu.Profile, devicesPerNode int, fab gpu.Fabric) (gpu.Profile, error) {
+	if devicesPerNode < 1 {
+		return gpu.Profile{}, fmt.Errorf("profile: devices per node must be >= 1, got %d", devicesPerNode)
+	}
+	if !fab.Valid() {
+		return gpu.Profile{}, fmt.Errorf("profile: invalid fabric constants %+v", fab)
+	}
+	p.Cluster = gpu.Cluster{DevicesPerNode: devicesPerNode, Fabric: fab}
+	if fab.Kind != "" {
+		p.Name = fmt.Sprintf("%s+%dx%s", p.Name, devicesPerNode, fab.Kind)
+	}
+	return p, nil
+}
+
+// ClusterFromFlags applies the -devices-per-node/-fabric flag pair to an
+// already-resolved profile selection (the result of FromFlags; nil means
+// "keep the built-in default"). Both zero keeps the selection unchanged.
+// Arming a fabric requires a node size; an unnamed fabric defaults to
+// ib-hdr.
+func ClusterFromFlags(base *gpu.Profile, devicesPerNode int, fabric string) (*gpu.Profile, error) {
+	if devicesPerNode == 0 && fabric == "" {
+		return base, nil
+	}
+	if devicesPerNode < 1 {
+		return nil, fmt.Errorf("profile: -fabric needs -devices-per-node >= 1, got %d", devicesPerNode)
+	}
+	p := M2090()
+	if base != nil {
+		p = *base
+	}
+	fab := fabrics[DefaultFabricName]
+	if fabric != "" {
+		f, err := FabricByName(fabric)
+		if err != nil {
+			return nil, err
+		}
+		fab = f
+	}
+	q, err := WithCluster(p, devicesPerNode, fab)
+	if err != nil {
+		return nil, err
+	}
+	return &q, nil
+}

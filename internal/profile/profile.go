@@ -184,6 +184,18 @@ type Spec struct {
 	// Model overrides individual cost-model constants; nil keeps the
 	// base model.
 	Model *ModelSpec `json:"model,omitempty"`
+	// DevicesPerNode groups the devices into simulated compute nodes of
+	// this size, arming the two-tier cluster interconnect; 0 keeps the
+	// single-node machine.
+	DevicesPerNode int `json:"devices_per_node,omitempty"`
+	// Fabric names a shipped inter-node fabric ("ib-hdr", "ib-edr",
+	// "ethernet-100g", "ethernet-25g"); empty with a node size selects
+	// ib-hdr. Requires devices_per_node.
+	Fabric string `json:"fabric,omitempty"`
+	// FabricLatencyUS / FabricBandwidthGBs override the fabric link
+	// constants (microseconds / GB/s).
+	FabricLatencyUS    float64 `json:"fabric_latency_us,omitempty"`
+	FabricBandwidthGBs float64 `json:"fabric_bandwidth_gbs,omitempty"`
 }
 
 // ModelSpec carries optional cost-model overrides in wire-friendly
@@ -248,6 +260,30 @@ func (s Spec) Resolve() (gpu.Profile, error) {
 			p.Model.KernelLaunch = m.KernelLaunchUS * 1e-6
 		}
 	}
+	if s.DevicesPerNode != 0 || s.Fabric != "" || s.FabricLatencyUS != 0 || s.FabricBandwidthGBs != 0 {
+		if s.DevicesPerNode < 1 {
+			return gpu.Profile{}, fmt.Errorf("profile: fabric settings need devices_per_node >= 1, got %d", s.DevicesPerNode)
+		}
+		fab := fabrics[DefaultFabricName]
+		if s.Fabric != "" {
+			f, err := FabricByName(s.Fabric)
+			if err != nil {
+				return gpu.Profile{}, err
+			}
+			fab = f
+		}
+		if s.FabricLatencyUS != 0 {
+			fab.Latency = s.FabricLatencyUS * 1e-6
+		}
+		if s.FabricBandwidthGBs != 0 {
+			fab.Bandwidth = s.FabricBandwidthGBs * 1e9
+		}
+		q, err := WithCluster(p, s.DevicesPerNode, fab)
+		if err != nil {
+			return gpu.Profile{}, err
+		}
+		p = q
+	}
 	if err := validate(p); err != nil {
 		return gpu.Profile{}, err
 	}
@@ -309,6 +345,14 @@ func validate(p gpu.Profile) error {
 	}
 	if !p.Topo.Valid() {
 		return fmt.Errorf("profile: unknown topology kind %q", p.Topo.Kind)
+	}
+	if p.Clustered() {
+		if err := nonneg("fabric_latency", p.Cluster.Fabric.Latency); err != nil {
+			return err
+		}
+		if err := pos("fabric_bandwidth", p.Cluster.Fabric.Bandwidth); err != nil {
+			return err
+		}
 	}
 	return nil
 }

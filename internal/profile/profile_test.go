@@ -31,6 +31,73 @@ func TestConformanceCounterfactuals(t *testing.T) {
 	}
 }
 
+// TestConformanceCluster holds the two-tier machines to the same fence:
+// every shipped fabric over a peer-routed node and over the paper's
+// host-hub node.
+func TestConformanceCluster(t *testing.T) {
+	for _, fabric := range FabricNames() {
+		fab, err := FabricByName(fabric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, base := range []gpu.Profile{M2090(), A100PCIe()} {
+			p, err := WithCluster(base, 2, fab)
+			if err != nil {
+				t.Fatalf("WithCluster(%s, %s): %v", base.Name, fabric, err)
+			}
+			t.Run(p.Name, func(t *testing.T) { profiletest.RunCluster(t, p) })
+		}
+	}
+}
+
+func TestFabricByName(t *testing.T) {
+	for _, name := range FabricNames() {
+		f, err := FabricByName(name)
+		if err != nil {
+			t.Fatalf("FabricByName(%s): %v", name, err)
+		}
+		if string(f.Kind) != name {
+			t.Errorf("fabric %s carries kind %q", name, f.Kind)
+		}
+		if !f.Valid() {
+			t.Errorf("shipped fabric %s fails Valid: %+v", name, f)
+		}
+	}
+	if f, err := FabricByName(" IB-HDR "); err != nil || f.Kind != gpu.FabricIBHDR {
+		t.Errorf("case/space-insensitive fabric lookup failed: %+v, %v", f, err)
+	}
+	if _, err := FabricByName("myrinet"); err == nil {
+		t.Error("FabricByName(myrinet) should fail")
+	}
+}
+
+func TestClusterFromFlags(t *testing.T) {
+	if p, err := ClusterFromFlags(nil, 0, ""); err != nil || p != nil {
+		t.Fatalf("no cluster flags: want nil,nil got %v,%v", p, err)
+	}
+	p, err := ClusterFromFlags(nil, 2, "")
+	if err != nil || p == nil || !p.Clustered() || p.Cluster.Fabric.Kind != gpu.FabricIBHDR {
+		t.Fatalf("default fabric: got %+v, %v", p, err)
+	}
+	base := A100PCIe()
+	p, err = ClusterFromFlags(&base, 4, "Ethernet-25G")
+	if err != nil || p == nil || p.Cluster.DevicesPerNode != 4 || p.Cluster.Fabric.Kind != gpu.FabricEthernet25G {
+		t.Fatalf("named fabric: got %+v, %v", p, err)
+	}
+	if !strings.Contains(p.Name, "a100-pcie") || !strings.Contains(p.Name, "ethernet-25g") {
+		t.Errorf("clustered profile name %q should carry base and fabric", p.Name)
+	}
+	if _, err := ClusterFromFlags(nil, 0, "ib-hdr"); err == nil {
+		t.Error("fabric without node size accepted")
+	}
+	if _, err := ClusterFromFlags(nil, 2, "myrinet"); err == nil {
+		t.Error("unknown fabric accepted")
+	}
+	if _, err := ClusterFromFlags(nil, -1, "ib-hdr"); err == nil {
+		t.Error("negative node size accepted")
+	}
+}
+
 func TestM2090MatchesBareModel(t *testing.T) {
 	// The paper-faithful profile must carry exactly the cost model the
 	// pre-profile simulator hard-wired, on a host-hub topology, so its
@@ -77,6 +144,20 @@ func TestDecode(t *testing.T) {
 			func(p gpu.Profile) bool { return p.Topo.PeerLatency == 3e-6 && p.Topo.PeerBandwidth == 50e9 }},
 		{"model-override", `{"model":{"device_gflops":1234}}`, true,
 			func(p gpu.Profile) bool { return p.Model.DeviceGflops == 1234 }},
+		{"cluster-default-fabric", `{"devices_per_node":2}`, true,
+			func(p gpu.Profile) bool { return p.Clustered() && p.Cluster.Fabric.Kind == gpu.FabricIBHDR }},
+		{"cluster-named-fabric", `{"base":"a100-pcie","devices_per_node":4,"fabric":"ethernet-25g"}`, true,
+			func(p gpu.Profile) bool {
+				return p.Cluster.DevicesPerNode == 4 && p.Cluster.Fabric.Kind == gpu.FabricEthernet25G
+			}},
+		{"cluster-constant-override", `{"devices_per_node":2,"fabric":"ib-edr","fabric_latency_us":9,"fabric_bandwidth_gbs":20}`, true,
+			func(p gpu.Profile) bool {
+				return p.Cluster.Fabric.Latency == 9e-6 && p.Cluster.Fabric.Bandwidth == 20e9
+			}},
+		{"fabric-without-nodes", `{"fabric":"ib-hdr"}`, false, nil},
+		{"unknown-fabric", `{"devices_per_node":2,"fabric":"myrinet"}`, false, nil},
+		{"negative-node-size", `{"devices_per_node":-2,"fabric":"ib-hdr"}`, false, nil},
+		{"negative-fabric-bandwidth", `{"devices_per_node":2,"fabric_bandwidth_gbs":-1}`, false, nil},
 		{"unknown-base", `{"base":"k80"}`, false, nil},
 		{"unknown-topology", `{"topology":"torus"}`, false, nil},
 		{"unknown-field", `{"bandwidth":9}`, false, nil},
@@ -124,6 +205,10 @@ func FuzzDecode(f *testing.F) {
 		`{"base":"h100-nvlink","peer_latency_us":2,"peer_bandwidth_gbs":150}`,
 		`{"model":{"latency_us":10,"bandwidth_gbs":24,"device_gflops":8500,"device_mem_bw_gbs":1400,"host_gflops":1500,"host_mem_bw_gbs":300,"kernel_launch_us":3}}`,
 		`{"topology":"all-to-all"}`,
+		`{"devices_per_node":2,"fabric":"ib-hdr"}`,
+		`{"base":"a100-pcie","devices_per_node":1,"fabric":"ethernet-25g","fabric_latency_us":50,"fabric_bandwidth_gbs":2}`,
+		`{"fabric":"myrinet"}`,
+		`{"devices_per_node":-3}`,
 		`{"base":"k80"}`,
 		`{"peer_bandwidth_gbs":-1}`,
 		`{"peer_latency_us":1e308}`,

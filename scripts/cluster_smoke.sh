@@ -1,0 +1,111 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end smoke test of the cluster tier:
+# start cagmres-router with 3 in-process backends, drive it with the
+# load generator's cluster mode (shard spread + aggregated healthz),
+# kill one node mid-run via the admin surface and check the cluster
+# health degrades while a solve pinned to the dead node's shard still
+# completes on a survivor, revive the node and check health recovers,
+# then shut the router down gracefully with SIGTERM.
+#
+# Usage: scripts/cluster_smoke.sh [workdir]   (default: $TMPDIR/cagmres-cluster-smoke)
+set -eu
+
+GO="${GO:-go}"
+DIR="${1:-${TMPDIR:-/tmp}/cagmres-cluster-smoke}"
+mkdir -p "$DIR"
+rm -f "$DIR/router.port" "$DIR/router.log"
+
+"$GO" build -o "$DIR/cagmres-router" ./cmd/cagmres-router
+"$GO" build -o "$DIR/loadgen" ./cmd/loadgen
+"$GO" build -o "$DIR/chaos" ./cmd/chaos
+
+"$DIR/cagmres-router" -addr 127.0.0.1:0 -local 3 -devices 2 \
+    -portfile "$DIR/router.port" > "$DIR/router.log" 2>&1 &
+RPID=$!
+trap 'kill "$RPID" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -s "$DIR/router.port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "cluster-smoke: router never wrote its port file" >&2
+        cat "$DIR/router.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR="$(cat "$DIR/router.port")"
+echo "cluster-smoke: cagmres-router on $ADDR"
+
+get()  { curl -fsS "http://$ADDR$1"; }
+post() { curl -fsS -X POST ${2:+-d "$2"} "http://$ADDR$1"; }
+SOLVE='{"matrix":{"name":"laplace3d","scale":1e-5},"m":20,"s":4,"tol":1e-6,"wait":true}'
+
+# Phase 1: closed-loop cluster load — shards must spread and the
+# aggregated healthz must come back fully healthy.
+"$DIR/loadgen" -mode cluster -portfile "$DIR/router.port" \
+    -clients 4 -requests 2 -matrix laplace3d -scale 1e-5 -m 20 -s 4 -tol 1e-6
+
+# Phase 2: learn which backend owns the smoke shard, then kill it.
+OWNER="$(post /solve "$SOLVE" | sed -n 's/.*"backend":"\([^"]*\)".*/\1/p')"
+if [ -z "$OWNER" ]; then
+    echo "cluster-smoke: could not learn the shard owner" >&2
+    exit 1
+fi
+echo "cluster-smoke: shard owner is $OWNER; killing it"
+post "/admin/kill/$OWNER" > /dev/null
+
+HEALTH="$(get /healthz)"
+echo "$HEALTH" | grep -q '"degraded":true' || {
+    echo "cluster-smoke: healthz not degraded after node kill: $HEALTH" >&2
+    exit 1
+}
+echo "$HEALTH" | grep -q '"ok":true' || {
+    echo "cluster-smoke: cluster lost availability with 2 survivors: $HEALTH" >&2
+    exit 1
+}
+
+# Phase 3: a solve for the dead node's shard must re-route and complete
+# on a survivor with hops > 1.
+OUT="$(post /solve "$SOLVE")"
+echo "$OUT" | grep -q '"state":"done"' || {
+    echo "cluster-smoke: solve did not complete after node death: $OUT" >&2
+    exit 1
+}
+echo "$OUT" | grep -q "\"backend\":\"$OWNER\"" && {
+    echo "cluster-smoke: solve landed on the dead node: $OUT" >&2
+    exit 1
+}
+echo "$OUT" | grep -q '"hops":2' || {
+    echo "cluster-smoke: node death did not force a reroute: $OUT" >&2
+    exit 1
+}
+echo "cluster-smoke: solve re-routed off dead node $OWNER"
+
+# Phase 4: revive; the aggregated health must recover.
+post "/admin/revive/$OWNER" > /dev/null
+HEALTH="$(get /healthz)"
+echo "$HEALTH" | grep -q '"degraded":false' || {
+    echo "cluster-smoke: healthz still degraded after revive: $HEALTH" >&2
+    exit 1
+}
+echo "cluster-smoke: $OWNER revived, cluster healthy"
+
+# Phase 5: the chaos harness's cluster layer — whole-node death
+# mid-solve with a bit-identical replay.
+"$DIR/chaos" -cluster -nodes 3 -devices 2 -scale 1e-5 -m 20 -s 4 -tol 1e-6
+
+# Graceful drain: SIGTERM must produce a zero exit.
+kill -TERM "$RPID"
+wait "$RPID" || {
+    echo "cluster-smoke: router exited non-zero after SIGTERM" >&2
+    cat "$DIR/router.log" >&2
+    exit 1
+}
+trap - EXIT
+grep -q "drained" "$DIR/router.log" || {
+    echo "cluster-smoke: router log missing drain confirmation" >&2
+    cat "$DIR/router.log" >&2
+    exit 1
+}
+echo "cluster-smoke: ok (node death survived, graceful drain confirmed)"
