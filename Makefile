@@ -20,12 +20,17 @@
 # `make cluster-smoke` federates 3 in-process nodes behind
 # cagmres-router, kills one mid-run, and requires re-routing, health
 # degrade/recover, a bit-identical chaos replay, and a graceful drain.
+# `make overload-smoke` arms the full containment stack (retry budget,
+# breakers, deadline propagation, brownout) on a 2-node federation,
+# checks every structured-rejection path end-to-end, and replays the
+# deterministic retry-storm scenario (containment off collapses
+# goodput, on holds it, bit-identically).
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke trace-smoke cluster-smoke fuzz-smoke cover-profile bench-snapshot
+.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke trace-smoke cluster-smoke overload-smoke fuzz-smoke cover-profile bench-snapshot
 
-check: vet staticcheck race test fuzz-smoke cover-profile serve-smoke chaos-smoke overlap-smoke trace-smoke cluster-smoke
+check: vet staticcheck race test fuzz-smoke cover-profile serve-smoke chaos-smoke overlap-smoke trace-smoke cluster-smoke overload-smoke
 
 build:
 	$(GO) build ./...
@@ -92,6 +97,12 @@ trace-smoke:
 cluster-smoke:
 	GO="$(GO)" sh scripts/cluster_smoke.sh
 
+# Overload-containment smoke test: deadline propagation, SLO-driven
+# brownout, deadline-infeasibility rejection, resilience metric
+# families, and the deterministic retry-storm replay.
+overload-smoke:
+	GO="$(GO)" sh scripts/overload_smoke.sh
+
 # Overlap regression smoke: the stream schedule must strictly beat the
 # synchronous schedule on the full device count for every basis depth
 # of the Figure 11 configuration (exit 1 on any regression).
@@ -99,11 +110,13 @@ overlap-smoke:
 	$(GO) run ./cmd/experiments -fig overlap -overlapcheck > /dev/null
 
 # Short-budget fuzz pass over the hostile-input surfaces: the
-# MatrixMarket body of POST /solve and the machine-profile JSON decoder.
-# The committed corpora replay first, so regressions fail fast even when
-# the random budget finds nothing new.
+# MatrixMarket body of POST /solve, the machine-profile JSON decoder,
+# the router's backend-response decoder, and the Solve-Control header
+# parser. The committed corpora replay first, so regressions fail fast
+# even when the random budget finds nothing new.
 fuzz-smoke:
 	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzMatrixMarketSpec -fuzztime 5s
+	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzParseSolveControl -fuzztime 5s
 	$(GO) test ./internal/profile/ -run '^$$' -fuzz FuzzDecode -fuzztime 5s
 	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzRouterDecode -fuzztime 5s
 
@@ -119,10 +132,11 @@ cover-profile:
 # Refresh the committed benchmark snapshots: the modeled overlap study
 # (deterministic) plus the host GEMM wall-clock comparison (machine-
 # dependent by nature; warmup + best-of-5), the interconnect-topology
-# study, the standing-figures rerun, and the multi-node cluster scaling
-# study (all deterministic).
+# study, the standing-figures rerun, the multi-node cluster scaling
+# study, and the overload-containment study (all deterministic).
 bench-snapshot:
 	$(GO) run ./cmd/experiments -fig overlap -benchjson BENCH_pr5.json > /dev/null
 	$(GO) run ./cmd/experiments -fig topology -devices 4 -topologyjson BENCH_pr6.json > /dev/null
 	$(GO) run ./cmd/experiments -fig overlap -devices 4 -standingjson BENCH_pr7.json > /dev/null
 	$(GO) run ./cmd/experiments -fig cluster -clusterjson BENCH_pr8.json > /dev/null
+	$(GO) run ./cmd/experiments -fig overload -overloadjson BENCH_pr9.json > /dev/null

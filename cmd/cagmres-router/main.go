@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -33,7 +34,26 @@ import (
 	"cagmres/internal/gpu"
 	"cagmres/internal/obs"
 	"cagmres/internal/profile"
+	"cagmres/internal/sched"
 )
+
+// brownoutLadder parses the -brownout flag: a comma-separated list of
+// minimum admitted priorities, one per brownout level (same grammar as
+// cagmresd's flag). Empty input keeps brownout off.
+func brownoutLadder(spec string) (*sched.BrownoutConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var ladder []int
+	for _, item := range strings.Split(spec, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(item))
+		if err != nil {
+			return nil, fmt.Errorf("ladder rung %q: %v", item, err)
+		}
+		ladder = append(ladder, p)
+	}
+	return &sched.BrownoutConfig{Ladder: ladder}, nil
+}
 
 func main() {
 	var (
@@ -58,16 +78,62 @@ func main() {
 		devicesPerNode = flag.Int("devices-per-node", 0, "arm the two-tier interconnect: devices per simulated node (0 keeps flat single-node profiles)")
 		fabricName     = flag.String("fabric", "", "inter-node fabric for the two-tier interconnect ("+strings.Join(profile.FabricNames(), ", ")+"); default "+profile.DefaultFabricName)
 
+		retryBudget      = flag.Float64("retry-budget", 0.1, "fraction of successful traffic spendable on reroutes and hedges (tokens earned per success)")
+		retryBurst       = flag.Float64("retry-burst", 10, "retry-budget bucket capacity (the bucket starts full, so cold-start forwarding works)")
+		breakerThreshold = flag.Int("breaker-threshold", 5, "consecutive backend failures that open its circuit breaker")
+		breakerCooldown  = flag.Float64("breaker-cooldown", 5, "seconds an open breaker waits before admitting one half-open probe")
+		hedgeAfter       = flag.Float64("hedge-after", 0, "hedge wait-solves after this many seconds without a response (rolling p95 once warmed; 0 disables)")
+
+		sloTarget      = flag.String("slo-target", "", "SLO classes for -local nodes as name:minprio:latency:objective, comma-separated (minprio \"*\" catches all); empty keeps the defaults")
+		brownoutFlag   = flag.String("brownout", "", "brownout ladder for -local nodes: comma-separated minimum admitted priorities per level (empty disables)")
+		deadlineMargin = flag.Float64("deadline-margin", 0, "-local nodes reject submissions whose deadline is below this multiple of the service-time estimate (0 disables)")
+
 		chaosSeed = flag.Int64("chaos-seed", 0, "seed for -chaos-kill-node fault plans")
 		chaosKill = flag.String("chaos-kill-node", "", "arm whole-node death on a -local node: name@seconds (virtual time) kills every device of that node's contexts, e.g. node0@0.001")
 	)
 	flag.Parse()
-	if err := run(*addr, *portFile, *backendsFlag, *localN, *maxHops, *shardMapPath,
-		*poolSize, *devices, *queueDepth, *maxBatch, *maxJobAttempts, *repair, *drainTimeout,
-		*profName, *topoName, *devicesPerNode, *fabricName, *chaosSeed, *chaosKill); err != nil {
+	if err := run(routerConfig{
+		addr: *addr, portFile: *portFile,
+		backendsFlag: *backendsFlag, localN: *localN, maxHops: *maxHops, shardMapPath: *shardMapPath,
+		poolSize: *poolSize, devices: *devices, queueDepth: *queueDepth, maxBatch: *maxBatch,
+		maxJobAttempts: *maxJobAttempts, repair: *repair, drainTimeout: *drainTimeout,
+		profName: *profName, topoName: *topoName, devicesPerNode: *devicesPerNode, fabricName: *fabricName,
+		retryBudget: *retryBudget, retryBurst: *retryBurst,
+		breakerThreshold: *breakerThreshold, breakerCooldown: *breakerCooldown, hedgeAfter: *hedgeAfter,
+		sloTarget: *sloTarget, brownout: *brownoutFlag, deadlineMargin: *deadlineMargin,
+		chaosSeed: *chaosSeed, chaosKill: *chaosKill,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "cagmres-router:", err)
 		os.Exit(1)
 	}
+}
+
+// routerConfig carries the parsed flags into run.
+type routerConfig struct {
+	addr, portFile string
+
+	backendsFlag string
+	localN       int
+	maxHops      int
+	shardMapPath string
+
+	poolSize, devices       int
+	queueDepth, maxBatch    int
+	maxJobAttempts          int
+	repair                  bool
+	drainTimeout            time.Duration
+	profName, topoName      string
+	devicesPerNode          int
+	fabricName              string
+	retryBudget, retryBurst float64
+	breakerThreshold        int
+	breakerCooldown         float64
+	hedgeAfter              float64
+	sloTarget, brownout     string
+	deadlineMargin          float64
+
+	chaosSeed int64
+	chaosKill string
 }
 
 // parseBackends turns the -backends flag into HTTP backends.
@@ -119,22 +185,27 @@ func nodeDeathPlan(spec string, poolSize, devices int, seed int64) (string, []gp
 	return name, plans, nil
 }
 
-func run(addr, portFile, backendsFlag string, localN, maxHops int, shardMapPath string,
-	poolSize, devices, queueDepth, maxBatch, maxJobAttempts int, repair bool, drainTimeout time.Duration,
-	profName, topoName string, devicesPerNode int, fabricName string, chaosSeed int64, chaosKill string) error {
-
-	prof, err := profile.FromFlags(profName, topoName)
+func run(cfg routerConfig) error {
+	prof, err := profile.FromFlags(cfg.profName, cfg.topoName)
 	if err != nil {
 		return err
 	}
-	prof, err = profile.ClusterFromFlags(prof, devicesPerNode, fabricName)
+	prof, err = profile.ClusterFromFlags(prof, cfg.devicesPerNode, cfg.fabricName)
 	if err != nil {
 		return err
+	}
+	classes, err := obs.ParseSLOClasses(cfg.sloTarget)
+	if err != nil {
+		return fmt.Errorf("-slo-target: %w", err)
+	}
+	brownout, err := brownoutLadder(cfg.brownout)
+	if err != nil {
+		return fmt.Errorf("-brownout: %w", err)
 	}
 
 	var shardMap *cluster.ShardMap
-	if shardMapPath != "" {
-		data, err := os.ReadFile(shardMapPath)
+	if cfg.shardMapPath != "" {
+		data, err := os.ReadFile(cfg.shardMapPath)
 		if err != nil {
 			return err
 		}
@@ -143,33 +214,36 @@ func run(addr, portFile, backendsFlag string, localN, maxHops int, shardMapPath 
 		}
 	}
 
-	remote, err := parseBackends(backendsFlag, localN)
+	remote, err := parseBackends(cfg.backendsFlag, cfg.localN)
 	if err != nil {
 		return err
 	}
-	doomed, plans, err := nodeDeathPlan(chaosKill, poolSize, devices, chaosSeed)
+	doomed, plans, err := nodeDeathPlan(cfg.chaosKill, cfg.poolSize, cfg.devices, cfg.chaosSeed)
 	if err != nil {
 		return err
 	}
 
 	var nodes []*cluster.LocalNode
 	var backends []*cluster.Backend
-	for i := 0; i < localN; i++ {
+	for i := 0; i < cfg.localN; i++ {
 		name := fmt.Sprintf("node%d", i)
-		cfg := cluster.LocalNodeConfig{
-			Name: name, PoolSize: poolSize, Devices: devices, Profile: prof,
-			QueueDepth: queueDepth, MaxBatch: maxBatch,
-			MaxJobAttempts: maxJobAttempts, Repair: repair,
+		ncfg := cluster.LocalNodeConfig{
+			Name: name, PoolSize: cfg.poolSize, Devices: cfg.devices, Profile: prof,
+			QueueDepth: cfg.queueDepth, MaxBatch: cfg.maxBatch,
+			MaxJobAttempts: cfg.maxJobAttempts, Repair: cfg.repair,
+			SLO:            obs.SLOConfig{Classes: classes},
+			Brownout:       brownout,
+			DeadlineMargin: cfg.deadlineMargin,
 		}
 		if name == doomed {
-			cfg.MaxJobAttempts = 1 // every retry lands on the same dead node
-			cfg.FaultPlans = plans
+			ncfg.MaxJobAttempts = 1 // every retry lands on the same dead node
+			ncfg.FaultPlans = plans
 		}
-		n := cluster.NewLocalNode(cfg)
+		n := cluster.NewLocalNode(ncfg)
 		nodes = append(nodes, n)
 		backends = append(backends, n.Backend())
 	}
-	if doomed != "" && localN == 0 {
+	if doomed != "" && cfg.localN == 0 {
 		return fmt.Errorf("-chaos-kill-node needs -local nodes")
 	}
 	backends = append(backends, remote...)
@@ -178,23 +252,31 @@ func run(addr, portFile, backendsFlag string, localN, maxHops int, shardMapPath 
 	}
 
 	router := cluster.New(cluster.Config{
-		Backends: backends, MaxHops: maxHops, ShardMap: shardMap,
+		Backends: backends, MaxHops: cfg.maxHops, ShardMap: shardMap,
+		RetryBudgetRatio: cfg.retryBudget, RetryBudgetBurst: cfg.retryBurst,
+		Breaker: cluster.BreakerConfig{
+			Threshold: cfg.breakerThreshold,
+			Cooldown:  cfg.breakerCooldown,
+		},
+		HedgeAfter: cfg.hedgeAfter,
 	})
-	srv, bound, err := obs.Serve(addr, router)
+	srv, bound, err := obs.Serve(cfg.addr, router)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("cagmres-router: serving on %s (%d backends: %s; max hops %d)\n",
-		bound, len(backends), strings.Join(router.Backends(), ", "), maxHops)
-	if localN > 0 {
+		bound, len(backends), strings.Join(router.Backends(), ", "), cfg.maxHops)
+	fmt.Printf("cagmres-router: containment armed (retry budget %.2f/%.0f, breaker %d@%.1fs, hedge-after %gs)\n",
+		cfg.retryBudget, cfg.retryBurst, cfg.breakerThreshold, cfg.breakerCooldown, cfg.hedgeAfter)
+	if cfg.localN > 0 {
 		fmt.Printf("cagmres-router: %d in-process nodes (pool %d×%d GPUs, profile %s)\n",
-			localN, poolSize, devices, nodeProfileName(prof))
+			cfg.localN, cfg.poolSize, cfg.devices, nodeProfileName(prof))
 	}
 	if doomed != "" {
 		fmt.Printf("cagmres-router: chaos armed, whole-node death on %s\n", doomed)
 	}
-	if portFile != "" {
-		if err := os.WriteFile(portFile, []byte(bound), 0o644); err != nil {
+	if cfg.portFile != "" {
+		if err := os.WriteFile(cfg.portFile, []byte(bound), 0o644); err != nil {
 			return err
 		}
 	}
@@ -202,9 +284,9 @@ func run(addr, portFile, backendsFlag string, localN, maxHops int, shardMapPath 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	got := <-sig
-	fmt.Printf("cagmres-router: %v, draining %d local nodes (timeout %v)\n", got, len(nodes), drainTimeout)
+	fmt.Printf("cagmres-router: %v, draining %d local nodes (timeout %v)\n", got, len(nodes), cfg.drainTimeout)
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	for _, n := range nodes {
 		if err := n.Drain(ctx); err != nil {

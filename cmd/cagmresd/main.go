@@ -63,14 +63,24 @@ func main() {
 		profName = flag.String("profile", "", "machine profile for the pooled contexts (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
 		topoName = flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
 
-		sloTarget   = flag.String("slo-target", "", "SLO classes as name:minprio:latency:objective, comma-separated (minprio \"*\" catches all), e.g. interactive:1:1.0:0.99,standard:*:5.0:0.95; empty keeps the defaults")
-		traceEvents = flag.Int("trace-events", 1<<14, "per-context event-trace ring capacity feeding /jobs/{id}/trace.json device lanes (0 disables)")
+		sloTarget      = flag.String("slo-target", "", "SLO classes as name:minprio:latency:objective, comma-separated (minprio \"*\" catches all), e.g. interactive:1:1.0:0.99,standard:*:5.0:0.95; empty keeps the defaults")
+		brownoutFlag   = flag.String("brownout", "", "SLO-driven brownout ladder: comma-separated minimum admitted priorities per level, e.g. 1,2 (empty disables)")
+		deadlineMargin = flag.Float64("deadline-margin", 0, "reject submissions whose deadline is below this multiple of the rolling service-time estimate (0 disables)")
+		traceEvents    = flag.Int("trace-events", 1<<14, "per-context event-trace ring capacity feeding /jobs/{id}/trace.json device lanes (0 disables)")
 	)
 	flag.Parse()
 	prof, err := profile.FromFlags(*profName, *topoName)
 	var classes []obs.SLOClass
 	if err == nil {
-		classes, err = sloClasses(*sloTarget)
+		if classes, err = obs.ParseSLOClasses(*sloTarget); err != nil {
+			err = fmt.Errorf("-slo-target: %w", err)
+		}
+	}
+	var brownout *sched.BrownoutConfig
+	if err == nil {
+		if brownout, err = brownoutLadder(*brownoutFlag); err != nil {
+			err = fmt.Errorf("-brownout: %w", err)
+		}
 	}
 	var plans []gpu.FaultPlan
 	if err == nil {
@@ -84,6 +94,7 @@ func main() {
 			drainGrace: *drainGrace, leaseTimeout: *leaseTimeout,
 			portFile: *portFile, plans: plans, repair: *repair,
 			prof: prof, sloClasses: classes, traceEvents: *traceEvents,
+			brownout: brownout, deadlineMargin: *deadlineMargin,
 		})
 	}
 	if err != nil {
@@ -105,48 +116,26 @@ type daemonConfig struct {
 	prof                     *gpu.Profile
 	sloClasses               []obs.SLOClass
 	traceEvents              int
+	brownout                 *sched.BrownoutConfig
+	deadlineMargin           float64
 }
 
-// sloClasses parses the -slo-target flag: comma-separated
-// name:minprio:latencySeconds:objective entries, where minprio "*"
-// marks the catch-all class. Empty input keeps the default two-tier
-// policy.
-func sloClasses(spec string) ([]obs.SLOClass, error) {
+// brownoutLadder parses the -brownout flag: a comma-separated list of
+// minimum admitted priorities, one per brownout level. Empty input
+// keeps brownout off.
+func brownoutLadder(spec string) (*sched.BrownoutConfig, error) {
 	if spec == "" {
 		return nil, nil
 	}
-	var out []obs.SLOClass
+	var ladder []int
 	for _, item := range strings.Split(spec, ",") {
-		parts := strings.Split(strings.TrimSpace(item), ":")
-		if len(parts) != 4 {
-			return nil, fmt.Errorf("-slo-target %q: want name:minprio:latency:objective", item)
+		p, err := strconv.Atoi(strings.TrimSpace(item))
+		if err != nil {
+			return nil, fmt.Errorf("ladder rung %q: %v", item, err)
 		}
-		c := obs.SLOClass{Name: parts[0]}
-		if c.Name == "" {
-			return nil, fmt.Errorf("-slo-target %q: empty class name", item)
-		}
-		if parts[1] == "*" {
-			c.MinPriority = -1 << 31
-		} else {
-			p, err := strconv.Atoi(parts[1])
-			if err != nil {
-				return nil, fmt.Errorf("-slo-target %q: minprio: %v", item, err)
-			}
-			c.MinPriority = p
-		}
-		lat, err := strconv.ParseFloat(parts[2], 64)
-		if err != nil || lat <= 0 {
-			return nil, fmt.Errorf("-slo-target %q: latency must be positive seconds", item)
-		}
-		c.LatencyTarget = lat
-		obj, err := strconv.ParseFloat(parts[3], 64)
-		if err != nil || obj <= 0 || obj >= 1 {
-			return nil, fmt.Errorf("-slo-target %q: objective must be in (0,1)", item)
-		}
-		c.Objective = obj
-		out = append(out, c)
+		ladder = append(ladder, p)
 	}
-	return out, nil
+	return &sched.BrownoutConfig{Ladder: ladder}, nil
 }
 
 // chaosPlans translates the -chaos-* flags into per-context fault plans.
@@ -221,15 +210,17 @@ func run(cfg daemonConfig) error {
 		TraceEvents: cfg.traceEvents,
 	})
 	s := sched.New(sched.Config{
-		Pool:         pool,
-		QueueDepth:   cfg.queueDepth,
-		MaxBatch:     cfg.maxBatch,
-		RetryAfter:   cfg.retryAfter,
-		RetainJobs:   cfg.retain,
-		LeaseTimeout: cfg.leaseTimeout,
-		DrainGrace:   cfg.drainGrace,
-		Registry:     reg,
-		SLO:          obs.NewSLOEngine(reg, obs.SLOConfig{Classes: cfg.sloClasses}),
+		Pool:           pool,
+		QueueDepth:     cfg.queueDepth,
+		MaxBatch:       cfg.maxBatch,
+		RetryAfter:     cfg.retryAfter,
+		RetainJobs:     cfg.retain,
+		LeaseTimeout:   cfg.leaseTimeout,
+		DrainGrace:     cfg.drainGrace,
+		Registry:       reg,
+		SLO:            obs.NewSLOEngine(reg, obs.SLOConfig{Classes: cfg.sloClasses}),
+		Brownout:       cfg.brownout,
+		DeadlineMargin: cfg.deadlineMargin,
 	})
 	s.Start()
 

@@ -36,8 +36,10 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"reflect"
 	"time"
 
+	"cagmres/internal/bench"
 	"cagmres/internal/cluster"
 	"cagmres/internal/core"
 	"cagmres/internal/gpu"
@@ -71,12 +73,20 @@ func main() {
 
 		clusterRun = flag.Bool("cluster", false, "cluster layer: federate -nodes in-process backends behind a router, kill the shard's whole first-choice node mid-solve, and require completion on a survivor plus a bit-identical replay")
 		nodes      = flag.Int("nodes", 3, "in-process backends for -cluster")
+		storm      = flag.Bool("storm", false, "retry-storm layer: replay the deterministic overload study (containment off vs on) and a circuit-breaker transition script on virtual time, asserting the containment shapes and bit-identical replays")
 	)
 	flag.Parse()
 	prof, err := profile.FromFlags(*profName, *topoName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
+	}
+	if *storm {
+		if err := runStorm(); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if *clusterRun {
 		if err := runCluster(*nodes, *devices, *seed, *matrix, *scale, *mFlag, *sFlag, *tol, prof); err != nil {
@@ -135,7 +145,19 @@ func clusterSolve(n, devices int, seed int64, doomed string, killAt float64,
 			_ = node.Drain(ctx)
 		}
 	}()
-	router := cluster.New(cluster.Config{Backends: backends, MaxHops: n})
+	// The containment layer rides along armed: the reroute off the dead
+	// node draws a token from the retry budget and records a breaker
+	// failure, and the replay below must still be bit-identical. The
+	// frozen virtual clock keeps breaker cooldowns out of the replay
+	// (one node death never reaches the open threshold anyway).
+	router := cluster.New(cluster.Config{
+		Backends:         backends,
+		MaxHops:          n,
+		RetryBudgetRatio: 0.1,
+		RetryBudgetBurst: 10,
+		Breaker:          cluster.BreakerConfig{Threshold: 5, Cooldown: 5},
+		Now:              func() float64 { return 0 },
+	})
 	body, _ := json.Marshal(map[string]any{
 		"matrix": map[string]any{"name": matrix, "scale": scale},
 		"m":      m, "s": s, "tol": tol, "ortho": "CholQR", "wait": true,
@@ -206,6 +228,132 @@ func runCluster(n, devices int, seed int64, matrix string, scale float64,
 		deg2.ModeledSeconds, deg2.Iters, deg2.RelRes)
 	fmt.Println("chaos: ok")
 	return nil
+}
+
+// runStorm is the retry-storm chaos layer. It replays the overload
+// study — a three-node federation at 1-4x capacity with the containment
+// layer off and on — twice, requiring bit-identical rows and the
+// containment shapes: without containment, reroutes per offered job
+// grow superlinearly with load; with containment, reroutes stay inside
+// the retry-budget bound and goodput holds >= 80% of capacity at 4x
+// offered load. It then drives a circuit breaker through a scripted
+// failure/cooldown/probe sequence on a virtual clock, twice, and
+// requires identical transition traces.
+func runStorm() error {
+	run := func(out *os.File) []bench.OverloadRow {
+		cfg := bench.Config{Scale: 0.02}
+		if out != nil {
+			cfg.Out = out
+		}
+		return bench.FigOverload(cfg)
+	}
+	rows := run(os.Stdout)
+	replay := run(nil)
+	if !reflect.DeepEqual(rows, replay) {
+		return fmt.Errorf("overload study replay diverged:\n  run 1: %+v\n  run 2: %+v", rows, replay)
+	}
+	fmt.Println("chaos storm: overload study replay bit-identical")
+
+	off := map[float64]bench.OverloadRow{}
+	on := map[float64]bench.OverloadRow{}
+	for _, r := range rows {
+		if r.Containment {
+			on[r.Load] = r
+		} else {
+			off[r.Load] = r
+		}
+	}
+	rate := func(r bench.OverloadRow) float64 { return float64(r.Reroutes) / float64(r.Offered) }
+	prev := -1.0
+	for _, load := range []float64{1, 2, 3, 4} {
+		r := off[load]
+		if r.Offered == 0 {
+			return fmt.Errorf("overload study missing uncontained %gx row", load)
+		}
+		if got := rate(r); got < prev {
+			return fmt.Errorf("uncontained reroutes/offered fell from %.2f to %.2f at %gx", prev, got, load)
+		} else {
+			prev = got
+		}
+	}
+	if r1, r4 := rate(off[1]), rate(off[4]); r4 <= 4*r1+1e-9 && r4 < 1 {
+		return fmt.Errorf("uncontained reroutes/offered did not grow superlinearly: %.2f at 1x, %.2f at 4x", r1, r4)
+	}
+	fmt.Printf("chaos storm: containment off: reroutes/offered %.2f -> %.2f -> %.2f -> %.2f across 1-4x (superlinear)\n",
+		rate(off[1]), rate(off[2]), rate(off[3]), rate(off[4]))
+	r4 := on[4]
+	if r4.GoodputFrac < 0.8 {
+		return fmt.Errorf("contained goodput at 4x offered load = %.1f%%, want >= 80%%", 100*r4.GoodputFrac)
+	}
+	if bound := 0.1*float64(r4.Served+r4.Late) + 10; float64(r4.Reroutes) > bound {
+		return fmt.Errorf("contained reroutes at 4x (%d) exceed retry-budget bound %.1f", r4.Reroutes, bound)
+	}
+	fmt.Printf("chaos storm: containment on: goodput %.1f%% of capacity at 4x, %d reroutes (budget-bounded), %d shed\n",
+		100*r4.GoodputFrac, r4.Reroutes, r4.Shed)
+
+	a := breakerScript()
+	b := breakerScript()
+	if !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("breaker transition replay diverged:\n  run 1: %v\n  run 2: %v", a, b)
+	}
+	want := []string{
+		"closed", "closed", "open", // failures up to threshold
+		"open",            // cooldown not yet elapsed: requests skipped
+		"half-open:allow", // cooldown elapsed: exactly one probe admitted
+		"half-open:skip",  // concurrent request skipped while probing
+		"open",            // probe failed: re-open immediately
+		"half-open:allow", // second cooldown, second probe
+		"closed",          // probe succeeded: circuit closes
+		"closed",          // healthy traffic flows again
+	}
+	if !reflect.DeepEqual(a, want) {
+		return fmt.Errorf("breaker transition script:\n  got  %v\n  want %v", a, want)
+	}
+	fmt.Printf("chaos storm: breaker script replay bit-identical (%d transitions: closed -> open -> half-open -> open -> half-open -> closed)\n", len(a))
+	fmt.Println("chaos: ok")
+	return nil
+}
+
+// breakerScript drives one circuit breaker through a deterministic
+// failure/cooldown/probe sequence on a virtual clock and returns the
+// observed state trace.
+func breakerScript() []string {
+	clock := 0.0
+	br := cluster.NewBreaker(cluster.BreakerConfig{
+		Threshold: 3, Cooldown: 5, Now: func() float64 { return clock },
+	})
+	var trace []string
+	step := func(s string) { trace = append(trace, s) }
+
+	br.Failure()
+	step(br.State()) // 1 failure: still closed
+	br.Failure()
+	step(br.State()) // 2 failures: still closed
+	br.Failure()
+	step(br.State()) // threshold: open
+	clock = 3
+	if !br.Allow() {
+		step(br.State()) // inside cooldown: skipped, still open
+	}
+	clock = 6
+	if br.Allow() {
+		step(br.State() + ":allow") // cooldown elapsed: probe admitted
+	}
+	if !br.Allow() {
+		step(br.State() + ":skip") // one probe at a time
+	}
+	br.Failure()
+	step(br.State()) // probe failed: re-open
+	clock = 12
+	if br.Allow() {
+		step(br.State() + ":allow") // second probe
+	}
+	br.Success()
+	step(br.State()) // probe succeeded: closed
+	if br.Allow() {
+		step(br.State()) // traffic flows
+	}
+	return trace
 }
 
 // solveSnap is one solve's record in the bench JSON.

@@ -6,8 +6,8 @@
 //	experiments [flags]
 //
 //	-fig string     which figure to run: 3, 6, 7, 8, 10, 11, 13, 14, 15,
-//	                overlap, topology, cluster, ablation or "all"
-//	                (default "all")
+//	                overlap, topology, cluster, overload, ablation or
+//	                "all" (default "all")
 //	-scale float    matrix scale relative to the published sizes
 //	                (default 0.02; 1.0 = paper-sized, slow)
 //	-devices int    maximum simulated GPU count (default 3)
@@ -41,6 +41,8 @@
 //	                as a JSON benchmark snapshot
 //	-clusterjson f  write the multi-node cluster scaling study
 //	                (deterministic) as a JSON benchmark snapshot
+//	-overloadjson f write the overload-containment study (deterministic)
+//	                as a JSON benchmark snapshot
 //	-standingjson f write a rerun of the standing modeled studies
 //	                (overlap + topology, deterministic) as one snapshot
 //
@@ -72,7 +74,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (3,6,7,8,10,11,13,14,15,overlap,topology,cluster,ablation,all)")
+	fig := flag.String("fig", "all", "figure to regenerate (3,6,7,8,10,11,13,14,15,overlap,topology,cluster,overload,ablation,all)")
 	scale := flag.Float64("scale", 0.02, "matrix scale relative to published sizes")
 	devices := flag.Int("devices", 3, "maximum simulated GPU count")
 	restarts := flag.Int("restarts", 40, "restart cap per solve")
@@ -87,6 +89,7 @@ func main() {
 	topoName := flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
 	topoJSON := flag.String("topologyjson", "", "write the interconnect-topology study (deterministic) as a JSON benchmark snapshot to this file")
 	clusterJSON := flag.String("clusterjson", "", "write the multi-node cluster scaling study (deterministic) as a JSON benchmark snapshot to this file")
+	overloadJSON := flag.String("overloadjson", "", "write the overload-containment study (deterministic) as a JSON benchmark snapshot to this file")
 	standingJSON := flag.String("standingjson", "", "write a rerun of the standing modeled studies (overlap + topology, deterministic) as a JSON benchmark snapshot to this file")
 	overlap := onOffFlag(true)
 	flag.Var(&overlap, "overlap", "arm the asynchronous stream engine in the overlap study; -overlap=off degenerates it to the barrier schedule")
@@ -180,6 +183,7 @@ func main() {
 		}},
 		{"topology", func() { emit("figtopology", bench.FigTopology(cfg)) }},
 		{"cluster", func() { emit("figcluster", bench.FigCluster(cfg)) }},
+		{"overload", func() { emit("figoverload", bench.FigOverload(cfg)) }},
 		{"ablation", func() {
 			emit("ablation_latency", bench.AblationLatency(cfg))
 			emit("ablation_basis", bench.AblationBasis(cfg))
@@ -210,7 +214,7 @@ func main() {
 		fmt.Printf("---- %.1fs ----\n\n", time.Since(start).Seconds())
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,overlap,topology,cluster,ablation or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,overlap,topology,cluster,overload,ablation or all)\n", *fig)
 		os.Exit(2)
 	}
 	if *traceout != "" {
@@ -271,6 +275,12 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *clusterJSON)
+	}
+	if *overloadJSON != "" {
+		if err := writeOverloadJSON(*overloadJSON, *scale); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *overloadJSON)
 	}
 	if *standingJSON != "" {
 		if err := writeStandingJSON(*standingJSON, *scale, *devices); err != nil {
@@ -398,6 +408,27 @@ func writeClusterJSON(path string, scale float64) error {
 		Name:    "cluster-study",
 		Scale:   scale,
 		Cluster: bench.FigCluster(cfg),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeOverloadJSON writes the overload-containment study as a JSON
+// benchmark snapshot. The study is a pure function of the cost model —
+// regenerating on any machine produces byte-identical numbers.
+func writeOverloadJSON(path string, scale float64) error {
+	cfg := bench.Config{Scale: scale}
+	snap := struct {
+		Name     string              `json:"name"`
+		Scale    float64             `json:"scale"`
+		Overload []bench.OverloadRow `json:"overload"`
+	}{
+		Name:     "overload-study",
+		Scale:    scale,
+		Overload: bench.FigOverload(cfg),
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -10,7 +10,11 @@
 //	               daemon echoes the same trace id; -traceout /
 //	               -spansout / -sloout fetch the first job's Chrome
 //	               trace, its span stream, and the /slo report after
-//	               the run. Used by make serve-smoke and
+//	               the run. -deadline-ms stamps a client deadline on
+//	               every request (job body and Solve-Control header);
+//	               429/503 structured rejections are retried up to
+//	               -retries times, honoring Retry-After with seeded
+//	               jittered backoff. Used by make serve-smoke and
 //	               make trace-smoke.
 //
 //	-mode virtual  runs no server at all: it computes each request's
@@ -40,11 +44,14 @@ import (
 	"sync"
 	"time"
 
+	"math/rand"
+
 	"cagmres/internal/core"
 	"cagmres/internal/gpu"
 	"cagmres/internal/matgen"
 	"cagmres/internal/measure"
 	"cagmres/internal/obs"
+	"cagmres/internal/server"
 )
 
 // artifacts collects the optional outputs either mode can produce.
@@ -55,6 +62,9 @@ type artifacts struct {
 	sloOut      string // live: write the /slo report here
 	metricsOut  string // live: write the /metrics scrape here
 	sloJSON     string // virtual: write the last sweep point's SLO replay report here
+	deadlineMS  int64  // live: client deadline stamped on every request
+	retries     int    // live: retry cap for 429/503 structured rejections
+	retrySeed   int64  // live: seed for the backoff jitter streams
 }
 
 func main() {
@@ -78,11 +88,15 @@ func main() {
 		spansOut   = flag.String("spansout", "", "live mode: fetch the first job's /jobs/{id}/spans.jsonl after the run and write it here")
 		sloOut     = flag.String("sloout", "", "live mode: fetch /slo after the run and write it here")
 		sloJSON    = flag.String("slojson", "", "virtual mode: write the final sweep point's deterministic SLO replay report as JSON here")
+		deadlineMS = flag.Int64("deadline-ms", 0, "live mode: stamp this client deadline on every request (job body and Solve-Control header); 0 sends none")
+		retries    = flag.Int("retries", 3, "live mode: retry cap per request for 429/503 structured rejections (Retry-After honored with seeded jittered backoff)")
+		retrySeed  = flag.Int64("retry-seed", 1, "live mode: seed for the per-client backoff jitter streams")
 	)
 	flag.Parse()
 	arts := artifacts{
 		traceparent: *traceparnt, traceOut: *traceOut, spansOut: *spansOut,
 		sloOut: *sloOut, metricsOut: *metricsOut, sloJSON: *sloJSON,
+		deadlineMS: *deadlineMS, retries: *retries, retrySeed: *retrySeed,
 	}
 	if err := run(*mode, *addr, *portFile, *clients, *requests, *sweep, *pool, *devices,
 		*matrix, *scale, *mFlag, *sFlag, *tol, arts); err != nil {
@@ -177,6 +191,7 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 	firstJob := make([]string, clients)
 	viaBackend := make([]map[string]int, clients)
 	hopTotal := make([]int, clients)
+	retried := make([]int, clients)
 	errs := make([]error, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -185,6 +200,11 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 		go func(c int) {
 			defer wg.Done()
 			viaBackend[c] = make(map[string]int)
+			// Each client gets its own seeded jitter stream so retry
+			// schedules are reproducible yet decorrelated across clients
+			// (correlated backoff would re-synchronize the thundering herd
+			// the budget is there to prevent).
+			rng := rand.New(rand.NewSource(arts.retrySeed + int64(c)))
 			nc := n
 			if cluster {
 				g, err := matgen.ByName(matrix, scaleFor(c))
@@ -196,33 +216,53 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 			}
 			for i := 0; i < requests; i++ {
 				seed := c*requests + i
-				body, _ := json.Marshal(map[string]any{
+				payload := map[string]any{
 					"matrix": map[string]any{"name": matrix, "scale": scaleFor(c)},
 					"m":      m, "s": s, "tol": tol, "ortho": "CholQR",
 					"rhs":  rhsFor(nc, seed),
 					"wait": true,
-				})
-				req, err := http.NewRequest("POST", base+"/solve", bytes.NewReader(body))
-				if err != nil {
-					errs[c] = err
-					return
 				}
-				req.Header.Set("Content-Type", "application/json")
-				if arts.traceparent != "" {
-					req.Header.Set("traceparent", arts.traceparent)
+				if arts.deadlineMS > 0 {
+					payload["deadline_ms"] = arts.deadlineMS
 				}
+				body, _ := json.Marshal(payload)
 				t0 := time.Now()
-				resp, err := http.DefaultClient.Do(req)
-				if err != nil {
-					errs[c] = err
-					return
-				}
-				echo := resp.Header.Get("traceparent")
-				data, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if err != nil {
-					errs[c] = err
-					return
+				var resp *http.Response
+				var data []byte
+				var echo string
+				for attempt := 0; ; attempt++ {
+					req, err := http.NewRequest("POST", base+"/solve", bytes.NewReader(body))
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					req.Header.Set("Content-Type", "application/json")
+					if arts.deadlineMS > 0 {
+						req.Header.Set(server.SolveControlHeader,
+							server.SolveControl{DeadlineMS: arts.deadlineMS}.String())
+					}
+					if arts.traceparent != "" {
+						req.Header.Set("traceparent", arts.traceparent)
+					}
+					resp, err = http.DefaultClient.Do(req)
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					echo = resp.Header.Get("traceparent")
+					data, err = io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					if (resp.StatusCode == http.StatusTooManyRequests ||
+						resp.StatusCode == http.StatusServiceUnavailable) && attempt < arts.retries {
+						retried[c]++
+						time.Sleep(backoff(resp.Header.Get("Retry-After"), attempt, rng))
+						continue
+					}
+					break
 				}
 				if resp.StatusCode != http.StatusOK {
 					errs[c] = fmt.Errorf("client %d request %d: status %d: %s", c, i, resp.StatusCode, data)
@@ -291,6 +331,17 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 		modeName, clients, requests, addr, matrix, n)
 	fmt.Printf("  completed %d solves in %.3fs wall (%.1f solves/s)\n",
 		total, elapsed, float64(total)/elapsed)
+	if arts.deadlineMS > 0 {
+		fmt.Printf("  client deadline %dms stamped on every request (body + %s header)\n",
+			arts.deadlineMS, server.SolveControlHeader)
+	}
+	totalRetried := 0
+	for _, r := range retried {
+		totalRetried += r
+	}
+	if totalRetried > 0 {
+		fmt.Printf("  %d structured rejections retried (Retry-After honored, seeded jittered backoff)\n", totalRetried)
+	}
 	if cluster {
 		dist := make(map[string]int)
 		hops := 0
@@ -367,6 +418,21 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 		}
 	}
 	return nil
+}
+
+// backoff computes the sleep before retrying a 429/503 structured
+// rejection. The server's Retry-After is the floor when present
+// (otherwise a doubling 25ms base), plus up to 50% seeded jitter so
+// many clients' retries spread out instead of re-synchronizing into the
+// herd the server just shed.
+func backoff(retryAfter string, attempt int, rng *rand.Rand) time.Duration {
+	base := 0.025 * float64(uint(1)<<uint(attempt))
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+			base = float64(secs)
+		}
+	}
+	return time.Duration((base + rng.Float64()*0.5*base) * float64(time.Second))
 }
 
 // checkClusterHealth asserts the router's aggregated health view after

@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -77,6 +78,13 @@ func (b *Backend) Revive() { b.down.Store(false) }
 // do forwards one request. path must begin with "/"; header entries are
 // copied onto the outgoing request (traceparent propagation).
 func (b *Backend) do(method, path, rawQuery string, header http.Header, body []byte) (*http.Response, error) {
+	return b.doCtx(context.Background(), method, path, rawQuery, header, body)
+}
+
+// doCtx is do with a caller-supplied context, so a hedged attempt that
+// loses the race can be canceled instead of running to completion (the
+// backend's wait path watches the request context and cancels the job).
+func (b *Backend) doCtx(ctx context.Context, method, path, rawQuery string, header http.Header, body []byte) (*http.Response, error) {
 	if b.down.Load() {
 		return nil, fmt.Errorf("cluster: backend %s is down", b.name)
 	}
@@ -92,7 +100,7 @@ func (b *Backend) do(method, path, rawQuery string, header http.Header, body []b
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, u, rd)
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +110,22 @@ func (b *Backend) do(method, path, rawQuery string, header http.Header, body []b
 		}
 	}
 	return b.client.Do(req)
+}
+
+// fetch runs doCtx and drains the response into memory, so the caller
+// may cancel ctx immediately after fetch returns without corrupting a
+// half-read body (hedging relies on this).
+func (b *Backend) fetch(ctx context.Context, method, path, rawQuery string, header http.Header, body []byte) (int, http.Header, []byte, error) {
+	resp, err := b.doCtx(ctx, method, path, rawQuery, header, body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("backend %s: %w", b.name, err)
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
 }
 
 // handlerTransport adapts an http.Handler into a RoundTripper so an

@@ -1,0 +1,154 @@
+package cluster
+
+import "sync"
+
+// Breaker states. String values surface verbatim in /healthz and the
+// router_breaker_state metric.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// BreakerConfig parameterizes a circuit breaker. The clock is
+// injectable (same convention as obs.SLOConfig.Now) so chaos replays
+// drive breakers on deterministic virtual time.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker. <= 0 defaults to 5.
+	Threshold int
+	// Cooldown is how long (in clock seconds) an open breaker waits
+	// before admitting a half-open probe. <= 0 defaults to 5s.
+	Cooldown float64
+	// Now supplies the clock; nil means the breaker never re-probes on
+	// its own and must be driven via Tick (not used in practice — the
+	// router always injects a clock).
+	Now func() float64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5
+	}
+	return c
+}
+
+// Breaker is a per-backend circuit breaker: closed (traffic flows),
+// open (all traffic skipped until Cooldown elapses), half-open (one
+// probe in flight; its outcome closes or re-opens the circuit). It
+// stops the router from hammering a dead or 5xx-ing node between
+// health polls: failures there are pure waste that the hop budget
+// would otherwise spend eagerly.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    string
+	fails    int     // consecutive failures while closed
+	openedAt float64 // clock time the breaker last opened
+	probing  bool    // a half-open probe is in flight
+	opens    uint64  // cumulative open transitions
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), state: BreakerClosed}
+}
+
+// Allow reports whether a request may be sent to this backend now.
+// An open breaker admits exactly one probe once Cooldown has elapsed
+// (transitioning to half-open); further requests are skipped until the
+// probe resolves.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now != nil && b.cfg.Now()-b.openedAt >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Success records a successful response. In half-open it closes the
+// circuit; in closed it resets the consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// Failure records a failed response. Threshold consecutive failures
+// open a closed circuit; a failed half-open probe re-opens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.open()
+		}
+	}
+}
+
+// open transitions to the open state. Callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.probing = false
+	b.opens++
+	if b.cfg.Now != nil {
+		b.openedAt = b.cfg.Now()
+	}
+}
+
+// Trip force-opens the breaker (admin kill uses this so a killed
+// backend is skipped immediately rather than after Threshold wasted
+// attempts).
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	b.open()
+	b.mu.Unlock()
+}
+
+// Reset force-closes the breaker (admin revive).
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// State returns "closed", "open", or "half-open".
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns the cumulative number of open transitions.
+func (b *Breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

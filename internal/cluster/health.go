@@ -19,6 +19,9 @@ type BackendHealth struct {
 	Down    bool            `json:"down,omitempty"`
 	Error   string          `json:"error,omitempty"`
 	Healthz *server.Healthz `json:"healthz,omitempty"`
+	// Breaker is the router-side circuit breaker state for this
+	// backend: "closed", "open", or "half-open".
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // ClusterHealthz is the aggregated GET /healthz body: the federation is
@@ -33,11 +36,14 @@ type ClusterHealthz struct {
 	PoolInUse  int  `json:"pool_in_use"`
 	QueueDepth int  `json:"queue_depth"`
 	// Routing tallies of this router instance.
-	RoutedSolves  uint64          `json:"routed_solves"`
-	Reroutes      uint64          `json:"reroutes"`
-	Rejects       uint64          `json:"rejects"`
-	SLODegraded   bool            `json:"slo_degraded"`
-	PerBackend    []BackendHealth `json:"per_backend"`
+	RoutedSolves uint64 `json:"routed_solves"`
+	Reroutes     uint64 `json:"reroutes"`
+	Rejects      uint64 `json:"rejects"`
+	SLODegraded  bool   `json:"slo_degraded"`
+	// Resilience is the containment layer's snapshot: retry budget,
+	// breakers, hedges, and deadline rejections.
+	Resilience Resilience      `json:"resilience"`
+	PerBackend []BackendHealth `json:"per_backend"`
 }
 
 // ClusterSLO is the aggregated GET /slo body.
@@ -90,14 +96,16 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	}
 	healths, errs := fanGet[server.Healthz](r.backends, "/healthz")
 	solves, reroutes, rejects := r.Counts()
+	r.refreshBreakerGauges()
 	out := ClusterHealthz{
 		Backends:     len(r.backends),
 		RoutedSolves: solves,
 		Reroutes:     reroutes,
 		Rejects:      rejects,
+		Resilience:   r.ResilienceSnapshot(),
 	}
 	for i, b := range r.backends {
-		bh := BackendHealth{Name: b.Name(), Down: b.Down()}
+		bh := BackendHealth{Name: b.Name(), Down: b.Down(), Breaker: r.breakers[b.Name()].State()}
 		if h := healths[i]; h != nil {
 			bh.Reachable = true
 			bh.Healthz = h

@@ -33,6 +33,15 @@ type LocalNodeConfig struct {
 	MaxBatch       int
 	MaxJobAttempts int
 	TraceEvents    int
+	// SLO overrides the node's SLO engine configuration (classes,
+	// windows, clock); the zero value takes the obs defaults.
+	SLO obs.SLOConfig
+	// Brownout arms SLO-driven load shedding on the node's scheduler;
+	// nil keeps it off.
+	Brownout *sched.BrownoutConfig
+	// DeadlineMargin arms the deadline-infeasibility admission gate;
+	// 0 keeps it off.
+	DeadlineMargin float64
 }
 
 // LocalNode is one in-process backend: its scheduler, HTTP surface, and
@@ -65,12 +74,19 @@ func NewLocalNode(cfg LocalNodeConfig) *LocalNode {
 		Repair:      cfg.Repair,
 		TraceEvents: cfg.TraceEvents,
 	})
+	var slo *obs.SLOEngine
+	if len(cfg.SLO.Classes) > 0 || cfg.SLO.Now != nil || cfg.SLO.FastWindow != 0 {
+		slo = obs.NewSLOEngine(reg, cfg.SLO)
+	}
 	s := sched.New(sched.Config{
 		Pool:           pool,
 		QueueDepth:     cfg.QueueDepth,
 		MaxBatch:       cfg.MaxBatch,
 		MaxJobAttempts: cfg.MaxJobAttempts,
 		Registry:       reg,
+		SLO:            slo,
+		Brownout:       cfg.Brownout,
+		DeadlineMargin: cfg.DeadlineMargin,
 	})
 	s.Start()
 	return &LocalNode{

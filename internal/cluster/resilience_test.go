@@ -1,0 +1,423 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cagmres/internal/server"
+)
+
+// doneHandler answers every solve with a minimal completed job.
+func doneHandler(id string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"id":%q,"state":"done","converged":true}`, id)
+	})
+}
+
+// statusHandler answers every request with a fixed structured status.
+func statusHandler(status int, code string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		fmt.Fprintf(w, `{"code":%q,"error":"synthetic"}`, code)
+	})
+}
+
+// pinned builds a shard map pinning the test spec's key to name.
+func pinned(t *testing.T, name string) *ShardMap {
+	t.Helper()
+	key, err := ShardKey(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ShardMap{Assign: map[string]string{key: name}}
+}
+
+// TestRouterRetryBudgetExhausted: with every backend shedding, the
+// router forwards only while the token bucket holds out, then answers a
+// structured retry_budget_exhausted with a Retry-After hint instead of
+// hammering the remaining candidates.
+func TestRouterRetryBudgetExhausted(t *testing.T) {
+	mk := func(name string) *Backend {
+		return NewLocalBackend(name, statusHandler(http.StatusTooManyRequests, "queue_full"))
+	}
+	r := New(Config{
+		Backends:         []*Backend{mk("a"), mk("b"), mk("c")},
+		MaxHops:          3,
+		RetryBudgetRatio: 0.1,
+		RetryBudgetBurst: 1, // one token: first forward allowed, second denied
+	})
+	code, _, hdr := post(t, r, solveBody(t, tinySpec()))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d, want 503", code)
+	}
+	var e errorJSON
+	req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(solveBody(t, tinySpec())))
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, req)
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("rejection body: %v", err)
+	}
+	if e.Code != codeRetryBudgetExhausted {
+		t.Errorf("code %q, want %q", e.Code, codeRetryBudgetExhausted)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("retry_budget_exhausted rejection without a Retry-After hint")
+	}
+	res := r.ResilienceSnapshot()
+	if res.RetryBudgetDenied == 0 {
+		t.Errorf("budget denials not accounted: %+v", res)
+	}
+	if res.RetryBudgetSpent == 0 {
+		t.Errorf("budget spends not accounted: %+v", res)
+	}
+	_, mbody := get(t, r, "/metrics")
+	if !bytes.Contains(mbody, []byte("router_retry_budget_exhausted_total")) {
+		t.Error("router_retry_budget_exhausted_total family missing from /metrics")
+	}
+}
+
+// TestRouterBreakerSkipsOpenBackend: consecutive failures open the
+// failing backend's breaker, after which the router routes around it
+// without wasting an attempt; the cooldown admits a half-open probe
+// whose failure re-opens the circuit. All on virtual time.
+func TestRouterBreakerSkipsOpenBackend(t *testing.T) {
+	clock := 0.0
+	failing := NewLocalBackend("failing", statusHandler(http.StatusInternalServerError, "boom"))
+	healthy := NewLocalNode(LocalNodeConfig{Name: "healthy", Devices: 2})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = healthy.Drain(ctx)
+	})
+	r := New(Config{
+		Backends: []*Backend{failing, healthy.Backend()},
+		MaxHops:  2,
+		ShardMap: pinned(t, "failing"),
+		Breaker:  BreakerConfig{Threshold: 2, Cooldown: 5},
+		Now:      func() float64 { return clock },
+	})
+
+	// Two solves burn one failing attempt each; the second opens the
+	// breaker. Both still complete on the healthy backend.
+	for i := 0; i < 2; i++ {
+		code, job, _ := post(t, r, solveBody(t, tinySpec()))
+		if code != http.StatusOK || job.Backend != "healthy" || job.Hops != 2 {
+			t.Fatalf("solve %d: HTTP %d backend %q hops %d", i, code, job.Backend, job.Hops)
+		}
+	}
+	if st := r.ResilienceSnapshot().Breakers["failing"]; st != BreakerOpen {
+		t.Fatalf("breaker after %d failures: %q, want open", 2, st)
+	}
+
+	// Open breaker: the failing backend is skipped without an attempt, so
+	// the solve lands on the survivor in a single hop.
+	code, job, _ := post(t, r, solveBody(t, tinySpec()))
+	if code != http.StatusOK || job.Backend != "healthy" {
+		t.Fatalf("solve with open breaker: HTTP %d backend %q", code, job.Backend)
+	}
+	if job.Hops != 1 {
+		t.Errorf("open breaker still burned a hop: hops=%d, want 1", job.Hops)
+	}
+	res := r.ResilienceSnapshot()
+	if res.BreakerSkips == 0 {
+		t.Errorf("breaker skip not accounted: %+v", res)
+	}
+
+	// Cooldown elapsed: exactly one half-open probe reaches the failing
+	// backend; its 500 re-opens the circuit immediately.
+	clock = 6
+	code, job, _ = post(t, r, solveBody(t, tinySpec()))
+	if code != http.StatusOK || job.Backend != "healthy" || job.Hops != 2 {
+		t.Fatalf("half-open probe solve: HTTP %d backend %q hops %d", code, job.Backend, job.Hops)
+	}
+	if st := r.ResilienceSnapshot().Breakers["failing"]; st != BreakerOpen {
+		t.Errorf("failed probe should re-open the breaker, state %q", st)
+	}
+
+	// The per-backend breaker state surfaces in /healthz.
+	_, body := get(t, r, "/healthz")
+	var h ClusterHealthz
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]string{}
+	for _, bh := range h.PerBackend {
+		states[bh.Name] = bh.Breaker
+	}
+	if states["failing"] != BreakerOpen || states["healthy"] != BreakerClosed {
+		t.Errorf("healthz breaker states %v", states)
+	}
+}
+
+// TestRouterDeadlineExhausted: a client deadline that runs out at the
+// router yields a 504 deadline_exhausted without reaching any backend.
+func TestRouterDeadlineExhausted(t *testing.T) {
+	clock := 0.0
+	touched := false
+	b := NewLocalBackend("slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		touched = true
+	}))
+	r := New(Config{
+		Backends: []*Backend{b},
+		// Every clock read advances 200ms, so a 100ms budget is already
+		// spent by the first per-attempt check.
+		Now: func() float64 { clock += 0.2; return clock },
+	})
+	req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(solveBody(t, tinySpec())))
+	req.Header.Set(server.SolveControlHeader, "deadline-ms=100")
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("HTTP %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	var e errorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != codeDeadlineExhausted {
+		t.Errorf("rejection %q (%v), want %q", e.Code, err, codeDeadlineExhausted)
+	}
+	if touched {
+		t.Error("expired-deadline solve still reached a backend")
+	}
+	if res := r.ResilienceSnapshot(); res.DeadlineExpired != 1 {
+		t.Errorf("deadline expiry not accounted: %+v", res)
+	}
+}
+
+// TestRouterDeadlinePropagation: the router decrements the client
+// deadline by its own elapsed time and forwards the remainder in both
+// the Solve-Control header and the job body.
+func TestRouterDeadlinePropagation(t *testing.T) {
+	clock := 0.0
+	var gotHeader string
+	var gotBody map[string]any
+	capture := NewLocalBackend("cap", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader = r.Header.Get(server.SolveControlHeader)
+		var m map[string]any
+		_ = json.NewDecoder(r.Body).Decode(&m)
+		gotBody = m
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"1","state":"done","converged":true}`)
+	}))
+	r := New(Config{
+		Backends: []*Backend{capture},
+		// 50ms pass between the request arriving and the forward.
+		Now: func() float64 { clock += 0.05; return clock },
+	})
+	body, err := json.Marshal(map[string]any{
+		"matrix": tinySpec(),
+		"m":      20, "s": 4, "tol": 1e-6,
+		"deadline_ms": 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, job, _ := post(t, r, body)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if job.ID != "cap/1" {
+		t.Errorf("job id %q, want cap/1", job.ID)
+	}
+	ctl, err := server.ParseSolveControl(gotHeader)
+	if err != nil {
+		t.Fatalf("forwarded Solve-Control %q: %v", gotHeader, err)
+	}
+	if ctl.DeadlineMS != 4950 {
+		t.Errorf("forwarded deadline %dms, want 4950 (5000 minus 50ms router time)", ctl.DeadlineMS)
+	}
+	if got, ok := gotBody["deadline_ms"].(float64); !ok || int64(got) != 4950 {
+		t.Errorf("forwarded body deadline_ms %v, want 4950", gotBody["deadline_ms"])
+	}
+}
+
+// TestRouterHedgedSolve: a stalled first-choice backend triggers a
+// hedged second attempt after the hedge delay; the fast backend's
+// response wins and the accounting records the hedge.
+func TestRouterHedgedSolve(t *testing.T) {
+	slow := NewLocalBackend("slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"s","state":"done","converged":true}`)
+	}))
+	fast := NewLocalBackend("fast", doneHandler("f"))
+	r := New(Config{
+		Backends:   []*Backend{slow, fast},
+		MaxHops:    2,
+		ShardMap:   pinned(t, "slow"),
+		HedgeAfter: 0.02,
+	})
+	body, err := json.Marshal(map[string]any{
+		"matrix": tinySpec(), "m": 20, "s": 4, "tol": 1e-6, "wait": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, job, _ := post(t, r, body)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d", code)
+	}
+	if !job.Hedged || job.Backend != "fast" {
+		t.Fatalf("hedge did not win: hedged=%t backend=%q", job.Hedged, job.Backend)
+	}
+	res := r.ResilienceSnapshot()
+	if res.Hedges != 1 || res.HedgeWins != 1 {
+		t.Errorf("hedge accounting %+v, want 1 hedge, 1 win", res)
+	}
+	// A hedge is a forward past the first choice: it drew from the budget.
+	if res.RetryBudgetSpent != 1 {
+		t.Errorf("hedge did not draw from the retry budget: %+v", res)
+	}
+}
+
+// TestRouterHedgeDisabledByControlHeader: Solve-Control hedge=off wins
+// over the router's HedgeAfter default.
+func TestRouterHedgeDisabledByControlHeader(t *testing.T) {
+	slow := NewLocalBackend("slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(80 * time.Millisecond)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"s","state":"done","converged":true}`)
+	}))
+	fast := NewLocalBackend("fast", doneHandler("f"))
+	r := New(Config{
+		Backends:   []*Backend{slow, fast},
+		MaxHops:    2,
+		ShardMap:   pinned(t, "slow"),
+		HedgeAfter: 0.01,
+	})
+	body, err := json.Marshal(map[string]any{
+		"matrix": tinySpec(), "m": 20, "s": 4, "tol": 1e-6, "wait": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(body))
+	req.Header.Set(server.SolveControlHeader, "hedge=off")
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, req)
+	var job RoutedJob
+	_ = json.Unmarshal(rec.Body.Bytes(), &job)
+	if rec.Code != http.StatusOK || job.Backend != "slow" || job.Hedged {
+		t.Fatalf("hedge=off ignored: HTTP %d backend %q hedged=%t", rec.Code, job.Backend, job.Hedged)
+	}
+	if res := r.ResilienceSnapshot(); res.Hedges != 0 {
+		t.Errorf("hedges launched despite hedge=off: %+v", res)
+	}
+}
+
+// TestRouterReforwardReplayWithBreakersArmed: the forced re-forward of
+// a real solve off an overloaded first choice is bit-identical across
+// two fresh federations with the containment layer armed — the budget,
+// breakers and virtual clock add no nondeterminism to routing.
+func TestRouterReforwardReplayWithBreakersArmed(t *testing.T) {
+	runOnce := func() RoutedJob {
+		overloaded := NewLocalBackend("full", statusHandler(http.StatusTooManyRequests, "queue_full"))
+		node := NewLocalNode(LocalNodeConfig{Name: "spare", Devices: 2})
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = node.Drain(ctx)
+		}()
+		r := New(Config{
+			Backends:         []*Backend{overloaded, node.Backend()},
+			MaxHops:          2,
+			ShardMap:         pinned(t, "full"),
+			RetryBudgetRatio: 0.1,
+			RetryBudgetBurst: 10,
+			Breaker:          BreakerConfig{Threshold: 5, Cooldown: 5},
+			Now:              func() float64 { return 0 },
+		})
+		code, job, _ := post(t, r, solveBody(t, tinySpec()))
+		if code != http.StatusOK || job.Backend != "spare" || job.Hops != 2 {
+			t.Fatalf("forced re-forward: HTTP %d backend %q hops %d", code, job.Backend, job.Hops)
+		}
+		return job
+	}
+	a := runOnce()
+	b := runOnce()
+	if a.ModeledSeconds != b.ModeledSeconds || a.Iters != b.Iters ||
+		a.RelRes != b.RelRes || a.Backend != b.Backend || a.Hops != b.Hops {
+		t.Errorf("re-forward replay diverged:\n  run 1: %+v\n  run 2: %+v", a, b)
+	}
+}
+
+// TestRouterKillReviveBreakerRace hammers the admin kill/revive surface
+// concurrently with solves, health checks and metric scrapes. It exists
+// for the race detector: breaker transitions, budget accounting and
+// gauge refreshes must be safe under concurrent admin flips.
+func TestRouterKillReviveBreakerRace(t *testing.T) {
+	backends := []*Backend{
+		NewLocalBackend("n0", doneHandler("a")),
+		NewLocalBackend("n1", doneHandler("b")),
+		NewLocalBackend("n2", doneHandler("c")),
+	}
+	r := New(Config{Backends: backends, MaxHops: 3, HedgeAfter: 0.001})
+	body, err := json.Marshal(map[string]any{
+		"matrix": tinySpec(), "m": 20, "s": 4, "tol": 1e-6, "wait": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const iters = 40
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				r.ServeHTTP(rec, req) // any status: shed is legal mid-kill
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			action := "kill"
+			if i%2 == 1 {
+				action = "revive"
+			}
+			req := httptest.NewRequest(http.MethodPost, "/admin/"+action+"/n1", nil)
+			rec := httptest.NewRecorder()
+			r.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Errorf("admin %s: HTTP %d", action, rec.Code)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			get(t, r, "/healthz")
+			get(t, r, "/metrics")
+		}
+	}()
+	wg.Wait()
+
+	// Settle: revive everything, then a solve must succeed.
+	req := httptest.NewRequest(http.MethodPost, "/admin/revive/n1", nil)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, req)
+	code, job, _ := post(t, r, body)
+	if code != http.StatusOK {
+		t.Fatalf("solve after settling: HTTP %d (%+v)", code, job)
+	}
+	if st := r.ResilienceSnapshot().Breakers["n1"]; st != BreakerClosed {
+		t.Errorf("revived backend's breaker %q, want closed", st)
+	}
+}

@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cagmres/internal/obs"
 	"cagmres/internal/server"
@@ -30,6 +33,12 @@ const (
 	// codeUpstreamError: a pass-through request reached its backend but
 	// the transport failed mid-flight.
 	codeUpstreamError = "upstream_error"
+	// codeRetryBudgetExhausted: the token-bucket retry budget is empty,
+	// so the router refuses to multiply load by forwarding further.
+	codeRetryBudgetExhausted = "retry_budget_exhausted"
+	// codeDeadlineExhausted: the client deadline ran out before any
+	// backend accepted the solve.
+	codeDeadlineExhausted = "deadline_exhausted"
 )
 
 // errorJSON mirrors the server's rejection body shape.
@@ -55,6 +64,25 @@ type Config struct {
 	// ShardMap optionally pins keys and weights routing; nil routes by
 	// pure rendezvous hashing.
 	ShardMap *ShardMap
+	// RetryBudgetRatio is the fraction of successful traffic the router
+	// may spend on reroutes and hedges (tokens earned per success);
+	// <= 0 means 0.1. RetryBudgetBurst caps the bucket; <= 0 means 10.
+	RetryBudgetRatio float64
+	RetryBudgetBurst float64
+	// Breaker parameterizes the per-backend circuit breakers. The
+	// zero value takes the breaker defaults (threshold 5, cooldown 5s);
+	// Breaker.Now defaults to Config.Now.
+	Breaker BreakerConfig
+	// Now supplies the router's clock (seconds) for breaker cooldowns
+	// and deadline decrements. Nil means wall time; chaos replays
+	// inject virtual time here for determinism.
+	Now func() float64
+	// HedgeAfter enables hedged wait-solves: after this many seconds
+	// without a response (or the rolling p95 solve latency, once enough
+	// samples exist), a second attempt goes to the next candidate and
+	// the first response wins. 0 disables hedging unless a request opts
+	// in via Solve-Control: hedge=on.
+	HedgeAfter float64
 }
 
 // Router fronts the federation. It is an http.Handler serving:
@@ -69,21 +97,39 @@ type Config struct {
 //	POST /admin/kill/{name}         mark a backend dead (simulated node death)
 //	POST /admin/revive/{name}       bring it back
 type Router struct {
-	backends []*Backend
-	byName   map[string]*Backend
-	maxHops  int
-	shardMap *ShardMap
-	reg      *obs.Registry
-	mux      *http.ServeMux
+	backends   []*Backend
+	byName     map[string]*Backend
+	maxHops    int
+	shardMap   *ShardMap
+	reg        *obs.Registry
+	mux        *http.ServeMux
+	budget     *RetryBudget
+	breakers   map[string]*Breaker
+	now        func() float64
+	hedgeAfter float64
 
-	mu       sync.Mutex
-	solves   uint64 // solve requests accepted by some backend
-	reroutes uint64 // forward hops past the first candidate
-	rejects  uint64 // solve requests the router itself rejected
+	mu           sync.Mutex
+	solves       uint64    // solve requests accepted by some backend
+	reroutes     uint64    // forward hops past the first candidate
+	rejects      uint64    // solve requests the router itself rejected
+	hedges       uint64    // hedged second attempts launched
+	hedgeWins    uint64    // solves won by the hedge, primary canceled
+	breakerSkips uint64    // candidates skipped because their breaker was open
+	deadlineHits uint64    // solves rejected with the client deadline expired
+	latRing      []float64 // recent successful solve latencies (p95 source)
+	latNext      int
 
-	metSolves   obs.Counter
-	metReroutes obs.Counter
-	metRejects  obs.Counter
+	metSolves       obs.Counter
+	metReroutes     obs.Counter
+	metRejects      obs.Counter
+	metBudgetTokens obs.Gauge
+	metBudgetDenied obs.Counter
+	metBreakerSkips obs.Counter
+	metBreakerOpen  obs.Counter
+	metHedges       obs.Counter
+	metHedgeWins    obs.Counter
+	metDeadline     obs.Counter
+	metBreakerState map[string]obs.Gauge
 }
 
 // New builds a router over the membership.
@@ -95,20 +141,45 @@ func New(cfg Config) *Router {
 	if maxHops <= 0 {
 		maxHops = 3
 	}
-	r := &Router{
-		backends: cfg.Backends,
-		byName:   make(map[string]*Backend, len(cfg.Backends)),
-		maxHops:  maxHops,
-		shardMap: cfg.ShardMap,
-		reg:      cfg.Registry,
-		mux:      http.NewServeMux(),
+	now := cfg.Now
+	if now == nil {
+		now = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
 	}
+	brCfg := cfg.Breaker
+	if brCfg.Now == nil {
+		brCfg.Now = now
+	}
+	r := &Router{
+		backends:   cfg.Backends,
+		byName:     make(map[string]*Backend, len(cfg.Backends)),
+		maxHops:    maxHops,
+		shardMap:   cfg.ShardMap,
+		reg:        cfg.Registry,
+		mux:        http.NewServeMux(),
+		budget:     NewRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
+		breakers:   make(map[string]*Breaker, len(cfg.Backends)),
+		now:        now,
+		hedgeAfter: cfg.HedgeAfter,
+		latRing:    make([]float64, 0, latRingCap),
+	}
+	r.metBreakerState = make(map[string]obs.Gauge, len(cfg.Backends))
 	for _, b := range cfg.Backends {
 		r.byName[b.Name()] = b
+		r.breakers[b.Name()] = NewBreaker(brCfg)
+		r.metBreakerState[b.Name()] = cfg.Registry.GaugeL("router_breaker_state",
+			"per-backend breaker state (0 closed, 1 half-open, 2 open)", obs.L("backend", b.Name()))
 	}
 	r.metSolves = cfg.Registry.Counter("router_solves_total", "solve requests routed to a backend")
 	r.metReroutes = cfg.Registry.Counter("router_reroutes_total", "forward hops past the first-choice backend")
 	r.metRejects = cfg.Registry.Counter("router_rejects_total", "solve requests rejected by the router itself")
+	r.metBudgetTokens = cfg.Registry.Gauge("router_retry_budget_tokens", "retry budget tokens currently available")
+	r.metBudgetTokens.Set(r.budget.Tokens())
+	r.metBudgetDenied = cfg.Registry.Counter("router_retry_budget_exhausted_total", "forwards refused because the retry budget was empty")
+	r.metBreakerSkips = cfg.Registry.Counter("router_breaker_skips_total", "candidate backends skipped because their breaker was open")
+	r.metBreakerOpen = cfg.Registry.Counter("router_breaker_open_total", "breaker open transitions across all backends")
+	r.metHedges = cfg.Registry.Counter("router_hedges_total", "hedged second attempts launched")
+	r.metHedgeWins = cfg.Registry.Counter("router_hedge_wins_total", "solves won by the hedged attempt")
+	r.metDeadline = cfg.Registry.Counter("router_deadline_expired_total", "solves rejected because the client deadline expired at the router")
 	r.mux.HandleFunc("/solve", r.handleSolve)
 	r.mux.HandleFunc("/jobs/", r.handleJob)
 	r.mux.HandleFunc("/healthz", r.handleHealthz)
@@ -142,6 +213,62 @@ func (r *Router) Counts() (solves, reroutes, rejects uint64) {
 	return r.solves, r.reroutes, r.rejects
 }
 
+// Resilience is the containment layer's state snapshot, embedded in
+// ClusterHealthz and used by tests and smoke scripts.
+type Resilience struct {
+	RetryBudgetTokens float64           `json:"retry_budget_tokens"`
+	RetryBudgetSpent  uint64            `json:"retry_budget_spent"`
+	RetryBudgetDenied uint64            `json:"retry_budget_denied"`
+	Hedges            uint64            `json:"hedges"`
+	HedgeWins         uint64            `json:"hedge_wins"`
+	BreakerSkips      uint64            `json:"breaker_skips"`
+	DeadlineExpired   uint64            `json:"deadline_expired"`
+	Breakers          map[string]string `json:"breakers"`
+}
+
+// ResilienceSnapshot returns the current containment state.
+func (r *Router) ResilienceSnapshot() Resilience {
+	spent, denied := r.budget.Stats()
+	out := Resilience{
+		RetryBudgetTokens: r.budget.Tokens(),
+		RetryBudgetSpent:  spent,
+		RetryBudgetDenied: denied,
+		Breakers:          make(map[string]string, len(r.breakers)),
+	}
+	for name, br := range r.breakers {
+		out.Breakers[name] = br.State()
+	}
+	r.mu.Lock()
+	out.Hedges = r.hedges
+	out.HedgeWins = r.hedgeWins
+	out.BreakerSkips = r.breakerSkips
+	out.DeadlineExpired = r.deadlineHits
+	r.mu.Unlock()
+	return out
+}
+
+// refreshBreakerGauges pushes breaker states and open transitions into
+// the metric families (states only change on traffic, so exporting at
+// scrape time loses nothing).
+func (r *Router) refreshBreakerGauges() {
+	var opens uint64
+	for name, br := range r.breakers {
+		var v float64
+		switch br.State() {
+		case BreakerHalfOpen:
+			v = 1
+		case BreakerOpen:
+			v = 2
+		}
+		r.metBreakerState[name].Set(v)
+		opens += br.Opens()
+	}
+	if delta := float64(opens) - r.metBreakerOpen.Value(); delta > 0 {
+		r.metBreakerOpen.Add(delta)
+	}
+	r.metBudgetTokens.Set(r.budget.Tokens())
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -156,13 +283,21 @@ func (r *Router) reject(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, errorJSON{Code: code, Error: msg})
 }
 
+// latRingCap bounds the latency ring feeding the hedge trigger.
+const latRingCap = 64
+
+// latRingMin is the minimum sample count before the ring's p95
+// replaces the configured HedgeAfter delay.
+const latRingMin = 8
+
 // routeView is the part of a solve body the router itself reads: the
-// matrix spec (shard key) and the wait flag (failed-result re-routing).
-// Everything else passes through opaque — full validation is the
-// backend's job.
+// matrix spec (shard key), the wait flag (failed-result re-routing),
+// and the client deadline (decremented per hop). Everything else
+// passes through opaque — full validation is the backend's job.
 type routeView struct {
-	Matrix server.MatrixSpec `json:"matrix"`
-	Wait   bool              `json:"wait,omitempty"`
+	Matrix     server.MatrixSpec `json:"matrix"`
+	Wait       bool              `json:"wait,omitempty"`
+	DeadlineMS int64             `json:"deadline_ms,omitempty"`
 }
 
 // RoutedJob is the router's wire form of a job: the backend's JobJSON
@@ -174,6 +309,8 @@ type RoutedJob struct {
 	// Hops counts the backends tried for this solve, including the one
 	// that took it (1 = first choice).
 	Hops int `json:"hops,omitempty"`
+	// Hedged marks a solve won by the hedged second attempt.
+	Hedged bool `json:"hedged,omitempty"`
 }
 
 // forwardHeader copies the headers the router propagates downstream.
@@ -188,9 +325,157 @@ func forwardHeader(req *http.Request) http.Header {
 	return h
 }
 
+// attempt is one upstream solve attempt's drained response.
+type attempt struct {
+	status int
+	header http.Header
+	body   []byte
+	err    error
+	hedged bool
+}
+
+// writeAttempt replays a drained response to the client.
+func writeAttempt(w http.ResponseWriter, a attempt) {
+	if tp := a.header.Get("traceparent"); tp != "" {
+		w.Header().Set("traceparent", tp)
+	}
+	if ct := a.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(a.status)
+	_, _ = w.Write(a.body)
+}
+
+// rewriteDeadline stamps the remaining deadline into the solve body so
+// both the header and the job JSON carry the decremented value.
+func rewriteDeadline(body []byte, remainingMS int64) []byte {
+	var m map[string]any
+	if json.Unmarshal(body, &m) != nil {
+		return body
+	}
+	m["deadline_ms"] = remainingMS
+	out, err := json.Marshal(m)
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+// recordLatency feeds the hedge trigger's p95 ring.
+func (r *Router) recordLatency(sec float64) {
+	r.mu.Lock()
+	if len(r.latRing) < latRingCap {
+		r.latRing = append(r.latRing, sec)
+	} else {
+		r.latRing[r.latNext] = sec
+		r.latNext = (r.latNext + 1) % latRingCap
+	}
+	r.mu.Unlock()
+}
+
+// hedgeDelay returns the seconds to wait before hedging: the rolling
+// p95 of recent solve latencies once enough samples exist, otherwise
+// the configured floor (or 100ms when only a header opted in).
+func (r *Router) hedgeDelay() float64 {
+	floor := r.hedgeAfter
+	if floor <= 0 {
+		floor = 0.1
+	}
+	r.mu.Lock()
+	n := len(r.latRing)
+	var tmp []float64
+	if n >= latRingMin {
+		tmp = append([]float64(nil), r.latRing...)
+	}
+	r.mu.Unlock()
+	if tmp == nil {
+		return floor
+	}
+	sort.Float64s(tmp)
+	idx := (len(tmp)*95 + 99) / 100
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+// nextHedgeCandidate picks the first breaker-admitted backend from
+// candidates[from:] to serve as the hedge target.
+func (r *Router) nextHedgeCandidate(candidates []*Backend, from int) *Backend {
+	for i := from; i < len(candidates); i++ {
+		if r.breakers[candidates[i].Name()].Allow() {
+			return candidates[i]
+		}
+	}
+	return nil
+}
+
+// dispatch sends one attempt, optionally racing a hedge: if the
+// primary has not answered within delay seconds, a second attempt goes
+// to alt (spending a retry-budget token), the first response wins and
+// the loser's context is canceled.
+func (r *Router) dispatch(req *http.Request, b, alt *Backend, hdr http.Header, body []byte, hedge bool, delay float64) attempt {
+	if !hedge || alt == nil {
+		status, h, respBody, err := b.fetch(req.Context(), http.MethodPost, "/solve", req.URL.RawQuery, hdr, body)
+		return attempt{status: status, header: h, body: respBody, err: err}
+	}
+	type raced struct {
+		attempt
+		cancel context.CancelFunc
+	}
+	ch := make(chan raced, 2)
+	launch := func(target *Backend, hedged bool) {
+		ctx, cancel := context.WithCancel(req.Context())
+		go func() {
+			status, h, respBody, err := target.fetch(ctx, http.MethodPost, "/solve", req.URL.RawQuery, hdr, body)
+			ch <- raced{attempt{status: status, header: h, body: respBody, err: err, hedged: hedged}, cancel}
+		}()
+	}
+	launch(b, false)
+	timer := time.NewTimer(time.Duration(delay * float64(time.Second)))
+	defer timer.Stop()
+	inFlight := 1
+	select {
+	case first := <-ch:
+		first.cancel()
+		return first.attempt
+	case <-timer.C:
+	}
+	if r.budget.Take() {
+		r.mu.Lock()
+		r.hedges++
+		r.mu.Unlock()
+		r.metHedges.Inc()
+		r.metBudgetTokens.Set(r.budget.Tokens())
+		launch(alt, true)
+		inFlight++
+	}
+	winner := <-ch
+	winner.cancel()
+	if inFlight > 1 {
+		// Cancel and reap the loser so its body is released.
+		go func() {
+			loser := <-ch
+			loser.cancel()
+		}()
+	}
+	if winner.hedged {
+		r.mu.Lock()
+		r.hedgeWins++
+		r.mu.Unlock()
+		r.metHedgeWins.Inc()
+	}
+	return winner.attempt
+}
+
 func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		r.reject(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only")
+		return
+	}
+	ctl, err := server.ParseSolveControl(req.Header.Get(server.SolveControlHeader))
+	if err != nil {
+		r.reject(w, http.StatusBadRequest, codeBadRequest, err.Error())
 		return
 	}
 	body, err := io.ReadAll(req.Body)
@@ -218,46 +503,106 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 	if budget > len(candidates) {
 		budget = len(candidates)
 	}
+	if ctl.MaxHops > 0 && ctl.MaxHops < budget {
+		budget = ctl.MaxHops
+	}
+	deadlineMS := ctl.DeadlineMS
+	if deadlineMS == 0 {
+		deadlineMS = view.DeadlineMS
+	}
+	hedge := wait && r.hedgeAfter > 0
+	if ctl.Hedge != nil {
+		hedge = wait && *ctl.Hedge
+	}
+	start := r.now()
 
 	priorAttempts := 0
+	sent := 0
 	var lastErr string
-	for hop := 0; hop < budget; hop++ {
-		b := candidates[hop]
-		if hop > 0 {
+	for idx := 0; idx < len(candidates) && sent < budget; idx++ {
+		b := candidates[idx]
+		br := r.breakers[b.Name()]
+		if !br.Allow() {
+			// Open breaker: skip without spending a hop or a budget
+			// token — the point is to NOT hammer the dead node.
+			r.mu.Lock()
+			r.breakerSkips++
+			r.mu.Unlock()
+			r.metBreakerSkips.Inc()
+			lastErr = fmt.Sprintf("backend %s: breaker open", b.Name())
+			continue
+		}
+		if sent > 0 {
+			// Every forward past the first dispatched attempt draws from
+			// the retry budget; an empty bucket means stop, not storm.
+			if !r.budget.Take() {
+				r.metBudgetDenied.Inc()
+				r.metBudgetTokens.Set(r.budget.Tokens())
+				w.Header().Set("Retry-After", "1")
+				r.reject(w, http.StatusServiceUnavailable, codeRetryBudgetExhausted,
+					fmt.Sprintf("retry budget exhausted after %d attempts: %s", sent, lastErr))
+				return
+			}
 			r.mu.Lock()
 			r.reroutes++
 			r.mu.Unlock()
 			r.metReroutes.Inc()
+			r.metBudgetTokens.Set(r.budget.Tokens())
 		}
-		resp, err := b.do(http.MethodPost, "/solve", req.URL.RawQuery, forwardHeader(req), body)
-		if err != nil {
-			lastErr = err.Error()
-			continue
+		sent++
+		hdr := forwardHeader(req)
+		outBody := body
+		if deadlineMS > 0 {
+			remaining := deadlineMS - int64((r.now()-start)*1000)
+			if remaining <= 0 {
+				r.mu.Lock()
+				r.deadlineHits++
+				r.mu.Unlock()
+				r.metDeadline.Inc()
+				r.reject(w, http.StatusGatewayTimeout, codeDeadlineExhausted,
+					fmt.Sprintf("client deadline of %dms expired after %d attempts", deadlineMS, sent-1))
+				return
+			}
+			hdr.Set(server.SolveControlHeader, server.SolveControl{DeadlineMS: remaining}.String())
+			outBody = rewriteDeadline(body, remaining)
 		}
-		respBody, readErr := io.ReadAll(resp.Body)
-		_ = resp.Body.Close()
-		if readErr != nil {
-			lastErr = fmt.Sprintf("backend %s: %v", b.Name(), readErr)
+		var alt *Backend
+		if hedge {
+			alt = r.nextHedgeCandidate(candidates, idx+1)
+		}
+		attemptStart := r.now()
+		a := r.dispatch(req, b, alt, hdr, outBody, hedge, r.hedgeDelay())
+		if a.hedged {
+			b = alt
+			br = r.breakers[alt.Name()]
+		}
+		if a.err != nil {
+			br.Failure()
+			lastErr = a.err.Error()
 			continue
 		}
 		switch {
-		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		case a.status == http.StatusTooManyRequests || a.status == http.StatusServiceUnavailable:
 			// Overloaded or draining: forward to the next candidate.
-			lastErr = fmt.Sprintf("backend %s: %s", b.Name(), strings.TrimSpace(string(respBody)))
+			br.Failure()
+			lastErr = fmt.Sprintf("backend %s: %s", b.Name(), strings.TrimSpace(string(a.body)))
 			continue
-		case resp.StatusCode >= 500:
-			lastErr = fmt.Sprintf("backend %s: HTTP %d", b.Name(), resp.StatusCode)
+		case a.status >= 500:
+			br.Failure()
+			lastErr = fmt.Sprintf("backend %s: HTTP %d", b.Name(), a.status)
 			continue
-		case resp.StatusCode >= 400:
+		case a.status >= 400:
 			// The request itself is bad; no backend will like it better.
 			// Pass the backend's structured rejection through verbatim.
-			copyHeader(w, resp)
-			w.WriteHeader(resp.StatusCode)
-			_, _ = w.Write(respBody)
+			// The backend answered coherently, so the breaker counts it
+			// as a success.
+			br.Success()
+			writeAttempt(w, a)
 			return
 		}
 		var job server.JobJSON
-		if err := json.Unmarshal(respBody, &job); err != nil {
+		if err := json.Unmarshal(a.body, &job); err != nil {
+			br.Failure()
 			lastErr = fmt.Sprintf("backend %s: bad job body: %v", b.Name(), err)
 			continue
 		}
@@ -266,28 +611,37 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 			// simulated node died mid-solve). Re-route to the next shard
 			// candidate, carrying the burned attempts along so the
 			// federation's accounting matches a single node's.
+			br.Failure()
 			priorAttempts += attemptCount(job)
 			lastErr = fmt.Sprintf("backend %s: job failed: %s", b.Name(), job.Error)
 			continue
+		}
+		br.Success()
+		r.budget.Earn()
+		r.metBudgetTokens.Set(r.budget.Tokens())
+		if wait {
+			r.recordLatency(r.now() - attemptStart)
 		}
 		r.mu.Lock()
 		r.solves++
 		r.mu.Unlock()
 		r.metSolves.Inc()
-		out := RoutedJob{JobJSON: job, Backend: b.Name(), Hops: hop + 1}
+		out := RoutedJob{JobJSON: job, Backend: b.Name(), Hops: sent, Hedged: a.hedged}
 		out.ID = b.Name() + "/" + job.ID
 		if priorAttempts > 0 {
 			out.Attempts = priorAttempts + attemptCount(job)
 		}
-		copyHeader(w, resp)
-		writeJSON(w, resp.StatusCode, out)
+		if tp := a.header.Get("traceparent"); tp != "" {
+			w.Header().Set("traceparent", tp)
+		}
+		writeJSON(w, a.status, out)
 		return
 	}
 	detail := ""
 	if lastErr != "" {
 		detail = ": last error: " + lastErr
 	}
-	if budget < len(candidates) {
+	if sent >= budget && budget < len(candidates) {
 		r.reject(w, http.StatusServiceUnavailable, codeHopLimit,
 			fmt.Sprintf("hop limit %d reached with %d candidates left%s", budget, len(candidates)-budget, detail))
 		return
@@ -369,6 +723,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		r.reject(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "GET only")
 		return
 	}
+	r.refreshBreakerGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = r.reg.WritePrometheus(w)
 }
@@ -426,8 +781,14 @@ func (r *Router) handleAdmin(w http.ResponseWriter, req *http.Request) {
 	}
 	if action == "kill" {
 		b.Kill()
+		// Trip the breaker too, so the killed node is skipped instantly
+		// instead of after Threshold wasted forwards.
+		r.breakers[name].Trip()
 	} else {
 		b.Revive()
+		r.breakers[name].Reset()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "backend": name, "down": b.Down()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "backend": name, "down": b.Down(), "breaker": r.breakers[name].State(),
+	})
 }

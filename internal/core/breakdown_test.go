@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cagmres/internal/gpu"
+	"cagmres/internal/sparse"
+)
+
+// extremeDiag builds the ill-conditioned regression generator: a
+// diagonal matrix whose entries sweep geometrically from 1 up to top,
+// so the condition number is top itself. With top near MaxFloat64 the
+// very first Krylov vector overflows (||A v0|| has no finite value) and
+// every downstream quantity is Inf or NaN — the scenario the breakdown
+// guardrail exists for.
+func extremeDiag(n int, top float64) *sparse.CSR {
+	a := sparse.NewCSR(n, n, n)
+	for i := 0; i < n; i++ {
+		a.ColIdx = append(a.ColIdx, i)
+		a.Val = append(a.Val, math.Pow(top, float64(i)/float64(n-1)))
+		a.RowPtr[i+1] = len(a.Val)
+	}
+	return a
+}
+
+func onesB(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	return b
+}
+
+func TestGMRESBreakdownOnExtremeConditioning(t *testing.T) {
+	n := 32
+	a := extremeDiag(n, 1e308)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, err := NewProblem(ctx, a, onesB(n), Natural, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = GMRES(p, Options{M: 10, Tol: 1e-8, MaxRestarts: 20, Ortho: "CGS"})
+	var be *BreakdownError
+	if !errors.As(err, &be) {
+		t.Fatalf("want BreakdownError, got %v", err)
+	}
+	if be.Stage == "" {
+		t.Fatal("BreakdownError without a stage")
+	}
+	if be.Iter > 2*10 {
+		t.Fatalf("breakdown detected only after %d iterations; boundary checks must catch it within a restart", be.Iter)
+	}
+}
+
+func TestCAGMRESBreakdownOnExtremeConditioning(t *testing.T) {
+	n := 32
+	a := extremeDiag(n, 1e308)
+	for _, basis := range []string{"newton", "monomial"} {
+		ctx := gpu.NewContext(2, gpu.M2090())
+		p, err := NewProblem(ctx, a, onesB(n), Natural, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = CAGMRES(p, Options{M: 10, S: 5, Tol: 1e-8, MaxRestarts: 20,
+			Ortho: "CholQR", Basis: basis})
+		var be *BreakdownError
+		if !errors.As(err, &be) {
+			t.Fatalf("basis %s: want BreakdownError, got %v", basis, err)
+		}
+		if be.Stage == "" {
+			t.Fatalf("basis %s: BreakdownError without a stage", basis)
+		}
+	}
+}
+
+func TestBreakdownOnNonFiniteRHS(t *testing.T) {
+	// A right-hand side whose norm overflows is caught before any device
+	// work is spent.
+	n := 16
+	a := extremeDiag(n, 1e2)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1e200
+	}
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, err := NewProblem(ctx, a, b, Natural, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = GMRES(p, Options{M: 5, MaxRestarts: 3})
+	var be *BreakdownError
+	if !errors.As(err, &be) {
+		t.Fatalf("want BreakdownError, got %v", err)
+	}
+	if be.Stage != "residual" || be.Iter != 0 {
+		t.Fatalf("want residual breakdown at iter 0, got stage %q iter %d", be.Stage, be.Iter)
+	}
+}
+
+func TestHealthyProblemUnaffectedByGuardrail(t *testing.T) {
+	// The guardrail must not perturb a well-behaved solve.
+	a := laplace2D(14, 14, 0.2)
+	b := randomRHS(196, 7)
+	ctx := gpu.NewContext(2, gpu.M2090())
+	p, err := NewProblem(ctx, a, b, Natural, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CAGMRES(p, Options{M: 20, S: 5, Tol: 1e-6, Ortho: "CholQR"})
+	solveCheck(t, a, b, res, err, 1e-5)
+}

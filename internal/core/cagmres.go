@@ -77,6 +77,9 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 		em.emit(obs.Record{Kind: "done"})
 		return &Result{X: p.Unmap(make([]float64, n)), Converged: true, RelRes: 0, Stats: ctx.Stats()}, nil
 	}
+	if nonFinite(bNorm) {
+		return &Result{Stats: ctx.Stats()}, &BreakdownError{Iter: 0, Stage: "residual"}
+	}
 
 	res := &Result{Stats: ctx.Stats()}
 	var shiftBlocks [][]complex128 // nil => monomial
@@ -122,6 +125,11 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 		negateInto(W, 2, 1)
 		beta := W.NormCol(2, PhaseVec)
 		relres := beta / bNorm
+		if nonFinite(relres) {
+			// Non-finite residual at the restart boundary: stop instead
+			// of iterating on garbage.
+			return res, &BreakdownError{Iter: res.Iters, Stage: "residual"}
+		}
 		if restart > 0 {
 			res.History = append(res.History, relres)
 			em.emit(obs.Record{Kind: "restart", Restart: restart, Step: res.Iters, RelRes: relres})
@@ -150,7 +158,15 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 			hk := la.NewDense(k, k)
 			for j := 0; j < k; j++ {
 				for i := 0; i <= j+1 && i < k; i++ {
-					hk.Set(i, j, h.At(i, j))
+					x := h.At(i, j)
+					if nonFinite(x) {
+						// A non-finite Hessenberg means the seed cycle's
+						// basis already overflowed; deriving Newton shifts
+						// from it would feed NaN Ritz values into the Leja
+						// ordering. Stop here.
+						return res, &BreakdownError{Iter: res.Iters, Stage: "basis"}
+					}
+					hk.Set(i, j, x)
 				}
 			}
 			shifts := newtonShifts(hk, m)
@@ -230,6 +246,12 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 					// residual decide.
 					break
 				}
+				if windowHasNonFinite(win) {
+					// The generated basis itself overflowed (the TSQR
+					// failure is a symptom): a numerical breakdown, not a
+					// rank-deficiency corner case.
+					return res, &BreakdownError{Iter: res.Iters + done, Stage: "basis"}
+				}
 				return res, fmt.Errorf("core: CA-GMRES restart %d window at %d (%s): %w",
 					restart, done, tsqr.Name(), err)
 			}
@@ -248,6 +270,9 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 			_, rn := la.HessenbergLS(subHessenberg(h, done), e1(done+1, beta))
 			ctx.HostComputeOn(PhaseLSQ, 3*float64(done+1)*float64(done+1))
 			relres = rn / bNorm
+			if nonFinite(relres) {
+				return res, &BreakdownError{Iter: res.Iters + done, Stage: "window"}
+			}
 			em.emit(obs.Record{Kind: "window", Restart: restart, Step: done, RelRes: relres,
 				OrthoLoss: winLoss, TSQR: tsqr.Name()})
 			if rn/bNorm <= opts.Tol {
@@ -286,6 +311,9 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 		mpk1.SpMV(W, 0, W, 2, PhaseSpMV)
 		negateInto(W, 2, 1)
 		res.RelRes = W.NormCol(2, PhaseVec) / bNorm
+		if nonFinite(res.RelRes) {
+			return res, &BreakdownError{Iter: res.Iters, Stage: "residual"}
+		}
 	}
 	em.emit(obs.Record{Kind: "done", Restart: res.Restarts, Step: res.Iters, RelRes: res.RelRes})
 	res.X = p.Unmap(W.GatherCol(0))

@@ -190,6 +190,9 @@ func runGMRES(p *Problem, opts Options, ck *checkpoint) (*Result, error) {
 		em.emit(obs.Record{Kind: "done"})
 		return &Result{X: p.Unmap(make([]float64, n)), Converged: true, RelRes: 0, Stats: ctx.Stats()}, nil
 	}
+	if nonFinite(bNorm) {
+		return &Result{Stats: ctx.Stats()}, &BreakdownError{Iter: 0, Stage: "residual"}
+	}
 
 	res := &Result{Stats: ctx.Stats()}
 	startRestart := 0
@@ -216,6 +219,11 @@ func runGMRES(p *Problem, opts Options, ck *checkpoint) (*Result, error) {
 		negateInto(W, 2, 1) // r := b - r
 		beta := W.NormCol(2, PhaseVec)
 		relres := beta / bNorm
+		if nonFinite(relres) {
+			// Non-finite residual at the restart boundary: stop instead
+			// of iterating on garbage.
+			return res, &BreakdownError{Iter: res.Iters, Stage: "residual"}
+		}
 		if restart > 0 {
 			res.History = append(res.History, relres)
 			em.emit(obs.Record{Kind: "restart", Restart: restart, Step: res.Iters, RelRes: relres})
@@ -280,6 +288,9 @@ func runGMRES(p *Problem, opts Options, ck *checkpoint) (*Result, error) {
 		mpk.SpMV(W, 0, W, 2, PhaseSpMV)
 		negateInto(W, 2, 1)
 		res.RelRes = W.NormCol(2, PhaseVec) / bNorm
+		if nonFinite(res.RelRes) {
+			return res, &BreakdownError{Iter: res.Iters, Stage: "residual"}
+		}
 	}
 	em.emit(obs.Record{Kind: "done", Restart: res.Restarts, Step: res.Iters, RelRes: res.RelRes})
 	res.X = p.Unmap(W.GatherCol(0))

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseSLOClasses parses an SLO policy spec: comma-separated
+// name:minprio:latencySeconds:objective entries, where minprio "*"
+// marks the catch-all class (priority math.MinInt32). Empty input
+// returns nil, which callers treat as "keep the default policy". Both
+// cagmresd and cagmres-router accept this format on their -slo-target
+// flags, so one parser defines the grammar.
+func ParseSLOClasses(spec string) ([]SLOClass, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []SLOClass
+	for _, item := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("slo class %q: want name:minprio:latency:objective", item)
+		}
+		c := SLOClass{Name: parts[0]}
+		if c.Name == "" {
+			return nil, fmt.Errorf("slo class %q: empty class name", item)
+		}
+		if parts[1] == "*" {
+			c.MinPriority = math.MinInt32
+		} else {
+			p, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("slo class %q: minprio: %v", item, err)
+			}
+			c.MinPriority = p
+		}
+		lat, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || lat <= 0 {
+			return nil, fmt.Errorf("slo class %q: latency must be positive seconds", item)
+		}
+		c.LatencyTarget = lat
+		obj, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil || obj <= 0 || obj >= 1 {
+			return nil, fmt.Errorf("slo class %q: objective must be in (0,1)", item)
+		}
+		c.Objective = obj
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseSLOClasses(t *testing.T) {
+	got, err := ParseSLOClasses("interactive:1:1.0:0.99, standard:*:5.0:0.95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SLOClass{
+		{Name: "interactive", MinPriority: 1, LatencyTarget: 1.0, Objective: 0.99},
+		{Name: "standard", MinPriority: math.MinInt32, LatencyTarget: 5.0, Objective: 0.95},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d classes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("class %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	if got, err := ParseSLOClasses(""); got != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", got, err)
+	}
+
+	for _, bad := range []string{
+		"noparts",
+		"a:b:c",                // too few fields
+		":1:1.0:0.99",          // empty name
+		"x:zero:1.0:0.99",      // bad minprio
+		"x:1:-2:0.99",          // non-positive latency
+		"x:1:1.0:1.5",          // objective outside (0,1)
+		"x:1:1.0:0.99,y:*:0:0", // second entry invalid
+	} {
+		if _, err := ParseSLOClasses(bad); err == nil {
+			t.Fatalf("spec %q parsed, want error", bad)
+		} else if !strings.Contains(err.Error(), "slo class") {
+			t.Fatalf("spec %q: error %v does not name the class", bad, err)
+		}
+	}
+}

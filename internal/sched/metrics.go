@@ -41,7 +41,13 @@ type metrics struct {
 	repartitions   obs.Counter
 	restores       obs.Counter
 	leaseTimeouts  obs.Counter
+
+	sheds    map[string]obs.Counter
+	brownout obs.Gauge
 }
+
+// shedReasons are the sched_shed_total label values, registered eagerly.
+var shedReasons = []string{"brownout", "deadline_infeasible", "deadline_expired"}
 
 func newMetrics(r *obs.Registry, pool *Pool) *metrics {
 	if r == nil {
@@ -95,6 +101,13 @@ func newMetrics(r *obs.Registry, pool *Pool) *metrics {
 		m.jobs[st] = r.CounterL("sched_jobs_total",
 			"Jobs finished, by terminal state.", obs.L("state", string(st)))
 	}
+	m.sheds = make(map[string]obs.Counter, len(shedReasons))
+	for _, reason := range shedReasons {
+		m.sheds[reason] = r.CounterL("sched_shed_total",
+			"Work shed by the containment layer, by reason.", obs.L("reason", reason))
+	}
+	m.brownout = r.Gauge("sched_brownout_level",
+		"Active SLO-driven brownout level (0 = no shedding).")
 	m.poolSize.Set(float64(pool.Size()))
 	m.poolInUse.Set(float64(pool.InUse()))
 	pool.OnChange(func(inUse, size int) {
@@ -139,6 +152,21 @@ func (m *metrics) requeued() {
 func (m *metrics) leaseTimedOut() {
 	if m != nil {
 		m.leaseTimeouts.Inc()
+	}
+}
+
+func (m *metrics) shed(reason string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.sheds[reason]; ok {
+		c.Inc()
+	}
+}
+
+func (m *metrics) brownoutLevel(level int) {
+	if m != nil {
+		m.brownout.Set(float64(level))
 	}
 }
 

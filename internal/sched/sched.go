@@ -255,6 +255,17 @@ type Config struct {
 	// SLO judges finished jobs against per-priority objectives; nil gets
 	// the default two-class engine over Registry.
 	SLO *obs.SLOEngine
+	// Brownout, when non-nil, enables SLO-driven load shedding: as the
+	// fast-burn windows trip, Submit sheds the lowest-priority classes
+	// first (see BrownoutConfig).
+	Brownout *BrownoutConfig
+	// DeadlineMargin, when > 0, arms the deadline-infeasibility gate:
+	// a submission whose deadline is below DeadlineMargin times the
+	// rolling service-time estimate is rejected up front instead of
+	// admitted, queued, and shed after its deadline expires anyway.
+	// A margin of 1 means "the deadline must at least cover one
+	// typical solve"; 2 leaves room for queueing. 0 disables the gate.
+	DeadlineMargin float64
 }
 
 func (c *Config) defaults() {
@@ -311,6 +322,13 @@ type Scheduler struct {
 	repartitions    uint64
 	restores        uint64
 
+	// Containment tallies (see Snapshot) and the service-time EWMA the
+	// deadline gate compares against.
+	shedBrownout   uint64
+	shedInfeasible uint64
+	shedExpired    uint64
+	svcEWMA        float64
+
 	wg sync.WaitGroup
 }
 
@@ -359,6 +377,38 @@ func (s *Scheduler) Start() {
 func (s *Scheduler) Submit(parent context.Context, spec Spec, priority int, deadline time.Duration) (*Job, error) {
 	if parent == nil {
 		parent = context.Background()
+	}
+	// Containment gates run before the queue-capacity check: a shed
+	// request must not consume queue space, and both gates read state
+	// (the SLO engine, the EWMA) outside the queue lock.
+	if lvl := s.BrownoutLevel(); lvl > 0 {
+		rung := lvl
+		if rung > len(s.cfg.Brownout.Ladder) {
+			rung = len(s.cfg.Brownout.Ladder)
+		}
+		minPrio := s.cfg.Brownout.Ladder[rung-1]
+		if priority < minPrio {
+			s.mu.Lock()
+			s.shedBrownout++
+			s.mu.Unlock()
+			s.met.shed("brownout")
+			return nil, &BrownoutShedError{
+				Level: lvl, Priority: priority, MinPriority: minPrio,
+				RetryAfter: s.cfg.RetryAfter,
+			}
+		}
+	}
+	if s.cfg.DeadlineMargin > 0 && deadline > 0 {
+		if est := s.serviceEstimate(); est > 0 && deadline.Seconds() < s.cfg.DeadlineMargin*est {
+			s.mu.Lock()
+			s.shedInfeasible++
+			s.mu.Unlock()
+			s.met.shed("deadline_infeasible")
+			return nil, &DeadlineInfeasibleError{
+				Deadline: deadline,
+				Estimate: time.Duration(est * float64(time.Second)),
+			}
+		}
 	}
 	s.mu.Lock()
 	if s.draining {
@@ -450,6 +500,13 @@ type Snapshot struct {
 	TransferRetries uint64
 	Repartitions    uint64
 	Restores        uint64
+
+	// Containment state: the active brownout level and the shed
+	// tallies per reason.
+	BrownoutLevel          int
+	ShedBrownout           uint64
+	ShedDeadlineInfeasible uint64
+	ShedDeadlineExpired    uint64
 }
 
 // Degraded reports whether the service has permanently lost capacity:
@@ -458,9 +515,15 @@ func (sn Snapshot) Degraded() bool { return sn.PoolHealthy < sn.PoolSize }
 
 // Snapshot returns current counters and queue state.
 func (s *Scheduler) Snapshot() Snapshot {
+	level := s.BrownoutLevel()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Snapshot{
+		BrownoutLevel:          level,
+		ShedBrownout:           s.shedBrownout,
+		ShedDeadlineInfeasible: s.shedInfeasible,
+		ShedDeadlineExpired:    s.shedExpired,
+
 		QueueDepth: len(s.queue),
 		Draining:   s.draining,
 		Dispatched: s.dispatched,
@@ -682,9 +745,14 @@ func (s *Scheduler) finishJob(j *Job, st State, res *core.Result, err error) {
 	j.mu.Lock()
 	end := j.finished
 	latency := j.finished.Sub(j.submitted).Seconds()
+	wall := j.finished.Sub(j.started).Seconds()
 	j.mu.Unlock()
 	j.trace.FinishRoot(unixSeconds(end), modeled)
 	s.cfg.SLO.Observe(j.Priority, latency, st == StateFailed)
+	if st == StateDone {
+		// Completed solves feed the deadline gate's service estimate.
+		s.observeService(wall)
+	}
 }
 
 // retryableLeaseFault reports errors worth another lease: transfer-retry
@@ -760,9 +828,19 @@ func (s *Scheduler) execute(batch []*Job) {
 	var problem *core.Problem
 	var terminal []*Job
 	for _, j := range batch {
-		if j.ctx.Err() != nil {
+		if ctxErr := j.ctx.Err(); ctxErr != nil {
 			// Deadline or cancellation expired while queued: a Canceled
-			// result without spending device time.
+			// result without spending device time. An expired deadline is
+			// the containment layer shedding dead-on-arrival work, so it
+			// is tallied and stamped on the trace separately from a user
+			// cancel.
+			if errors.Is(ctxErr, context.DeadlineExceeded) {
+				s.mu.Lock()
+				s.shedExpired++
+				s.mu.Unlock()
+				s.met.shed("deadline_expired")
+				j.trace.SetRootAttr("shed_reason", "deadline_expired")
+			}
 			s.finishJob(j, StateCanceled, &core.Result{Canceled: true}, nil)
 			s.met.finished(StateCanceled, j.WaitSeconds(), 0, 0)
 			terminal = append(terminal, j)

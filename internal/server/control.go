@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SolveControlHeader is the per-request control header carried end to
+// end through the serving tier. Clients stamp it on a solve, the router
+// decrements the deadline per hop and rewrites it before forwarding,
+// and the daemon feeds it into admission control. Format is a
+// semicolon-separated list of k=v directives:
+//
+//	Solve-Control: deadline-ms=1500; max-hops=2; hedge=on
+//
+// Directives:
+//
+//	deadline-ms  remaining client deadline in integer milliseconds
+//	             (decremented per hop; overrides the body deadline_ms)
+//	max-hops     cap on further forwards the router may spend on this
+//	             request (min'd with the router's own hop budget)
+//	hedge       "on" or "off": per-request override of router hedging
+//
+// Parsing is strict: unknown keys, duplicate keys, empty directives,
+// non-integer or out-of-range values are all errors, so a corrupted
+// header fails loudly (400 bad_request) rather than silently dropping
+// the client's deadline.
+const SolveControlHeader = "Solve-Control"
+
+// maxControlDeadlineMS bounds deadline-ms to about 12 days; anything
+// larger is a unit error on the client side.
+const maxControlDeadlineMS = 1 << 30
+
+// maxControlHops bounds max-hops; a federation deeper than this does
+// not exist.
+const maxControlHops = 64
+
+// SolveControl is the decoded Solve-Control header. Zero values mean
+// "directive absent" (DeadlineMS 0, MaxHops 0, Hedge nil).
+type SolveControl struct {
+	// DeadlineMS is the remaining client deadline in milliseconds;
+	// 0 means no deadline directive was present.
+	DeadlineMS int64
+	// MaxHops caps further router forwards; 0 means absent.
+	MaxHops int
+	// Hedge overrides the router's hedging default when non-nil.
+	Hedge *bool
+}
+
+// IsZero reports whether no directive was present.
+func (c SolveControl) IsZero() bool {
+	return c.DeadlineMS == 0 && c.MaxHops == 0 && c.Hedge == nil
+}
+
+// String renders the control in canonical form (fixed directive order,
+// "; " separators). ParseSolveControl(c.String()) round-trips exactly.
+func (c SolveControl) String() string {
+	var parts []string
+	if c.DeadlineMS > 0 {
+		parts = append(parts, fmt.Sprintf("deadline-ms=%d", c.DeadlineMS))
+	}
+	if c.MaxHops > 0 {
+		parts = append(parts, fmt.Sprintf("max-hops=%d", c.MaxHops))
+	}
+	if c.Hedge != nil {
+		v := "off"
+		if *c.Hedge {
+			v = "on"
+		}
+		parts = append(parts, "hedge="+v)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ParseSolveControl decodes a Solve-Control header value. The empty
+// string decodes to the zero SolveControl.
+func ParseSolveControl(s string) (SolveControl, error) {
+	var c SolveControl
+	if strings.TrimSpace(s) == "" {
+		return c, nil
+	}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return SolveControl{}, fmt.Errorf("solve-control: empty directive")
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return SolveControl{}, fmt.Errorf("solve-control: directive %q is not k=v", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if val == "" {
+			return SolveControl{}, fmt.Errorf("solve-control: directive %q has empty value", key)
+		}
+		if seen[key] {
+			return SolveControl{}, fmt.Errorf("solve-control: duplicate directive %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "deadline-ms":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n <= 0 || n > maxControlDeadlineMS {
+				return SolveControl{}, fmt.Errorf("solve-control: deadline-ms %q out of range (1..%d)", val, maxControlDeadlineMS)
+			}
+			c.DeadlineMS = n
+		case "max-hops":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 || n > maxControlHops {
+				return SolveControl{}, fmt.Errorf("solve-control: max-hops %q out of range (1..%d)", val, maxControlHops)
+			}
+			c.MaxHops = n
+		case "hedge":
+			switch val {
+			case "on":
+				t := true
+				c.Hedge = &t
+			case "off":
+				f := false
+				c.Hedge = &f
+			default:
+				return SolveControl{}, fmt.Errorf("solve-control: hedge %q is not on/off", val)
+			}
+		default:
+			return SolveControl{}, fmt.Errorf("solve-control: unknown directive %q", key)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSolveControl(t *testing.T) {
+	on := true
+	off := false
+	good := []struct {
+		in   string
+		want SolveControl
+	}{
+		{"", SolveControl{}},
+		{"   ", SolveControl{}},
+		{"deadline-ms=1500", SolveControl{DeadlineMS: 1500}},
+		{"deadline-ms=1500; max-hops=2; hedge=on", SolveControl{DeadlineMS: 1500, MaxHops: 2, Hedge: &on}},
+		{"hedge=off", SolveControl{Hedge: &off}},
+		{" max-hops = 3 ;hedge=on", SolveControl{MaxHops: 3, Hedge: &on}},
+	}
+	for _, tc := range good {
+		got, err := ParseSolveControl(tc.in)
+		if err != nil {
+			t.Fatalf("%q: unexpected error %v", tc.in, err)
+		}
+		if got.DeadlineMS != tc.want.DeadlineMS || got.MaxHops != tc.want.MaxHops {
+			t.Fatalf("%q: got %+v want %+v", tc.in, got, tc.want)
+		}
+		if (got.Hedge == nil) != (tc.want.Hedge == nil) {
+			t.Fatalf("%q: hedge presence mismatch", tc.in)
+		}
+		if got.Hedge != nil && *got.Hedge != *tc.want.Hedge {
+			t.Fatalf("%q: hedge value mismatch", tc.in)
+		}
+	}
+
+	bad := []string{
+		"deadline-ms=0",
+		"deadline-ms=-5",
+		"deadline-ms=99999999999999999999",
+		"deadline-ms=abc",
+		"deadline-ms=5; deadline-ms=6",
+		"max-hops=0",
+		"max-hops=65",
+		"hedge=maybe",
+		"hedge=",
+		"unknown=1",
+		"deadline-ms",
+		";",
+		"deadline-ms=5;;max-hops=2",
+	}
+	for _, in := range bad {
+		if _, err := ParseSolveControl(in); err == nil {
+			t.Fatalf("%q: expected parse error", in)
+		}
+	}
+}
+
+func TestSolveControlRoundTrip(t *testing.T) {
+	on := true
+	cases := []SolveControl{
+		{},
+		{DeadlineMS: 1},
+		{DeadlineMS: 1 << 30},
+		{MaxHops: 64},
+		{DeadlineMS: 250, MaxHops: 3, Hedge: &on},
+	}
+	for _, c := range cases {
+		s := c.String()
+		got, err := ParseSolveControl(s)
+		if err != nil {
+			t.Fatalf("round-trip %q: %v", s, err)
+		}
+		if got.String() != s {
+			t.Fatalf("round-trip %q -> %q", s, got.String())
+		}
+	}
+}
+
+func FuzzParseSolveControl(f *testing.F) {
+	seeds := []string{
+		"",
+		"deadline-ms=1500",
+		"deadline-ms=1500; max-hops=2; hedge=on",
+		"hedge=off",
+		"max-hops=64",
+		"deadline-ms=1073741824",
+		"deadline-ms=5;deadline-ms=6",
+		"unknown=1",
+		"; ;",
+		"deadline-ms==3",
+		"hedge=on; hedge=off",
+		"max-hops=é",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		c, err := ParseSolveControl(in)
+		if err != nil {
+			return
+		}
+		// Invariants on accepted input.
+		if c.DeadlineMS < 0 || c.DeadlineMS > maxControlDeadlineMS {
+			t.Fatalf("accepted out-of-range deadline %d from %q", c.DeadlineMS, in)
+		}
+		if c.MaxHops < 0 || c.MaxHops > maxControlHops {
+			t.Fatalf("accepted out-of-range max-hops %d from %q", c.MaxHops, in)
+		}
+		// Canonical form must round-trip to itself (idempotent encode).
+		s := c.String()
+		c2, err := ParseSolveControl(s)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", s, in, err)
+		}
+		if c2.String() != s {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", s, c2.String())
+		}
+		if strings.ContainsAny(s, "\r\n") {
+			t.Fatalf("canonical form contains CRLF: %q", s)
+		}
+	})
+}

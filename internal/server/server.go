@@ -104,6 +104,11 @@ type JobJSON struct {
 	ServiceSeconds float64   `json:"service_seconds,omitempty"`
 	X              []float64 `json:"x,omitempty"`
 	Error          string    `json:"error,omitempty"`
+	// Code classifies terminal failures with the errorJSON code
+	// vocabulary (e.g. numerical_breakdown), so async pollers get the
+	// same machine-readable verdict a waiting client gets via the
+	// response status.
+	Code string `json:"code,omitempty"`
 	// Attempts > 1 means the scheduler re-queued the job after a lease
 	// fault; Faults reports what the winning solve survived.
 	Attempts int         `json:"attempts,omitempty"`
@@ -158,6 +163,12 @@ type Healthz struct {
 	// (/slo returns the same body on its own).
 	SLODegraded bool           `json:"slo_degraded"`
 	SLO         *obs.SLOReport `json:"slo,omitempty"`
+	// Containment state: the active brownout level (0 = no shedding)
+	// and the shed tallies per reason.
+	BrownoutLevel          int    `json:"brownout_level"`
+	ShedBrownout           uint64 `json:"shed_brownout"`
+	ShedDeadlineInfeasible uint64 `json:"shed_deadline_infeasible"`
+	ShedDeadlineExpired    uint64 `json:"shed_deadline_expired"`
 }
 
 // errorJSON is every non-2xx body: a stable machine-readable code, the
@@ -176,6 +187,15 @@ const (
 	codeNotFound         = "not_found"
 	codeMethodNotAllowed = "method_not_allowed"
 	codeInternal         = "internal"
+	// codeBrownoutShed: SLO-driven brownout is shedding this priority
+	// class; retry later or with a higher priority.
+	codeBrownoutShed = "brownout_shed"
+	// codeDeadlineInfeasible: the client deadline cannot cover a solve,
+	// so the job was refused instead of admitted dead on arrival.
+	codeDeadlineInfeasible = "deadline_infeasible"
+	// codeNumericalBreakdown: the solve hit NaN/±Inf and no retry will
+	// behave differently — a client-data error, not a server fault.
+	codeNumericalBreakdown = "numerical_breakdown"
 )
 
 // Server routes HTTP traffic to a scheduler.
@@ -253,6 +273,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 		SLODegraded: slo.Degraded,
 		SLO:         &slo,
+
+		BrownoutLevel:          snap.BrownoutLevel,
+		ShedBrownout:           snap.ShedBrownout,
+		ShedDeadlineInfeasible: snap.ShedDeadlineInfeasible,
+		ShedDeadlineExpired:    snap.ShedDeadlineExpired,
 	})
 }
 
@@ -320,10 +345,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// no matter what happens to the request.
 	root := s.sched.Tracer().Root("solve", r.Header.Get("traceparent"))
 	w.Header().Set("traceparent", root.Traceparent())
+	ctl, err := ParseSolveControl(r.Header.Get(SolveControlHeader))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Code: codeBadRequest, Error: err.Error()})
+		return
+	}
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Code: codeBadRequest, Error: "bad request body: " + err.Error()})
 		return
+	}
+	// The header's remaining deadline wins over the body: the router
+	// decrements the header per hop, while the body may still carry the
+	// client's original end-to-end value.
+	if ctl.DeadlineMS > 0 {
+		req.DeadlineMS = ctl.DeadlineMS
 	}
 	a, key, err := s.matrix(req.Matrix)
 	if err != nil {
@@ -379,6 +415,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		spec, req.Priority, time.Duration(req.DeadlineMS)*time.Millisecond)
 	if err != nil {
 		var full *sched.QueueFullError
+		var shed *sched.BrownoutShedError
+		var infeasible *sched.DeadlineInfeasibleError
 		switch {
 		case errors.As(err, &full):
 			w.Header().Set("Retry-After",
@@ -387,6 +425,24 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				Code:              codeQueueFull,
 				Error:             err.Error(),
 				RetryAfterSeconds: full.RetryAfter.Seconds(),
+			})
+		case errors.As(err, &shed):
+			// Brownout is overload, not a bad request: 503 plus a retry
+			// hint, so well-behaved clients back off.
+			w.Header().Set("Retry-After",
+				fmt.Sprintf("%d", int(shed.RetryAfter.Seconds()+0.999)))
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{
+				Code:              codeBrownoutShed,
+				Error:             err.Error(),
+				RetryAfterSeconds: shed.RetryAfter.Seconds(),
+			})
+		case errors.As(err, &infeasible):
+			// A deadline that cannot cover a solve is the client's
+			// configuration problem: 422, not a retryable overload (the
+			// router passes 4xx through without burning forwards).
+			writeJSON(w, http.StatusUnprocessableEntity, errorJSON{
+				Code:  codeDeadlineInfeasible,
+				Error: err.Error(),
 			})
 		case err == sched.ErrDraining:
 			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Code: codeDraining, Error: err.Error()})
@@ -405,7 +461,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			job.Cancel()
 			<-job.Done()
 		}
-		writeJSON(w, http.StatusOK, jobJSON(job, req.IncludeX))
+		status := http.StatusOK
+		if _, jerr := job.Result(); jerr != nil {
+			var be *core.BreakdownError
+			if errors.As(jerr, &be) {
+				// Numerical breakdown reproduces bit-identically on
+				// retry: a 4xx verdict stops the router from wasting
+				// forwards on it.
+				status = http.StatusUnprocessableEntity
+			}
+		}
+		writeJSON(w, status, jobJSON(job, req.IncludeX))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobJSON(job, false))
@@ -452,6 +518,10 @@ func jobJSON(j *sched.Job, includeX bool) JobJSON {
 	res, err := j.Result()
 	if err != nil {
 		out.Error = err.Error()
+		var be *core.BreakdownError
+		if errors.As(err, &be) {
+			out.Code = codeNumericalBreakdown
+		}
 	}
 	if res != nil {
 		out.Converged = res.Converged

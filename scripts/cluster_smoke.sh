@@ -65,8 +65,10 @@ echo "$HEALTH" | grep -q '"ok":true' || {
     exit 1
 }
 
-# Phase 3: a solve for the dead node's shard must re-route and complete
-# on a survivor with hops > 1.
+# Phase 3: a solve for the dead node's shard must complete on a
+# survivor. The kill tripped the dead node's circuit breaker, so the
+# router skips it without spending a forward: exactly one hop, and the
+# breaker shows open in the aggregated healthz.
 OUT="$(post /solve "$SOLVE")"
 echo "$OUT" | grep -q '"state":"done"' || {
     echo "cluster-smoke: solve did not complete after node death: $OUT" >&2
@@ -76,11 +78,15 @@ echo "$OUT" | grep -q "\"backend\":\"$OWNER\"" && {
     echo "cluster-smoke: solve landed on the dead node: $OUT" >&2
     exit 1
 }
-echo "$OUT" | grep -q '"hops":2' || {
-    echo "cluster-smoke: node death did not force a reroute: $OUT" >&2
+echo "$OUT" | grep -q '"hops":1' || {
+    echo "cluster-smoke: breaker skip should cost no hop: $OUT" >&2
     exit 1
 }
-echo "cluster-smoke: solve re-routed off dead node $OWNER"
+echo "$HEALTH" | grep -q '"breaker":"open"' || {
+    echo "cluster-smoke: killed node's breaker not open in healthz: $HEALTH" >&2
+    exit 1
+}
+echo "cluster-smoke: solve re-routed off dead node $OWNER (breaker open, no wasted forward)"
 
 # Phase 4: revive; the aggregated health must recover.
 post "/admin/revive/$OWNER" > /dev/null
