@@ -84,6 +84,35 @@ func (b *Breaker) Allow() bool {
 	return true
 }
 
+// Peek reports whether Allow would admit a request right now, without
+// transitioning state or consuming the half-open probe slot. Hedge
+// candidate selection uses this so that merely being *considered* as a
+// hedge target never burns the probe.
+func (b *Breaker) Peek() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return b.cfg.Now != nil && b.cfg.Now()-b.openedAt >= b.cfg.Cooldown
+	case BreakerHalfOpen:
+		return !b.probing
+	}
+	return true
+}
+
+// Release abandons an Allow-admitted request whose outcome will never
+// be observed (e.g. a hedge that lost the race and was canceled before
+// responding). It frees the half-open probe slot without recording a
+// success or failure, so the breaker can probe again instead of
+// wedging with probing set forever.
+func (b *Breaker) Release() {
+	b.mu.Lock()
+	b.probing = false
+	b.mu.Unlock()
+}
+
 // Success records a successful response. In half-open it closes the
 // circuit; in closed it resets the consecutive-failure count.
 func (b *Breaker) Success() {

@@ -316,6 +316,241 @@ func TestRouterHedgeDisabledByControlHeader(t *testing.T) {
 	}
 }
 
+// TestBreakerPeekIsSideEffectFree: Peek answers what Allow would say
+// without transitioning state or consuming the half-open probe slot,
+// and Release frees an abandoned probe.
+func TestBreakerPeekIsSideEffectFree(t *testing.T) {
+	clock := 0.0
+	br := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 5, Now: func() float64 { return clock }})
+	if !br.Peek() {
+		t.Fatal("closed breaker should peek true")
+	}
+	br.Failure() // threshold 1: opens
+	if br.Peek() {
+		t.Error("open breaker before cooldown should peek false")
+	}
+	clock = 6
+	for i := 0; i < 3; i++ {
+		if !br.Peek() {
+			t.Fatalf("peek %d consumed the probe slot", i)
+		}
+	}
+	if st := br.State(); st != BreakerOpen {
+		t.Errorf("peek transitioned state to %q", st)
+	}
+	if !br.Allow() {
+		t.Fatal("cooldown elapsed: Allow should admit the probe")
+	}
+	if br.Peek() {
+		t.Error("probe in flight: peek should deny a second probe")
+	}
+	br.Release()
+	if !br.Peek() {
+		t.Error("Release did not free the abandoned probe slot")
+	}
+}
+
+// TestHedgeSelectionDoesNotConsumeProbe: an open-past-cooldown backend
+// that is repeatedly *considered* as a hedge target — but never
+// dispatched to, because the primary answers within the hedge delay —
+// must keep its probe slot, so it can still rejoin rotation. (The bug:
+// candidate selection called Allow, moved the breaker to half-open
+// with the probe held, and no outcome was ever recorded, excluding the
+// backend from routing forever.)
+func TestHedgeSelectionDoesNotConsumeProbe(t *testing.T) {
+	clock := 0.0
+	fast := NewLocalBackend("fast", doneHandler("f"))
+	other := NewLocalBackend("other", doneHandler("o"))
+	r := New(Config{
+		Backends:   []*Backend{fast, other},
+		MaxHops:    2,
+		ShardMap:   pinned(t, "fast"),
+		HedgeAfter: 0.5, // primary answers long before the hedge fires
+		Breaker:    BreakerConfig{Threshold: 1, Cooldown: 5},
+		Now:        func() float64 { return clock },
+	})
+	r.breakers["other"].Trip()
+	clock = 10 // past cooldown: one probe is available
+	body, err := json.Marshal(map[string]any{
+		"matrix": tinySpec(), "m": 20, "s": 4, "tol": 1e-6, "wait": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		code, job, _ := post(t, r, body)
+		if code != http.StatusOK || job.Backend != "fast" || job.Hedged {
+			t.Fatalf("solve %d: HTTP %d backend %q hedged=%t", i, code, job.Backend, job.Hedged)
+		}
+	}
+	if st := r.breakers["other"].State(); st != BreakerOpen {
+		t.Fatalf("hedge selection mutated the breaker: state %q, want open", st)
+	}
+	if !r.breakers["other"].Peek() {
+		t.Fatal("hedge selection consumed the probe slot")
+	}
+	// The recovered node can actually rejoin rotation: with the primary
+	// killed, the probe reaches it and its success closes the circuit.
+	req := httptest.NewRequest(http.MethodPost, "/admin/kill/fast", nil)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, req)
+	code, job, _ := post(t, r, body)
+	if code != http.StatusOK || job.Backend != "other" {
+		t.Fatalf("probe solve: HTTP %d backend %q", code, job.Backend)
+	}
+	if st := r.breakers["other"].State(); st != BreakerClosed {
+		t.Errorf("successful probe left breaker %q, want closed", st)
+	}
+}
+
+// TestReapLoserRecordsBreakerOutcome: the hedged race's loser must
+// leave its breaker in a sane state — a canceled loser releases the
+// probe slot, a real response counts as the failure or success it is.
+func TestReapLoserRecordsBreakerOutcome(t *testing.T) {
+	clock := 0.0
+	br := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 1, Now: func() float64 { return clock }})
+	var r Router
+
+	// Canceled loser: no health signal, probe slot freed.
+	br.Trip()
+	clock = 2
+	if !br.Allow() {
+		t.Fatal("probe not admitted")
+	}
+	r.reapLoser(attempt{err: context.Canceled}, br)
+	if st := br.State(); st != BreakerHalfOpen || !br.Peek() {
+		t.Fatalf("canceled loser: state %q peek %t, want half-open with a free probe", st, br.Peek())
+	}
+
+	// 5xx loser: counts as a failed probe, re-opens.
+	if !br.Allow() {
+		t.Fatal("freed probe not admitted")
+	}
+	r.reapLoser(attempt{status: http.StatusInternalServerError}, br)
+	if st := br.State(); st != BreakerOpen {
+		t.Fatalf("5xx loser: state %q, want open", st)
+	}
+
+	// 2xx loser: counts as a success, closes.
+	clock = 4
+	if !br.Allow() {
+		t.Fatal("probe after reopen not admitted")
+	}
+	r.reapLoser(attempt{status: http.StatusOK}, br)
+	if st := br.State(); st != BreakerClosed {
+		t.Fatalf("2xx loser: state %q, want closed", st)
+	}
+}
+
+// TestExpiredDeadlineDoesNotDrainRetryBudget: a reroute whose deadline
+// has already expired is rejected before a budget token is taken, so
+// dead-on-arrival traffic cannot starve the budget for live solves.
+func TestExpiredDeadlineDoesNotDrainRetryBudget(t *testing.T) {
+	clock := 0.0
+	shed := NewLocalBackend("shed", statusHandler(http.StatusTooManyRequests, "queue_full"))
+	spare := NewLocalBackend("spare", doneHandler("s"))
+	r := New(Config{
+		Backends:         []*Backend{shed, spare},
+		MaxHops:          2,
+		ShardMap:         pinned(t, "shed"),
+		RetryBudgetRatio: 0.1,
+		RetryBudgetBurst: 5,
+		// Every clock read advances 200ms: the first attempt fits a 300ms
+		// deadline, the reroute check does not.
+		Now: func() float64 { clock += 0.2; return clock },
+	})
+	req := httptest.NewRequest(http.MethodPost, "/solve", bytes.NewReader(solveBody(t, tinySpec())))
+	req.Header.Set(server.SolveControlHeader, "deadline-ms=300")
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("HTTP %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	var e errorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != codeDeadlineExhausted {
+		t.Errorf("rejection %q (%v), want %q", e.Code, err, codeDeadlineExhausted)
+	}
+	res := r.ResilienceSnapshot()
+	if res.RetryBudgetSpent != 0 {
+		t.Errorf("expired-deadline reroute drained the budget: %+v", res)
+	}
+	if res.RetryBudgetTokens != 5 {
+		t.Errorf("budget tokens %v, want the full burst of 5", res.RetryBudgetTokens)
+	}
+	if res.DeadlineExpired != 1 {
+		t.Errorf("deadline expiry not accounted: %+v", res)
+	}
+}
+
+// TestRewriteDeadlinePreservesOpaqueFields: only deadline_ms changes;
+// every other field — including integers beyond float64's 2^53 exact
+// range — stays byte-identical.
+func TestRewriteDeadlinePreservesOpaqueFields(t *testing.T) {
+	body := []byte(`{"big":9007199254740993,"deadline_ms":5000,"tiny":1e-320}`)
+	out := rewriteDeadline(body, 1234)
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatalf("rewritten body: %v", err)
+	}
+	if got := string(m["deadline_ms"]); got != "1234" {
+		t.Errorf("deadline_ms %s, want 1234", got)
+	}
+	if got := string(m["big"]); got != "9007199254740993" {
+		t.Errorf("opaque integer corrupted: %s, want 9007199254740993", got)
+	}
+	if got := string(m["tiny"]); got != "1e-320" {
+		t.Errorf("opaque float re-encoded: %s, want 1e-320", got)
+	}
+}
+
+// TestHedgeBudgetDenialCountsInMetric: a hedge refused by an empty
+// retry budget shows up both in the resilience snapshot and in the
+// router_retry_budget_exhausted_total metric family.
+func TestHedgeBudgetDenialCountsInMetric(t *testing.T) {
+	slow := NewLocalBackend("slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"id":"s","state":"done","converged":true}`)
+	}))
+	fast := NewLocalBackend("fast", doneHandler("f"))
+	r := New(Config{
+		Backends:         []*Backend{slow, fast},
+		MaxHops:          2,
+		ShardMap:         pinned(t, "slow"),
+		HedgeAfter:       0.02,
+		RetryBudgetRatio: 0.1,
+		RetryBudgetBurst: 1,
+	})
+	if !r.budget.Take() {
+		t.Fatal("could not pre-drain the budget")
+	}
+	body, err := json.Marshal(map[string]any{
+		"matrix": tinySpec(), "m": 20, "s": 4, "tol": 1e-6, "wait": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, job, _ := post(t, r, body)
+	if code != http.StatusOK || job.Backend != "slow" || job.Hedged {
+		t.Fatalf("HTTP %d backend %q hedged=%t, want the un-hedged primary", code, job.Backend, job.Hedged)
+	}
+	res := r.ResilienceSnapshot()
+	if res.Hedges != 0 {
+		t.Errorf("hedge launched with an empty budget: %+v", res)
+	}
+	if res.RetryBudgetDenied != 1 {
+		t.Errorf("hedge denial missing from snapshot: %+v", res)
+	}
+	_, mbody := get(t, r, "/metrics")
+	if !bytes.Contains(mbody, []byte("router_retry_budget_exhausted_total 1")) {
+		t.Errorf("hedge denial missing from metrics:\n%s", mbody)
+	}
+}
+
 // TestRouterReforwardReplayWithBreakersArmed: the forced re-forward of
 // a real solve off an overloaded first choice is bit-identical across
 // two fresh federations with the containment layer armed — the budget,

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -107,6 +108,10 @@ type Router struct {
 	breakers   map[string]*Breaker
 	now        func() float64
 	hedgeAfter float64
+
+	// scrapeMu serializes scrape-time reconciliation of cumulative
+	// breaker opens into the metBreakerOpen counter.
+	scrapeMu sync.Mutex
 
 	mu           sync.Mutex
 	solves       uint64    // solve requests accepted by some backend
@@ -249,8 +254,11 @@ func (r *Router) ResilienceSnapshot() Resilience {
 
 // refreshBreakerGauges pushes breaker states and open transitions into
 // the metric families (states only change on traffic, so exporting at
-// scrape time loses nothing).
+// scrape time loses nothing). scrapeMu serializes the counter's
+// read-reconcile-add so concurrent scrapes cannot double-count.
 func (r *Router) refreshBreakerGauges() {
+	r.scrapeMu.Lock()
+	defer r.scrapeMu.Unlock()
 	var opens uint64
 	for name, br := range r.breakers {
 		var v float64
@@ -347,13 +355,16 @@ func writeAttempt(w http.ResponseWriter, a attempt) {
 }
 
 // rewriteDeadline stamps the remaining deadline into the solve body so
-// both the header and the job JSON carry the decremented value.
+// both the header and the job JSON carry the decremented value. All
+// other fields stay byte-identical (RawMessage, not any): the router
+// treats the body as opaque, and a round-trip through float64 would
+// corrupt integers above 2^53.
 func rewriteDeadline(body []byte, remainingMS int64) []byte {
-	var m map[string]any
+	var m map[string]json.RawMessage
 	if json.Unmarshal(body, &m) != nil {
 		return body
 	}
-	m["deadline_ms"] = remainingMS
+	m["deadline_ms"] = json.RawMessage(strconv.FormatInt(remainingMS, 10))
 	out, err := json.Marshal(m)
 	if err != nil {
 		return body
@@ -400,63 +411,99 @@ func (r *Router) hedgeDelay() float64 {
 }
 
 // nextHedgeCandidate picks the first breaker-admitted backend from
-// candidates[from:] to serve as the hedge target.
+// candidates[from:] to serve as the hedge target. Selection is
+// side-effect free (Peek, not Allow): the breaker's probe slot is only
+// consumed if the hedge actually dispatches.
 func (r *Router) nextHedgeCandidate(candidates []*Backend, from int) *Backend {
 	for i := from; i < len(candidates); i++ {
-		if r.breakers[candidates[i].Name()].Allow() {
+		if r.breakers[candidates[i].Name()].Peek() {
 			return candidates[i]
 		}
 	}
 	return nil
 }
 
+// reapLoser records the raced loser's outcome on its breaker. A loser
+// that was canceled before responding carries no health signal, so its
+// breaker just releases the probe slot; a real response counts the
+// same way the main loop would count it.
+func (r *Router) reapLoser(a attempt, br *Breaker) {
+	if a.err != nil {
+		br.Release()
+		return
+	}
+	if a.status == http.StatusTooManyRequests || a.status >= 500 {
+		br.Failure()
+		return
+	}
+	br.Success()
+}
+
 // dispatch sends one attempt, optionally racing a hedge: if the
 // primary has not answered within delay seconds, a second attempt goes
-// to alt (spending a retry-budget token), the first response wins and
-// the loser's context is canceled.
+// to alt (spending a retry-budget token and the alt breaker's probe
+// slot), the first response wins and the loser's context is canceled.
+// The winner's breaker outcome is recorded by the caller; the loser's
+// is recorded here when it is reaped.
 func (r *Router) dispatch(req *http.Request, b, alt *Backend, hdr http.Header, body []byte, hedge bool, delay float64) attempt {
 	if !hedge || alt == nil {
 		status, h, respBody, err := b.fetch(req.Context(), http.MethodPost, "/solve", req.URL.RawQuery, hdr, body)
 		return attempt{status: status, header: h, body: respBody, err: err}
 	}
-	type raced struct {
-		attempt
-		cancel context.CancelFunc
-	}
-	ch := make(chan raced, 2)
-	launch := func(target *Backend, hedged bool) {
+	ch := make(chan attempt, 2)
+	var cancels [2]context.CancelFunc
+	launch := func(slot int, target *Backend, hedged bool) {
 		ctx, cancel := context.WithCancel(req.Context())
+		cancels[slot] = cancel
 		go func() {
 			status, h, respBody, err := target.fetch(ctx, http.MethodPost, "/solve", req.URL.RawQuery, hdr, body)
-			ch <- raced{attempt{status: status, header: h, body: respBody, err: err, hedged: hedged}, cancel}
+			ch <- attempt{status: status, header: h, body: respBody, err: err, hedged: hedged}
 		}()
 	}
-	launch(b, false)
+	launch(0, b, false)
 	timer := time.NewTimer(time.Duration(delay * float64(time.Second)))
 	defer timer.Stop()
 	inFlight := 1
 	select {
 	case first := <-ch:
-		first.cancel()
-		return first.attempt
+		cancels[0]()
+		return first
 	case <-timer.C:
 	}
-	if r.budget.Take() {
-		r.mu.Lock()
-		r.hedges++
-		r.mu.Unlock()
-		r.metHedges.Inc()
-		r.metBudgetTokens.Set(r.budget.Tokens())
-		launch(alt, true)
-		inFlight++
+	// Launch the hedge only if the alt's breaker still admits it (the
+	// probe slot is consumed here, at dispatch, never during selection)
+	// and the retry budget has a token.
+	altBr := r.breakers[alt.Name()]
+	if altBr.Allow() {
+		if r.budget.Take() {
+			r.mu.Lock()
+			r.hedges++
+			r.mu.Unlock()
+			r.metHedges.Inc()
+			r.metBudgetTokens.Set(r.budget.Tokens())
+			launch(1, alt, true)
+			inFlight++
+		} else {
+			altBr.Release()
+			r.metBudgetDenied.Inc()
+			r.metBudgetTokens.Set(r.budget.Tokens())
+		}
 	}
 	winner := <-ch
-	winner.cancel()
+	for _, cancel := range cancels {
+		if cancel != nil {
+			cancel()
+		}
+	}
 	if inFlight > 1 {
-		// Cancel and reap the loser so its body is released.
+		// Reap the loser so its body is released and its breaker sees an
+		// outcome (or at least frees its probe slot).
+		loserBr := altBr
+		if winner.hedged {
+			loserBr = r.breakers[b.Name()]
+		}
 		go func() {
-			loser := <-ch
-			loser.cancel()
+			r.reapLoser(<-ch, loserBr)
 		}()
 	}
 	if winner.hedged {
@@ -465,7 +512,7 @@ func (r *Router) dispatch(req *http.Request, b, alt *Backend, hdr http.Header, b
 		r.mu.Unlock()
 		r.metHedgeWins.Inc()
 	}
-	return winner.attempt
+	return winner
 }
 
 func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
@@ -532,6 +579,21 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 			lastErr = fmt.Sprintf("backend %s: breaker open", b.Name())
 			continue
 		}
+		// Check the deadline before spending a hop or a retry-budget
+		// token: expired work must not drain the budget.
+		var remaining int64
+		if deadlineMS > 0 {
+			remaining = deadlineMS - int64((r.now()-start)*1000)
+			if remaining <= 0 {
+				r.mu.Lock()
+				r.deadlineHits++
+				r.mu.Unlock()
+				r.metDeadline.Inc()
+				r.reject(w, http.StatusGatewayTimeout, codeDeadlineExhausted,
+					fmt.Sprintf("client deadline of %dms expired after %d attempts", deadlineMS, sent))
+				return
+			}
+		}
 		if sent > 0 {
 			// Every forward past the first dispatched attempt draws from
 			// the retry budget; an empty bucket means stop, not storm.
@@ -553,16 +615,6 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 		hdr := forwardHeader(req)
 		outBody := body
 		if deadlineMS > 0 {
-			remaining := deadlineMS - int64((r.now()-start)*1000)
-			if remaining <= 0 {
-				r.mu.Lock()
-				r.deadlineHits++
-				r.mu.Unlock()
-				r.metDeadline.Inc()
-				r.reject(w, http.StatusGatewayTimeout, codeDeadlineExhausted,
-					fmt.Sprintf("client deadline of %dms expired after %d attempts", deadlineMS, sent-1))
-				return
-			}
 			hdr.Set(server.SolveControlHeader, server.SolveControl{DeadlineMS: remaining}.String())
 			outBody = rewriteDeadline(body, remaining)
 		}
