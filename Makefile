@@ -24,13 +24,17 @@
 # breakers, deadline propagation, brownout) on a 2-node federation,
 # checks every structured-rejection path end-to-end, and replays the
 # deterministic retry-storm scenario (containment off collapses
-# goodput, on holds it, bit-identically).
+# goodput, on holds it, bit-identically). `make precision-smoke` boots
+# cagmresd on a bf16-capable profile with a mixed default, checks the
+# daemon default/override semantics of the precision field over real
+# HTTP, requires a bit-identical mixed replay and the
+# solver_precision_* metric families, and drains cleanly.
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke trace-smoke cluster-smoke overload-smoke fuzz-smoke cover-profile bench-snapshot
+.PHONY: check build vet staticcheck test race measured golden metrics-smoke serve-smoke chaos-smoke overlap-smoke trace-smoke cluster-smoke overload-smoke precision-smoke fuzz-smoke cover-profile bench-snapshot
 
-check: vet staticcheck race test fuzz-smoke cover-profile serve-smoke chaos-smoke overlap-smoke trace-smoke cluster-smoke overload-smoke
+check: vet staticcheck race test fuzz-smoke cover-profile serve-smoke chaos-smoke overlap-smoke trace-smoke cluster-smoke overload-smoke precision-smoke
 
 build:
 	$(GO) build ./...
@@ -103,6 +107,12 @@ cluster-smoke:
 overload-smoke:
 	GO="$(GO)" sh scripts/overload_smoke.sh
 
+# Mixed-precision smoke test: daemon default/override semantics of the
+# precision field over real HTTP, bit-identical mixed replay, and the
+# solver_precision_* metric families.
+precision-smoke:
+	GO="$(GO)" sh scripts/precision_smoke.sh
+
 # Overlap regression smoke: the stream schedule must strictly beat the
 # synchronous schedule on the full device count for every basis depth
 # of the Figure 11 configuration (exit 1 on any regression).
@@ -111,12 +121,14 @@ overlap-smoke:
 
 # Short-budget fuzz pass over the hostile-input surfaces: the
 # MatrixMarket body of POST /solve, the machine-profile JSON decoder,
-# the router's backend-response decoder, and the Solve-Control header
-# parser. The committed corpora replay first, so regressions fail fast
-# even when the random budget finds nothing new.
+# the router's backend-response decoder, the Solve-Control header
+# parser, and the precision field of the solve body. The committed
+# corpora replay first, so regressions fail fast even when the random
+# budget finds nothing new.
 fuzz-smoke:
 	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzMatrixMarketSpec -fuzztime 5s
 	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzParseSolveControl -fuzztime 5s
+	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzPrecisionField -fuzztime 5s
 	$(GO) test ./internal/profile/ -run '^$$' -fuzz FuzzDecode -fuzztime 5s
 	$(GO) test ./internal/cluster/ -run '^$$' -fuzz FuzzRouterDecode -fuzztime 5s
 
@@ -133,10 +145,12 @@ cover-profile:
 # (deterministic) plus the host GEMM wall-clock comparison (machine-
 # dependent by nature; warmup + best-of-5), the interconnect-topology
 # study, the standing-figures rerun, the multi-node cluster scaling
-# study, and the overload-containment study (all deterministic).
+# study, the overload-containment study, and the mixed-precision study
+# (all deterministic).
 bench-snapshot:
 	$(GO) run ./cmd/experiments -fig overlap -benchjson BENCH_pr5.json > /dev/null
 	$(GO) run ./cmd/experiments -fig topology -devices 4 -topologyjson BENCH_pr6.json > /dev/null
 	$(GO) run ./cmd/experiments -fig overlap -devices 4 -standingjson BENCH_pr7.json > /dev/null
 	$(GO) run ./cmd/experiments -fig cluster -clusterjson BENCH_pr8.json > /dev/null
 	$(GO) run ./cmd/experiments -fig overload -overloadjson BENCH_pr9.json > /dev/null
+	$(GO) run ./cmd/experiments -fig precision -precisionjson BENCH_pr10.json > /dev/null

@@ -84,6 +84,11 @@ type (
 	// FabricKind names an inter-node interconnect generation (ib-hdr,
 	// ib-edr, ethernet-100g, ethernet-25g).
 	FabricKind = gpu.FabricKind
+	// PrecisionReport summarizes what the mixed/adaptive precision
+	// policy did during a solve (window counts per width, compressed
+	// transfers, FP64 refinement steps). Result.Precision carries one
+	// for narrow runs; nil for fp64.
+	PrecisionReport = core.PrecisionReport
 	// Context is the simulated multi-GPU node.
 	Context = gpu.Context
 	// Matrix is a sparse matrix in compressed sparse row form.
@@ -100,6 +105,19 @@ const (
 	KWay       = core.KWay
 	Hypergraph = core.Hypergraph
 )
+
+// Options.Precision values: the historical full-double pipeline, fixed
+// fp32 basis generation with FP64 iterative refinement at restart
+// boundaries, or the tighten-only adaptive schedule.
+const (
+	PrecisionFP64     = core.PrecisionFP64
+	PrecisionMixed    = core.PrecisionMixed
+	PrecisionAdaptive = core.PrecisionAdaptive
+)
+
+// NormalizePrecision canonicalizes an Options.Precision value: the
+// empty string is fp64, known modes pass through, anything else errors.
+func NormalizePrecision(p string) (string, error) { return core.NormalizePrecision(p) }
 
 // NewContext creates a simulated node with ng GPUs using the calibrated
 // M2090 cost model of the paper's testbed.

@@ -48,6 +48,7 @@ func main() {
 	fallback := flag.Bool("fallback", true, "on an ill-conditioned basis window, retry with 2x reorthogonalization and then 2xCAQR")
 	jacobi := flag.Bool("jacobi", false, "right-precondition with the inverse diagonal (composes with MPK)")
 	adaptive := flag.Bool("adaptive-s", false, "shrink the CA step size when a basis window goes rank deficient")
+	precision := flag.String("precision", "", "CA-GMRES precision mode: fp64 (default), mixed (fp32 basis + FP64 refinement), or adaptive (tighten-only schedule)")
 	trace := flag.Int("trace", 0, "print the last N ledger events (communication rounds and kernels)")
 	traceout := flag.String("traceout", "", "write the solve's ledger events as a Chrome trace_event JSON to this file")
 	telemetry := flag.String("telemetry", "", "write the solve's convergence telemetry as JSON lines to this file")
@@ -122,9 +123,13 @@ func main() {
 	if *jacobi {
 		p.ApplyJacobi()
 	}
+	if _, err := core.NormalizePrecision(*precision); err != nil {
+		fatal(err)
+	}
 	opts := core.Options{
 		M: *m, S: *s, Tol: *tol, MaxRestarts: *maxRestarts,
 		Ortho: *orth, BOrth: *borth, Basis: *basis, AdaptiveS: *adaptive,
+		Precision: *precision,
 	}
 
 	// Observability: one registry for the whole run; telemetry buffers in
@@ -215,6 +220,10 @@ func main() {
 	}
 
 	fmt.Printf("\nconverged: %v  restarts: %d  iterations: %d\n", res.Converged, res.Restarts, res.Iters)
+	if rep := res.Precision; rep != nil {
+		fmt.Printf("precision: %s (windows fp64/fp32: %d/%d, compressed halos: %d, refinements: %d, final level: %s)\n",
+			rep.Mode, rep.WindowsFP64, rep.WindowsFP32, rep.CompressedTransfers, rep.Refinements, rep.FinalLevel)
+	}
 	fmt.Printf("relative residual (balanced system): %.3e\n", res.RelRes)
 	fmt.Printf("true relative residual:              %.3e\n", core.ResidualNorm(a, b, res.X))
 	fmt.Printf("wall time: %v   modeled device time: %.3f ms\n", wall, res.Stats.TotalTime()*1e3)

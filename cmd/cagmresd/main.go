@@ -60,8 +60,9 @@ func main() {
 		chaosStrag   = flag.String("chaos-straggle", "", "comma-separated stragglers, each ctx:dev@factor, e.g. 0:2@3.0")
 		repair       = flag.Bool("repair", false, "repair and readmit contexts evicted after a device death (driver reset) instead of shrinking the pool")
 
-		profName = flag.String("profile", "", "machine profile for the pooled contexts (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
-		topoName = flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
+		profName  = flag.String("profile", "", "machine profile for the pooled contexts (m2090, a100-pcie, h100-nvlink); empty keeps the paper's m2090")
+		precision = flag.String("precision", "", "default precision for solve bodies that omit the field: fp64, mixed, or adaptive (empty keeps fp64)")
+		topoName  = flag.String("topology", "", "override the profile's interconnect topology (host-hub, pcie-switch, nvlink-ring, all-to-all)")
 
 		sloTarget      = flag.String("slo-target", "", "SLO classes as name:minprio:latency:objective, comma-separated (minprio \"*\" catches all), e.g. interactive:1:1.0:0.99,standard:*:5.0:0.95; empty keeps the defaults")
 		brownoutFlag   = flag.String("brownout", "", "SLO-driven brownout ladder: comma-separated minimum admitted priorities per level, e.g. 1,2 (empty disables)")
@@ -95,6 +96,7 @@ func main() {
 			portFile: *portFile, plans: plans, repair: *repair,
 			prof: prof, sloClasses: classes, traceEvents: *traceEvents,
 			brownout: brownout, deadlineMargin: *deadlineMargin,
+			precision: *precision,
 		})
 	}
 	if err != nil {
@@ -118,6 +120,7 @@ type daemonConfig struct {
 	traceEvents              int
 	brownout                 *sched.BrownoutConfig
 	deadlineMargin           float64
+	precision                string
 }
 
 // brownoutLadder parses the -brownout flag: a comma-separated list of
@@ -224,7 +227,11 @@ func run(cfg daemonConfig) error {
 	})
 	s.Start()
 
-	srv, bound, err := obs.Serve(cfg.addr, server.New(s, reg))
+	api := server.New(s, reg)
+	if err := api.SetDefaultPrecision(cfg.precision); err != nil {
+		return fmt.Errorf("-precision: %w", err)
+	}
+	srv, bound, err := obs.Serve(cfg.addr, api)
 	if err != nil {
 		return err
 	}

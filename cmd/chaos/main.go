@@ -65,6 +65,7 @@ func main() {
 		sFlag      = flag.Int("s", 5, "matrix-powers step")
 		tol        = flag.Float64("tol", 1e-8, "convergence tolerance")
 		repair     = flag.Bool("repair", true, "repair and readmit contexts evicted after a death")
+		precFlag   = flag.String("precision", "", "precision mode for every scheduled solve: fp64, mixed, or adaptive (empty keeps fp64)")
 		overlap    = flag.Bool("overlap", false, "schedule every solve through the asynchronous stream engine; faults fire on the stream clock and replays must stay bit-identical")
 		benchJSON  = flag.String("benchjson", "", "write the degraded-mode solver bench here")
 		metricsOut = flag.String("metricsout", "", "write the scheduler replay's Prometheus exposition here")
@@ -81,6 +82,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
+	if _, err := core.NormalizePrecision(*precFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
 	if *storm {
 		if err := runStorm(); err != nil {
 			fmt.Fprintln(os.Stderr, "chaos:", err)
@@ -89,14 +94,14 @@ func main() {
 		return
 	}
 	if *clusterRun {
-		if err := runCluster(*nodes, *devices, *seed, *matrix, *scale, *mFlag, *sFlag, *tol, prof); err != nil {
+		if err := runCluster(*nodes, *devices, *seed, *matrix, *scale, *mFlag, *sFlag, *tol, prof, *precFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "chaos:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if err := run(*poolSize, *devices, *jobs, *seed, *kill, *xferProb, *maxXfer, *straggle,
-		*matrix, *scale, *mFlag, *sFlag, *tol, *repair, *overlap, *benchJSON, *metricsOut, prof); err != nil {
+		*matrix, *scale, *mFlag, *sFlag, *tol, *repair, *overlap, *benchJSON, *metricsOut, prof, *precFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos:", err)
 		os.Exit(1)
 	}
@@ -121,7 +126,8 @@ type clusterJob struct {
 // fresh in-process nodes; doomed (if non-empty) gets a whole-node death
 // plan — every device of its context dies at killAt virtual seconds.
 func clusterSolve(n, devices int, seed int64, doomed string, killAt float64,
-	matrix string, scale float64, m, s int, tol float64, prof *gpu.Profile) (clusterJob, error) {
+	matrix string, scale float64, m, s int, tol float64, prof *gpu.Profile,
+	precision string) (clusterJob, error) {
 	var locals []*cluster.LocalNode
 	var backends []*cluster.Backend
 	for i := 0; i < n; i++ {
@@ -158,10 +164,14 @@ func clusterSolve(n, devices int, seed int64, doomed string, killAt float64,
 		Breaker:          cluster.BreakerConfig{Threshold: 5, Cooldown: 5},
 		Now:              func() float64 { return 0 },
 	})
-	body, _ := json.Marshal(map[string]any{
+	req := map[string]any{
 		"matrix": map[string]any{"name": matrix, "scale": scale},
 		"m":      m, "s": s, "tol": tol, "ortho": "CholQR", "wait": true,
-	})
+	}
+	if precision != "" {
+		req["precision"] = precision
+	}
+	body, _ := json.Marshal(req)
 	rec := httptest.NewRecorder()
 	router.ServeHTTP(rec, httptest.NewRequest("POST", "/solve", bytes.NewReader(body)))
 	var job clusterJob
@@ -181,11 +191,11 @@ func clusterSolve(n, devices int, seed int64, doomed string, killAt float64,
 // burned attempt accounted, and a replay of the degraded run under the
 // same seed must be bit-identical.
 func runCluster(n, devices int, seed int64, matrix string, scale float64,
-	m, s int, tol float64, prof *gpu.Profile) error {
+	m, s int, tol float64, prof *gpu.Profile, precision string) error {
 	if n < 2 {
 		return fmt.Errorf("-cluster needs at least 2 nodes, got %d", n)
 	}
-	probe, err := clusterSolve(n, devices, seed, "", 0, matrix, scale, m, s, tol, prof)
+	probe, err := clusterSolve(n, devices, seed, "", 0, matrix, scale, m, s, tol, prof, precision)
 	if err != nil {
 		return err
 	}
@@ -196,7 +206,7 @@ func runCluster(n, devices int, seed int64, matrix string, scale float64,
 		n, probe.Backend, probe.ModeledSeconds, probe.Iters)
 
 	killAt := 0.5 * probe.ModeledSeconds
-	deg, err := clusterSolve(n, devices, seed, probe.Backend, killAt, matrix, scale, m, s, tol, prof)
+	deg, err := clusterSolve(n, devices, seed, probe.Backend, killAt, matrix, scale, m, s, tol, prof, precision)
 	if err != nil {
 		return err
 	}
@@ -215,7 +225,7 @@ func runCluster(n, devices int, seed int64, matrix string, scale float64,
 	fmt.Printf("chaos cluster: node %s killed @ %.6fs (all %d devices): job rerouted to %s, hops=%d attempts=%d, %.6fs modeled, relres %.2e\n",
 		probe.Backend, killAt, devices, deg.Backend, deg.Hops, deg.Attempts, deg.ModeledSeconds, deg.RelRes)
 
-	deg2, err := clusterSolve(n, devices, seed, probe.Backend, killAt, matrix, scale, m, s, tol, prof)
+	deg2, err := clusterSolve(n, devices, seed, probe.Backend, killAt, matrix, scale, m, s, tol, prof, precision)
 	if err != nil {
 		return fmt.Errorf("degraded replay: %w", err)
 	}
@@ -404,12 +414,13 @@ func rhsFor(n, seed int) []float64 {
 
 func run(poolSize, devices, jobs int, seed int64, kill string, xferProb float64,
 	maxXfer int, straggle float64, matrix string, scale float64, m, s int,
-	tol float64, repair, overlap bool, benchJSON, metricsOut string, prof *gpu.Profile) error {
+	tol float64, repair, overlap bool, benchJSON, metricsOut string, prof *gpu.Profile,
+	precision string) error {
 	gen, err := matgen.ByName(matrix, scale)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{M: m, S: s, Tol: tol, Ortho: "CholQR", Overlap: overlap}
+	opts := core.Options{M: m, S: s, Tol: tol, Ortho: "CholQR", Overlap: overlap, Precision: precision}
 
 	var killCtx, killDev int
 	var killFrac float64

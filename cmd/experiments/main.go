@@ -6,8 +6,8 @@
 //	experiments [flags]
 //
 //	-fig string     which figure to run: 3, 6, 7, 8, 10, 11, 13, 14, 15,
-//	                overlap, topology, cluster, overload, ablation or
-//	                "all" (default "all")
+//	                overlap, topology, cluster, overload, precision,
+//	                ablation or "all" (default "all")
 //	-scale float    matrix scale relative to the published sizes
 //	                (default 0.02; 1.0 = paper-sized, slow)
 //	-devices int    maximum simulated GPU count (default 3)
@@ -43,6 +43,12 @@
 //	                (deterministic) as a JSON benchmark snapshot
 //	-overloadjson f write the overload-containment study (deterministic)
 //	                as a JSON benchmark snapshot
+//	-precisionjson f write the mixed-precision study (deterministic) as a
+//	                JSON benchmark snapshot
+//	-precision mode run every CA-GMRES arm under this precision mode
+//	                (fp64, mixed, adaptive); the classic figures were
+//	                calibrated at fp64, so a narrow mode answers "this
+//	                figure, at that width"
 //	-standingjson f write a rerun of the standing modeled studies
 //	                (overlap + topology, deterministic) as one snapshot
 //
@@ -67,6 +73,7 @@ import (
 	"time"
 
 	"cagmres/internal/bench"
+	"cagmres/internal/core"
 	"cagmres/internal/gpu"
 	"cagmres/internal/measure"
 	"cagmres/internal/obs"
@@ -74,7 +81,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (3,6,7,8,10,11,13,14,15,overlap,topology,cluster,overload,ablation,all)")
+	fig := flag.String("fig", "all", "figure to regenerate (3,6,7,8,10,11,13,14,15,overlap,topology,cluster,overload,precision,ablation,all)")
 	scale := flag.Float64("scale", 0.02, "matrix scale relative to published sizes")
 	devices := flag.Int("devices", 3, "maximum simulated GPU count")
 	restarts := flag.Int("restarts", 40, "restart cap per solve")
@@ -90,6 +97,8 @@ func main() {
 	topoJSON := flag.String("topologyjson", "", "write the interconnect-topology study (deterministic) as a JSON benchmark snapshot to this file")
 	clusterJSON := flag.String("clusterjson", "", "write the multi-node cluster scaling study (deterministic) as a JSON benchmark snapshot to this file")
 	overloadJSON := flag.String("overloadjson", "", "write the overload-containment study (deterministic) as a JSON benchmark snapshot to this file")
+	precisionJSON := flag.String("precisionjson", "", "write the mixed-precision study (deterministic) as a JSON benchmark snapshot to this file")
+	precisionMode := flag.String("precision", "", "run every CA-GMRES arm under this precision mode (fp64, mixed, adaptive); empty keeps the calibrated full-double pipeline")
 	standingJSON := flag.String("standingjson", "", "write a rerun of the standing modeled studies (overlap + topology, deterministic) as a JSON benchmark snapshot to this file")
 	overlap := onOffFlag(true)
 	flag.Var(&overlap, "overlap", "arm the asynchronous stream engine in the overlap study; -overlap=off degenerates it to the barrier schedule")
@@ -100,6 +109,9 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if _, err := core.NormalizePrecision(*precisionMode); err != nil {
+		fatalf("%v", err)
+	}
 	cfg := bench.Config{
 		Scale:       *scale,
 		MaxDevices:  *devices,
@@ -107,6 +119,7 @@ func main() {
 		Out:         os.Stdout,
 		Overlap:     bool(overlap),
 		Profile:     prof,
+		Precision:   *precisionMode,
 	}
 	if prof != nil {
 		cfg.Model = prof.Model
@@ -184,6 +197,7 @@ func main() {
 		{"topology", func() { emit("figtopology", bench.FigTopology(cfg)) }},
 		{"cluster", func() { emit("figcluster", bench.FigCluster(cfg)) }},
 		{"overload", func() { emit("figoverload", bench.FigOverload(cfg)) }},
+		{"precision", func() { emit("figprecision", bench.FigPrecision(cfg)) }},
 		{"ablation", func() {
 			emit("ablation_latency", bench.AblationLatency(cfg))
 			emit("ablation_basis", bench.AblationBasis(cfg))
@@ -214,7 +228,7 @@ func main() {
 		fmt.Printf("---- %.1fs ----\n\n", time.Since(start).Seconds())
 	}
 	if !matched {
-		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,overlap,topology,cluster,overload,ablation or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "experiments: unknown -fig %q (want 3,6,7,8,10,11,13,14,15,overlap,topology,cluster,overload,precision,ablation or all)\n", *fig)
 		os.Exit(2)
 	}
 	if *traceout != "" {
@@ -281,6 +295,12 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *overloadJSON)
+	}
+	if *precisionJSON != "" {
+		if err := writePrecisionJSON(*precisionJSON, *scale); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *precisionJSON)
 	}
 	if *standingJSON != "" {
 		if err := writeStandingJSON(*standingJSON, *scale, *devices); err != nil {
@@ -429,6 +449,27 @@ func writeOverloadJSON(path string, scale float64) error {
 		Name:     "overload-study",
 		Scale:    scale,
 		Overload: bench.FigOverload(cfg),
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writePrecisionJSON writes the mixed-precision study as a JSON
+// benchmark snapshot. The study is a pure function of the cost model —
+// regenerating on any machine produces byte-identical numbers.
+func writePrecisionJSON(path string, scale float64) error {
+	cfg := bench.Config{Scale: scale, MaxRestarts: 400}
+	snap := struct {
+		Name      string               `json:"name"`
+		Scale     float64              `json:"scale"`
+		Precision []bench.PrecisionRow `json:"precision"`
+	}{
+		Name:      "precision-study",
+		Scale:     scale,
+		Precision: bench.FigPrecision(cfg),
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

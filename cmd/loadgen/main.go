@@ -65,6 +65,7 @@ type artifacts struct {
 	deadlineMS  int64  // live: client deadline stamped on every request
 	retries     int    // live: retry cap for 429/503 structured rejections
 	retrySeed   int64  // live: seed for the backoff jitter streams
+	precision   string // precision mode stamped on every solve body
 }
 
 func main() {
@@ -91,12 +92,18 @@ func main() {
 		deadlineMS = flag.Int64("deadline-ms", 0, "live mode: stamp this client deadline on every request (job body and Solve-Control header); 0 sends none")
 		retries    = flag.Int("retries", 3, "live mode: retry cap per request for 429/503 structured rejections (Retry-After honored with seeded jittered backoff)")
 		retrySeed  = flag.Int64("retry-seed", 1, "live mode: seed for the per-client backoff jitter streams")
+		precFlag   = flag.String("precision", "", "precision mode stamped on every solve: fp64, mixed, or adaptive (empty omits the field)")
 	)
 	flag.Parse()
 	arts := artifacts{
 		traceparent: *traceparnt, traceOut: *traceOut, spansOut: *spansOut,
 		sloOut: *sloOut, metricsOut: *metricsOut, sloJSON: *sloJSON,
 		deadlineMS: *deadlineMS, retries: *retries, retrySeed: *retrySeed,
+		precision: *precFlag,
+	}
+	if _, err := core.NormalizePrecision(*precFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
 	}
 	if err := run(*mode, *addr, *portFile, *clients, *requests, *sweep, *pool, *devices,
 		*matrix, *scale, *mFlag, *sFlag, *tol, arts); err != nil {
@@ -132,7 +139,7 @@ func run(mode, addr, portFile string, clients, requests int, sweep string, pool,
 				counts = append(counts, v)
 			}
 		}
-		return runVirtual(counts, requests, pool, devices, matrix, scale, m, s, tol, arts.sloJSON)
+		return runVirtual(counts, requests, pool, devices, matrix, scale, m, s, tol, arts.precision, arts.sloJSON)
 	}
 	return fmt.Errorf("unknown mode %q (want live, cluster, or virtual)", mode)
 }
@@ -224,6 +231,9 @@ func runLive(addr string, clients, requests int, matrix string, scale float64,
 				}
 				if arts.deadlineMS > 0 {
 					payload["deadline_ms"] = arts.deadlineMS
+				}
+				if arts.precision != "" {
+					payload["precision"] = arts.precision
 				}
 				body, _ := json.Marshal(payload)
 				t0 := time.Now()
@@ -479,7 +489,7 @@ func checkClusterHealth(base string) error {
 // (submit, start, finish) stamps feed an obs.SLOEngine on the virtual
 // clock, so queue waits and burn rates are deterministic too.
 func runVirtual(counts []int, requests, pool, devices int, matrix string, scale float64,
-	m, s int, tol float64, sloJSON string) error {
+	m, s int, tol float64, precision, sloJSON string) error {
 	gen, err := matgen.ByName(matrix, scale)
 	if err != nil {
 		return err
@@ -503,7 +513,7 @@ func runVirtual(counts []int, requests, pool, devices int, matrix string, scale 
 		if err != nil {
 			return err
 		}
-		res, err := core.CAGMRES(prob, core.Options{M: m, S: s, Tol: tol, Ortho: "CholQR"})
+		res, err := core.CAGMRES(prob, core.Options{M: m, S: s, Tol: tol, Ortho: "CholQR", Precision: precision})
 		if err != nil {
 			return err
 		}

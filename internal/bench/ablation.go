@@ -50,7 +50,7 @@ func AblationLatency(cfg Config) []AblationLatencyRow {
 		res, _, err := runCAWithFallback(Config{Scale: cfg.Scale, MaxDevices: cfg.MaxDevices,
 			Model: model, MaxRestarts: cfg.MaxRestarts},
 			mat.A, b, core.KWay,
-			core.Options{M: 30, S: 10, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR"},
+			core.Options{M: 30, S: 10, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR", Precision: cfg.Precision},
 			cfg.MaxDevices)
 		if err != nil {
 			panic(err)
@@ -100,7 +100,7 @@ func AblationBasis(cfg Config) []AblationBasisRow {
 			}
 			res, err := core.CAGMRES(p, core.Options{
 				M: 60, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts,
-				Ortho: "CholQR", Basis: basis,
+				Ortho: "CholQR", Basis: basis, Precision: cfg.Precision,
 			})
 			row := AblationBasisRow{Basis: basis, S: s}
 			if err != nil {
@@ -236,7 +236,7 @@ func AblationAdaptive(cfg Config) []AblationAdaptiveRow {
 		}
 		res, err := core.CAGMRES(p, core.Options{
 			M: 60, S: 15, Tol: 1e-4, MaxRestarts: 60,
-			Ortho: "CholQR", AdaptiveS: adaptive,
+			Ortho: "CholQR", AdaptiveS: adaptive, Precision: cfg.Precision,
 		})
 		row := AblationAdaptiveRow{Adaptive: adaptive}
 		if err != nil {

@@ -56,6 +56,15 @@ type Config struct {
 	// to the barrier schedule). The classic figure drivers always run
 	// synchronously so their tables and goldens are unaffected.
 	Overlap bool
+	// Precision, when non-empty, runs every CA-GMRES arm of the figure
+	// drivers under that precision mode ("fp64", "mixed", "adaptive") —
+	// the cmd/experiments -precision flag. The classic figures were
+	// calibrated at full double, so a narrow mode answers "this figure,
+	// at that width" the way Profile answers "this figure, on that box".
+	// Plain-GMRES baseline arms always stay fp64 (the solver rejects
+	// anything else), and the default empty string leaves every driver
+	// and golden bit-identical to the pre-precision releases.
+	Precision string
 }
 
 // Defaults fills unset fields.

@@ -118,7 +118,7 @@ func runFig13Strategy(cfg Config, mat *matgen.Matrix, b []float64, strat ortho.T
 	// unaffected by the stopping criterion.
 	_, err = core.CAGMRES(p, core.Options{
 		M: m, S: s, Tol: 1e-10, MaxRestarts: cfg.MaxRestarts,
-		Ortho: "CholQR", OrthoImpl: meas, Basis: basis,
+		Ortho: "CholQR", OrthoImpl: meas, Basis: basis, Precision: cfg.Precision,
 	})
 	row := Fig13Row{Strategy: strat.Name(), Reorthogonalized: reorth}
 	if err != nil && errors.Is(err, ortho.ErrRankDeficient) {

@@ -103,7 +103,7 @@ func fig14GMRES(cfg Config, cse Fig14Case, b []float64, orth string, ng int, bas
 
 func fig14CA(cfg Config, cse Fig14Case, b []float64, s int, orth string, ng int, base map[int]float64) Fig14Row {
 	res, usedOrtho, err := runCAWithFallback(cfg, cse.Matrix.A, b, cse.Ordering,
-		core.Options{M: cse.M, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: orth}, ng)
+		core.Options{M: cse.M, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: orth, Precision: cfg.Precision}, ng)
 	row := Fig14Row{Matrix: cse.Matrix.Name, Solver: "CA-GMRES", S: s, Ortho: usedOrtho, Devices: ng}
 	if err != nil {
 		row.Err = err.Error()
@@ -233,7 +233,7 @@ func Fig15(cfg Config) []Fig15Row {
 		}
 		for ng := 1; ng <= cfg.MaxDevices; ng++ {
 			res, _, err := runCAWithFallback(cfg, cse.m.A, b, cse.ordering,
-				core.Options{M: cse.restart, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR"}, ng)
+				core.Options{M: cse.restart, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR", Precision: cfg.Precision}, ng)
 			row := Fig15Row{Matrix: cse.m.Name, Solver: "CA-GMRES", Devices: ng}
 			if err != nil {
 				row.Err = err.Error()

@@ -152,7 +152,7 @@ func clusterPoint(cfg Config, a *sparse.CSR, b []float64, base gpu.Profile,
 	})
 	var interBytes int
 	row.CASec, interBytes = clusterArm(cfg, a, b, prof, ng, func(p *core.Problem) error {
-		_, err := core.CAGMRES(p, core.Options{M: 30, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR"})
+		_, err := core.CAGMRES(p, core.Options{M: 30, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR", Precision: cfg.Precision})
 		return err
 	})
 	row.InterMB = float64(interBytes) / 1e6

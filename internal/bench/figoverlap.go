@@ -69,7 +69,7 @@ func overlapArm(cfg Config, mtx *matgen.Matrix, b []float64, s, ng int, overlap 
 	}
 	_, err = core.CAGMRES(p, core.Options{
 		M: 30, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts,
-		Ortho: "CholQR", Overlap: overlap,
+		Ortho: "CholQR", Overlap: overlap, Precision: cfg.Precision,
 	})
 	if err != nil {
 		panic(err)

@@ -233,7 +233,7 @@ func FigOverload(cfg Config) []OverloadRow {
 		panic(err)
 	}
 	if _, err := core.CAGMRES(p, core.Options{M: 30, S: 10, Tol: 1e-4,
-		MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR"}); err != nil {
+		MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR", Precision: cfg.Precision}); err != nil {
 		panic(err)
 	}
 	S := ctx.Stats().TotalTime()

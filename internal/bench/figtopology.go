@@ -95,7 +95,7 @@ func FigTopology(cfg Config) []TopologyRow {
 			})
 			var peerBytes int
 			row.CASec, peerBytes = topologyArm(cfg, mtx.A, b, prof, ng, func(p *core.Problem) error {
-				_, err := core.CAGMRES(p, core.Options{M: 30, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR"})
+				_, err := core.CAGMRES(p, core.Options{M: 30, S: s, Tol: 1e-4, MaxRestarts: cfg.MaxRestarts, Ortho: "CholQR", Precision: cfg.Precision})
 				return err
 			})
 			row.PeerMB = float64(peerBytes) / 1e6

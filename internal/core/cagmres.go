@@ -43,6 +43,11 @@ func CAGMRES(p *Problem, opts Options) (*Result, error) {
 	if opts.S < 1 || opts.S > opts.M {
 		return nil, fmt.Errorf("core: step size s=%d out of range for m=%d", opts.S, opts.M)
 	}
+	prec, err := NormalizePrecision(opts.Precision)
+	if err != nil {
+		return nil, err
+	}
+	opts.Precision = prec
 	return solveHealing(p, opts, "cagmres", func(p *Problem, ck *checkpoint) (*Result, error) {
 		return runCAGMRES(p, opts, tsqr, borth, ck)
 	})
@@ -85,6 +90,11 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 	var shiftBlocks [][]complex128 // nil => monomial
 	needShifts := opts.Basis == "newton"
 
+	// The precision policy owns the per-restart width decisions. It is
+	// rebuilt on every attempt (healing re-enters here after a device
+	// loss) and rewound to the checkpointed level below.
+	pol := newPrecisionPolicy(opts.Precision, ctx.Profile().BF16Transfer)
+
 	// Adaptive step size (future-work extension): sEff is the step the
 	// CA cycles currently use; it shrinks when windows fail and recovers
 	// geometrically on clean restarts.
@@ -104,9 +114,11 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 		sEff = ck.sEff
 		cleanRestarts = ck.cleanRestarts
 		startRestart = ck.restart
+		pol.restore(ck.precLevel)
 	}
 
 	h := la.NewDense(m+1, m)
+	retryBoundary := false
 	for restart := startRestart; restart < opts.MaxRestarts; restart++ {
 		if ctx.FaultsArmed() {
 			ck.capture(W.GatherCol(0), restart, res)
@@ -114,6 +126,7 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 			ck.needShifts = needShifts
 			ck.sEff = sEff
 			ck.cleanRestarts = cleanRestarts
+			ck.precLevel = pol.level
 			em.emit(obs.Record{Kind: "checkpoint", Restart: restart, Step: res.Iters})
 		}
 		if opts.canceled() {
@@ -131,9 +144,24 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 			return res, &BreakdownError{Iter: res.Iters, Stage: "residual"}
 		}
 		if restart > 0 {
+			// This boundary's FP64 SpMV + norm and the FP64 iterate update
+			// that preceded it are the refinement step of the narrowed
+			// pipeline; the policy tightens (never loosens) on its
+			// evidence. A retried restart revisits the same boundary with
+			// the same residual — no new evidence, so the policy does not
+			// observe it again (the stall guard would misread the retry as
+			// a stalled narrowed cycle).
+			if !retryBoundary {
+				pol.observeRefinement()
+			}
 			res.History = append(res.History, relres)
-			em.emit(obs.Record{Kind: "restart", Restart: restart, Step: res.Iters, RelRes: relres})
+			em.emit(obs.Record{Kind: "restart", Restart: restart, Step: res.Iters, RelRes: relres,
+				Precision: pol.tag()})
+			if !retryBoundary {
+				pol.observeRestart(relres, opts.Tol)
+			}
 		}
+		retryBoundary = false
 		if relres <= opts.Tol {
 			res.Converged = true
 			res.RelRes = relres
@@ -177,6 +205,10 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 		}
 
 		// --- CA cycle: MPK + BOrth + TSQR per window. ---
+		// Configure the pipeline for this restart's precision level: MPK
+		// storage/transfer widths plus narrow Gram/projection kernels
+		// where the chosen strategies support them.
+		tsqrR, borthR := pol.apply(mpkS, tsqr, borth)
 		if opts.AdaptiveS && sEff < s {
 			// Recover the step size after two clean restarts.
 			cleanRestarts++
@@ -225,8 +257,8 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 			q := done + 1
 			prev := V.Window(0, q)
 			win := V.Window(q, q+steps)
-			c := borth.Project(ctx, prev, win, PhaseBOrth)
-			r, err := tsqr.Factor(ctx, win, PhaseTSQR)
+			c := borthR.Project(ctx, prev, win, PhaseBOrth)
+			r, err := tsqrR.Factor(ctx, win, PhaseTSQR)
 			if err != nil {
 				if opts.AdaptiveS && sEff > 1 {
 					// Adaptive step size: the window was too deep for
@@ -252,13 +284,24 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 					// rank-deficiency corner case.
 					return res, &BreakdownError{Iter: res.Iters + done, Stage: "basis"}
 				}
+				if pol.tightenOnFailure() {
+					// The narrowed width — not the window depth — destroyed
+					// the Gram conditioning: retry the restart one level
+					// closer to full double.
+					windowFailed = true
+					break
+				}
 				return res, fmt.Errorf("core: CA-GMRES restart %d window at %d (%s): %w",
 					restart, done, tsqr.Name(), err)
 			}
+			// Store the orthonormalized window at the basis storage width
+			// before anything measures or consumes it.
+			pol.roundWindow(win)
 			var winLoss float64
-			if em.enabled() {
+			if em.enabled() || pol.active() {
 				winLoss = orthoLoss(win)
 			}
+			pol.observeWindow(winLoss)
 			// The change-of-basis algebra is host work; under overlap it
 			// runs while the devices start the next window's exchange.
 			updateHessenberg(h, bhat, c, r, q, steps)
@@ -274,7 +317,7 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 				return res, &BreakdownError{Iter: res.Iters + done, Stage: "window"}
 			}
 			em.emit(obs.Record{Kind: "window", Restart: restart, Step: done, RelRes: relres,
-				OrthoLoss: winLoss, TSQR: tsqr.Name()})
+				OrthoLoss: winLoss, TSQR: tsqrR.Name(), Precision: pol.tag()})
 			if rn/bNorm <= opts.Tol {
 				converged = true
 			}
@@ -288,8 +331,9 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 			cleanRestarts = 0
 			if done == 0 {
 				// Nothing salvageable this cycle: x is unchanged, retry
-				// the restart with the smaller step.
+				// the restart with the smaller step (or tighter width).
 				res.Restarts--
+				retryBoundary = true
 				continue
 			}
 		}
@@ -315,7 +359,9 @@ func runCAGMRES(p *Problem, opts Options, tsqr ortho.TSQR, borth ortho.BOrth, ck
 			return res, &BreakdownError{Iter: res.Iters, Stage: "residual"}
 		}
 	}
-	em.emit(obs.Record{Kind: "done", Restart: res.Restarts, Step: res.Iters, RelRes: res.RelRes})
+	res.Precision = pol.finish()
+	em.emit(obs.Record{Kind: "done", Restart: res.Restarts, Step: res.Iters, RelRes: res.RelRes,
+		Precision: pol.tag()})
 	res.X = p.Unmap(W.GatherCol(0))
 	return res, nil
 }

@@ -75,6 +75,17 @@ type Options struct {
 	// before. This is what lets the internal/sched scheduler enforce
 	// per-job deadlines without tearing down the device context.
 	Ctx context.Context
+	// Precision selects the element-width policy of the CA basis
+	// pipeline: "fp64" (default, the historical full-double solver,
+	// bit-identical to before this option existed), "mixed" (fp32 basis
+	// generation with FP64 correction at every restart boundary —
+	// iterative refinement with a narrow inner solver), or "adaptive"
+	// (start narrow while the residual is large, tighten toward fp64
+	// near convergence, driven by the restart-boundary true residual
+	// and per-window orthogonality-loss telemetry). Whatever the mode,
+	// convergence is only ever declared from the FP64-recomputed true
+	// residual. GMRES supports only "fp64". See NormalizePrecision.
+	Precision string
 }
 
 // canceled reports whether the solve's optional context has been
@@ -105,6 +116,9 @@ func (o *Options) defaults() {
 	if o.Basis == "" {
 		o.Basis = "newton"
 	}
+	if o.Precision == "" {
+		o.Precision = PrecisionFP64
+	}
 }
 
 // Result reports a solve.
@@ -134,6 +148,10 @@ type Result struct {
 	// observed and the recovery actions taken (device re-partitions,
 	// checkpoint restores, transfer retries). Nil for fault-free runs.
 	Faults *FaultReport
+	// Precision, when non-nil, reports what the mixed/adaptive precision
+	// policy did: window counts per width, compressed transfers, and
+	// FP64 refinement steps. Nil for fp64 solves.
+	Precision *PrecisionReport
 }
 
 // Phase names used by the solvers on the ledger.
@@ -156,6 +174,13 @@ func GMRES(p *Problem, opts Options) (*Result, error) {
 	opts.defaults()
 	if opts.Ortho != "MGS" && opts.Ortho != "CGS" {
 		return nil, fmt.Errorf("core: GMRES supports Ortho MGS or CGS, got %q", opts.Ortho)
+	}
+	if prec, err := NormalizePrecision(opts.Precision); err != nil {
+		return nil, err
+	} else if prec != PrecisionFP64 {
+		// The precision policy narrows the CA basis pipeline; plain GMRES
+		// has no window structure to refine over, so it stays fp64.
+		return nil, fmt.Errorf("core: GMRES supports only fp64 precision, got %q", prec)
 	}
 	if opts.M < 1 || opts.M > p.Layout.N {
 		return nil, fmt.Errorf("core: restart length %d out of range for n=%d", opts.M, p.Layout.N)

@@ -56,6 +56,10 @@ type checkpoint struct {
 	needShifts    bool
 	sEff          int
 	cleanRestarts int
+	// precLevel is the precision policy's level at the boundary, so a
+	// healed attempt resumes at the width the solve had already
+	// tightened to (tighten-only survives device loss).
+	precLevel int
 }
 
 // capture records the common (GMRES and CA-GMRES) boundary state.

@@ -24,6 +24,21 @@ type mpkWorkspace struct {
 // exchange, then s communication-free local SpMV steps per device.
 type MPK struct {
 	M *Matrix
+	// storage is the element width of the basis vectors the powers
+	// recurrence produces: every generated column (and the halo-extended
+	// work vectors feeding the next step) is rounded to this width, and
+	// the step kernels are charged at it. transfer is the wire width of
+	// the halo payloads — at most as wide as storage, possibly narrower
+	// (bf16-compressed halos on fabrics that support them). Both default
+	// to Elem64, which replays the historical kernel bit for bit; they
+	// only apply to Generate — SpMV stays full double precision because
+	// it carries the true-residual and shift-harvest paths.
+	storage  gpu.Elem
+	transfer gpu.Elem
+	// transferTraffic caches the peer traffic matrix rescaled to the
+	// transfer width (entries of PeerTraffic are whole fp64 elements, so
+	// the division is exact).
+	transferTraffic [][]int
 	// w is the double-buffered host staging area for the gather / expand /
 	// scatter of the setup phase (the full vector of the paper's
 	// pseudocode). Two buffers alternate between consecutive exchanges so
@@ -36,9 +51,47 @@ type MPK struct {
 	ws   []*mpkWorkspace
 }
 
+// SetPrecision selects the storage width of generated basis columns and
+// the wire width of Generate's halo exchange. Elem64/Elem64 restores the
+// historical full-precision kernel.
+func (k *MPK) SetPrecision(storage, transfer gpu.Elem) {
+	if !storage.Valid() || !transfer.Valid() {
+		panic(fmt.Sprintf("dist: MPK precision %v/%v invalid", storage, transfer))
+	}
+	k.storage, k.transfer = storage, transfer
+	k.transferTraffic = scaleTraffic(k.M.PeerTraffic, transfer)
+}
+
+// scaleTraffic rescales a peer byte matrix from fp64 elements to the
+// given wire width.
+func scaleTraffic(traffic [][]int, elem gpu.Elem) [][]int {
+	if elem == gpu.Elem64 || traffic == nil {
+		return traffic
+	}
+	out := make([][]int, len(traffic))
+	for s, row := range traffic {
+		out[s] = make([]int, len(row))
+		for d, b := range row {
+			out[s][d] = b / gpu.ScalarBytes * elem.Bytes()
+		}
+	}
+	return out
+}
+
+// roundElem narrows x in place to the given element width; Elem64 is a
+// no-op.
+func roundElem(x []float64, e gpu.Elem) {
+	switch e {
+	case gpu.Elem32:
+		la.RoundF32(x)
+	case gpu.ElemBF16:
+		la.RoundBF16(x)
+	}
+}
+
 // NewMPK allocates the kernel workspaces for a distributed matrix.
 func NewMPK(m *Matrix) *MPK {
-	k := &MPK{M: m, ws: make([]*mpkWorkspace, len(m.Dev))}
+	k := &MPK{M: m, ws: make([]*mpkWorkspace, len(m.Dev)), transferTraffic: m.PeerTraffic}
 	k.w[0] = make([]float64, m.Layout.N)
 	k.w[1] = make([]float64, m.Layout.N)
 	for d, dm := range m.Dev {
@@ -73,7 +126,7 @@ func (k *MPK) Generate(v *Vectors, j0, steps int, shifts []complex128, phase str
 	validateShiftPairs(shifts)
 
 	// --- Setup: halo exchange of column j0 (Figure 4's setup phase). ---
-	halo := k.exchange(v, j0, phase)
+	halo := k.exchange(v, j0, phase, k.transfer, k.transferTraffic)
 
 	// Under overlapped scheduling with more than one device, the first
 	// step is split into an interior launch (owned rows touching only
@@ -122,21 +175,27 @@ func (k *MPK) Generate(v *Vectors, j0, steps int, shifts []complex128, phase str
 					zCur[i] += b2 * zP2[i]
 				}
 			}
+			// Narrow the step's output to the storage width before it is
+			// published or consumed by the next step: the stored column
+			// and the recurrence see exactly what a narrow device buffer
+			// would hold.
+			roundElem(zCur[:rows], k.storage)
 			copy(v.Local[d].Col(j0+step), zCur[:dm.NOwn])
 			nnz := dm.NNZPrefix[t]
+			vb := float64(k.storage.Bytes())
 			flops := 2 * float64(nnz)
-			bytes := float64(nnz)*12 + float64(rows)*16
+			bytes := float64(nnz)*(4+vb) + float64(rows)*2*vb
 			if reShift != 0 {
 				flops += 2 * float64(rows)
 			}
 			if pairSecond {
 				flops += 2 * float64(rows)
-				bytes += float64(rows) * 8
+				bytes += float64(rows) * vb
 			}
-			work[d] = gpu.Work{Flops: flops, Bytes: bytes}
+			work[d] = gpu.Work{Flops: flops, Bytes: bytes, Elem: k.storage}
 		})
 		if step == 1 && split {
-			k.splitFirstStep(work, halo, phase)
+			k.splitFirstStep(work, halo, phase, k.storage)
 		} else if step == 1 {
 			m.Ctx.DeviceKernelOn(phase, work, halo)
 		} else {
@@ -166,15 +225,17 @@ func (k *MPK) Generate(v *Vectors, j0, steps int, shifts []complex128, phase str
 // (it overlaps the halo exchange) and a boundary kernel carrying the
 // remaining rows (and any shift work) that waits for the halo event.
 // work holds the full per-device step cost computed by the caller.
-func (k *MPK) splitFirstStep(work []gpu.Work, halo gpu.StreamEvent, phase string) {
+func (k *MPK) splitFirstStep(work []gpu.Work, halo gpu.StreamEvent, phase string, elem gpu.Elem) {
 	m := k.M
 	interior := make([]gpu.Work, len(work))
 	boundary := make([]gpu.Work, len(work))
+	vb := float64(elem.Bytes())
 	for d := range work {
 		dm := m.Dev[d]
 		iw := gpu.Work{
 			Flops: 2 * float64(dm.InteriorNNZ),
-			Bytes: float64(dm.InteriorNNZ)*12 + float64(dm.InteriorRows)*16,
+			Bytes: float64(dm.InteriorNNZ)*(4+vb) + float64(dm.InteriorRows)*2*vb,
+			Elem:  elem,
 		}
 		if iw.Flops > work[d].Flops {
 			iw.Flops = work[d].Flops
@@ -183,7 +244,7 @@ func (k *MPK) splitFirstStep(work []gpu.Work, halo gpu.StreamEvent, phase string
 			iw.Bytes = work[d].Bytes
 		}
 		interior[d] = iw
-		boundary[d] = gpu.Work{Flops: work[d].Flops - iw.Flops, Bytes: work[d].Bytes - iw.Bytes}
+		boundary[d] = gpu.Work{Flops: work[d].Flops - iw.Flops, Bytes: work[d].Bytes - iw.Bytes, Elem: elem}
 	}
 	m.Ctx.DeviceKernelOn(phase, interior)
 	m.Ctx.DeviceKernelOn(phase, boundary, halo)
@@ -199,7 +260,7 @@ func (k *MPK) splitFirstStep(work []gpu.Work, halo gpu.StreamEvent, phase string
 // The charge depends on the compute fence (the packed column is the
 // output of earlier kernels); the returned event fires when the halo
 // values have landed on the devices.
-func (k *MPK) exchange(v *Vectors, j int, phase string) gpu.StreamEvent {
+func (k *MPK) exchange(v *Vectors, j int, phase string, elem gpu.Elem, traffic [][]int) gpu.StreamEvent {
 	m := k.M
 	ng := len(m.Dev)
 	w := k.w[k.wIdx]
@@ -223,12 +284,14 @@ func (k *MPK) exchange(v *Vectors, j int, phase string) gpu.StreamEvent {
 		for _, li := range dm.SendIdx {
 			w[base+li] = col[li]
 		}
-		sendBytes[d] = len(dm.SendIdx) * gpu.ScalarBytes
+		sendBytes[d] = len(dm.SendIdx) * elem.Bytes()
 	})
 
-	// Each device picks up its halo values. The copies charge nothing on
-	// the ledger, so running them before the exchange charge keeps the
-	// host-path ledger identical to the historical reduce-then-broadcast.
+	// Each device picks up its halo values, rounded to the wire width the
+	// payload actually crossed the interconnect at. The copies charge
+	// nothing on the ledger, so running them before the exchange charge
+	// keeps the host-path ledger identical to the historical
+	// reduce-then-broadcast.
 	recvBytes := make([]int, ng)
 	m.Ctx.RunAll(func(d int) {
 		dm := m.Dev[d]
@@ -236,9 +299,10 @@ func (k *MPK) exchange(v *Vectors, j int, phase string) gpu.StreamEvent {
 		for h, g := range dm.Halo {
 			z[dm.NOwn+h] = w[g]
 		}
-		recvBytes[d] = len(dm.Halo) * gpu.ScalarBytes
+		roundElem(z[dm.NOwn:dm.NOwn+len(dm.Halo)], elem)
+		recvBytes[d] = len(dm.Halo) * elem.Bytes()
 	})
-	return m.Ctx.HaloExchangeOn(phase, sendBytes, recvBytes, m.PeerTraffic, prod)
+	return m.Ctx.HaloExchangeElemOn(phase, sendBytes, recvBytes, traffic, elem, prod)
 }
 
 // validateShiftPairs enforces the pairing convention: a shift with
@@ -270,7 +334,7 @@ func (k *MPK) SpMV(src *Vectors, jSrc int, dst *Vectors, jDst int, phase string)
 		k.spmvDeep(src, jSrc, dst, jDst, phase)
 		return
 	}
-	halo := k.exchange(src, jSrc, phase)
+	halo := k.exchange(src, jSrc, phase, gpu.Elem64, m.PeerTraffic)
 	work := make([]gpu.Work, len(m.Dev))
 	m.Ctx.RunAll(func(d int) {
 		dm := m.Dev[d]
@@ -281,7 +345,7 @@ func (k *MPK) SpMV(src *Vectors, jSrc int, dst *Vectors, jDst int, phase string)
 		work[d] = gpu.Work{Flops: 2 * float64(nnz), Bytes: float64(nnz)*12 + float64(rows)*16}
 	})
 	if m.Ctx.OverlapEnabled() && len(m.Dev) > 1 {
-		k.splitFirstStep(work, halo, phase)
+		k.splitFirstStep(work, halo, phase, gpu.Elem64)
 	} else {
 		m.Ctx.DeviceKernelOn(phase, work, halo)
 	}
@@ -325,7 +389,7 @@ func (k *MPK) spmvDeep(src *Vectors, jSrc int, dst *Vectors, jDst int, phase str
 		work[d] = gpu.Work{Flops: 2 * float64(nnz), Bytes: float64(nnz)*12 + float64(rows)*16}
 	})
 	if m.Ctx.OverlapEnabled() && len(m.Dev) > 1 {
-		k.splitFirstStep(work, halo, phase)
+		k.splitFirstStep(work, halo, phase, gpu.Elem64)
 	} else {
 		m.Ctx.DeviceKernelOn(phase, work, halo)
 	}

@@ -46,6 +46,14 @@ type CostModel struct {
 	// it is what makes many tiny BLAS-1 calls (MGS) expensive on GPUs
 	// even before communication.
 	KernelLaunch float64
+	// FP32Speedup is the device throughput ratio of single- over
+	// double-precision arithmetic for compute-bound kernels: a kernel
+	// whose Work.Elem is sub-FP64 divides its flop time by this factor.
+	// Zero (the historical zero value) means no speedup — FP32 work is
+	// charged at the FP64 rate — so every pre-precision model and golden
+	// is unchanged. Memory-bound kernels are unaffected: their advantage
+	// comes from Work.Bytes, which the caller already halves.
+	FP32Speedup float64
 
 	// Multi-node extension (the paper's conclusion asks how CA-GMRES
 	// behaves when the GPUs are spread across compute nodes, where
@@ -163,16 +171,25 @@ func (c *Context) RunAll(f func(d int)) {
 
 // --- Accounting -----------------------------------------------------------
 
-// Work describes one device kernel's cost shape.
+// Work describes one device kernel's cost shape. Elem is the element
+// width the kernel's vector operands use: the zero value (Elem64) keeps
+// the historical FP64 charging, while sub-FP64 widths earn the cost
+// model's FP32Speedup on the compute-bound estimate. Callers scale
+// Bytes themselves — the width of each operand is theirs to know.
 type Work struct {
 	Flops float64 // floating-point operations
 	Bytes float64 // memory traffic (reads+writes)
+	Elem  Elem    // operand element width (zero value = FP64)
 }
 
 // Time converts the work to modeled seconds on the device: the larger of
 // the compute-bound and memory-bound estimates plus the launch overhead.
 func (m CostModel) deviceTime(w Work) float64 {
-	t := w.Flops / (m.DeviceGflops * 1e9)
+	gflops := m.DeviceGflops
+	if w.Elem != Elem64 && m.FP32Speedup > 0 {
+		gflops *= m.FP32Speedup
+	}
+	t := w.Flops / (gflops * 1e9)
 	if mt := w.Bytes / m.DeviceMemBW; mt > t {
 		t = mt
 	}
@@ -213,33 +230,46 @@ func (c *Context) roundTime(bytes []int) (total int, t float64) {
 // stream, transparently retrying with capped exponential virtual-time
 // backoff.
 func (c *Context) ReduceRound(phase string, bytes []int) {
-	c.commRound(phase, dirD2H, bytes, true, nil)
+	c.commRound(phase, dirD2H, bytes, Elem64, true, nil)
 }
 
 // BroadcastRound records one host->device round (scatter/broadcast),
 // symmetric to ReduceRound.
 func (c *Context) BroadcastRound(phase string, bytes []int) {
-	c.commRound(phase, dirH2D, bytes, true, nil)
+	c.commRound(phase, dirH2D, bytes, Elem64, true, nil)
+}
+
+// ReduceRoundElem is ReduceRound with an explicit element width: bytes
+// already reflect the narrow wire size; elem tags the volume on the
+// precision ledger columns. ReduceRound == ReduceRoundElem(..., Elem64).
+func (c *Context) ReduceRoundElem(phase string, bytes []int, elem Elem) {
+	c.commRound(phase, dirD2H, bytes, elem, true, nil)
+}
+
+// BroadcastRoundElem is BroadcastRound with an explicit element width.
+func (c *Context) BroadcastRoundElem(phase string, bytes []int, elem Elem) {
+	c.commRound(phase, dirH2D, bytes, elem, true, nil)
 }
 
 // commRound is the shared implementation behind the synchronous rounds
 // (barrier=true: a full barrier on every stream) and the *On stream
 // variants (barrier=false: the round occupies only the participating
 // transfer streams when overlap is enabled). The ledger charge is
-// identical in both modes.
-func (c *Context) commRound(phase string, dir direction, bytes []int, barrier bool, after []StreamEvent) StreamEvent {
+// identical in both modes; elem tags the round's element width on the
+// precision columns (bytes are already at that width).
+func (c *Context) commRound(phase string, dir direction, bytes []int, elem Elem, barrier bool, after []StreamEvent) StreamEvent {
 	c.checkDeaths(phase)
 	if c.clustered() {
 		// Two-tier machine: each node's share crosses its own host link,
 		// then remote nodes' aggregates cross the fabric to the root host.
 		t, _ := c.clusterRoundTime(bytes)
 		stall := c.injectTransferFaults(phase, t)
-		c.stats.addCommTiered(phase, dir, c.devIDs(len(bytes)), bytes, c.nodeOfLogical(len(bytes)), t)
+		c.stats.addCommTiered(phase, dir, c.devIDs(len(bytes)), bytes, c.nodeOfLogical(len(bytes)), t, elem)
 		return c.timeline.comm(phase, dir == dirH2D, c.devIDs(len(bytes)), t, stall, barrier, after)
 	}
 	_, t := c.roundTime(bytes)
 	stall := c.injectTransferFaults(phase, t)
-	c.stats.addComm(phase, dir, c.devIDs(len(bytes)), bytes, t)
+	c.stats.addComm(phase, dir, c.devIDs(len(bytes)), bytes, t, elem)
 	return c.timeline.comm(phase, dir == dirH2D, c.devIDs(len(bytes)), t, stall, barrier, after)
 }
 

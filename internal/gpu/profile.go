@@ -84,6 +84,14 @@ type Profile struct {
 	// Cluster, when enabled, makes the profile a two-tier machine: the
 	// zero value keeps the single-node charging paths byte-identical.
 	Cluster Cluster
+	// BF16Transfer declares that the machine's interconnect can ship
+	// bfloat16-compressed payloads (peer copy engines / RDMA fabrics
+	// with 2-byte element support). The precision policy in
+	// internal/core only narrows transfers to ElemBF16 when the profile
+	// claims this; internal/profile's validator rejects the claim on
+	// host-hub topologies and non-RDMA cluster fabrics. False (the zero
+	// value) caps transfer compression at FP32.
+	BF16Transfer bool
 }
 
 // Clustered reports whether the profile describes a multi-node machine.
@@ -242,7 +250,7 @@ func peerMessages(traffic [][]int) int {
 // death check, routing, fault injection, ledger, timeline. On a
 // clustered profile the round routes over the two-tier interconnect and
 // splits the ledger charge between the node-local and fabric columns.
-func (c *Context) peerRound(phase string, traffic [][]int, barrier bool, after []StreamEvent) StreamEvent {
+func (c *Context) peerRound(phase string, traffic [][]int, elem Elem, barrier bool, after []StreamEvent) StreamEvent {
 	if len(traffic) != c.NumDevices {
 		panic(fmt.Sprintf("gpu: peer traffic for %d devices on a %d-device context", len(traffic), c.NumDevices))
 	}
@@ -250,12 +258,12 @@ func (c *Context) peerRound(phase string, traffic [][]int, barrier bool, after [
 	if c.clustered() {
 		t, _ := c.routeCluster(traffic)
 		stall := c.injectTransferFaults(phase, t)
-		c.stats.addPeerTiered(phase, c.devIDs(len(traffic)), traffic, c.nodeOfLogical(len(traffic)), t)
+		c.stats.addPeerTiered(phase, c.devIDs(len(traffic)), traffic, c.nodeOfLogical(len(traffic)), t, elem)
 		return c.timeline.peer(phase, c.devIDs(len(traffic)), t, stall, barrier, after)
 	}
 	t := c.routePeer(traffic)
 	stall := c.injectTransferFaults(phase, t)
-	c.stats.addPeer(phase, c.devIDs(len(traffic)), traffic, t)
+	c.stats.addPeer(phase, c.devIDs(len(traffic)), traffic, t, elem)
 	return c.timeline.peer(phase, c.devIDs(len(traffic)), t, stall, barrier, after)
 }
 
@@ -268,11 +276,11 @@ func (c *Context) peerRound(phase string, traffic [][]int, barrier bool, after [
 // like the other synchronous charges.
 func (c *Context) PeerExchange(phase string, traffic [][]int) {
 	if !c.prof.Topo.PeerToPeer() && !c.clustered() {
-		c.commRound(phase, dirD2H, rowTotals(traffic), true, nil)
-		c.commRound(phase, dirH2D, colTotals(traffic), true, nil)
+		c.commRound(phase, dirD2H, rowTotals(traffic), Elem64, true, nil)
+		c.commRound(phase, dirH2D, colTotals(traffic), Elem64, true, nil)
 		return
 	}
-	c.peerRound(phase, traffic, true, nil)
+	c.peerRound(phase, traffic, Elem64, true, nil)
 }
 
 // PeerExchangeOn is PeerExchange as a stream operation: the round
@@ -280,10 +288,10 @@ func (c *Context) PeerExchange(phase string, traffic [][]int) {
 // dependencies. Ledger charges are identical to PeerExchange.
 func (c *Context) PeerExchangeOn(phase string, traffic [][]int, after ...StreamEvent) StreamEvent {
 	if !c.prof.Topo.PeerToPeer() && !c.clustered() {
-		red := c.commRound(phase, dirD2H, rowTotals(traffic), false, after)
-		return c.commRound(phase, dirH2D, colTotals(traffic), false, []StreamEvent{red})
+		red := c.commRound(phase, dirD2H, rowTotals(traffic), Elem64, false, after)
+		return c.commRound(phase, dirH2D, colTotals(traffic), Elem64, false, []StreamEvent{red})
 	}
-	return c.peerRound(phase, traffic, false, after)
+	return c.peerRound(phase, traffic, Elem64, false, after)
 }
 
 // HaloExchangeOn charges one halo exchange the way the profile routes
@@ -296,13 +304,21 @@ func (c *Context) PeerExchangeOn(phase string, traffic [][]int, after ...StreamE
 // deduplicating staging buffer) in a single routed round. A nil traffic
 // matrix forces the host path regardless of topology.
 func (c *Context) HaloExchangeOn(phase string, sendBytes, recvBytes []int, traffic [][]int, after ...StreamEvent) StreamEvent {
+	return c.HaloExchangeElemOn(phase, sendBytes, recvBytes, traffic, Elem64, after...)
+}
+
+// HaloExchangeElemOn is HaloExchangeOn with an explicit element width:
+// the caller has already scaled sendBytes/recvBytes/traffic to the
+// narrow wire size, and elem tags the round in the precision ledger.
+// Elem64 replays HaloExchangeOn byte for byte.
+func (c *Context) HaloExchangeElemOn(phase string, sendBytes, recvBytes []int, traffic [][]int, elem Elem, after ...StreamEvent) StreamEvent {
 	// A clustered profile always routes the traffic matrix: node-local
 	// pairs over the peer tier, cross-node pairs over the fabric.
 	if traffic != nil && (c.prof.Topo.PeerToPeer() || c.clustered()) {
-		return c.peerRound(phase, traffic, false, after)
+		return c.peerRound(phase, traffic, elem, false, after)
 	}
-	red := c.commRound(phase, dirD2H, sendBytes, false, after)
-	return c.commRound(phase, dirH2D, recvBytes, false, []StreamEvent{red})
+	red := c.commRound(phase, dirD2H, sendBytes, elem, false, after)
+	return c.commRound(phase, dirH2D, recvBytes, elem, false, []StreamEvent{red})
 }
 
 func rowTotals(traffic [][]int) []int {

@@ -28,7 +28,16 @@ type PhaseStats struct {
 	// in BytesD2H/H2D — they really do travel twice, once over the node's
 	// local tier and once over the fabric). Zero on single-node profiles.
 	BytesInterNode int
-	CommTime       float64 // modeled seconds of communication
+	// BytesFP32 and BytesCompressed classify wire volume by element
+	// width: the share of the path columns above that traveled as FP32
+	// (4-byte) or compressed bfloat16 (2-byte) elements. They are tags,
+	// not extra paths — a reduced-width byte is counted once in its path
+	// column (D2H/H2D/Peer/InterNode, already at the narrow size) and
+	// once here. Both stay zero for all-FP64 runs, so pre-precision
+	// ledgers and report tables are byte-identical.
+	BytesFP32       int
+	BytesCompressed int
+	CommTime        float64 // modeled seconds of communication
 	DeviceTime  float64 // modeled seconds of device compute (max over devices per kernel)
 	DeviceFlops float64 // total flops summed over devices
 	HostTime    float64 // modeled seconds of host compute
@@ -184,11 +193,24 @@ func (s *Stats) devGet(d int, phase string) *PhaseStats {
 	return p
 }
 
+// tagElem classifies one charge's byte volume by element width (see
+// PhaseStats.BytesFP32/BytesCompressed). Elem64 — every historical
+// charge — is a no-op.
+func tagElem(p *PhaseStats, elem Elem, bytes int) {
+	switch elem {
+	case Elem32:
+		p.BytesFP32 += bytes
+	case ElemBF16:
+		p.BytesCompressed += bytes
+	}
+}
+
 // addComm charges one communication round: bytes[d] is logical device
 // d's share, devs[d] its physical id on the ledger, t the modeled time
 // of the whole round. Every participating device is occupied for the
-// full round, so each per-device ledger is charged t.
-func (s *Stats) addComm(phase string, dir direction, devs, bytes []int, t float64) {
+// full round, so each per-device ledger is charged t. elem tags the
+// round's element width on the precision columns.
+func (s *Stats) addComm(phase string, dir direction, devs, bytes []int, t float64, elem Elem) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.get(phase)
@@ -205,6 +227,7 @@ func (s *Stats) addComm(phase string, dir direction, devs, bytes []int, t float6
 		p.BytesH2D += total
 		kind = "broadcast"
 	}
+	tagElem(p, elem, total)
 	p.CommTime += t
 	for d, b := range bytes {
 		dp := s.devGet(devs[d], phase)
@@ -215,6 +238,7 @@ func (s *Stats) addComm(phase string, dir direction, devs, bytes []int, t float6
 		} else {
 			dp.BytesH2D += b
 		}
+		tagElem(dp, elem, b)
 		dp.CommTime += t
 	}
 	s.record(Event{Step: s.nextStep(), Device: HostDevice, Phase: phase, Kind: kind, Bytes: total, Time: t})
@@ -256,7 +280,7 @@ func (s *Stats) addCompute(phase string, devs []int, ts []float64, work []Work) 
 // ids, t the routed time of the whole round. Every participating device
 // is occupied for the full round; each device's ledger is charged the
 // bytes it sent plus the bytes it received.
-func (s *Stats) addPeer(phase string, devs []int, traffic [][]int, t float64) {
+func (s *Stats) addPeer(phase string, devs []int, traffic [][]int, t float64, elem Elem) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.get(phase)
@@ -277,11 +301,13 @@ func (s *Stats) addPeer(phase string, devs []int, traffic [][]int, t float64) {
 		}
 	}
 	p.BytesPeer += total
+	tagElem(p, elem, total)
 	for d := range traffic {
 		dp := s.devGet(devs[d], phase)
 		dp.Rounds++
 		dp.Messages++
 		dp.BytesPeer += sent[d] + recv[d]
+		tagElem(dp, elem, sent[d]+recv[d])
 		dp.CommTime += t
 	}
 	s.record(Event{Step: s.nextStep(), Device: HostDevice, Phase: phase, Kind: "peer", Bytes: total, Time: t})
@@ -292,7 +318,7 @@ func (s *Stats) addPeer(phase string, devs []int, traffic [][]int, t float64) {
 // BytesPeer (the node-local tier), cross-node pairs in BytesInterNode
 // (the fabric). nodeOf[d] is logical device d's node. One trace event is
 // recorded for the whole round, like addPeer.
-func (s *Stats) addPeerTiered(phase string, devs []int, traffic [][]int, nodeOf []int, t float64) {
+func (s *Stats) addPeerTiered(phase string, devs []int, traffic [][]int, nodeOf []int, t float64, elem Elem) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.get(phase)
@@ -321,12 +347,14 @@ func (s *Stats) addPeerTiered(phase string, devs []int, traffic [][]int, nodeOf 
 			}
 		}
 	}
+	tagElem(p, elem, total)
 	for d := range traffic {
 		dp := s.devGet(devs[d], phase)
 		dp.Rounds++
 		dp.Messages++
 		dp.BytesPeer += sentLocal[d] + recvLocal[d]
 		dp.BytesInterNode += sentInter[d] + recvInter[d]
+		tagElem(dp, elem, sentLocal[d]+recvLocal[d]+sentInter[d]+recvInter[d])
 		dp.CommTime += t
 	}
 	s.record(Event{Step: s.nextStep(), Device: HostDevice, Phase: phase, Kind: "peer", Bytes: total, Time: t})
@@ -337,7 +365,7 @@ func (s *Stats) addPeerTiered(phase string, devs []int, traffic [][]int, nodeOf 
 // node's local tier), while each remote-node device's share is
 // additionally charged to BytesInterNode — the second hop those bytes
 // take over the fabric to reach the root node's host.
-func (s *Stats) addCommTiered(phase string, dir direction, devs, bytes []int, nodeOf []int, t float64) {
+func (s *Stats) addCommTiered(phase string, dir direction, devs, bytes []int, nodeOf []int, t float64, elem Elem) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.get(phase)
@@ -358,6 +386,7 @@ func (s *Stats) addCommTiered(phase string, dir direction, devs, bytes []int, no
 		kind = "broadcast"
 	}
 	p.BytesInterNode += inter
+	tagElem(p, elem, total)
 	p.CommTime += t
 	for d, b := range bytes {
 		dp := s.devGet(devs[d], phase)
@@ -371,6 +400,7 @@ func (s *Stats) addCommTiered(phase string, dir direction, devs, bytes []int, no
 		if nodeOf[d] != 0 {
 			dp.BytesInterNode += b
 		}
+		tagElem(dp, elem, b)
 		dp.CommTime += t
 	}
 	s.record(Event{Step: s.nextStep(), Device: HostDevice, Phase: phase, Kind: kind, Bytes: total, Time: t})
@@ -477,6 +507,8 @@ func addInto(p, op *PhaseStats) {
 	p.BytesH2D += op.BytesH2D
 	p.BytesPeer += op.BytesPeer
 	p.BytesInterNode += op.BytesInterNode
+	p.BytesFP32 += op.BytesFP32
+	p.BytesCompressed += op.BytesCompressed
 	p.CommTime += op.CommTime
 	p.DeviceTime += op.DeviceTime
 	p.DeviceFlops += op.DeviceFlops
@@ -527,23 +559,58 @@ func (s *Stats) hasInterNodeTraffic() bool {
 	return false
 }
 
+// hasFP32Traffic reports whether any phase moved FP32-width wire
+// volume; like hasPeerTraffic it gates the bytesFP32 report column, so
+// all-FP64 ledgers render exactly the historical table.
+func (s *Stats) hasFP32Traffic() bool {
+	for _, name := range s.Phases() {
+		if s.Phase(name).BytesFP32 > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCompressedTraffic gates the bytesComp column the same way for
+// bfloat16-compressed transfers.
+func (s *Stats) hasCompressedTraffic() bool {
+	for _, name := range s.Phases() {
+		if s.Phase(name).BytesCompressed > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders a compact per-phase table. A bytesP2P column appears
-// only when some phase actually moved peer-to-peer traffic, and a
-// bytesInter column only when some phase crossed the inter-node fabric.
+// only when some phase actually moved peer-to-peer traffic, a
+// bytesInter column only when some phase crossed the inter-node fabric,
+// and bytesFP32/bytesComp columns only when some transfer ran at a
+// reduced element width.
 func (s *Stats) String() string {
 	var b strings.Builder
 	peer := s.hasPeerTraffic()
 	inter := s.hasInterNodeTraffic()
+	fp32 := s.hasFP32Traffic()
+	comp := s.hasCompressedTraffic()
 	peerHdr, peerCell := "", ""
 	interHdr, interCell := "", ""
+	fp32Hdr, fp32Cell := "", ""
+	compHdr, compCell := "", ""
 	if peer {
 		peerHdr = fmt.Sprintf(" %12s", "bytesP2P")
 	}
 	if inter {
 		interHdr = fmt.Sprintf(" %12s", "bytesInter")
 	}
-	fmt.Fprintf(&b, "%-10s %8s %8s %12s %12s%s%s %10s %10s %10s %8s %12s %10s\n",
-		"phase", "rounds", "msgs", "bytesD2H", "bytesH2D", peerHdr, interHdr, "comm(ms)", "dev(ms)", "host(ms)",
+	if fp32 {
+		fp32Hdr = fmt.Sprintf(" %12s", "bytesFP32")
+	}
+	if comp {
+		compHdr = fmt.Sprintf(" %12s", "bytesComp")
+	}
+	fmt.Fprintf(&b, "%-10s %8s %8s %12s %12s%s%s%s%s %10s %10s %10s %8s %12s %10s\n",
+		"phase", "rounds", "msgs", "bytesD2H", "bytesH2D", peerHdr, interHdr, fp32Hdr, compHdr, "comm(ms)", "dev(ms)", "host(ms)",
 		"kernels", "devflops", "Gflop/s")
 	for _, name := range s.Phases() {
 		p := s.Phase(name)
@@ -553,8 +620,14 @@ func (s *Stats) String() string {
 		if inter {
 			interCell = fmt.Sprintf(" %12d", p.BytesInterNode)
 		}
-		fmt.Fprintf(&b, "%-10s %8d %8d %12d %12d%s%s %10.3f %10.3f %10.3f %8d %12.3e %10.2f\n",
-			name, p.Rounds, p.Messages, p.BytesD2H, p.BytesH2D, peerCell, interCell,
+		if fp32 {
+			fp32Cell = fmt.Sprintf(" %12d", p.BytesFP32)
+		}
+		if comp {
+			compCell = fmt.Sprintf(" %12d", p.BytesCompressed)
+		}
+		fmt.Fprintf(&b, "%-10s %8d %8d %12d %12d%s%s%s%s %10.3f %10.3f %10.3f %8d %12.3e %10.2f\n",
+			name, p.Rounds, p.Messages, p.BytesD2H, p.BytesH2D, peerCell, interCell, fp32Cell, compCell,
 			p.CommTime*1e3, p.DeviceTime*1e3, p.HostTime*1e3,
 			p.Kernels, p.DeviceFlops, p.DeviceGflops())
 	}
@@ -570,19 +643,29 @@ func (s *Stats) DeviceString() string {
 	var b strings.Builder
 	peer := s.hasPeerTraffic()
 	inter := s.hasInterNodeTraffic()
+	fp32 := s.hasFP32Traffic()
+	comp := s.hasCompressedTraffic()
 	peerHdr, peerCell := "", ""
 	interHdr, interCell := "", ""
+	fp32Hdr, fp32Cell := "", ""
+	compHdr, compCell := "", ""
 	if peer {
 		peerHdr = fmt.Sprintf(" %12s", "bytesP2P")
 	}
 	if inter {
 		interHdr = fmt.Sprintf(" %12s", "bytesInter")
 	}
+	if fp32 {
+		fp32Hdr = fmt.Sprintf(" %12s", "bytesFP32")
+	}
+	if comp {
+		compHdr = fmt.Sprintf(" %12s", "bytesComp")
+	}
 	nd := s.TrackedDevices()
 	for d := 0; d < nd; d++ {
 		fmt.Fprintf(&b, "device %d:\n", d)
-		fmt.Fprintf(&b, "  %-10s %8s %12s %12s%s%s %10s %10s %8s %10s\n",
-			"phase", "rounds", "bytesD2H", "bytesH2D", peerHdr, interHdr, "comm(ms)", "dev(ms)", "kernels", "Gflop/s")
+		fmt.Fprintf(&b, "  %-10s %8s %12s %12s%s%s%s%s %10s %10s %8s %10s\n",
+			"phase", "rounds", "bytesD2H", "bytesH2D", peerHdr, interHdr, fp32Hdr, compHdr, "comm(ms)", "dev(ms)", "kernels", "Gflop/s")
 		for _, name := range s.Phases() {
 			p := s.DevicePhase(d, name)
 			if p == (PhaseStats{}) {
@@ -594,8 +677,14 @@ func (s *Stats) DeviceString() string {
 			if inter {
 				interCell = fmt.Sprintf(" %12d", p.BytesInterNode)
 			}
-			fmt.Fprintf(&b, "  %-10s %8d %12d %12d%s%s %10.3f %10.3f %8d %10.2f\n",
-				name, p.Rounds, p.BytesD2H, p.BytesH2D, peerCell, interCell,
+			if fp32 {
+				fp32Cell = fmt.Sprintf(" %12d", p.BytesFP32)
+			}
+			if comp {
+				compCell = fmt.Sprintf(" %12d", p.BytesCompressed)
+			}
+			fmt.Fprintf(&b, "  %-10s %8d %12d %12d%s%s%s%s %10.3f %10.3f %8d %10.2f\n",
+				name, p.Rounds, p.BytesD2H, p.BytesH2D, peerCell, interCell, fp32Cell, compCell,
 				p.CommTime*1e3, p.DeviceTime*1e3, p.Kernels, p.DeviceGflops())
 		}
 	}

@@ -22,9 +22,9 @@ func fillLedger(rng *rand.Rand, s *Stats, phases []string) {
 		phase := phases[rng.Intn(len(phases))]
 		switch rng.Intn(4) {
 		case 0:
-			s.addComm(phase, dirD2H, []int{0, 1, 2}, []int{rng.Intn(1 << 12), rng.Intn(1 << 12), rng.Intn(1 << 12)}, dyadic(rng))
+			s.addComm(phase, dirD2H, []int{0, 1, 2}, []int{rng.Intn(1 << 12), rng.Intn(1 << 12), rng.Intn(1 << 12)}, dyadic(rng), Elem(rng.Intn(3)))
 		case 1:
-			s.addComm(phase, dirH2D, []int{0, 1}, []int{rng.Intn(1 << 12), rng.Intn(1 << 12)}, dyadic(rng))
+			s.addComm(phase, dirH2D, []int{0, 1}, []int{rng.Intn(1 << 12), rng.Intn(1 << 12)}, dyadic(rng), Elem(rng.Intn(3)))
 		case 2:
 			s.addCompute(phase, []int{0, 1}, []float64{dyadic(rng), dyadic(rng)}, []Work{
 				{Flops: float64(rng.Intn(1 << 20)), Bytes: float64(rng.Intn(1 << 20))},
@@ -88,16 +88,18 @@ func TestMergeSumsCountersExactly(t *testing.T) {
 	for _, ph := range phases {
 		a, b, m := sa.Phase(ph), sb.Phase(ph), merged.Phase(ph)
 		want := PhaseStats{
-			Rounds:      a.Rounds + b.Rounds,
-			Messages:    a.Messages + b.Messages,
-			BytesD2H:    a.BytesD2H + b.BytesD2H,
-			BytesH2D:    a.BytesH2D + b.BytesH2D,
-			CommTime:    a.CommTime + b.CommTime,
-			DeviceTime:  a.DeviceTime + b.DeviceTime,
-			DeviceFlops: a.DeviceFlops + b.DeviceFlops,
-			HostTime:    a.HostTime + b.HostTime,
-			HostFlops:   a.HostFlops + b.HostFlops,
-			Kernels:     a.Kernels + b.Kernels,
+			Rounds:          a.Rounds + b.Rounds,
+			Messages:        a.Messages + b.Messages,
+			BytesD2H:        a.BytesD2H + b.BytesD2H,
+			BytesH2D:        a.BytesH2D + b.BytesH2D,
+			BytesFP32:       a.BytesFP32 + b.BytesFP32,
+			BytesCompressed: a.BytesCompressed + b.BytesCompressed,
+			CommTime:        a.CommTime + b.CommTime,
+			DeviceTime:      a.DeviceTime + b.DeviceTime,
+			DeviceFlops:     a.DeviceFlops + b.DeviceFlops,
+			HostTime:        a.HostTime + b.HostTime,
+			HostFlops:       a.HostFlops + b.HostFlops,
+			Kernels:         a.Kernels + b.Kernels,
 		}
 		phaseEqual(t, ph, m, want)
 		for d := 0; d < 3; d++ {

@@ -420,14 +420,27 @@ func (c *Context) HostFence() StreamEvent { return c.timeline.fence(LaneHost) }
 // its payload to the host at the returned event. Ledger charges are
 // identical to ReduceRound; with overlap disabled it is a full barrier.
 func (c *Context) ReduceRoundOn(phase string, bytes []int, after ...StreamEvent) StreamEvent {
-	return c.commRound(phase, dirD2H, bytes, false, after)
+	return c.commRound(phase, dirD2H, bytes, Elem64, false, after)
 }
 
 // BroadcastRoundOn is BroadcastRound as a stream operation. It starts no
 // earlier than the host holds data to send (the last reduce's arrival);
 // pass an explicit event when the payload comes from host *compute*.
 func (c *Context) BroadcastRoundOn(phase string, bytes []int, after ...StreamEvent) StreamEvent {
-	return c.commRound(phase, dirH2D, bytes, false, after)
+	return c.commRound(phase, dirH2D, bytes, Elem64, false, after)
+}
+
+// ReduceRoundElemOn is ReduceRoundOn with an explicit element width:
+// bytes already reflect the narrow wire size; elem tags the volume on
+// the precision ledger columns (bytesFP32/bytesComp).
+func (c *Context) ReduceRoundElemOn(phase string, bytes []int, elem Elem, after ...StreamEvent) StreamEvent {
+	return c.commRound(phase, dirD2H, bytes, elem, false, after)
+}
+
+// BroadcastRoundElemOn is BroadcastRoundOn with an explicit element
+// width.
+func (c *Context) BroadcastRoundElemOn(phase string, bytes []int, elem Elem, after ...StreamEvent) StreamEvent {
+	return c.commRound(phase, dirH2D, bytes, elem, false, after)
 }
 
 // DeviceKernelOn is DeviceKernel as a stream operation: each device's

@@ -34,6 +34,11 @@ type Record struct {
 	OrthoLoss float64 `json:"ortho_loss,omitempty"`
 	// TSQR names the factorization strategy of a CA window.
 	TSQR string `json:"tsqr,omitempty"`
+	// Precision names the precision level active when the record was
+	// emitted ("fp64", "fp32", "fp32+bf16"). Empty for solvers and
+	// record kinds that predate the precision policy, keeping fp64
+	// streams byte-identical to earlier releases.
+	Precision string `json:"precision,omitempty"`
 	// TraceID, JobID and Attempt correlate the record with the request
 	// trace that owns the solve: chaos re-runs and healed retries of the
 	// same job are distinguishable by attempt. All three are absent from
@@ -151,6 +156,11 @@ func (r *Registry) ConvergenceSink(next Sink) Sink {
 			r.Histogram("solver_ortho_loss_hist",
 				"Distribution of measured orthogonality losses.",
 				orthoLossBuckets).Observe(rec.OrthoLoss)
+		}
+		if rec.Precision != "" && rec.Kind == "window" {
+			r.CounterL("solver_precision_windows_total",
+				"CA matrix-powers windows generated, by precision level.",
+				L("width", rec.Precision)).Inc()
 		}
 		if rec.Kind == "done" {
 			r.Gauge("solver_iterations",

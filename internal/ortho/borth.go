@@ -24,39 +24,70 @@ type BOrth interface {
 // transfers instead of BOrthMGS's 2j — the block analogue of the
 // CGS-vs-MGS trade, and the variant the paper uses in its CA-GMRES runs
 // (Figure 14 note: "BOrth is based on CGS").
-type BOrthCGS struct{}
+type BOrthCGS struct {
+	// Elem, when not Elem64, runs the projection in single precision:
+	// float32 BLAS-3 kernels, half-width coefficient transfers (tagged
+	// in the precision ledger), and a float32-granular host combine.
+	// Coefficients never drop below fp32 — bfloat16 is reserved for
+	// basis storage and halo payloads.
+	Elem gpu.Elem
+}
 
 // Name implements BOrth.
 func (BOrthCGS) Name() string { return "BOrth-CGS" }
 
 // Project implements BOrth.
-func (BOrthCGS) Project(ctx *gpu.Context, p, w []*la.Dense, phase string) *la.Dense {
+func (o BOrthCGS) Project(ctx *gpu.Context, p, w []*la.Dense, phase string) *la.Dense {
 	if len(p) != len(w) {
 		panic(fmt.Sprintf("ortho: BOrth device mismatch %d vs %d", len(p), len(w)))
 	}
+	fp32 := o.Elem != gpu.Elem64
 	pc, wc := cols(p), cols(w)
 	ng := len(w)
 	partial := make([]*la.Dense, ng)
 	k := deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 		cpart := la.NewDense(pc, wc)
+		rows := float64(p[d].Rows)
+		if fp32 {
+			la.GemmTNF32(1, p[d], w[d], 0, cpart)
+			partial[d] = cpart
+			return gpu.Work{Flops: 2 * rows * float64(pc) * float64(wc), Bytes: 4 * rows * float64(pc+wc), Elem: gpu.Elem32}
+		}
 		la.BatchedGemmTN(p[d], w[d], cpart)
 		partial[d] = cpart
-		rows := float64(p[d].Rows)
 		return gpu.Work{Flops: 2 * rows * float64(pc) * float64(wc), Bytes: 8 * rows * float64(pc+wc)}
 	})
-	ctx.ReduceRoundOn(phase, scalarBytesAll(ng, pc*wc*gpu.ScalarBytes), k)
+	coefBytes := pc * wc * gpu.ScalarBytes
+	if fp32 {
+		coefBytes = pc * wc * 4
+		ctx.ReduceRoundElemOn(phase, scalarBytesAll(ng, coefBytes), gpu.Elem32, k)
+	} else {
+		ctx.ReduceRoundOn(phase, scalarBytesAll(ng, coefBytes), k)
+	}
 	c := la.NewDense(pc, wc)
 	for _, part := range partial {
 		for j := 0; j < wc; j++ {
 			la.Axpy(1, part.Col(j), c.Col(j))
 		}
 	}
+	if fp32 {
+		roundF32Matrix(c)
+	}
 	// The broadcast relays the reduced C (implicit host-arrival ordering);
 	// the rank-update waits only for it, leaving the host free.
-	bc := ctx.BroadcastRoundOn(phase, scalarBytesAll(ng, pc*wc*gpu.ScalarBytes))
+	var bc gpu.StreamEvent
+	if fp32 {
+		bc = ctx.BroadcastRoundElemOn(phase, scalarBytesAll(ng, coefBytes), gpu.Elem32)
+	} else {
+		bc = ctx.BroadcastRoundOn(phase, scalarBytesAll(ng, coefBytes))
+	}
 	deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
-		la.ParallelGemmNN(-1, p[d], c, 1, w[d])
 		rows := float64(p[d].Rows)
+		if fp32 {
+			la.GemmNNF32(-1, p[d], c, 1, w[d])
+			return gpu.Work{Flops: 2 * rows * float64(pc) * float64(wc), Bytes: 4 * rows * float64(pc+2*wc), Elem: gpu.Elem32}
+		}
+		la.ParallelGemmNN(-1, p[d], c, 1, w[d])
 		return gpu.Work{Flops: 2 * rows * float64(pc) * float64(wc), Bytes: 8 * rows * float64(pc+2*wc)}
 	}, bc)
 	return c

@@ -16,14 +16,22 @@ import (
 // error is O(eps*kappa^2) and the Cholesky factorization can fail outright
 // on the ill-conditioned bases the matrix powers kernel produces
 // (ErrNotPositiveDefinite surfaces as ErrRankDeficient here).
-type CholQR struct{}
+type CholQR struct {
+	// GramElem, when not Elem64, accumulates and ships the Gram matrix
+	// in single precision (the MixedCholQR kernel behind the
+	// Options.Precision policy): half the BLAS-3 traffic and half the
+	// reduce volume, while the Cholesky factorization and the
+	// triangular solve stay double precision. Any sub-FP64 width maps
+	// to fp32 — the Gram matrix is never accumulated in bfloat16.
+	GramElem gpu.Elem
+}
 
 // Name implements TSQR.
 func (CholQR) Name() string { return "CholQR" }
 
 // Factor implements TSQR.
-func (CholQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error) {
-	b, err := gramReduce(ctx, w, phase)
+func (q CholQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error) {
+	b, err := gramReduce(ctx, w, phase, q.GramElem)
 	if err != nil {
 		return nil, err
 	}
@@ -55,7 +63,7 @@ func (SVQR) Name() string { return "SVQR" }
 
 // Factor implements TSQR.
 func (SVQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error) {
-	b, err := gramReduce(ctx, w, phase)
+	b, err := gramReduce(ctx, w, phase, gpu.Elem64)
 	if err != nil {
 		return nil, err
 	}
@@ -105,24 +113,42 @@ func (SVQR) Factor(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, er
 }
 
 // gramReduce computes the global Gram matrix of the window: per-device
-// batched BLAS-3 Gram kernels, one reduce round, host sum.
-func gramReduce(ctx *gpu.Context, w []*la.Dense, phase string) (*la.Dense, error) {
+// batched BLAS-3 Gram kernels, one reduce round, host sum. A sub-FP64
+// elem switches to the single-precision Gram kernel: float32
+// accumulation on device, a half-width reduce tagged in the precision
+// ledger, and a float32-granular host sum.
+func gramReduce(ctx *gpu.Context, w []*la.Dense, phase string, elem gpu.Elem) (*la.Dense, error) {
 	c := cols(w)
 	ng := len(w)
+	fp32 := elem != gpu.Elem64
 	partial := make([]*la.Dense, ng)
 	k := deviceWorkOn(ctx, phase, ng, func(d int) gpu.Work {
 		g := la.NewDense(c, c)
-		la.BatchedGram(w[d], g)
+		if fp32 {
+			la.GramF32(w[d], g)
+		} else {
+			la.BatchedGram(w[d], g)
+		}
 		partial[d] = g
 		rows := float64(w[d].Rows)
+		if fp32 {
+			return gpu.Work{Flops: rows * float64(c) * float64(c), Bytes: 4 * rows * float64(c), Elem: gpu.Elem32}
+		}
 		return gpu.Work{Flops: rows * float64(c) * float64(c), Bytes: 8 * rows * float64(c)}
 	})
-	ctx.ReduceRoundOn(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes), k)
+	if fp32 {
+		ctx.ReduceRoundElemOn(phase, scalarBytesAll(ng, c*c*4), gpu.Elem32, k)
+	} else {
+		ctx.ReduceRoundOn(phase, scalarBytesAll(ng, c*c*gpu.ScalarBytes), k)
+	}
 	b := la.NewDense(c, c)
 	for _, p := range partial {
 		for j := 0; j < c; j++ {
 			la.Axpy(1, p.Col(j), b.Col(j))
 		}
+	}
+	if fp32 {
+		roundF32Matrix(b)
 	}
 	for j := 0; j < c; j++ {
 		for i := 0; i < c; i++ {

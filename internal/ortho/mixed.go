@@ -62,10 +62,11 @@ func (m MixedCholQR) pass(ctx *gpu.Context, w []*la.Dense, phase string) (*la.De
 		partial[d] = g
 		rows := float64(w[d].Rows)
 		// Single precision halves the kernel's memory traffic.
-		return gpu.Work{Flops: rows * float64(c) * float64(c), Bytes: 4 * rows * float64(c)}
+		return gpu.Work{Flops: rows * float64(c) * float64(c), Bytes: 4 * rows * float64(c), Elem: gpu.Elem32}
 	})
-	// Reduce in single precision: half the wire volume of CholQR.
-	ctx.ReduceRound(phase, scalarBytesAll(ng, c*c*4))
+	// Reduce in single precision: half the wire volume of CholQR, tagged
+	// in the precision ledger.
+	ctx.ReduceRoundElem(phase, scalarBytesAll(ng, c*c*4), gpu.Elem32)
 	b := la.NewDense(c, c)
 	for _, p := range partial {
 		for j := 0; j < c; j++ {

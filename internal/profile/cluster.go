@@ -68,6 +68,11 @@ func WithCluster(p gpu.Profile, devicesPerNode int, fab gpu.Fabric) (gpu.Profile
 	if fab.Kind != "" {
 		p.Name = fmt.Sprintf("%s+%dx%s", p.Name, devicesPerNode, fab.Kind)
 	}
+	if p.BF16Transfer && !bf16Supported(p) {
+		// A non-RDMA fabric re-frames inter-node payloads at full width:
+		// the node-local bf16 claim does not extend to the cluster tier.
+		p.BF16Transfer = false
+	}
 	return p, nil
 }
 

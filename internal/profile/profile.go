@@ -54,12 +54,15 @@ func A100PCIe() gpu.Profile {
 			HostGflops:   1500,   // 2x Ice Lake 32-core threaded MKL
 			HostMemBW:    300e9,  // two-socket sustained stream
 			KernelLaunch: 3e-6,
+			FP32Speedup:  2, // FP32 CUDA cores run 2x the FP64 rate
 		},
 		Topo: gpu.Topology{
 			Kind:          gpu.TopoPCIeSwitch,
 			PeerLatency:   5e-6, // P2P DMA through the switch, no host IRQ
 			PeerBandwidth: 22e9, // per-link, slightly under the host link
 		},
+		// Ampere copy engines move bf16 payloads natively over P2P DMA.
+		BF16Transfer: true,
 	}
 }
 
@@ -79,12 +82,15 @@ func H100NVLink() gpu.Profile {
 			HostGflops:   2000,   // 2x Sapphire Rapids threaded MKL
 			HostMemBW:    400e9,
 			KernelLaunch: 2e-6,
+			FP32Speedup:  2, // FP32 vector throughput over FP64 (no TC)
 		},
 		Topo: gpu.Topology{
 			Kind:          gpu.TopoNVLinkRing,
 			PeerLatency:   2e-6,  // NVLink hop latency
 			PeerBandwidth: 150e9, // per-direction sustained of one ring link
 		},
+		// NVLink SHARP-era copy engines ship bf16 halves natively.
+		BF16Transfer: true,
 	}
 }
 
@@ -140,6 +146,11 @@ func WithTopology(p gpu.Profile, kind gpu.TopoKind) (gpu.Profile, error) {
 	if kind != "" {
 		p.Name = p.Name + "+" + string(kind)
 	}
+	if p.BF16Transfer && !bf16Supported(p) {
+		// Rewiring took the narrow transfer path away (host-hub bounces
+		// halos through pageable host memory): drop the inherited claim.
+		p.BF16Transfer = false
+	}
 	return p, nil
 }
 
@@ -184,6 +195,16 @@ type Spec struct {
 	// Model overrides individual cost-model constants; nil keeps the
 	// base model.
 	Model *ModelSpec `json:"model,omitempty"`
+	// FP32Speedup overrides the device throughput ratio of single- over
+	// double-precision kernels (1 = no speedup). Must lie in [1, 8] —
+	// anything outside that band is a typo, not a GPU.
+	FP32Speedup float64 `json:"fp32_speedup,omitempty"`
+	// BF16TransferOK overrides the bfloat16-transfer capability claim.
+	// Claiming it requires a peer-to-peer topology (host-hub machines
+	// bounce halos through pageable host memory, which has no narrow
+	// path) and, on a clustered profile, an InfiniBand fabric (RDMA ships
+	// untranslated device payloads; the Ethernet stacks re-frame).
+	BF16TransferOK *bool `json:"bf16_transfer_ok,omitempty"`
 	// DevicesPerNode groups the devices into simulated compute nodes of
 	// this size, arming the two-tier cluster interconnect; 0 keeps the
 	// single-node machine.
@@ -260,6 +281,9 @@ func (s Spec) Resolve() (gpu.Profile, error) {
 			p.Model.KernelLaunch = m.KernelLaunchUS * 1e-6
 		}
 	}
+	if s.FP32Speedup != 0 {
+		p.Model.FP32Speedup = s.FP32Speedup
+	}
 	if s.DevicesPerNode != 0 || s.Fabric != "" || s.FabricLatencyUS != 0 || s.FabricBandwidthGBs != 0 {
 		if s.DevicesPerNode < 1 {
 			return gpu.Profile{}, fmt.Errorf("profile: fabric settings need devices_per_node >= 1, got %d", s.DevicesPerNode)
@@ -283,6 +307,15 @@ func (s Spec) Resolve() (gpu.Profile, error) {
 			return gpu.Profile{}, err
 		}
 		p = q
+	}
+	if s.BF16TransferOK != nil {
+		p.BF16Transfer = *s.BF16TransferOK
+	} else if p.BF16Transfer && !bf16Supported(p) {
+		// The base profile's capability didn't survive the overrides
+		// (host-hub rewiring, non-RDMA fabric): downgrade the inherited
+		// claim silently. Only an explicit bf16_transfer_ok claim on an
+		// unsupporting machine is an error.
+		p.BF16Transfer = false
 	}
 	if err := validate(p); err != nil {
 		return gpu.Profile{}, err
@@ -354,5 +387,37 @@ func validate(p gpu.Profile) error {
 			return err
 		}
 	}
+	if sp := m.FP32Speedup; sp != 0 && (!(sp >= 1) || sp > 8) {
+		return fmt.Errorf("profile: fp32_speedup must lie in [1, 8], got %g", sp)
+	}
+	if p.BF16Transfer {
+		if !p.Topo.PeerToPeer() {
+			return fmt.Errorf("profile: bf16_transfer_ok needs a peer-to-peer topology, not %q", p.Topo.Kind)
+		}
+		if p.Clustered() {
+			switch p.Cluster.Fabric.Kind {
+			case gpu.FabricIBHDR, gpu.FabricIBEDR:
+			default:
+				return fmt.Errorf("profile: bf16_transfer_ok needs an RDMA fabric, not %q", p.Cluster.Fabric.Kind)
+			}
+		}
+	}
 	return nil
+}
+
+// bf16Supported reports whether the assembled machine can honor a
+// bfloat16-transfer claim: peer-to-peer device links and, when the
+// cluster tier is armed, an RDMA fabric.
+func bf16Supported(p gpu.Profile) bool {
+	if !p.Topo.PeerToPeer() {
+		return false
+	}
+	if p.Clustered() {
+		switch p.Cluster.Fabric.Kind {
+		case gpu.FabricIBHDR, gpu.FabricIBEDR:
+		default:
+			return false
+		}
+	}
+	return true
 }

@@ -154,6 +154,23 @@ func TestDecode(t *testing.T) {
 			func(p gpu.Profile) bool {
 				return p.Cluster.Fabric.Latency == 9e-6 && p.Cluster.Fabric.Bandwidth == 20e9
 			}},
+		{"fp32-speedup-override", `{"base":"m2090","fp32_speedup":1.8}`, true,
+			func(p gpu.Profile) bool { return p.Model.FP32Speedup == 1.8 }},
+		{"bf16-claim-on-capable", `{"base":"a100-pcie","bf16_transfer_ok":true}`, true,
+			func(p gpu.Profile) bool { return p.BF16Transfer }},
+		{"bf16-disclaim", `{"base":"a100-pcie","bf16_transfer_ok":false}`, true,
+			func(p gpu.Profile) bool { return !p.BF16Transfer }},
+		{"bf16-inherited-downgrades-on-hub", `{"base":"a100-pcie","topology":"host-hub"}`, true,
+			func(p gpu.Profile) bool { return !p.BF16Transfer }},
+		{"bf16-inherited-downgrades-on-ethernet", `{"base":"a100-pcie","devices_per_node":2,"fabric":"ethernet-100g"}`, true,
+			func(p gpu.Profile) bool { return !p.BF16Transfer }},
+		{"bf16-survives-rdma-fabric", `{"base":"a100-pcie","devices_per_node":2,"fabric":"ib-hdr"}`, true,
+			func(p gpu.Profile) bool { return p.BF16Transfer }},
+		{"bf16-claim-on-host-hub", `{"base":"m2090","bf16_transfer_ok":true}`, false, nil},
+		{"bf16-claim-on-ethernet-fabric", `{"base":"a100-pcie","devices_per_node":2,"fabric":"ethernet-25g","bf16_transfer_ok":true}`, false, nil},
+		{"fp32-speedup-too-small", `{"fp32_speedup":0.5}`, false, nil},
+		{"fp32-speedup-too-large", `{"fp32_speedup":50}`, false, nil},
+		{"fp32-speedup-nan", `{"fp32_speedup":1e999}`, false, nil},
 		{"fabric-without-nodes", `{"fabric":"ib-hdr"}`, false, nil},
 		{"unknown-fabric", `{"devices_per_node":2,"fabric":"myrinet"}`, false, nil},
 		{"negative-node-size", `{"devices_per_node":-2,"fabric":"ib-hdr"}`, false, nil},

@@ -10,6 +10,7 @@ package profiletest
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"cagmres/internal/gpu"
@@ -29,6 +30,9 @@ func Run(t *testing.T, p gpu.Profile) {
 	t.Run("lane-ledger", func(t *testing.T) { checkLaneLedger(t, p) })
 	t.Run("overlap-identity", func(t *testing.T) { checkOverlapIdentity(t, p) })
 	t.Run("fault-replay", func(t *testing.T) { checkFaultReplay(t, p) })
+	t.Run("fp32-speedup", func(t *testing.T) { checkFP32Speedup(t, p) })
+	t.Run("bf16-transfer", func(t *testing.T) { checkBF16Transfer(t, p) })
+	t.Run("precision-ledger", func(t *testing.T) { checkPrecisionLedger(t, p) })
 }
 
 // workload drives every charging path of the runtime with deterministic
@@ -247,6 +251,95 @@ func checkOverlapIdentity(t *testing.T, p gpu.Profile) {
 	sync, over := render(false), render(true)
 	if sync != over {
 		t.Errorf("ledger differs between sync and overlap schedules:\n--- sync ---\n%s\n--- overlap ---\n%s", sync, over)
+	}
+}
+
+// checkFP32Speedup asserts a declared single-precision throughput ratio
+// is physically plausible ([1, 8]) and actually buys time: an Elem32
+// kernel never costs more than the identical Elem64 kernel, strictly
+// less on a compute-bound shape when the ratio exceeds 1, and exactly
+// the same when no ratio is declared.
+func checkFP32Speedup(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	sp := p.Model.FP32Speedup
+	if sp != 0 && (!(sp >= 1) || sp > 8) {
+		t.Fatalf("fp32_speedup %g outside [1, 8]", sp)
+	}
+	cost := func(e gpu.Elem) float64 {
+		c := gpu.NewContextWithProfile(devCount, p)
+		c.UniformKernel("x", gpu.Work{Flops: 1e10, Elem: e})
+		return c.Stats().TotalTime()
+	}
+	f64, f32 := cost(gpu.Elem64), cost(gpu.Elem32)
+	switch {
+	case f32 > f64:
+		t.Errorf("fp32 kernel costs %g > fp64 kernel %g", f32, f64)
+	case sp > 1 && !(f32 < f64):
+		t.Errorf("fp32_speedup %g declared but compute-bound fp32 kernel not cheaper (%g vs %g)", sp, f32, f64)
+	case sp == 0 && f32 != f64:
+		t.Errorf("no fp32_speedup declared but fp32 kernel costs %g != fp64 %g", f32, f64)
+	}
+}
+
+// checkBF16Transfer asserts a bfloat16-transfer claim is consistent
+// with the interconnect (peer-to-peer links, RDMA fabric when
+// clustered) and that a bf16 halo exchange is strictly cheaper than the
+// same exchange at full width — the claim must buy β, not just exist.
+func checkBF16Transfer(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	if !p.BF16Transfer {
+		return
+	}
+	if !p.Topo.PeerToPeer() {
+		t.Fatalf("profile claims bf16 transfer on non-peer topology %q", p.Topo.Kind)
+	}
+	uniform := func(b int) []int {
+		out := make([]int, devCount)
+		for d := range out {
+			out[d] = b
+		}
+		return out
+	}
+	// Callers ship payloads already at the narrow width (the elem
+	// argument tags the ledger; it does not rescale bytes), so the
+	// exchange is costed at scaled volumes exactly as the MPK does.
+	const scalars = 1 << 19
+	cost := func(e gpu.Elem) (float64, *gpu.Stats) {
+		b := scalars * e.Bytes()
+		c := gpu.NewContextWithProfile(devCount, p)
+		c.HaloExchangeElemOn("x", uniform(b), uniform(b), ringTraffic(devCount, b), e)
+		return c.Stats().TotalTime(), c.Stats()
+	}
+	f64, _ := cost(gpu.Elem64)
+	bf, st := cost(gpu.ElemBF16)
+	if !(bf < f64) {
+		t.Errorf("bf16 halo exchange not cheaper than fp64: %g vs %g", bf, f64)
+	}
+	if st.Phase("x").BytesCompressed == 0 {
+		t.Errorf("bf16 exchange left the compressed ledger column empty: %+v", st.Phase("x"))
+	}
+}
+
+// checkPrecisionLedger asserts the conditional-column promise on every
+// profile: an all-FP64 workload renders a ledger without the precision
+// columns, while tagged narrow traffic makes them appear.
+func checkPrecisionLedger(t *testing.T, p gpu.Profile) {
+	t.Helper()
+	c := gpu.NewContextWithProfile(devCount, p)
+	workload(c)
+	table := c.Stats().String() + c.Stats().DeviceString()
+	for _, col := range []string{"bytesFP32", "bytesComp"} {
+		if strings.Contains(table, col) {
+			t.Errorf("fp64 workload grew a %s column:\n%s", col, table)
+		}
+	}
+	bytes := make([]int, devCount)
+	for d := range bytes {
+		bytes[d] = 4096
+	}
+	c.ReduceRoundElem("x", bytes, gpu.Elem32)
+	if !strings.Contains(c.Stats().String(), "bytesFP32") {
+		t.Errorf("fp32-tagged round missing bytesFP32 column:\n%s", c.Stats().String())
 	}
 }
 

@@ -44,7 +44,20 @@ type metrics struct {
 
 	sheds    map[string]obs.Counter
 	brownout obs.Gauge
+
+	precJobs       map[string]obs.Counter
+	precWindows    map[string]obs.Counter
+	precCompressed obs.Counter
 }
+
+// precModes and precWidths are the solver_precision_* label values,
+// registered eagerly so the families exist before the first narrowed
+// solve. The windows family's help text must match the one the
+// convergence sink uses — both feed the same series.
+var (
+	precModes  = []string{core.PrecisionFP64, core.PrecisionMixed, core.PrecisionAdaptive}
+	precWidths = []string{"fp64", "fp32", "fp32+bf16"}
+)
 
 // shedReasons are the sched_shed_total label values, registered eagerly.
 var shedReasons = []string{"brownout", "deadline_infeasible", "deadline_expired"}
@@ -108,6 +121,18 @@ func newMetrics(r *obs.Registry, pool *Pool) *metrics {
 	}
 	m.brownout = r.Gauge("sched_brownout_level",
 		"Active SLO-driven brownout level (0 = no shedding).")
+	m.precJobs = make(map[string]obs.Counter, len(precModes))
+	for _, mode := range precModes {
+		m.precJobs[mode] = r.CounterL("solver_precision_jobs_total",
+			"Jobs finished, by requested precision mode.", obs.L("mode", mode))
+	}
+	m.precWindows = make(map[string]obs.Counter, len(precWidths))
+	for _, width := range precWidths {
+		m.precWindows[width] = r.CounterL("solver_precision_windows_total",
+			"CA matrix-powers windows generated, by precision level.", obs.L("width", width))
+	}
+	m.precCompressed = r.Counter("solver_precision_compressed_transfers_total",
+		"Halo exchanges shipped bfloat16-compressed.")
 	m.poolSize.Set(float64(pool.Size()))
 	m.poolInUse.Set(float64(pool.InUse()))
 	pool.OnChange(func(inUse, size int) {
@@ -178,6 +203,32 @@ func (m *metrics) faults(d gpu.FaultCounts) {
 	m.faultDeaths.Add(float64(d.DeviceDeaths))
 	m.faultTransfers.Add(float64(d.TransferFaults))
 	m.retries.Add(float64(d.TransferRetries))
+}
+
+// precision records one finished job's precision-policy activity: the
+// mode it ran, the windows generated at each width, and the compressed
+// halo exchanges. A nil report is a pure-fp64 job.
+func (m *metrics) precision(rep *core.PrecisionReport) {
+	if m == nil {
+		return
+	}
+	mode := core.PrecisionFP64
+	if rep != nil {
+		mode = rep.Mode
+		if c, ok := m.precWindows["fp64"]; ok {
+			c.Add(float64(rep.WindowsFP64))
+		}
+		if c, ok := m.precWindows["fp32"]; ok {
+			c.Add(float64(rep.WindowsFP32 - rep.CompressedTransfers))
+		}
+		if c, ok := m.precWindows["fp32+bf16"]; ok {
+			c.Add(float64(rep.CompressedTransfers))
+		}
+		m.precCompressed.Add(float64(rep.CompressedTransfers))
+	}
+	if c, ok := m.precJobs[mode]; ok {
+		c.Inc()
+	}
 }
 
 // recovered records one job's solver-level recovery actions.

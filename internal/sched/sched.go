@@ -45,9 +45,9 @@ func (s *Spec) batchKey() string {
 		return ""
 	}
 	o := s.Opts
-	return fmt.Sprintf("%s|%s|%s|%t|m%d|s%d|tol%g|mr%d|%s|%s|%s|%t",
+	return fmt.Sprintf("%s|%s|%s|%t|m%d|s%d|tol%g|mr%d|%s|%s|%s|%t|p%s",
 		s.MatrixKey, s.Solver, s.Ordering, s.Balance,
-		o.M, o.S, o.Tol, o.MaxRestarts, o.Ortho, o.BOrth, o.Basis, o.AdaptiveS)
+		o.M, o.S, o.Tol, o.MaxRestarts, o.Ortho, o.BOrth, o.Basis, o.AdaptiveS, o.Precision)
 }
 
 // State is a job's lifecycle position.
@@ -912,6 +912,9 @@ func (s *Scheduler) execute(batch []*Job) {
 		modeled := 0.0
 		if res != nil && res.Stats != nil {
 			modeled = res.Stats.TotalTime()
+		}
+		if st == StateDone && res != nil {
+			s.met.precision(res.Precision)
 		}
 		s.finishJob(j, st, res, err)
 		s.met.finished(st, j.WaitSeconds(), time.Since(start).Seconds(), modeled)

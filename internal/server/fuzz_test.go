@@ -1,9 +1,11 @@
 package server
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"cagmres/internal/core"
 	"cagmres/internal/sparse"
 )
 
@@ -67,5 +69,57 @@ func FuzzMatrixMarketSpec(f *testing.F) {
 			t.Fatalf("cache round-trip diverged: %v %p/%p %q/%q", err, a, a2, key, key2)
 		}
 		_ = strings.TrimSpace(body)
+	})
+}
+
+// FuzzPrecisionField drives the precision field of the POST /solve body
+// decoder with hostile JSON: whatever arrives, decoding plus
+// normalization must never panic, must only ever accept the three
+// canonical mode names, and must be idempotent on what it accepts —
+// the invariants the solve handler's bad_request gate relies on.
+func FuzzPrecisionField(f *testing.F) {
+	seeds := []string{
+		`{"matrix":{"name":"laplace2d"},"precision":"mixed"}`,
+		`{"matrix":{"name":"laplace2d"},"precision":"adaptive"}`,
+		`{"matrix":{"name":"laplace2d"},"precision":"fp64"}`,
+		`{"matrix":{"name":"laplace2d"}}`,
+		`{"precision":""}`,
+		`{"precision":"MIXED"}`,
+		`{"precision":"fp32"}`,
+		`{"precision":"bf16"}`,
+		`{"precision":"mixed "}`,
+		`{"precision":"fp64"}`,
+		`{"precision":42}`,
+		`{"precision":null}`,
+		`{"precision":["mixed"]}`,
+		`{"precision":"` + strings.Repeat("a", 4096) + `"}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		var req SolveRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			return // the handler answers bad_request before precision is read
+		}
+		got, err := core.NormalizePrecision(req.Precision)
+		if err != nil {
+			if got != "" {
+				t.Fatalf("NormalizePrecision(%q) returned %q alongside error %v", req.Precision, got, err)
+			}
+			return
+		}
+		switch got {
+		case core.PrecisionFP64, core.PrecisionMixed, core.PrecisionAdaptive:
+		default:
+			t.Fatalf("NormalizePrecision(%q) accepted unknown mode %q", req.Precision, got)
+		}
+		if req.Precision == "" && got != core.PrecisionFP64 {
+			t.Fatalf("empty precision normalized to %q, want fp64", got)
+		}
+		again, err := core.NormalizePrecision(got)
+		if err != nil || again != got {
+			t.Fatalf("NormalizePrecision not idempotent: %q -> %q, %v", got, again, err)
+		}
 	})
 }

@@ -55,6 +55,11 @@ type SolveRequest struct {
 	Ortho       string  `json:"ortho,omitempty"`
 	BOrth       string  `json:"borth,omitempty"`
 	Basis       string  `json:"basis,omitempty"`
+	// Precision is "fp64" (default), "mixed", or "adaptive". Narrowed
+	// modes converge to the same FP64 tolerance — the solver only ever
+	// declares convergence from a full-double true residual — but spend
+	// less modeled time and bandwidth on the basis pipeline.
+	Precision string `json:"precision,omitempty"`
 	// Ordering is natural, rcm, kway (default) or hypergraph; Balance
 	// defaults to true.
 	Ordering string `json:"ordering,omitempty"`
@@ -113,10 +118,25 @@ type JobJSON struct {
 	// fault; Faults reports what the winning solve survived.
 	Attempts int         `json:"attempts,omitempty"`
 	Faults   *FaultsJSON `json:"faults,omitempty"`
+	// Precision reports what the precision policy did, for jobs that
+	// requested a narrowed mode (absent for fp64 jobs).
+	Precision *PrecisionJSON `json:"precision,omitempty"`
 	// TraceID correlates the job with its request trace
 	// (/jobs/{id}/trace.json, /jobs/{id}/spans.jsonl) and with the
 	// submitter's own tracing when a traceparent header was sent.
 	TraceID string `json:"trace_id,omitempty"`
+}
+
+// PrecisionJSON is the wire form of core.PrecisionReport: the mode a
+// narrowed solve ran, the windows generated at each width, and the
+// refinement/compression activity.
+type PrecisionJSON struct {
+	Mode                string `json:"mode"`
+	WindowsFP64         int    `json:"windows_fp64"`
+	WindowsFP32         int    `json:"windows_fp32"`
+	CompressedTransfers int    `json:"compressed_transfers"`
+	Refinements         int    `json:"refinements"`
+	FinalLevel          string `json:"final_level"`
 }
 
 // FaultsJSON is the wire form of core.FaultReport: the faults a solve
@@ -203,6 +223,11 @@ type Server struct {
 	sched *sched.Scheduler
 	mux   *http.ServeMux
 
+	// defaultPrecision is applied to solve bodies that omit the
+	// precision field (SetDefaultPrecision; empty means fp64, the
+	// historical behavior). Requests that name a mode always win.
+	defaultPrecision string
+
 	mu    sync.Mutex
 	cache map[string]*sparse.CSR // matrix cache: spec key -> shared CSR
 }
@@ -220,6 +245,19 @@ func New(s *sched.Scheduler, reg *obs.Registry) *Server {
 		srv.mux.Handle("/", obs.Handler(reg, nil))
 	}
 	return srv
+}
+
+// SetDefaultPrecision sets the precision mode applied to solve bodies
+// that omit the field (the cagmresd -precision flag). The mode is
+// normalized up front so a bad flag fails at startup, not per request;
+// an explicit precision in a request always overrides the default.
+func (s *Server) SetDefaultPrecision(mode string) error {
+	p, err := core.NormalizePrecision(mode)
+	if err != nil {
+		return err
+	}
+	s.defaultPrecision = p
+	return nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -385,6 +423,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Balance != nil {
 		balance = *req.Balance
 	}
+	if req.Precision == "" {
+		req.Precision = s.defaultPrecision
+	}
+	precision, err := core.NormalizePrecision(req.Precision)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Code: codeBadRequest, Error: err.Error()})
+		return
+	}
 	var prof *gpu.Profile
 	if len(req.Profile) > 0 {
 		p, err := profile.Decode(req.Profile)
@@ -404,7 +450,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Opts: core.Options{
 			M: req.M, S: req.S, Tol: req.Tol, MaxRestarts: req.MaxRestarts,
 			Ortho: req.Ortho, BOrth: req.BOrth, Basis: req.Basis,
-			Profile: prof,
+			Precision: precision, Profile: prof,
 		},
 	}
 
@@ -539,6 +585,16 @@ func jobJSON(j *sched.Job, includeX bool) JobJSON {
 				CheckpointRestores: res.Faults.CheckpointRestores,
 				TransferFaults:     res.Faults.TransferFaults,
 				TransferRetries:    res.Faults.TransferRetries,
+			}
+		}
+		if res.Precision != nil {
+			out.Precision = &PrecisionJSON{
+				Mode:                res.Precision.Mode,
+				WindowsFP64:         res.Precision.WindowsFP64,
+				WindowsFP32:         res.Precision.WindowsFP32,
+				CompressedTransfers: res.Precision.CompressedTransfers,
+				Refinements:         res.Precision.Refinements,
+				FinalLevel:          res.Precision.FinalLevel,
 			}
 		}
 		if includeX {
